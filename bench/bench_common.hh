@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark binaries.
+ */
+
+#ifndef SONIC_BENCH_COMMON_HH
+#define SONIC_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "app/experiment.hh"
+#include "util/table.hh"
+
+namespace sonic::bench
+{
+
+/** Stacked per-layer live seconds for a result (Fig. 9 bars). */
+inline f64
+layerSeconds(const app::ExperimentResult &r, const std::string &layer)
+{
+    for (const auto &row : r.layers)
+        if (row.name == layer)
+            return row.kernelSeconds + row.controlSeconds;
+    return 0.0;
+}
+
+inline std::string
+statusOf(const app::ExperimentResult &r)
+{
+    if (r.completed)
+        return "ok";
+    return r.nonTerminating ? "DNF" : "fail";
+}
+
+/** Geometric mean helper for the Sec. 9.1 summary ratios. */
+class GeoMean
+{
+  public:
+    void
+    add(f64 x)
+    {
+        if (x > 0.0) {
+            logSum_ += std::log(x);
+            ++n_;
+        }
+    }
+
+    f64
+    value() const
+    {
+        return n_ ? std::exp(logSum_ / static_cast<f64>(n_)) : 0.0;
+    }
+
+  private:
+    f64 logSum_ = 0.0;
+    u64 n_ = 0;
+};
+
+} // namespace sonic::bench
+
+#endif // SONIC_BENCH_COMMON_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Fig. 1: IMpJ vs inference accuracy for the wildlife-
+ * monitoring case study when full images are sent. Series: always-send
+ * baseline (Eq. 1), ideal oracle (Eq. 2), naive local inference (Eq. 3
+ * with the tiled-Alpaca Einfer) and SONIC & TAILS. Einfer values are
+ * *measured* on our prototype (MNIST on Tile-8 and TAILS, 1 mF).
+ * Also prints the Sec. 3.1 offload-vs-local comparison (>=360x).
+ */
+
+#include "app/wildlife.hh"
+#include "bench/bench_common.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Fig. 1 — wildlife monitoring, sending "
+                             "full images").c_str());
+
+    // Measure Einfer on the prototype (MNIST, 1 mF capacitor).
+    app::RunSpec naive;
+    naive.net = dnn::NetId::Mnist;
+    naive.impl = kernels::Impl::Tile8;
+    naive.power = app::PowerKind::Cap1mF;
+    const auto naive_run = app::runExperiment(naive);
+
+    app::RunSpec tails = naive;
+    tails.impl = kernels::Impl::Tails;
+    const auto tails_run = app::runExperiment(tails);
+
+    app::WildlifeParams params;
+    params.naiveInferJ = naive_run.energyJ;
+    params.tailsInferJ = tails_run.energyJ;
+    std::printf("measured Einfer: naive (Tile-8) = %s, "
+                "SONIC&TAILS = %s\n\n",
+                formatEnergy(params.naiveInferJ).c_str(),
+                formatEnergy(params.tailsInferJ).c_str());
+
+    const auto rows = sweepWildlife(params, 11, false);
+    Table table({"accuracy", "always-send (IM/kJ)", "ideal (IM/kJ)",
+                 "naive (IM/kJ)", "SONIC&TAILS (IM/kJ)"});
+    for (const auto &row : rows) {
+        table.row()
+            .cell(row.accuracy, 2)
+            .cell(row.alwaysSend * 1e3, 2)
+            .cell(row.ideal * 1e3, 2)
+            .cell(row.naive * 1e3, 2)
+            .cell(row.sonicTails * 1e3, 2);
+    }
+    table.print(std::cout);
+
+    const auto &top = rows.back();
+    std::printf("\ncallouts at accuracy=1.0: local-inference gain "
+                "%.1fx (paper ~20x), SONIC&TAILS vs naive %.2fx "
+                "(paper ~1.1x)\n",
+                top.sonicTails / top.alwaysSend,
+                top.sonicTails / top.naive);
+
+    const auto cmp = app::offloadVsLocal(
+        28 * 28, tails_run.energyJ, app::kHarvestWatts);
+    std::printf("\nSec. 3.1: offloading one 28x28 image over OpenChirp "
+                "~= %.0f s of harvest; local inference ~= %.1f s; "
+                "speedup %.0fx (paper >=360x)\n",
+                cmp.offloadSeconds, cmp.localSeconds, cmp.speedup);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Fig. 4 (a/b/c): GENESIS' accuracy-vs-MACs trade-off for
+ * the three workloads. Prints every swept configuration (feasible or
+ * not), the Pareto frontiers for separate+prune / separate-only /
+ * prune-only, the infeasible uncompressed original, and the chosen
+ * configuration.
+ */
+
+#include "bench/bench_common.hh"
+#include "genesis/genesis.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Fig. 4 — GENESIS accuracy vs MAC ops")
+                          .c_str());
+
+    for (auto net : dnn::kAllNets) {
+        genesis::GenesisOptions opts;
+        opts.evalSamples = 64;
+        const auto result = genesis::runGenesis(net, opts);
+
+        std::printf("\n--- %s ---\n", dnn::netName(net));
+        std::printf("original (uncompressed): %llu MACs, %llu params, "
+                    "%.1f KB FRAM -> %s\n",
+                    static_cast<unsigned long long>(
+                        result.original.macs),
+                    static_cast<unsigned long long>(
+                        result.original.params),
+                    static_cast<f64>(result.original.framBytes)
+                        / 1024.0,
+                    result.original.feasible ? "feasible"
+                                             : "INFEASIBLE");
+
+        Table table({"technique", "fcKeep", "convKeep", "rank", "MACs",
+                     "KB", "feasible", "accuracy", "IMpJ"});
+        for (const auto &c : result.configs) {
+            table.row()
+                .cell(std::string(genesis::techniqueName(c.technique)))
+                .cell(std::min(c.knobs.fcKeep, 99.0), 2)
+                .cell(std::min(c.knobs.convKeep, 99.0), 2)
+                .cell(c.knobs.fcRankScale, 2)
+                .cell(static_cast<u64>(c.macs))
+                .cell(static_cast<f64>(c.framBytes) / 1024.0, 1)
+                .cell(std::string(c.feasible ? "yes" : "no"))
+                .cell(c.accuracy, 3)
+                .cell(c.impj * 1e3, 2);
+        }
+        table.print(std::cout);
+
+        for (auto technique :
+             {genesis::Technique::SeparateAndPrune,
+              genesis::Technique::SeparateOnly,
+              genesis::Technique::PruneOnly}) {
+            const auto front =
+                genesis::paretoFrontier(result.configs, &technique);
+            std::printf("pareto[%s]: ",
+                        genesis::techniqueName(technique));
+            for (u32 i : front) {
+                std::printf("(%llu MACs, %.3f) ",
+                            static_cast<unsigned long long>(
+                                result.configs[i].macs),
+                            result.configs[i].accuracy);
+            }
+            std::printf("\n");
+        }
+
+        const auto &chosen = result.chosen();
+        std::printf("chosen: %s fcKeep=%.2f -> %llu MACs, accuracy "
+                    "%.3f (paper: %.2f)\n",
+                    genesis::techniqueName(chosen.technique),
+                    chosen.knobs.fcKeep,
+                    static_cast<unsigned long long>(chosen.macs),
+                    chosen.accuracy,
+                    dnn::paperAccuracy(net));
+    }
+    return 0;
+}

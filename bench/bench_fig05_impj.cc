@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 5 (a/b/c): every Fig. 4 configuration mapped through
+ * the end-to-end application model (Eq. 3) — IMpJ vs energy per
+ * inference. Demonstrates the paper's point that the best feasible
+ * configuration is not simply the most accurate one.
+ */
+
+#include "bench/bench_common.hh"
+#include "genesis/genesis.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Fig. 5 — IMpJ vs energy per inference")
+                          .c_str());
+
+    for (auto net : dnn::kAllNets) {
+        genesis::GenesisOptions opts;
+        opts.evalSamples = 64;
+        const auto result = genesis::runGenesis(net, opts);
+
+        std::printf("\n--- %s ---\n", dnn::netName(net));
+        Table table({"Einfer (mJ)", "accuracy", "tp", "tn",
+                     "IMpJ (per kJ)", "feasible", "chosen"});
+        for (u32 i = 0; i < result.configs.size(); ++i) {
+            const auto &c = result.configs[i];
+            table.row()
+                .cell(c.inferJ * 1e3, 3)
+                .cell(c.accuracy, 3)
+                .cell(c.truePositive, 3)
+                .cell(c.trueNegative, 3)
+                .cell(c.impj * 1e3, 2)
+                .cell(std::string(c.feasible ? "yes" : "no"))
+                .cell(std::string(i == result.chosenIndex ? "<==" : ""));
+        }
+        table.print(std::cout);
+
+        // The paper's observation: max-accuracy != max-IMpJ.
+        u32 most_accurate = 0;
+        for (u32 i = 0; i < result.configs.size(); ++i) {
+            if (result.configs[i].feasible
+                && result.configs[i].accuracy
+                    > result.configs[most_accurate].accuracy)
+                most_accurate = i;
+        }
+        std::printf("most-accurate feasible config IMpJ: %.2f/kJ; "
+                    "chosen config IMpJ: %.2f/kJ%s\n",
+                    result.configs[most_accurate].impj * 1e3,
+                    result.chosen().impj * 1e3,
+                    most_accurate == result.chosenIndex
+                        ? " (same config)"
+                        : " (different configs — accuracy alone is "
+                          "not the objective)");
+    }
+    return 0;
+}

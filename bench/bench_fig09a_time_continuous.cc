@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Fig. 9a: inference time on continuous power for the three
+ * networks across Base, Tile-8/32/128, SONIC and TAILS, stacked by
+ * layer (convolutions dominate). Also prints each implementation's
+ * slowdown relative to Base — the paper's headline continuous-power
+ * ratios (Tile-8 gmean ~13.4x, SONIC ~1.45x, TAILS ~0.83x).
+ */
+
+#include <cmath>
+
+#include "bench/bench_common.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Fig. 9a — inference time, continuous "
+                             "power").c_str());
+
+    Table table({"net", "impl", "conv1 (s)", "conv2 (s)", "fc (s)",
+                 "other (s)", "total live (s)", "vs Base"});
+
+    for (auto net : dnn::kAllNets) {
+        f64 base_live = 0.0;
+        for (auto impl : kernels::kAllImpls) {
+            app::RunSpec spec;
+            spec.net = net;
+            spec.impl = impl;
+            spec.power = app::PowerKind::Continuous;
+            const auto r = app::runExperiment(spec);
+            if (impl == kernels::Impl::Base)
+                base_live = r.liveSeconds;
+            table.row()
+                .cell(std::string(dnn::netName(net)))
+                .cell(std::string(kernels::implName(impl)))
+                .cell(layerSeconds(r, "conv1"), 4)
+                .cell(layerSeconds(r, "conv2"), 4)
+                .cell(layerSeconds(r, "fc"), 4)
+                .cell(layerSeconds(r, "other"), 4)
+                .cell(r.liveSeconds, 4)
+                .cell(base_live > 0.0 ? r.liveSeconds / base_live : 0.0,
+                      2);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Fig. 9b: inference time on intermittent power with a
+ * 100 uF capacitor. Base never completes; Tile-128 never completes;
+ * Tile-32 fails on MNIST only; Tile-8, SONIC and TAILS always
+ * complete, with SONIC & TAILS far faster.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Fig. 9b — inference time, intermittent "
+                             "(100uF)").c_str());
+
+    Table table({"net", "impl", "status", "live (s)", "dead (s)",
+                 "total (s)", "reboots"});
+    for (auto net : dnn::kAllNets) {
+        for (auto impl : kernels::kAllImpls) {
+            app::RunSpec spec;
+            spec.net = net;
+            spec.impl = impl;
+            spec.power = app::PowerKind::Cap100uF;
+            const auto r = app::runExperiment(spec);
+            table.row()
+                .cell(std::string(dnn::netName(net)))
+                .cell(std::string(kernels::implName(impl)))
+                .cell(statusOf(r))
+                .cell(r.liveSeconds, 3)
+                .cell(r.deadSeconds, 3)
+                .cell(r.totalSeconds, 3)
+                .cell(static_cast<u64>(r.reboots));
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

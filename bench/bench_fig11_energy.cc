@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Fig. 11: inference energy with a 1 mF capacitor for all
+ * implementations. Energy is in direct proportion to the dead time of
+ * Fig. 9, so SONIC & TAILS improve energy by the same factors as time.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Fig. 11 — inference energy (1mF)")
+                          .c_str());
+
+    Table table({"net", "impl", "status", "energy (mJ)", "reboots"});
+    for (auto net : dnn::kAllNets) {
+        for (auto impl : kernels::kAllImpls) {
+            app::RunSpec spec;
+            spec.net = net;
+            spec.impl = impl;
+            spec.power = app::PowerKind::Cap1mF;
+            const auto r = app::runExperiment(spec);
+            table.row()
+                .cell(std::string(dnn::netName(net)))
+                .cell(std::string(kernels::implName(impl)))
+                .cell(statusOf(r))
+                .cell(r.energyJ * 1e3, 3)
+                .cell(static_cast<u64>(r.reboots));
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: the
+ * charged-operation dispatch, memory-handle accesses, fixed-point
+ * arithmetic, the redo-log, and a full tiny-network inference per
+ * implementation. These measure *host* performance of the simulator
+ * (how fast experiments run), complementing the simulated-device
+ * measurements of the figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/memory.hh"
+#include "dnn/device_net.hh"
+#include "fixed/fixed.hh"
+#include "kernels/runner.hh"
+#include "task/runtime.hh"
+#include "tests/test_helpers.hh"
+
+using namespace sonic;
+
+namespace
+{
+
+arch::Device
+continuousDevice()
+{
+    return arch::Device(arch::EnergyProfile::msp430fr5994(),
+                        std::make_unique<arch::ContinuousPower>());
+}
+
+void
+BM_DeviceConsume(benchmark::State &state)
+{
+    auto dev = continuousDevice();
+    for (auto _ : state)
+        dev.consume(arch::Op::FixedMul);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceConsume);
+
+void
+BM_NvArrayReadWrite(benchmark::State &state)
+{
+    auto dev = continuousDevice();
+    arch::NvArray<i16> arr(dev, 1024, "bench");
+    u32 i = 0;
+    for (auto _ : state) {
+        arr.write(i & 1023, static_cast<i16>(i));
+        benchmark::DoNotOptimize(arr.read(i & 1023));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_NvArrayReadWrite);
+
+void
+BM_FixedMulAdd(benchmark::State &state)
+{
+    fixed::Q78 acc;
+    fixed::Q78 a = fixed::Q78::fromFloat(0.37);
+    fixed::Q78 b = fixed::Q78::fromFloat(1.21);
+    for (auto _ : state) {
+        acc = acc + a * b;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FixedMulAdd);
+
+void
+BM_RedoLogWriteCommit(benchmark::State &state)
+{
+    auto dev = continuousDevice();
+    task::Program prog;
+    arch::NvArray<i16> arr(dev, 64, "a");
+    const auto entries = static_cast<u32>(state.range(0));
+    const task::TaskId t =
+        prog.addTask("t", [&](task::Runtime &rt) {
+            for (u32 k = 0; k < entries; ++k)
+                rt.logWrite(arr, k % 64, static_cast<i16>(k));
+            return task::kDone;
+        });
+    for (auto _ : state) {
+        task::Scheduler sched(dev, prog);
+        benchmark::DoNotOptimize(sched.run(t).completed);
+    }
+    state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_RedoLogWriteCommit)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_TinyInference(benchmark::State &state)
+{
+    const auto impl = static_cast<kernels::Impl>(state.range(0));
+    const auto spec = testutil::tinyNet();
+    const auto input = testutil::tinyInput();
+    for (auto _ : state) {
+        auto dev = continuousDevice();
+        dnn::DeviceNetwork net(dev, spec);
+        net.loadInput(input);
+        benchmark::DoNotOptimize(
+            kernels::runInference(net, impl).completed);
+    }
+}
+BENCHMARK(BM_TinyInference)
+    ->Arg(static_cast<int>(kernels::Impl::Base))
+    ->Arg(static_cast<int>(kernels::Impl::Tile8))
+    ->Arg(static_cast<int>(kernels::Impl::Sonic))
+    ->Arg(static_cast<int>(kernels::Impl::Tails));
+
+void
+BM_TinyIntermittentSonic(benchmark::State &state)
+{
+    const auto spec = testutil::tinyNet();
+    const auto input = testutil::tinyInput();
+    for (auto _ : state) {
+        arch::Device dev(arch::EnergyProfile::msp430fr5994(),
+                         std::make_unique<arch::FailEveryOps>(
+                             static_cast<u64>(state.range(0))));
+        dnn::DeviceNetwork net(dev, spec);
+        net.loadInput(input);
+        benchmark::DoNotOptimize(
+            kernels::runInference(net, kernels::Impl::Sonic)
+                .completed);
+    }
+}
+BENCHMARK(BM_TinyIntermittentSonic)->Arg(127)->Arg(1031);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Table 2: per-layer compression of the three deployed
+ * networks — technique, compressed parameter count, compression ratio,
+ * and end accuracy — side by side with the paper's reported numbers.
+ */
+
+#include "bench/bench_common.hh"
+#include "dnn/dataset.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+int
+main()
+{
+    std::printf("%s", banner("Table 2 — network compression").c_str());
+
+    struct PaperRow
+    {
+        dnn::NetId net;
+        f64 accuracy;
+    };
+    const PaperRow paper[] = {{dnn::NetId::Mnist, 0.99},
+                              {dnn::NetId::Har, 0.88},
+                              {dnn::NetId::Okg, 0.84}};
+
+    for (const auto &row : paper) {
+        const auto &teacher = app::cachedTeacher(row.net);
+        const auto &net = app::cachedCompressed(row.net);
+        const auto &data = app::cachedDataset(row.net);
+
+        const auto orig = dnn::accountLayers(teacher);
+        const auto comp = dnn::accountLayers(net);
+
+        std::printf("\n--- %s ---\n", dnn::netName(row.net));
+        Table table({"layer", "kind", "params", "MACs"});
+        std::printf("original layers:\n");
+        for (const auto &l : orig)
+            table.row()
+                .cell(l.name)
+                .cell(l.kind)
+                .cell(static_cast<u64>(l.params))
+                .cell(static_cast<u64>(l.macs));
+        table.print(std::cout);
+
+        std::printf("compressed layers:\n");
+        Table table2({"layer", "kind", "params", "MACs"});
+        for (const auto &l : comp)
+            table2.row()
+                .cell(l.name)
+                .cell(l.kind)
+                .cell(static_cast<u64>(l.params))
+                .cell(static_cast<u64>(l.macs));
+        table2.print(std::cout);
+
+        const f64 ratio = static_cast<f64>(teacher.paramCount())
+                        / static_cast<f64>(net.paramCount());
+        const f64 acc = dnn::scaledAccuracy(
+            row.net, dnn::agreement(net, data));
+        std::printf("total: %llu -> %llu params (%.1fx); accuracy "
+                    "%.3f (paper: %.2f); FRAM %.1f KB (cap 256 KB, "
+                    "original %.1f KB)\n",
+                    static_cast<unsigned long long>(
+                        teacher.paramCount()),
+                    static_cast<unsigned long long>(net.paramCount()),
+                    ratio, acc, row.accuracy,
+                    static_cast<f64>(net.framBytesNeeded()) / 1024.0,
+                    static_cast<f64>(teacher.framBytesNeeded())
+                        / 1024.0);
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The experiment harness shared by the benchmark binaries, the test
+ * suite, and the examples: run one inference of a workload under a
+ * chosen implementation and power system, and report the measurements
+ * the paper's figures need (live time per layer split kernel/control,
+ * dead time, energy per op class, reboots, completion).
+ */
+
+#ifndef SONIC_APP_EXPERIMENT_HH
+#define SONIC_APP_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/device.hh"
+#include "dnn/dataset.hh"
+#include "dnn/networks.hh"
+#include "kernels/runner.hh"
+#include "util/types.hh"
+
+namespace sonic::app
+{
+
+/** The four power systems of Fig. 9c. */
+enum class PowerKind : u8
+{
+    Continuous,
+    Cap50mF,
+    Cap1mF,
+    Cap100uF
+};
+
+inline constexpr PowerKind kAllPower[] = {
+    PowerKind::Continuous, PowerKind::Cap50mF, PowerKind::Cap1mF,
+    PowerKind::Cap100uF};
+
+const char *powerName(PowerKind kind);
+
+/** Harvester income of the RF setup (Powercast at 1 m, Sec. 8). */
+constexpr f64 kHarvestWatts = 0.5e-3;
+
+/** Energy-profile ablations (Sec. 9.1's LEA/DMA software emulation). */
+enum class ProfileVariant : u8
+{
+    Standard,
+    NoLea,
+    NoDma
+};
+
+/** One experiment specification. */
+struct RunSpec
+{
+    dnn::NetId net = dnn::NetId::Mnist;
+    kernels::Impl impl = kernels::Impl::Sonic;
+    PowerKind power = PowerKind::Continuous;
+    ProfileVariant profile = ProfileVariant::Standard;
+    u32 sampleIndex = 0;
+    u64 seed = 0x5eed;
+};
+
+/** Per-layer timing/energy breakdown row. */
+struct LayerBreakdown
+{
+    std::string name;
+    f64 kernelSeconds = 0.0;
+    f64 controlSeconds = 0.0;
+    f64 energyJ = 0.0;
+};
+
+/** Everything a figure needs from one run. */
+struct ExperimentResult
+{
+    bool completed = false;
+    bool nonTerminating = false;
+    u64 reboots = 0;
+    u64 tasksExecuted = 0;
+
+    f64 liveSeconds = 0.0;
+    f64 deadSeconds = 0.0;
+    f64 totalSeconds = 0.0;
+    f64 energyJ = 0.0;    ///< total consumed (includes re-execution)
+    f64 harvestedJ = 0.0;
+
+    std::vector<LayerBreakdown> layers;
+    std::map<std::string, f64> energyByOp; ///< op name -> Joules
+
+    std::vector<i16> logits;
+    u32 predictedClass = 0;
+};
+
+/** Build the power supply for a kind (exposed for tests). */
+std::unique_ptr<arch::PowerSupply> makePower(PowerKind kind);
+
+/** Run one inference experiment. */
+ExperimentResult runExperiment(const RunSpec &spec);
+
+/** @name Cached workload artifacts (deterministic, built once). */
+/// @{
+const dnn::NetworkSpec &cachedTeacher(dnn::NetId net);
+const dnn::NetworkSpec &cachedCompressed(dnn::NetId net);
+const dnn::Dataset &cachedDataset(dnn::NetId net);
+/// @}
+
+} // namespace sonic::app
+
+#endif // SONIC_APP_EXPERIMENT_HH

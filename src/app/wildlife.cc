@@ -1,0 +1,63 @@
+#include "app/wildlife.hh"
+
+namespace sonic::app
+{
+
+std::vector<WildlifePoint>
+sweepWildlife(const WildlifeParams &params, u32 points,
+              bool send_result_only)
+{
+    using genesis::AppModel;
+    std::vector<WildlifePoint> rows;
+    rows.reserve(points);
+
+    const f64 comm_filtered = send_result_only
+        ? params.commJ / params.resultCommShrink
+        : params.commJ;
+
+    for (u32 i = 0; i < points; ++i) {
+        WildlifePoint row;
+        row.accuracy = points > 1
+            ? static_cast<f64>(i) / static_cast<f64>(points - 1)
+            : 1.0;
+
+        AppModel base;
+        base.baseRate = params.baseRate;
+        base.senseJ = params.senseJ;
+        base.commJ = params.commJ; // always sends the full image
+        row.alwaysSend = genesis::impjBaseline(base);
+
+        AppModel ideal = base;
+        ideal.commJ = comm_filtered;
+        row.ideal = genesis::impjIdeal(ideal);
+
+        AppModel naive = ideal;
+        naive.truePositive = row.accuracy;
+        naive.trueNegative = row.accuracy;
+        naive.inferJ = params.naiveInferJ;
+        row.naive = genesis::impjInference(naive);
+
+        AppModel st = naive;
+        st.inferJ = params.tailsInferJ;
+        row.sonicTails = genesis::impjInference(st);
+
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+OffloadComparison
+offloadVsLocal(f64 image_bytes, f64 local_infer_j, f64 harvest_watts)
+{
+    // OpenChirp: an eight-byte packet draws 120 mA for ~800 ms at
+    // ~3.3 V (Sec. 3.1) => ~0.317 J per packet.
+    const f64 packet_j = 0.120 * 0.800 * 3.3;
+    const f64 packets = image_bytes / 8.0;
+    OffloadComparison cmp;
+    cmp.offloadSeconds = packets * packet_j / harvest_watts;
+    cmp.localSeconds = local_infer_j / harvest_watts;
+    cmp.speedup = cmp.offloadSeconds / cmp.localSeconds;
+    return cmp;
+}
+
+} // namespace sonic::app

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The wildlife-monitoring case study (paper Sec. 3.2): camera sensors
+ * on OpenChirp connectivity detecting rare animals. Supplies the
+ * energy constants behind Figs. 1 and 2 and helpers that evaluate the
+ * four systems the figures compare (always-send, ideal, naive local
+ * inference, SONIC & TAILS) across an accuracy sweep.
+ */
+
+#ifndef SONIC_APP_WILDLIFE_HH
+#define SONIC_APP_WILDLIFE_HH
+
+#include <vector>
+
+#include "genesis/impj.hh"
+#include "util/types.hh"
+
+namespace sonic::app
+{
+
+/** Case-study constants (Sec. 3.2). */
+struct WildlifeParams
+{
+    f64 baseRate = 0.05;   ///< hedgehogs are reclusive
+    f64 senseJ = 10e-3;    ///< low-power camera shot
+    f64 commJ = 23.0;      ///< one image over OpenChirp
+    /** Sending only the inference result shrinks Ecomm by 98x. */
+    f64 resultCommShrink = 98.0;
+
+    /** Inference energies; defaults are the paper's measured values
+     * (Einfer_naive ~198 mJ on Tile-8, Einfer_TAILS ~26 mJ). Benches
+     * override these with our prototype's measured energies. */
+    f64 naiveInferJ = 198e-3;
+    f64 tailsInferJ = 26e-3;
+};
+
+/** One row of the Fig. 1 / Fig. 2 accuracy sweep. */
+struct WildlifePoint
+{
+    f64 accuracy = 0.0;   ///< tp = tn = accuracy
+    f64 alwaysSend = 0.0; ///< Eq. 1
+    f64 ideal = 0.0;      ///< Eq. 2
+    f64 naive = 0.0;      ///< Eq. 3 with naive Einfer
+    f64 sonicTails = 0.0; ///< Eq. 3 with TAILS Einfer
+};
+
+/**
+ * Sweep accuracy in [0, 1]; send_result_only selects Fig. 2's regime
+ * (Ecomm / resultCommShrink for the local-inference systems AND the
+ * ideal system).
+ */
+std::vector<WildlifePoint> sweepWildlife(const WildlifeParams &params,
+                                         u32 points,
+                                         bool send_result_only);
+
+/**
+ * The Sec. 3.1 communication-vs-local-inference comparison: seconds to
+ * get one MNIST-sized reading to the cloud over OpenChirp vs seconds
+ * to infer locally, at the given harvest power.
+ */
+struct OffloadComparison
+{
+    f64 offloadSeconds = 0.0;
+    f64 localSeconds = 0.0;
+    f64 speedup = 0.0;
+};
+
+OffloadComparison offloadVsLocal(f64 image_bytes, f64 local_infer_j,
+                                 f64 harvest_watts);
+
+} // namespace sonic::app
+
+#endif // SONIC_APP_WILDLIFE_HH

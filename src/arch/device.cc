@@ -1,0 +1,83 @@
+#include "arch/device.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sonic::arch
+{
+
+Device::Device(EnergyProfile profile, std::unique_ptr<PowerSupply> power,
+               DeviceConfig config)
+    : profile_(profile), power_(std::move(power)), config_(config)
+{
+    SONIC_ASSERT(power_ != nullptr);
+}
+
+Device::~Device() = default;
+
+u16
+Device::registerLayer(const std::string &name)
+{
+    return stats_.registerLayer(name);
+}
+
+void
+Device::allocFram(u64 bytes, const std::string &what)
+{
+    framUsed_ += bytes;
+    if (config_.enforceCapacity && framUsed_ > config_.framCapacityBytes) {
+        fatal("FRAM exhausted allocating ", bytes, "B for '", what, "': ",
+              framUsed_, "B used of ", config_.framCapacityBytes, "B");
+    }
+}
+
+void
+Device::allocSram(u64 bytes, const std::string &what)
+{
+    sramUsed_ += bytes;
+    if (config_.enforceCapacity && sramUsed_ > config_.sramCapacityBytes) {
+        fatal("SRAM exhausted allocating ", bytes, "B for '", what, "': ",
+              sramUsed_, "B used of ", config_.sramCapacityBytes, "B");
+    }
+}
+
+void
+Device::freeFram(u64 bytes)
+{
+    SONIC_ASSERT(bytes <= framUsed_);
+    framUsed_ -= bytes;
+}
+
+void
+Device::freeSram(u64 bytes)
+{
+    SONIC_ASSERT(bytes <= sramUsed_);
+    sramUsed_ -= bytes;
+}
+
+void
+Device::registerVolatile(VolatileResettable *v)
+{
+    volatiles_.push_back(v);
+}
+
+void
+Device::unregisterVolatile(VolatileResettable *v)
+{
+    auto it = std::find(volatiles_.begin(), volatiles_.end(), v);
+    if (it != volatiles_.end())
+        volatiles_.erase(it);
+}
+
+void
+Device::reboot()
+{
+    ++rebootCount_;
+    rebootPending_ = 0;
+    deadSeconds_ += power_->recharge();
+    for (auto *v : volatiles_)
+        v->onReboot(rebootCount_);
+}
+
+} // namespace sonic::arch

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The intermittently-powered device model. A Device owns an energy
+ * profile, a power supply, execution statistics and the registry of
+ * volatile memory that must be cleared at reboot. Every charged
+ * operation a kernel performs goes through Device::consume, which may
+ * throw PowerFailure when the energy buffer empties — the simulated
+ * equivalent of the MCU browning out mid-instruction.
+ */
+
+#ifndef SONIC_ARCH_DEVICE_HH
+#define SONIC_ARCH_DEVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/energy_profile.hh"
+#include "arch/op.hh"
+#include "arch/power.hh"
+#include "arch/stats.hh"
+#include "util/types.hh"
+
+namespace sonic::arch
+{
+
+/** Interface for volatile state that is lost at a power failure. */
+class VolatileResettable
+{
+  public:
+    virtual ~VolatileResettable() = default;
+
+    /**
+     * Clear/scramble contents. reboot_index allows deterministic but
+     * varying garbage so code relying on SRAM persistence fails loudly.
+     */
+    virtual void onReboot(u64 reboot_index) = 0;
+};
+
+/** Static configuration of the modelled MCU. */
+struct DeviceConfig
+{
+    f64 clockHz = 16e6;             ///< MSP430FR5994 maximum clock
+    u64 framCapacityBytes = 256 * 1024;
+    u64 sramCapacityBytes = 4 * 1024;
+    bool enforceCapacity = true;    ///< panic if allocations exceed caps
+};
+
+/**
+ * The simulated MCU plus its power system. Not thread-safe; one Device
+ * per experiment.
+ */
+class Device
+{
+  public:
+    Device(EnergyProfile profile, std::unique_ptr<PowerSupply> power,
+           DeviceConfig config = {});
+    ~Device();
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /**
+     * Charge count instances of op to the current attribution bucket.
+     * @throws PowerFailure if the supply cannot deliver the energy.
+     */
+    void
+    consume(Op op, u64 count = 1)
+    {
+        const auto &c = profile_.cost(op);
+        const u64 cycles = c.cycles * count;
+        const f64 nj = c.nanojoules * static_cast<f64>(count);
+        totalCycles_ += cycles;
+        stats_.add(layer_, part_, op, count, cycles, nj);
+        if (!power_->draw(nj)) {
+            ++rebootPending_;
+            throw PowerFailure();
+        }
+    }
+
+    /** @name Attribution */
+    /// @{
+    u16 registerLayer(const std::string &name);
+    void setLayer(u16 layer) { layer_ = layer; }
+    void setPart(Part part) { part_ = part; }
+    u16 currentLayer() const { return layer_; }
+    Part currentPart() const { return part_; }
+    /// @}
+
+    /** @name Memory accounting and volatile registry */
+    /// @{
+    void allocFram(u64 bytes, const std::string &what);
+    void allocSram(u64 bytes, const std::string &what);
+    void freeFram(u64 bytes);
+    void freeSram(u64 bytes);
+    u64 framBytesUsed() const { return framUsed_; }
+    u64 sramBytesUsed() const { return sramUsed_; }
+    void registerVolatile(VolatileResettable *v);
+    void unregisterVolatile(VolatileResettable *v);
+    /// @}
+
+    /**
+     * Model the reboot after a power failure: clear volatile memory,
+     * recharge the buffer, account dead time. Called by the scheduler.
+     */
+    void reboot();
+
+    /** @name Measurements */
+    /// @{
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+    u64 cycles() const { return totalCycles_; }
+    f64 liveSeconds() const
+    {
+        return static_cast<f64>(totalCycles_) / config_.clockHz;
+    }
+    f64 deadSeconds() const { return deadSeconds_; }
+    f64 totalSeconds() const { return liveSeconds() + deadSeconds_; }
+    u64 rebootCount() const { return rebootCount_; }
+    f64 consumedJoules() const { return stats_.totalNanojoules() * 1e-9; }
+    /// @}
+
+    PowerSupply &power() { return *power_; }
+    const PowerSupply &power() const { return *power_; }
+    const EnergyProfile &profile() const { return profile_; }
+    const DeviceConfig &config() const { return config_; }
+
+  private:
+    EnergyProfile profile_;
+    std::unique_ptr<PowerSupply> power_;
+    DeviceConfig config_;
+    Stats stats_;
+
+    u16 layer_ = 0;
+    Part part_ = Part::Control;
+
+    u64 totalCycles_ = 0;
+    f64 deadSeconds_ = 0.0;
+    u64 rebootCount_ = 0;
+    u64 rebootPending_ = 0;
+
+    u64 framUsed_ = 0;
+    u64 sramUsed_ = 0;
+    std::vector<VolatileResettable *> volatiles_;
+};
+
+/** RAII: set the device's attribution layer, restoring on scope exit. */
+class ScopedLayer
+{
+  public:
+    ScopedLayer(Device &dev, u16 layer)
+        : dev_(dev), saved_(dev.currentLayer())
+    {
+        dev_.setLayer(layer);
+    }
+    ~ScopedLayer() { dev_.setLayer(saved_); }
+
+    ScopedLayer(const ScopedLayer &) = delete;
+    ScopedLayer &operator=(const ScopedLayer &) = delete;
+
+  private:
+    Device &dev_;
+    u16 saved_;
+};
+
+/** RAII: set the device's attribution part, restoring on scope exit. */
+class ScopedPart
+{
+  public:
+    ScopedPart(Device &dev, Part part) : dev_(dev), saved_(dev.currentPart())
+    {
+        dev_.setPart(part);
+    }
+    ~ScopedPart() { dev_.setPart(saved_); }
+
+    ScopedPart(const ScopedPart &) = delete;
+    ScopedPart &operator=(const ScopedPart &) = delete;
+
+  private:
+    Device &dev_;
+    Part saved_;
+};
+
+} // namespace sonic::arch
+
+#endif // SONIC_ARCH_DEVICE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-operation cycle and energy costs for the modelled MCU.
+ *
+ * All of the project's calibration constants for the device live here,
+ * in one auditable place. The msp430fr5994() profile is tuned to
+ * MSP430FR5994 datasheet magnitudes (16 MHz, ~3 mW active, FRAM wait
+ * states, 9-cycle peripheral multiply) and validated against the paper's
+ * *ratios* (Sec. 9.1) by bench_sec9_summary.
+ */
+
+#ifndef SONIC_ARCH_ENERGY_PROFILE_HH
+#define SONIC_ARCH_ENERGY_PROFILE_HH
+
+#include <array>
+
+#include "arch/op.hh"
+#include "util/types.hh"
+
+namespace sonic::arch
+{
+
+/**
+ * Maps each Op to a cycle count and an energy cost in nanojoules.
+ * Energy is total (core active energy for those cycles plus any
+ * memory/peripheral surcharge).
+ */
+class EnergyProfile
+{
+  public:
+    /** Cost of a single instance of op. */
+    struct Cost
+    {
+        u32 cycles = 0;
+        f64 nanojoules = 0.0;
+    };
+
+    EnergyProfile() = default;
+
+    /** Set the cost of one operation class. */
+    void
+    set(Op op, u32 cycles, f64 nanojoules)
+    {
+        costs_[static_cast<u32>(op)] = {cycles, nanojoules};
+    }
+
+    /** Cost of one instance of op. */
+    const Cost &
+    cost(Op op) const
+    {
+        return costs_[static_cast<u32>(op)];
+    }
+
+    u32 cycles(Op op) const { return cost(op).cycles; }
+    f64 nanojoules(Op op) const { return cost(op).nanojoules; }
+
+    /**
+     * The default profile: a TI MSP430FR5994 at 16 MHz with the LEA
+     * vector unit, tuned so continuous-power runtime-system overheads
+     * reproduce the paper's reported ratios.
+     */
+    static EnergyProfile msp430fr5994();
+
+    /**
+     * A profile with LEA/DMA costs inflated to emulate performing the
+     * same work in software; used for the paper's Sec. 9.1 LEA/DMA
+     * ablation ("LEA consistently improved performance by 1.4x, DMA by
+     * 14%").
+     */
+    static EnergyProfile msp430fr5994NoLea();
+    static EnergyProfile msp430fr5994NoDma();
+
+  private:
+    std::array<Cost, kNumOps> costs_{};
+};
+
+} // namespace sonic::arch
+
+#endif // SONIC_ARCH_ENERGY_PROFILE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The charged-operation vocabulary of the device model. Every unit of
+ * work a kernel performs on the simulated MCU is expressed as one of
+ * these operations; the energy profile maps each to cycles and nanojoules.
+ * The set mirrors the categories the paper's Fig. 12 reports (loads,
+ * stores, adds, multiplies, fixed-point ops, increments, task
+ * transitions) plus the TAILS hardware operations (DMA, LEA).
+ */
+
+#ifndef SONIC_ARCH_OP_HH
+#define SONIC_ARCH_OP_HH
+
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace sonic::arch
+{
+
+/** One charged operation class on the simulated MCU. */
+enum class Op : u8
+{
+    RegOp,            ///< register move / simple ALU op
+    AluAdd,           ///< integer add/sub in registers
+    AluMul,           ///< integer multiply via memory-mapped peripheral
+    AluShift,         ///< single-bit shift (no barrel shifter on MSP430)
+    AluDiv,           ///< software divide/modulo step (no divide unit)
+    FixedAdd,         ///< Q7.8 saturating add
+    FixedMul,         ///< Q7.8 multiply (peripheral mul + shift + round)
+    Incr,             ///< loop index increment
+    Branch,           ///< compare + conditional jump
+    FramLoad,         ///< load one 16-bit word from FRAM
+    FramStore,        ///< store one 16-bit word to FRAM
+    SramLoad,         ///< load one 16-bit word from SRAM
+    SramStore,        ///< store one 16-bit word to SRAM
+    TaskTransition,   ///< lightweight transition (SONIC runtime)
+    AlpacaTransition, ///< full task-based-runtime transition (scheduler,
+                      ///< privatization bookkeeping, stack/local re-init)
+    LogWrite,         ///< redo-log append (Alpaca-style privatization)
+    LogCommit,        ///< redo-log entry commit (copy log -> home)
+    DmaWord,          ///< DMA transfer of one 16-bit word
+    LeaInvoke,        ///< LEA command setup + start + completion interrupt
+    LeaMac,           ///< one LEA multiply-accumulate lane-op
+    Nop,              ///< fetch/decode-only instruction (overhead probe)
+    NumOps
+};
+
+constexpr u32 kNumOps = static_cast<u32>(Op::NumOps);
+
+/** Stable short name for an operation (used in reports and CSV). */
+std::string_view opName(Op op);
+
+} // namespace sonic::arch
+
+#endif // SONIC_ARCH_OP_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Power supply models for the device: continuous bench power, a
+ * capacitor-buffered energy harvester (the paper's deployment scenario),
+ * and deterministic fault injectors used by the test suite to place a
+ * power failure at any chosen operation.
+ */
+
+#ifndef SONIC_ARCH_POWER_HH
+#define SONIC_ARCH_POWER_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hh"
+
+namespace sonic::arch
+{
+
+/**
+ * Thrown by Device::consume when the energy buffer empties. Unwinds to
+ * the task scheduler, which models the reboot.
+ */
+class PowerFailure : public std::runtime_error
+{
+  public:
+    PowerFailure() : std::runtime_error("power failure") {}
+};
+
+/**
+ * Abstract energy source. draw() is called for every charged operation;
+ * returning false means the device browns out mid-operation.
+ */
+class PowerSupply
+{
+  public:
+    virtual ~PowerSupply() = default;
+
+    /** Attempt to draw nj nanojoules; false means power failure. */
+    virtual bool draw(f64 nj) = 0;
+
+    /**
+     * Refill the buffer after a failure.
+     * @return the dead (off/recharging) time in seconds.
+     */
+    virtual f64 recharge() = 0;
+
+    /** Restore the initial fully-charged state. */
+    virtual void reset() = 0;
+
+    /** True if this supply can ever fail. */
+    virtual bool intermittent() const = 0;
+
+    /** Usable buffer capacity in nanojoules (0 if unlimited). */
+    virtual f64 capacityNj() const = 0;
+
+    /** Total energy income so far in nanojoules (for IMpJ accounting). */
+    virtual f64 harvestedNj() const = 0;
+
+    /** Human-readable description for reports. */
+    virtual std::string describe() const = 0;
+};
+
+/** Wall power: never fails. Harvested energy equals drawn energy. */
+class ContinuousPower : public PowerSupply
+{
+  public:
+    bool
+    draw(f64 nj) override
+    {
+        drawn_ += nj;
+        return true;
+    }
+
+    f64 recharge() override { return 0.0; }
+    void reset() override { drawn_ = 0.0; }
+    bool intermittent() const override { return false; }
+    f64 capacityNj() const override { return 0.0; }
+    f64 harvestedNj() const override { return drawn_; }
+    std::string describe() const override { return "continuous"; }
+
+  private:
+    f64 drawn_ = 0.0;
+};
+
+/**
+ * A capacitor charged by a constant-power harvester (e.g., the paper's
+ * Powercast RF setup). The usable buffer is E = 1/2 C (Vmax^2 - Vmin^2).
+ * While operating, harvest income continues to trickle in; when the
+ * buffer empties the device dies and recharges at the harvest power.
+ *
+ * The default voltage window models the *effective* usable window of
+ * the paper's regulator front-end (~0.09 J per farad). It is calibrated
+ * so that a 100 uF capacitor sustains on the order of a few thousand
+ * instructions per charge cycle, which is the regime in which the
+ * paper's Fig. 9b completion/DNF pattern (Tile-8 completes, Tile-128
+ * never does, Tile-32 fails only on MNIST) is observed.
+ */
+class CapacitorPower : public PowerSupply
+{
+  public:
+    /**
+     * @param capacitance_farads storage capacitance
+     * @param harvest_watts harvester income power
+     * @param v_max regulator-on voltage
+     * @param v_min brown-out voltage
+     */
+    CapacitorPower(f64 capacitance_farads, f64 harvest_watts,
+                   f64 v_max = 2.28, f64 v_min = 2.213);
+
+    bool draw(f64 nj) override;
+    f64 recharge() override;
+    void reset() override;
+    bool intermittent() const override { return true; }
+    f64 capacityNj() const override { return capacityNj_; }
+    f64 harvestedNj() const override { return harvestedNj_; }
+    std::string describe() const override;
+
+    /** Remaining charge in nanojoules (diagnostics). */
+    f64 levelNj() const { return levelNj_; }
+    f64 harvestWatts() const { return harvestWatts_; }
+    f64 capacitanceFarads() const { return capacitanceFarads_; }
+
+  private:
+    f64 capacitanceFarads_;
+    f64 harvestWatts_;
+    f64 capacityNj_;
+    f64 levelNj_;
+    f64 harvestedNj_;
+};
+
+/**
+ * Test injector: succeeds for exactly failAfter draws, fails once, then
+ * behaves as continuous power. Sweeping failAfter over every operation
+ * index of a kernel exhaustively tests crash consistency at every
+ * possible failure point.
+ */
+class FailOnceAfterOps : public PowerSupply
+{
+  public:
+    explicit FailOnceAfterOps(u64 fail_after) : failAfter_(fail_after) {}
+
+    bool
+    draw(f64 nj) override
+    {
+        drawn_ += nj;
+        if (!failed_ && ops_++ == failAfter_) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    f64 recharge() override { return 0.0; }
+
+    void
+    reset() override
+    {
+        ops_ = 0;
+        failed_ = false;
+        drawn_ = 0.0;
+    }
+
+    bool intermittent() const override { return true; }
+    f64 capacityNj() const override { return 0.0; }
+    f64 harvestedNj() const override { return drawn_; }
+
+    std::string
+    describe() const override
+    {
+        return "fail-once-after-" + std::to_string(failAfter_) + "-ops";
+    }
+
+    bool triggered() const { return failed_; }
+
+  private:
+    u64 failAfter_;
+    u64 ops_ = 0;
+    bool failed_ = false;
+    f64 drawn_ = 0.0;
+};
+
+/**
+ * Test injector: fails every period draws, forever. Models an extremely
+ * small buffer with deterministic timing; recharge takes a fixed
+ * simulated time.
+ */
+class FailEveryOps : public PowerSupply
+{
+  public:
+    explicit FailEveryOps(u64 period, f64 dead_seconds_per_recharge = 0.0)
+        : period_(period), deadSeconds_(dead_seconds_per_recharge)
+    {
+    }
+
+    bool
+    draw(f64 nj) override
+    {
+        drawn_ += nj;
+        if (++ops_ >= period_) {
+            ops_ = 0;
+            return false;
+        }
+        return true;
+    }
+
+    f64 recharge() override { return deadSeconds_; }
+    void reset() override { ops_ = 0; drawn_ = 0.0; }
+    bool intermittent() const override { return true; }
+    f64 capacityNj() const override { return 0.0; }
+    f64 harvestedNj() const override { return drawn_; }
+
+    std::string
+    describe() const override
+    {
+        return "fail-every-" + std::to_string(period_) + "-ops";
+    }
+
+  private:
+    u64 period_;
+    f64 deadSeconds_;
+    u64 ops_ = 0;
+    f64 drawn_ = 0.0;
+};
+
+} // namespace sonic::arch
+
+#endif // SONIC_ARCH_POWER_HH

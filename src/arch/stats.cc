@@ -1,0 +1,164 @@
+#include "arch/stats.hh"
+
+#include "util/logging.hh"
+
+namespace sonic::arch
+{
+
+u64
+OpCounters::totalCycles() const
+{
+    u64 sum = 0;
+    for (auto c : cycles)
+        sum += c;
+    return sum;
+}
+
+f64
+OpCounters::totalNanojoules() const
+{
+    f64 sum = 0.0;
+    for (auto e : nanojoules)
+        sum += e;
+    return sum;
+}
+
+Stats::Stats()
+{
+    registerLayer("other");
+}
+
+u16
+Stats::registerLayer(const std::string &name)
+{
+    layers_.push_back(name);
+    buckets_.emplace_back();
+    return static_cast<u16>(layers_.size() - 1);
+}
+
+void
+Stats::add(u16 layer, Part part, Op op, u64 count, u64 cycles, f64 nj)
+{
+    SONIC_ASSERT(layer < buckets_.size());
+    auto &bucket = buckets_[layer][static_cast<u32>(part)];
+    const auto op_idx = static_cast<u32>(op);
+    bucket.count[op_idx] += count;
+    bucket.cycles[op_idx] += cycles;
+    bucket.nanojoules[op_idx] += nj;
+}
+
+void
+Stats::reset()
+{
+    for (auto &layer : buckets_)
+        for (auto &bucket : layer)
+            bucket = OpCounters{};
+}
+
+const std::string &
+Stats::layerName(u16 layer) const
+{
+    SONIC_ASSERT(layer < layers_.size());
+    return layers_[layer];
+}
+
+const OpCounters &
+Stats::bucket(u16 layer, Part part) const
+{
+    SONIC_ASSERT(layer < buckets_.size());
+    return buckets_[layer][static_cast<u32>(part)];
+}
+
+u64
+Stats::layerCycles(u16 layer) const
+{
+    u64 sum = 0;
+    for (u32 p = 0; p < kNumParts; ++p)
+        sum += bucket(layer, static_cast<Part>(p)).totalCycles();
+    return sum;
+}
+
+f64
+Stats::layerNanojoules(u16 layer) const
+{
+    f64 sum = 0.0;
+    for (u32 p = 0; p < kNumParts; ++p)
+        sum += bucket(layer, static_cast<Part>(p)).totalNanojoules();
+    return sum;
+}
+
+u64
+Stats::partCycles(Part part) const
+{
+    u64 sum = 0;
+    for (u16 l = 0; l < layers_.size(); ++l)
+        sum += bucket(l, part).totalCycles();
+    return sum;
+}
+
+f64
+Stats::partNanojoules(Part part) const
+{
+    f64 sum = 0.0;
+    for (u16 l = 0; l < layers_.size(); ++l)
+        sum += bucket(l, part).totalNanojoules();
+    return sum;
+}
+
+u64
+Stats::layerOpCount(u16 layer, Op op) const
+{
+    u64 sum = 0;
+    for (u32 p = 0; p < kNumParts; ++p)
+        sum += bucket(layer, static_cast<Part>(p))
+                   .count[static_cast<u32>(op)];
+    return sum;
+}
+
+f64
+Stats::layerOpNanojoules(u16 layer, Op op) const
+{
+    f64 sum = 0.0;
+    for (u32 p = 0; p < kNumParts; ++p)
+        sum += bucket(layer, static_cast<Part>(p))
+                   .nanojoules[static_cast<u32>(op)];
+    return sum;
+}
+
+u64
+Stats::totalCycles() const
+{
+    u64 sum = 0;
+    for (u16 l = 0; l < layers_.size(); ++l)
+        sum += layerCycles(l);
+    return sum;
+}
+
+f64
+Stats::totalNanojoules() const
+{
+    f64 sum = 0.0;
+    for (u16 l = 0; l < layers_.size(); ++l)
+        sum += layerNanojoules(l);
+    return sum;
+}
+
+u64
+Stats::opCount(Op op) const
+{
+    u64 sum = 0;
+    for (u16 l = 0; l < layers_.size(); ++l)
+        sum += layerOpCount(l, op);
+    return sum;
+}
+
+f64
+Stats::opNanojoules(Op op) const
+{
+    f64 sum = 0.0;
+    for (u16 l = 0; l < layers_.size(); ++l)
+        sum += layerOpNanojoules(l, op);
+    return sum;
+}
+
+} // namespace sonic::arch

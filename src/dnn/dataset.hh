@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic synthetic datasets and the accuracy metric.
+ *
+ * Substitution (see DESIGN.md): the real MNIST/HAR/GoogleSpeech data
+ * cannot be shipped offline, so each workload gets a synthetic
+ * generator producing class-structured inputs (smooth class prototypes
+ * plus noise), labelled by the *teacher* network. The teacher is then
+ * 100%-accurate on its own labels by construction, and the accuracy of
+ * any compressed network is its agreement with the teacher scaled by
+ * the paper's reported accuracy for the workload. This measures real
+ * degradation of the very weights the device executes, which is what
+ * the GENESIS trade-off curves need.
+ */
+
+#ifndef SONIC_DNN_DATASET_HH
+#define SONIC_DNN_DATASET_HH
+
+#include <vector>
+
+#include "dnn/networks.hh"
+#include "dnn/spec.hh"
+#include "util/types.hh"
+
+namespace sonic::dnn
+{
+
+/** One labelled sample. */
+struct Sample
+{
+    tensor::FeatureMap input;
+    u32 label = 0;
+};
+
+/** A labelled dataset for one workload. */
+using Dataset = std::vector<Sample>;
+
+/**
+ * Generate n samples for the teacher's input shape, labelled by the
+ * teacher. Deterministic in (teacher, n, seed).
+ */
+Dataset makeDataset(const NetworkSpec &teacher, u32 n, u64 seed = 0xda7a);
+
+/** Fraction of samples on which net agrees with the labels. */
+f64 agreement(const NetworkSpec &net, const Dataset &data);
+
+/** Agreement scaled by the paper's base accuracy for the workload. */
+f64 scaledAccuracy(NetId id, f64 agreement_fraction);
+
+/** True-positive / true-negative rates for one "interesting" class. */
+struct Rates
+{
+    f64 truePositive = 0.0;
+    f64 trueNegative = 0.0;
+    f64 baseRate = 0.0; ///< fraction of samples labelled interesting
+};
+
+/**
+ * Evaluate detection rates of net treating `interesting_class` as the
+ * positive class (the paper's application model inputs, Sec. 5.3).
+ */
+Rates detectionRates(const NetworkSpec &net, const Dataset &data,
+                     u32 interesting_class);
+
+/** The most common label (a sensible default "interesting" class). */
+u32 dominantClass(const Dataset &data, u32 num_classes);
+
+} // namespace sonic::dnn
+
+#endif // SONIC_DNN_DATASET_HH

@@ -1,0 +1,267 @@
+#include "dnn/device_net.hh"
+
+#include <map>
+
+#include "fixed/fixed.hh"
+#include "util/logging.hh"
+
+namespace sonic::dnn
+{
+
+namespace
+{
+
+using fixed::Q78;
+
+DevSparseVec
+makeSparseVec(arch::Device &dev, const std::vector<f64> &v,
+              const std::string &name)
+{
+    std::vector<i16> idx;
+    std::vector<i16> val;
+    for (u32 i = 0; i < v.size(); ++i) {
+        if (v[i] != 0.0) {
+            idx.push_back(static_cast<i16>(i));
+            val.push_back(Q78::fromFloat(v[i]).raw());
+        }
+    }
+    DevSparseVec out;
+    out.nnz = static_cast<u32>(idx.size());
+    out.idx = std::make_unique<arch::NvArray<i16>>(
+        dev, std::max<u64>(1, idx.size()), name + ".idx");
+    out.val = std::make_unique<arch::NvArray<i16>>(
+        dev, std::max<u64>(1, val.size()), name + ".val");
+    for (u32 i = 0; i < idx.size(); ++i) {
+        out.idx->poke(i, idx[i]);
+        out.val->poke(i, val[i]);
+    }
+    return out;
+}
+
+DevFactoredConv
+lowerFactored(arch::Device &dev, const FactoredConvLayer &f,
+              const std::string &name)
+{
+    DevFactoredConv out;
+    out.mix = makeSparseVec(dev, f.mix, name + ".mix");
+    out.col = makeSparseVec(dev, f.col, name + ".col");
+    out.row = makeSparseVec(dev, f.row, name + ".row");
+    out.scale = makeSparseVec(dev, f.scale, name + ".scale");
+    return out;
+}
+
+DevSparseConv
+lowerSparseConv(arch::Device &dev, const SparseConvLayer &s,
+                const ActShape &in, const std::string &name)
+{
+    const auto &bank = s.filters;
+    DevSparseConv out;
+    out.kh = bank.kh;
+    out.kw = bank.kw;
+
+    std::vector<i16> oc_ptr(bank.outChannels + 1, 0);
+    std::vector<i16> ic, ky, kx, w, off;
+    const u32 in_plane = in.h * in.w;
+    for (u32 oc = 0; oc < bank.outChannels; ++oc) {
+        for (u32 c = 0; c < bank.inChannels; ++c)
+            for (u32 y = 0; y < bank.kh; ++y)
+                for (u32 x = 0; x < bank.kw; ++x) {
+                    const f64 v = bank.at(oc, c, y, x);
+                    if (v != 0.0) {
+                        ic.push_back(static_cast<i16>(c));
+                        ky.push_back(static_cast<i16>(y));
+                        kx.push_back(static_cast<i16>(x));
+                        w.push_back(Q78::fromFloat(v).raw());
+                        const u32 flat =
+                            c * in_plane + y * in.w + x;
+                        SONIC_ASSERT(flat <= 0x7fff,
+                                     "tap offset exceeds 16 bits");
+                        off.push_back(static_cast<i16>(flat));
+                    }
+                }
+        SONIC_ASSERT(w.size() <= 0x7fff);
+        oc_ptr[oc + 1] = static_cast<i16>(w.size());
+    }
+    out.nnz = static_cast<u32>(w.size());
+
+    out.ocPtr = std::make_unique<arch::NvArray<i16>>(
+        dev, oc_ptr.size(), name + ".ocPtr");
+    for (u32 i = 0; i < oc_ptr.size(); ++i)
+        out.ocPtr->poke(i, oc_ptr[i]);
+    auto fill = [&](std::unique_ptr<arch::NvArray<i16>> &arr,
+                    const std::vector<i16> &src, const char *suffix) {
+        arr = std::make_unique<arch::NvArray<i16>>(
+            dev, std::max<u64>(1, src.size()), name + suffix);
+        for (u32 i = 0; i < src.size(); ++i)
+            arr->poke(i, src[i]);
+    };
+    fill(out.tapIc, ic, ".ic");
+    fill(out.tapKy, ky, ".ky");
+    fill(out.tapKx, kx, ".kx");
+    fill(out.tapW, w, ".w");
+    fill(out.tapOff, off, ".off");
+    return out;
+}
+
+DevDenseFc
+lowerDenseFc(arch::Device &dev, const tensor::Matrix &m,
+             const std::string &name)
+{
+    DevDenseFc out;
+    out.m = m.rows();
+    out.n = m.cols();
+    out.w = std::make_unique<arch::NvArray<i16>>(
+        dev, u64{out.m} * out.n, name + ".w");
+    for (u32 r = 0; r < out.m; ++r)
+        for (u32 c = 0; c < out.n; ++c)
+            out.w->poke(u64{r} * out.n + c,
+                        Q78::fromFloat(m.at(r, c)).raw());
+    return out;
+}
+
+DevSparseFc
+lowerSparseFc(arch::Device &dev, const tensor::Matrix &m,
+              const std::string &name)
+{
+    DevSparseFc out;
+    out.m = m.rows();
+    out.n = m.cols();
+    std::vector<i16> col_ptr(m.cols() + 1, 0);
+    std::vector<i16> row_idx, val;
+    for (u32 c = 0; c < m.cols(); ++c) {
+        for (u32 r = 0; r < m.rows(); ++r) {
+            if (m.at(r, c) != 0.0) {
+                row_idx.push_back(static_cast<i16>(r));
+                val.push_back(Q78::fromFloat(m.at(r, c)).raw());
+            }
+        }
+        SONIC_ASSERT(val.size() <= 0x7fff);
+        col_ptr[c + 1] = static_cast<i16>(val.size());
+    }
+    out.nnz = static_cast<u32>(val.size());
+    out.colPtr = std::make_unique<arch::NvArray<i16>>(
+        dev, col_ptr.size(), name + ".colPtr");
+    for (u32 i = 0; i < col_ptr.size(); ++i)
+        out.colPtr->poke(i, col_ptr[i]);
+    out.rowIdx = std::make_unique<arch::NvArray<i16>>(
+        dev, std::max<u64>(1, row_idx.size()), name + ".rowIdx");
+    out.val = std::make_unique<arch::NvArray<i16>>(
+        dev, std::max<u64>(1, val.size()), name + ".val");
+    for (u32 i = 0; i < row_idx.size(); ++i) {
+        out.rowIdx->poke(i, row_idx[i]);
+        out.val->poke(i, val[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+DeviceNetwork::DeviceNetwork(arch::Device &dev, const NetworkSpec &spec)
+    : dev_(dev), spec_(spec)
+{
+    const u64 map_elems = spec_.maxActivationElems();
+    const u64 slice_elems = spec_.maxScratchElems();
+    acts_[0] = std::make_unique<arch::NvArray<i16>>(dev, map_elems,
+                                                    "act.ping");
+    acts_[1] = std::make_unique<arch::NvArray<i16>>(dev, map_elems,
+                                                    "act.pong");
+    for (u32 s = 0; s < 3; ++s)
+        scratch_[s] = std::make_unique<arch::NvArray<i16>>(
+            dev, slice_elems, "scratch" + std::to_string(s));
+
+    std::map<std::string, u16> stat_ids;
+    ActShape shape = spec_.input;
+    for (u32 li = 0; li < spec_.layers.size(); ++li) {
+        const auto &layer = spec_.layers[li];
+        DevLayer dl;
+        dl.name = layer.name;
+        auto it = stat_ids.find(layer.name);
+        if (it == stat_ids.end()) {
+            dl.statLayer = dev.registerLayer(layer.name);
+            stat_ids.emplace(layer.name, dl.statLayer);
+        } else {
+            dl.statLayer = it->second;
+        }
+        dl.reluAfter = layer.reluAfter;
+        dl.poolAfter = layer.poolAfter;
+        dl.in = shape;
+        dl.out = opOutputShape(layer.op, shape);
+
+        const std::string base = spec_.name + "." + layer.name + "."
+                               + std::to_string(li);
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            dl.op = lowerFactored(dev, *f, base);
+        } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+            dl.op = lowerSparseConv(dev, *s, dl.in, base);
+        } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+            // Uncompressed convs are lowered as sparse convs with all
+            // taps present (they rarely fit on-device anyway).
+            SparseConvLayer as_sparse{d->filters};
+            dl.op = lowerSparseConv(dev, as_sparse, dl.in, base);
+        } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+            dl.op = lowerDenseFc(dev, fc->weights, base);
+        } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
+            dl.op = lowerSparseFc(dev, sfc->weights, base);
+        }
+        layers_.push_back(std::move(dl));
+
+        shape = dl.out;
+        if (layer.poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+        }
+    }
+}
+
+void
+DeviceNetwork::loadInput(const std::vector<i16> &input_q78)
+{
+    SONIC_ASSERT(input_q78.size() == spec_.input.elems(),
+                 "input size mismatch");
+    const u32 buf = inputBufferOf(0);
+    for (u32 i = 0; i < input_q78.size(); ++i)
+        acts_[buf]->poke(i, input_q78[i]);
+}
+
+u32
+DeviceNetwork::inputBufferOf(u32 layer_index) const
+{
+    u32 cur = 0;
+    for (u32 li = 0; li < layer_index; ++li) {
+        if (!layers_[li].poolAfter)
+            cur = 1 - cur;
+        // Pooled layers write back into `cur` (conv -> 1-cur, pool ->
+        // cur), leaving the schedule unchanged.
+    }
+    return cur;
+}
+
+u32
+DeviceNetwork::outputBufferOf(u32 layer_index) const
+{
+    const u32 in = inputBufferOf(layer_index);
+    return layers_[layer_index].poolAfter ? in : 1 - in;
+}
+
+std::vector<i16>
+DeviceNetwork::peekLogits() const
+{
+    const u32 last = static_cast<u32>(layers_.size()) - 1;
+    const u32 buf = outputBufferOf(last);
+    std::vector<i16> logits(spec_.numClasses);
+    for (u32 i = 0; i < logits.size(); ++i)
+        logits[i] = acts_[buf]->peek(i);
+    return logits;
+}
+
+std::vector<i16>
+DeviceNetwork::quantizeInput(const tensor::FeatureMap &in)
+{
+    std::vector<i16> out;
+    out.reserve(in.size());
+    for (f64 v : in.data)
+        out.push_back(Q78::fromFloat(v).raw());
+    return out;
+}
+
+} // namespace sonic::dnn

@@ -1,0 +1,304 @@
+#include "dnn/spec.hh"
+
+#include <algorithm>
+
+#include "tensor/sparse.hh"
+#include "util/logging.hh"
+
+namespace sonic::dnn
+{
+
+namespace
+{
+
+u64
+vecNnz(const std::vector<f64> &v)
+{
+    u64 n = 0;
+    for (f64 x : v)
+        if (x != 0.0)
+            ++n;
+    return n;
+}
+
+tensor::FeatureMap
+toMap(const std::vector<f64> &v)
+{
+    tensor::FeatureMap m(static_cast<u32>(v.size()), 1, 1);
+    m.data = v;
+    return m;
+}
+
+} // namespace
+
+ActShape
+opOutputShape(const LayerOp &op, ActShape in)
+{
+    ActShape out = in;
+    if (const auto *f = std::get_if<FactoredConvLayer>(&op)) {
+        u32 h = in.h;
+        u32 w = in.w;
+        if (!f->col.empty())
+            h = h - static_cast<u32>(f->col.size()) + 1;
+        if (!f->row.empty())
+            w = w - static_cast<u32>(f->row.size()) + 1;
+        out = {static_cast<u32>(f->scale.size()), h, w};
+    } else if (const auto *s = std::get_if<SparseConvLayer>(&op)) {
+        out = {s->filters.outChannels, in.h - s->filters.kh + 1,
+               in.w - s->filters.kw + 1};
+    } else if (const auto *d = std::get_if<DenseConvLayer>(&op)) {
+        out = {d->filters.outChannels, in.h - d->filters.kh + 1,
+               in.w - d->filters.kw + 1};
+    } else if (const auto *fc = std::get_if<DenseFcLayer>(&op)) {
+        SONIC_ASSERT(in.elems() == fc->weights.cols(),
+                     "dense FC input mismatch");
+        out = {fc->weights.rows(), 1, 1};
+    } else if (const auto *sfc = std::get_if<SparseFcLayer>(&op)) {
+        SONIC_ASSERT(in.elems() == sfc->weights.cols(),
+                     "sparse FC input mismatch");
+        out = {sfc->weights.rows(), 1, 1};
+    }
+    return out;
+}
+
+ActShape
+NetworkSpec::shapeAfter(u32 layer_index) const
+{
+    SONIC_ASSERT(layer_index < layers.size());
+    ActShape shape = input;
+    for (u32 i = 0; i <= layer_index; ++i) {
+        shape = opOutputShape(layers[i].op, shape);
+        if (layers[i].poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+        }
+    }
+    return shape;
+}
+
+std::vector<f64>
+NetworkSpec::forward(const tensor::FeatureMap &in) const
+{
+    SONIC_ASSERT(in.channels == input.c && in.height == input.h
+                     && in.width == input.w,
+                 "input shape mismatch for ", name);
+    tensor::FeatureMap act = in;
+    for (const auto &layer : layers) {
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            tensor::FeatureMap x = act;
+            if (!f->mix.empty())
+                x = tensor::channelMix(x, f->mix);
+            if (!f->col.empty())
+                x = tensor::convCols(x, f->col);
+            if (!f->row.empty())
+                x = tensor::convRows(x, f->row);
+            act = tensor::channelScale(x, f->scale);
+        } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+            act = tensor::conv2dValid(act, s->filters);
+        } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+            act = tensor::conv2dValid(act, d->filters);
+        } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+            act = toMap(fc->weights.matvec(tensor::flatten(act)));
+        } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
+            act = toMap(sfc->weights.matvec(tensor::flatten(act)));
+        }
+        if (layer.reluAfter)
+            act = tensor::relu(act);
+        if (layer.poolAfter)
+            act = tensor::maxPool2x2(act);
+    }
+    SONIC_ASSERT(act.size() == numClasses, "logit count mismatch");
+    return act.data;
+}
+
+u32
+NetworkSpec::classify(const tensor::FeatureMap &in) const
+{
+    return tensor::argmax(forward(in));
+}
+
+u64
+NetworkSpec::paramCount() const
+{
+    u64 total = 0;
+    for (const auto &layer : layers) {
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            total += vecNnz(f->mix) + vecNnz(f->col) + vecNnz(f->row)
+                   + vecNnz(f->scale);
+        } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+            total += s->filters.nonZeroCount();
+        } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+            total += d->filters.size();
+        } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+            total += fc->weights.size();
+        } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
+            total += sfc->weights.nonZeroCount();
+        }
+    }
+    return total;
+}
+
+u64
+NetworkSpec::macCount() const
+{
+    u64 total = 0;
+    ActShape shape = input;
+    for (const auto &layer : layers) {
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            u32 h = shape.h;
+            u32 w = shape.w;
+            if (!f->mix.empty())
+                total += vecNnz(f->mix) * h * w;
+            if (!f->col.empty()) {
+                h = h - static_cast<u32>(f->col.size()) + 1;
+                total += vecNnz(f->col) * h * w;
+            }
+            if (!f->row.empty()) {
+                w = w - static_cast<u32>(f->row.size()) + 1;
+                total += vecNnz(f->row) * h * w;
+            }
+            total += vecNnz(f->scale) * h * w;
+        } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+            const u64 oh = shape.h - s->filters.kh + 1;
+            const u64 ow = shape.w - s->filters.kw + 1;
+            total += s->filters.nonZeroCount() * oh * ow;
+        } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+            total += d->filters.macs(shape.h, shape.w);
+        } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+            total += fc->weights.size();
+        } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
+            total += sfc->weights.nonZeroCount();
+        }
+        shape = opOutputShape(layer.op, shape);
+        if (layer.poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+        }
+    }
+    return total;
+}
+
+u64
+NetworkSpec::framBytesNeeded() const
+{
+    // 2 B per stored value. Sparse forms also store indices (2 B) and
+    // per-row/column pointers (4 B). Activations: two map-sized
+    // ping-pong buffers plus three scratch slices.
+    u64 bytes = 0;
+    for (const auto &layer : layers) {
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            const u64 nnz = vecNnz(f->mix) + vecNnz(f->col)
+                          + vecNnz(f->row) + vecNnz(f->scale);
+            bytes += nnz * 4; // value + index per entry
+        } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+            const u64 nnz = s->filters.nonZeroCount();
+            bytes += nnz * 8 // value + (ic, ky, kx)
+                   + (u64{s->filters.outChannels} + 1) * 4;
+        } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+            bytes += d->filters.size() * 2;
+        } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+            bytes += fc->weights.size() * 2;
+        } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
+            bytes += sfc->weights.nonZeroCount() * 4
+                   + (u64{sfc->weights.cols()} + 1) * 4;
+        }
+    }
+    bytes += 2 * maxActivationElems() * 2;
+    bytes += 3 * maxScratchElems() * 2;
+    return bytes;
+}
+
+u64
+NetworkSpec::maxActivationElems() const
+{
+    // Pre-pool conv outputs occupy a full map buffer before pooling
+    // shrinks them, so they bound the buffer size too.
+    u64 maxElems = input.elems();
+    ActShape shape = input;
+    for (const auto &layer : layers) {
+        shape = opOutputShape(layer.op, shape);
+        maxElems = std::max(maxElems, shape.elems());
+        if (layer.poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+            maxElems = std::max(maxElems, shape.elems());
+        }
+    }
+    return maxElems;
+}
+
+u64
+NetworkSpec::maxScratchElems() const
+{
+    // Scratch slices hold single-channel conv intermediates and dense
+    // FC output slices.
+    u64 maxElems = 1;
+    ActShape shape = input;
+    for (const auto &layer : layers) {
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            u32 h = shape.h;
+            u32 w = shape.w;
+            maxElems = std::max<u64>(maxElems, u64{h} * w);
+            if (!f->col.empty())
+                h = h - static_cast<u32>(f->col.size()) + 1;
+            maxElems = std::max<u64>(maxElems, u64{h} * w);
+            if (!f->row.empty())
+                w = w - static_cast<u32>(f->row.size()) + 1;
+            maxElems = std::max<u64>(maxElems, u64{h} * w);
+        } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+            const u64 oh = shape.h - s->filters.kh + 1;
+            const u64 ow = shape.w - s->filters.kw + 1;
+            maxElems = std::max(maxElems, oh * ow);
+        } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+            const u64 oh = shape.h - d->filters.kh + 1;
+            const u64 ow = shape.w - d->filters.kw + 1;
+            maxElems = std::max(maxElems, oh * ow);
+        } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+            maxElems = std::max<u64>(maxElems, fc->weights.rows());
+        }
+        shape = opOutputShape(layer.op, shape);
+        if (layer.poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+        }
+    }
+    return maxElems;
+}
+
+std::vector<LayerAccounting>
+accountLayers(const NetworkSpec &net)
+{
+    std::vector<LayerAccounting> rows;
+    ActShape shape = net.input;
+    for (const auto &layer : net.layers) {
+        LayerAccounting row;
+        row.name = layer.name;
+        NetworkSpec probe;
+        probe.name = "probe";
+        probe.input = shape;
+        probe.numClasses = 0;
+        probe.layers.push_back(layer);
+        // Reuse the spec counters on a single-layer network.
+        row.params = probe.paramCount();
+        row.macs = probe.macCount();
+        if (std::holds_alternative<FactoredConvLayer>(layer.op))
+            row.kind = "factored-conv";
+        else if (std::holds_alternative<SparseConvLayer>(layer.op))
+            row.kind = "sparse-conv";
+        else if (std::holds_alternative<DenseConvLayer>(layer.op))
+            row.kind = "dense-conv";
+        else if (std::holds_alternative<DenseFcLayer>(layer.op))
+            row.kind = "dense-fc";
+        else
+            row.kind = "sparse-fc";
+        rows.push_back(row);
+        shape = opOutputShape(layer.op, shape);
+        if (layer.poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+        }
+    }
+    return rows;
+}
+
+} // namespace sonic::dnn

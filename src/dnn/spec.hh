@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Host-side network descriptions. A NetworkSpec is a sequence of
+ * LayerSpecs holding float weights; it can be evaluated on the host
+ * (the golden model used by GENESIS and by tests), counted (params,
+ * MACs, FRAM footprint — GENESIS' feasibility and energy inputs), and
+ * lowered onto a Device (dnn/device_net.hh).
+ *
+ * The layer vocabulary matches the paper's Table 2:
+ *  - FactoredConvLayer: the "HOOI 3x 1-D conv" form (channel mix,
+ *    column conv, row conv, per-output-channel scale);
+ *  - SparseConvLayer:   a pruned dense 2-D convolution;
+ *  - DenseFcLayer:      a dense fully-connected layer;
+ *  - SparseFcLayer:     a pruned fully-connected layer.
+ */
+
+#ifndef SONIC_DNN_SPEC_HH
+#define SONIC_DNN_SPEC_HH
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/matrix.hh"
+#include "tensor/nnref.hh"
+#include "util/types.hh"
+
+namespace sonic::dnn
+{
+
+/**
+ * Factored ("separated") convolution: optional channel mix (ic -> 1),
+ * optional column (kh x 1) and row (1 x kw) 1-D convolutions, then a
+ * per-output-channel scale (1 -> oc). Empty vectors mean the stage is
+ * skipped (e.g., mix when ic == 1). Vectors may contain zeros after
+ * pruning; device lowering stores only the non-zeros.
+ */
+struct FactoredConvLayer
+{
+    std::vector<f64> mix;   ///< size ic (empty if ic == 1)
+    std::vector<f64> col;   ///< size kh (empty if kh == 1)
+    std::vector<f64> row;   ///< size kw (empty if kw == 1)
+    std::vector<f64> scale; ///< size oc (CP lambda folded in)
+};
+
+/** Pruned dense 2-D convolution (kept in dense storage, zeros pruned). */
+struct SparseConvLayer
+{
+    tensor::FilterBank filters;
+};
+
+/** Dense 2-D convolution (uncompressed originals). */
+struct DenseConvLayer
+{
+    tensor::FilterBank filters;
+};
+
+/** Dense fully-connected layer (weights m x n, y = W x). */
+struct DenseFcLayer
+{
+    tensor::Matrix weights;
+};
+
+/** Pruned fully-connected layer. */
+struct SparseFcLayer
+{
+    tensor::Matrix weights;
+};
+
+using LayerOp = std::variant<FactoredConvLayer, SparseConvLayer,
+                             DenseConvLayer, DenseFcLayer, SparseFcLayer>;
+
+/** One layer plus its fused activation/pooling. */
+struct LayerSpec
+{
+    std::string name;    ///< attribution bucket ("conv1", "fc", ...)
+    LayerOp op;
+    bool reluAfter = false;
+    bool poolAfter = false; ///< 2x2 max pool (convs only)
+};
+
+/** Shape of a CHW activation. */
+struct ActShape
+{
+    u32 c = 0;
+    u32 h = 0;
+    u32 w = 0;
+
+    u64 elems() const { return u64{c} * h * w; }
+};
+
+/** A full network: input shape plus layers. */
+struct NetworkSpec
+{
+    std::string name;
+    ActShape input;
+    u32 numClasses = 0;
+    std::vector<LayerSpec> layers;
+
+    /** Output shape of layer index i (after relu/pool fusion). */
+    ActShape shapeAfter(u32 layer_index) const;
+
+    /** Host float forward pass; returns the logits. */
+    std::vector<f64> forward(const tensor::FeatureMap &in) const;
+
+    /** Predicted class. */
+    u32 classify(const tensor::FeatureMap &in) const;
+
+    /** Non-zero parameter count (what must be stored). */
+    u64 paramCount() const;
+
+    /** Multiply-accumulate operations per inference. */
+    u64 macCount() const;
+
+    /**
+     * FRAM bytes needed on device: 2 B per parameter plus index
+     * storage for sparse forms plus the activation ping-pong buffers.
+     */
+    u64 framBytesNeeded() const;
+
+    /** Largest activation map (elements) across layer boundaries. */
+    u64 maxActivationElems() const;
+
+    /** Largest single-channel scratch slice (elements) needed. */
+    u64 maxScratchElems() const;
+};
+
+/** Shape transform of a layer op, before relu/pool fusion. */
+ActShape opOutputShape(const LayerOp &op, ActShape in);
+
+/** Per-layer accounting row (Table 2 reproduction). */
+struct LayerAccounting
+{
+    std::string name;
+    std::string kind;
+    u64 params = 0;
+    u64 macs = 0;
+};
+
+std::vector<LayerAccounting> accountLayers(const NetworkSpec &net);
+
+} // namespace sonic::dnn
+
+#endif // SONIC_DNN_SPEC_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Saturating 16-bit fixed-point arithmetic, the numeric format of the
+ * on-device inference path. The paper's prototype uses 16-bit fixed
+ * point throughout (LEA's native format is Q0.15; SONIC uses a format
+ * with integer headroom and TAILS bit-shifts between them — see
+ * Sec. 9.2 "control overhead"). We implement a compile-time Q-format
+ * Fx<Frac> with round-to-nearest multiplication and saturation on
+ * overflow, plus the Q7.8 alias the DNN kernels use.
+ */
+
+#ifndef SONIC_FIXED_FIXED_HH
+#define SONIC_FIXED_FIXED_HH
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdlib>
+#include <limits>
+
+#include "util/types.hh"
+
+namespace sonic::fixed
+{
+
+/**
+ * 16-bit signed fixed point with Frac fractional bits.
+ * Range: [-2^(15-Frac), 2^(15-Frac)). All operations saturate.
+ */
+template <int Frac>
+class Fx
+{
+    static_assert(Frac >= 0 && Frac <= 15, "Frac must fit an i16");
+
+  public:
+    static constexpr int kFrac = Frac;
+    static constexpr i32 kOne = i32{1} << Frac;
+    static constexpr i16 kRawMax = std::numeric_limits<i16>::max();
+    static constexpr i16 kRawMin = std::numeric_limits<i16>::min();
+
+    constexpr Fx() = default;
+
+    /** Reinterpret a raw i16 bit pattern as a fixed-point value. */
+    static constexpr Fx
+    fromRaw(i16 raw)
+    {
+        Fx v;
+        v.raw_ = raw;
+        return v;
+    }
+
+    /** Quantize a double (round-to-nearest, saturating). */
+    static Fx
+    fromFloat(f64 x)
+    {
+        const f64 scaled = x * static_cast<f64>(kOne);
+        const f64 rounded = std::nearbyint(scaled);
+        return fromRaw(saturate(static_cast<i64>(rounded)));
+    }
+
+    constexpr i16 raw() const { return raw_; }
+
+    f64
+    toFloat() const
+    {
+        return static_cast<f64>(raw_) / static_cast<f64>(kOne);
+    }
+
+    /** Saturating add. */
+    friend constexpr Fx
+    operator+(Fx a, Fx b)
+    {
+        return fromRaw(saturate(i64{a.raw_} + i64{b.raw_}));
+    }
+
+    /** Saturating subtract. */
+    friend constexpr Fx
+    operator-(Fx a, Fx b)
+    {
+        return fromRaw(saturate(i64{a.raw_} - i64{b.raw_}));
+    }
+
+    /** Saturating negate. */
+    constexpr Fx
+    operator-() const
+    {
+        return fromRaw(saturate(-i64{raw_}));
+    }
+
+    /**
+     * Saturating multiply with round-to-nearest renormalization —
+     * matches the MSP430 peripheral-multiplier + shift sequence.
+     */
+    friend constexpr Fx
+    operator*(Fx a, Fx b)
+    {
+        i64 wide = i64{a.raw_} * i64{b.raw_};
+        wide += i64{1} << (Frac - 1); // rounding bias
+        return fromRaw(saturate(wide >> Frac));
+    }
+
+    friend constexpr bool operator==(Fx a, Fx b) { return a.raw_ == b.raw_; }
+    friend constexpr auto
+    operator<=>(Fx a, Fx b)
+    {
+        return a.raw_ <=> b.raw_;
+    }
+
+    /** max(0, x) — the ReLU primitive. */
+    static constexpr Fx
+    relu(Fx x)
+    {
+        return x.raw_ > 0 ? x : Fx{};
+    }
+
+    static constexpr Fx
+    max(Fx a, Fx b)
+    {
+        return a.raw_ >= b.raw_ ? a : b;
+    }
+
+    /** Smallest positive step. */
+    static constexpr Fx epsilon() { return fromRaw(1); }
+
+    /** Largest / smallest representable values. */
+    static constexpr Fx maxValue() { return fromRaw(kRawMax); }
+    static constexpr Fx minValue() { return fromRaw(kRawMin); }
+
+  private:
+    static constexpr i16
+    saturate(i64 wide)
+    {
+        if (wide > kRawMax)
+            return kRawMax;
+        if (wide < kRawMin)
+            return kRawMin;
+        return static_cast<i16>(wide);
+    }
+
+    i16 raw_ = 0;
+};
+
+/** The on-device activation/weight format: Q7.8, range (-128, 128). */
+using Q78 = Fx<8>;
+
+/** LEA's native format: Q0.15, range (-1, 1). */
+using Q15 = Fx<15>;
+
+/**
+ * Convert between Q formats by arithmetic shift, reporting how many
+ * single-bit shift operations the software must perform (LEA has no
+ * vector left-shift, so TAILS pays these in scalar code; Sec. 9.2).
+ */
+template <int FromFrac, int ToFrac>
+constexpr Fx<ToFrac>
+convertFormat(Fx<FromFrac> x)
+{
+    if constexpr (ToFrac >= FromFrac) {
+        const i64 wide = i64{x.raw()} << (ToFrac - FromFrac);
+        const i64 hi = std::numeric_limits<i16>::max();
+        const i64 lo = std::numeric_limits<i16>::min();
+        return Fx<ToFrac>::fromRaw(
+            static_cast<i16>(std::clamp(wide, lo, hi)));
+    } else {
+        return Fx<ToFrac>::fromRaw(
+            static_cast<i16>(x.raw() >> (FromFrac - ToFrac)));
+    }
+}
+
+/** Number of single-bit shifts needed to convert between formats. */
+template <int FromFrac, int ToFrac>
+constexpr u32
+formatShiftCount()
+{
+    return FromFrac >= ToFrac ? FromFrac - ToFrac : ToFrac - FromFrac;
+}
+
+} // namespace sonic::fixed
+
+#endif // SONIC_FIXED_FIXED_HH

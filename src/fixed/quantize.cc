@@ -1,0 +1,39 @@
+#include "fixed/quantize.hh"
+
+#include <cmath>
+
+namespace sonic::fixed
+{
+
+std::vector<i16>
+quantizeQ78(const std::vector<f64> &values)
+{
+    std::vector<i16> raw;
+    raw.reserve(values.size());
+    for (f64 v : values)
+        raw.push_back(Q78::fromFloat(v).raw());
+    return raw;
+}
+
+std::vector<f64>
+dequantizeQ78(const std::vector<i16> &raw)
+{
+    std::vector<f64> values;
+    values.reserve(raw.size());
+    for (i16 r : raw)
+        values.push_back(Q78::fromRaw(r).toFloat());
+    return values;
+}
+
+f64
+maxQuantizationError(const std::vector<f64> &values)
+{
+    f64 worst = 0.0;
+    for (f64 v : values) {
+        const f64 back = Q78::fromFloat(v).toFloat();
+        worst = std::max(worst, std::fabs(back - v));
+    }
+    return worst;
+}
+
+} // namespace sonic::fixed

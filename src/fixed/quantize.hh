@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Host-side quantization helpers: convert float tensors produced by
+ * GENESIS into the raw i16 Q7.8 images flashed into device FRAM, and
+ * measure the quantization error introduced.
+ */
+
+#ifndef SONIC_FIXED_QUANTIZE_HH
+#define SONIC_FIXED_QUANTIZE_HH
+
+#include <vector>
+
+#include "fixed/fixed.hh"
+#include "util/types.hh"
+
+namespace sonic::fixed
+{
+
+/** Quantize a float vector to raw Q7.8 words. */
+std::vector<i16> quantizeQ78(const std::vector<f64> &values);
+
+/** Dequantize raw Q7.8 words back to floats. */
+std::vector<f64> dequantizeQ78(const std::vector<i16> &raw);
+
+/** Largest absolute quantization error over the vector. */
+f64 maxQuantizationError(const std::vector<f64> &values);
+
+} // namespace sonic::fixed
+
+#endif // SONIC_FIXED_QUANTIZE_HH

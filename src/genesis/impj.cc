@@ -1,0 +1,32 @@
+#include "genesis/impj.hh"
+
+#include "util/logging.hh"
+
+namespace sonic::genesis
+{
+
+f64
+impjBaseline(const AppModel &m)
+{
+    SONIC_ASSERT(m.senseJ + m.commJ > 0.0);
+    return m.baseRate / (m.senseJ + m.commJ);
+}
+
+f64
+impjIdeal(const AppModel &m)
+{
+    return m.baseRate / (m.senseJ + m.baseRate * m.commJ);
+}
+
+f64
+impjInference(const AppModel &m)
+{
+    const f64 sent_rate = m.baseRate * m.truePositive
+        + (1.0 - m.baseRate) * (1.0 - m.trueNegative);
+    const f64 denom =
+        (m.senseJ + m.inferJ) + sent_rate * m.commJ;
+    SONIC_ASSERT(denom > 0.0);
+    return m.baseRate * m.truePositive / denom;
+}
+
+} // namespace sonic::genesis

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's end-to-end application-performance model (Sec. 3, Table 1
+ * and Eqs. 1-3): interesting messages communicated per Joule of
+ * harvested energy (IMpJ), for a sensing device that may run local
+ * inference to filter what it communicates.
+ */
+
+#ifndef SONIC_GENESIS_IMPJ_HH
+#define SONIC_GENESIS_IMPJ_HH
+
+#include "util/types.hh"
+
+namespace sonic::genesis
+{
+
+/** Parameters of the application model (energies in Joules). */
+struct AppModel
+{
+    f64 baseRate = 0.05;      ///< p: probability an event is interesting
+    f64 truePositive = 1.0;   ///< tp of the local inference
+    f64 trueNegative = 1.0;   ///< tn of the local inference
+    f64 senseJ = 0.0;         ///< Esense per event
+    f64 commJ = 0.0;          ///< Ecomm per communicated reading
+    f64 inferJ = 0.0;         ///< Einfer per event
+};
+
+/** Eq. 1: no local inference; everything is communicated. */
+f64 impjBaseline(const AppModel &m);
+
+/** Eq. 2: oracle filter; only interesting readings communicated. */
+f64 impjIdeal(const AppModel &m);
+
+/** Eq. 3: local, imperfect inference filters communication. */
+f64 impjInference(const AppModel &m);
+
+} // namespace sonic::genesis
+
+#endif // SONIC_GENESIS_IMPJ_HH

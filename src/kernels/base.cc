@@ -1,0 +1,342 @@
+/**
+ * @file
+ * The Base implementation: a conventional, efficient inference loop
+ * with volatile loop state and register accumulation. It performs no
+ * intermittence bookkeeping at all — on continuous power it is the
+ * fastest software implementation, and on harvested power it restarts
+ * from the beginning at every failure and never terminates (the
+ * paper's Fig. 9b).
+ *
+ * The whole inference runs as a single task; every local below models a
+ * register or stack slot that a power failure clears.
+ */
+
+#include "kernels/runner.hh"
+
+#include "arch/memory.hh"
+#include "kernels/kernel_util.hh"
+#include "task/runtime.hh"
+#include "util/logging.hh"
+
+namespace sonic::kernels
+{
+
+namespace
+{
+
+using arch::Device;
+using arch::NvArray;
+using arch::Op;
+using arch::Part;
+using dnn::DevDenseFc;
+using dnn::DevFactoredConv;
+using dnn::DeviceNetwork;
+using dnn::DevLayer;
+using dnn::DevSparseConv;
+using dnn::DevSparseFc;
+using dnn::DevSparseVec;
+
+/** Shaped 1-D conv: per-output-element register accumulation.
+ * vertical applies taps down columns (stride = width), else along rows. */
+void
+conv1d(Device &dev, const DevSparseVec &taps, NvArray<i16> &src,
+       u32 src_base, u32 in_w, NvArray<i16> &dst, u32 dst_base,
+       u32 out_h, u32 out_w, bool vertical)
+{
+    dev.setPart(Part::Kernel);
+    for (u32 y = 0; y < out_h; ++y) {
+        for (u32 x = 0; x < out_w; ++x) {
+            i16 acc = 0;
+            for (u32 t = 0; t < taps.nnz; ++t) {
+                const i16 off = taps.idx->read(t);
+                const i16 w = taps.val->read(t);
+                u32 si;
+                if (vertical) {
+                    si = (y + static_cast<u32>(off)) * in_w + x;
+                    addr2(dev);
+                } else {
+                    si = y * in_w + x + static_cast<u32>(off);
+                    addr2(dev);
+                }
+                const i16 s = src.read(src_base + si);
+                acc = addQ(dev, acc, mulQ(dev, w, s));
+                loopStep(dev);
+            }
+            addr2(dev);
+            dst.write(dst_base + y * out_w + x, acc);
+            loopStep(dev);
+        }
+    }
+    dev.setPart(Part::Control);
+}
+
+/** Channel mix: out(p) = sum_c w[c] * in_c(p), register accumulation. */
+void
+mixStage(Device &dev, const DevSparseVec &mix, NvArray<i16> &src,
+         u32 plane, NvArray<i16> &dst)
+{
+    dev.setPart(Part::Kernel);
+    for (u32 p = 0; p < plane; ++p) {
+        i16 acc = 0;
+        for (u32 t = 0; t < mix.nnz; ++t) {
+            const i16 c = mix.idx->read(t);
+            const i16 w = mix.val->read(t);
+            addr2(dev);
+            const i16 s = src.read(static_cast<u32>(c) * plane + p);
+            acc = addQ(dev, acc, mulQ(dev, w, s));
+            loopStep(dev);
+        }
+        dst.write(p, acc);
+        loopStep(dev);
+    }
+    dev.setPart(Part::Control);
+}
+
+/** Broadcast scale: out[oc * plane + p] = s[oc] * in(p), with fused
+ * relu. Write-once. */
+void
+scaleStage(Device &dev, const DevSparseVec &scale, NvArray<i16> &src,
+           u32 src_base, u32 plane, NvArray<i16> &dst, bool relu)
+{
+    dev.setPart(Part::Kernel);
+    for (u32 t = 0; t < scale.nnz; ++t) {
+        const i16 oc = scale.idx->read(t);
+        const i16 w = scale.val->read(t);
+        const u32 dst_base = static_cast<u32>(oc) * plane;
+        dev.consume(Op::AluMul);
+        for (u32 p = 0; p < plane; ++p) {
+            const i16 s = src.read(src_base + p);
+            i16 v = mulQ(dev, w, s);
+            if (relu)
+                v = reluQ(dev, v);
+            addr1(dev);
+            dst.write(dst_base + p, v);
+            loopStep(dev);
+        }
+        loopStep(dev);
+    }
+    dev.setPart(Part::Control);
+}
+
+void
+factoredConv(Device &dev, DeviceNetwork &net, const DevLayer &layer,
+             const DevFactoredConv &op, NvArray<i16> &src,
+             NvArray<i16> &dst)
+{
+    const u32 in_plane = layer.in.h * layer.in.w;
+    u32 h = layer.in.h;
+    u32 w = layer.in.w;
+
+    // Stage chaining through scratch slices; Base needs no ping-pong.
+    NvArray<i16> *cur = &src;
+    u32 cur_base = 0;
+    if (op.mix.nnz > 0) {
+        mixStage(dev, op.mix, *cur, in_plane, net.scratch(2));
+        cur = &net.scratch(2);
+        cur_base = 0;
+    }
+    if (op.col.nnz > 0) {
+        const u32 kh = layer.in.h - layer.out.h + 1;
+        const u32 oh = h - kh + 1;
+        conv1d(dev, op.col, *cur, cur_base, w, net.scratch(0), 0, oh, w,
+               true);
+        cur = &net.scratch(0);
+        cur_base = 0;
+        h = oh;
+    }
+    if (op.row.nnz > 0) {
+        const u32 kw = layer.in.w - layer.out.w + 1;
+        const u32 ow = w - kw + 1;
+        conv1d(dev, op.row, *cur, cur_base, w, net.scratch(1), 0, h, ow,
+               false);
+        cur = &net.scratch(1);
+        cur_base = 0;
+        w = ow;
+    }
+    SONIC_ASSERT(h == layer.out.h && w == layer.out.w,
+                 "factored conv shape bug");
+    scaleStage(dev, op.scale, *cur, cur_base, h * w, dst,
+               layer.reluAfter);
+}
+
+/** Pruned 2-D conv: per-(oc, position) register accumulation over the
+ * channel's tap list; 3-D source addressing per tap. */
+void
+sparseConv(Device &dev, const DevLayer &layer, const DevSparseConv &op,
+           NvArray<i16> &src, NvArray<i16> &dst, bool relu)
+{
+    const u32 out_plane = layer.out.h * layer.out.w;
+    for (u32 oc = 0; oc < layer.out.c; ++oc) {
+        dev.setPart(Part::Control);
+        const i32 first = op.ocPtr->read(oc);
+        const i32 last = op.ocPtr->read(oc + 1);
+        dev.setPart(Part::Kernel);
+        for (u32 oy = 0; oy < layer.out.h; ++oy) {
+            for (u32 ox = 0; ox < layer.out.w; ++ox) {
+                i16 acc = 0;
+                for (i32 t = first; t < last; ++t) {
+                    const u32 ti = static_cast<u32>(t);
+                    const i16 off = op.tapOff->read(ti);
+                    const i16 w = op.tapW->read(ti);
+                    addr2(dev);
+                    const u32 si = static_cast<u32>(off)
+                        + oy * layer.in.w + ox;
+                    const i16 s = src.read(si);
+                    acc = addQ(dev, acc, mulQ(dev, w, s));
+                    loopStep(dev);
+                }
+                if (relu)
+                    acc = reluQ(dev, acc);
+                addr3(dev);
+                dst.write(oc * out_plane + oy * layer.out.w + ox, acc);
+                loopStep(dev);
+            }
+        }
+    }
+    dev.setPart(Part::Control);
+}
+
+/** Dense FC, per-output register accumulation (the classic loop). */
+void
+denseFc(Device &dev, const DevDenseFc &op, NvArray<i16> &src,
+        NvArray<i16> &dst, bool relu)
+{
+    dev.setPart(Part::Kernel);
+    for (u32 r = 0; r < op.m; ++r) {
+        i16 acc = 0;
+        const u32 row_base = r * op.n;
+        dev.consume(Op::AluMul);
+        for (u32 c = 0; c < op.n; ++c) {
+            addr1(dev);
+            const i16 w = op.w->read(row_base + c);
+            const i16 x = src.read(c);
+            acc = addQ(dev, acc, mulQ(dev, w, x));
+            loopStep(dev);
+        }
+        if (relu)
+            acc = reluQ(dev, acc);
+        dst.write(r, acc);
+        loopStep(dev);
+    }
+    dev.setPart(Part::Control);
+}
+
+/** Sparse FC, CSC column-major in-place accumulation (matches the
+ * traversal order SONIC's sparse undo-logging protects). */
+void
+sparseFc(Device &dev, const DevSparseFc &op, NvArray<i16> &src,
+         NvArray<i16> &dst, bool relu)
+{
+    dev.setPart(Part::Kernel);
+    for (u32 r = 0; r < op.m; ++r) {
+        dst.write(r, 0);
+        loopStep(dev);
+    }
+    for (u32 c = 0; c < op.n; ++c) {
+        dev.setPart(Part::Control);
+        const i32 first = op.colPtr->read(c);
+        const i32 last = op.colPtr->read(c + 1);
+        dev.setPart(Part::Kernel);
+        if (first == last) {
+            loopStep(dev);
+            continue;
+        }
+        const i16 x = src.read(c);
+        for (i32 t = first; t < last; ++t) {
+            const u32 ti = static_cast<u32>(t);
+            const i16 r = op.rowIdx->read(ti);
+            const i16 w = op.val->read(ti);
+            addr1(dev);
+            const i16 old = dst.read(static_cast<u32>(r));
+            dst.write(static_cast<u32>(r),
+                      addQ(dev, old, mulQ(dev, w, x)));
+            loopStep(dev);
+        }
+        loopStep(dev);
+    }
+    if (relu) {
+        for (u32 r = 0; r < op.m; ++r) {
+            const i16 v = dst.read(r);
+            dst.write(r, reluQ(dev, v));
+            loopStep(dev);
+        }
+    }
+    dev.setPart(Part::Control);
+}
+
+/** 2x2 max pool, src(out-shape pre-pool) -> dst. */
+void
+maxPool(Device &dev, const dnn::ActShape &pre, NvArray<i16> &src,
+        NvArray<i16> &dst)
+{
+    dev.setPart(Part::Kernel);
+    const u32 oh = pre.h / 2;
+    const u32 ow = pre.w / 2;
+    for (u32 c = 0; c < pre.c; ++c) {
+        for (u32 y = 0; y < oh; ++y) {
+            for (u32 x = 0; x < ow; ++x) {
+                addr3(dev);
+                const u32 base = c * pre.h * pre.w + 2 * y * pre.w
+                               + 2 * x;
+                i16 m = src.read(base);
+                m = maxQ(dev, m, src.read(base + 1));
+                m = maxQ(dev, m, src.read(base + pre.w));
+                m = maxQ(dev, m, src.read(base + pre.w + 1));
+                addr3(dev);
+                dst.write(c * oh * ow + y * ow + x, m);
+                loopStep(dev);
+            }
+        }
+    }
+    dev.setPart(Part::Control);
+}
+
+} // namespace
+
+RunResult
+runBase(DeviceNetwork &net)
+{
+    Device &dev = net.dev();
+    task::Program program;
+
+    const task::TaskId entry = program.addTask("base.inference", [&](
+                                             task::Runtime &rt) {
+        Device &d = rt.dev();
+        for (u32 li = 0; li < net.layers().size(); ++li) {
+            DevLayer &layer = net.layers()[li];
+            arch::ScopedLayer attribution(d, layer.statLayer);
+            NvArray<i16> &src = net.act(net.inputBufferOf(li));
+            NvArray<i16> &conv_dst =
+                net.act(1 - net.inputBufferOf(li));
+
+            if (auto *f = std::get_if<DevFactoredConv>(&layer.op)) {
+                factoredConv(d, net, layer, *f, src, conv_dst);
+            } else if (auto *s = std::get_if<DevSparseConv>(&layer.op)) {
+                sparseConv(d, layer, *s, src, conv_dst, layer.reluAfter);
+            } else if (auto *fc = std::get_if<DevDenseFc>(&layer.op)) {
+                denseFc(d, *fc, src, conv_dst, layer.reluAfter);
+            } else if (auto *sfc = std::get_if<DevSparseFc>(&layer.op)) {
+                sparseFc(d, *sfc, src, conv_dst, layer.reluAfter);
+            }
+            if (layer.poolAfter)
+                maxPool(d, layer.out, conv_dst, src);
+        }
+        return task::kDone;
+    });
+
+    task::SchedulerConfig config;
+    config.transitionStyle = task::TransitionStyle::Light;
+    task::Scheduler sched(dev, program, config);
+    const auto run = sched.run(entry);
+
+    RunResult result;
+    result.completed = run.completed;
+    result.nonTerminating = run.nonTerminating;
+    result.reboots = run.reboots;
+    result.tasksExecuted = run.tasksExecuted;
+    if (run.completed)
+        result.logits = net.peekLogits();
+    return result;
+}
+
+} // namespace sonic::kernels

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared micro-helpers for the device kernels: Q7.8 arithmetic with
+ * explicit operation charging, and address-arithmetic charge helpers
+ * (the MSP430 has a 9-cycle peripheral multiply and no divide unit, so
+ * index math is a real cost the implementations pay differently).
+ */
+
+#ifndef SONIC_KERNELS_KERNEL_UTIL_HH
+#define SONIC_KERNELS_KERNEL_UTIL_HH
+
+#include "arch/device.hh"
+#include "fixed/fixed.hh"
+#include "util/types.hh"
+
+namespace sonic::kernels
+{
+
+using fixed::Q78;
+
+/** Charged Q7.8 multiply. */
+inline i16
+mulQ(arch::Device &dev, i16 a, i16 b)
+{
+    dev.consume(arch::Op::FixedMul);
+    return (Q78::fromRaw(a) * Q78::fromRaw(b)).raw();
+}
+
+/** Charged Q7.8 add. */
+inline i16
+addQ(arch::Device &dev, i16 a, i16 b)
+{
+    dev.consume(arch::Op::FixedAdd);
+    return (Q78::fromRaw(a) + Q78::fromRaw(b)).raw();
+}
+
+/** Charged relu. */
+inline i16
+reluQ(arch::Device &dev, i16 a)
+{
+    dev.consume(arch::Op::Branch);
+    return a > 0 ? a : 0;
+}
+
+/** Charged max (pooling). */
+inline i16
+maxQ(arch::Device &dev, i16 a, i16 b)
+{
+    dev.consume(arch::Op::Branch);
+    return a >= b ? a : b;
+}
+
+/** Charge one loop step (increment + compare/branch). */
+inline void
+loopStep(arch::Device &dev)
+{
+    dev.consume(arch::Op::Incr);
+    dev.consume(arch::Op::Branch);
+}
+
+/** Charge a 1-D address computation (base + offset). */
+inline void
+addr1(arch::Device &dev)
+{
+    dev.consume(arch::Op::AluAdd);
+}
+
+/** Charge a 2-D address computation (row * width + col + base). */
+inline void
+addr2(arch::Device &dev)
+{
+    dev.consume(arch::Op::AluMul);
+    dev.consume(arch::Op::AluAdd, 2);
+}
+
+/** Charge a 3-D address computation (chan, row, col). */
+inline void
+addr3(arch::Device &dev)
+{
+    dev.consume(arch::Op::AluMul, 2);
+    dev.consume(arch::Op::AluAdd, 3);
+}
+
+/** Charge a software divide + modulo pair (flat-index decomposition). */
+inline void
+divmod(arch::Device &dev)
+{
+    dev.consume(arch::Op::AluDiv, 2);
+}
+
+} // namespace sonic::kernels
+
+#endif // SONIC_KERNELS_KERNEL_UTIL_HH

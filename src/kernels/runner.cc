@@ -1,0 +1,52 @@
+#include "kernels/runner.hh"
+
+#include "tails/tails.hh"
+#include "util/logging.hh"
+
+namespace sonic::kernels
+{
+
+std::string_view
+implName(Impl impl)
+{
+    switch (impl) {
+      case Impl::Base: return "Base";
+      case Impl::Tile8: return "Tile-8";
+      case Impl::Tile32: return "Tile-32";
+      case Impl::Tile128: return "Tile-128";
+      case Impl::Sonic: return "SONIC";
+      case Impl::Tails: return "TAILS";
+    }
+    return "?";
+}
+
+u32
+implTileSize(Impl impl)
+{
+    switch (impl) {
+      case Impl::Tile8: return 8;
+      case Impl::Tile32: return 32;
+      case Impl::Tile128: return 128;
+      default: return 0;
+    }
+}
+
+RunResult
+runInference(dnn::DeviceNetwork &net, Impl impl)
+{
+    switch (impl) {
+      case Impl::Base:
+        return runBase(net);
+      case Impl::Tile8:
+      case Impl::Tile32:
+      case Impl::Tile128:
+        return runTiled(net, implTileSize(impl));
+      case Impl::Sonic:
+        return runSonic(net);
+      case Impl::Tails:
+        return tails::runTails(net);
+    }
+    panic("bad Impl");
+}
+
+} // namespace sonic::kernels

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The six inference implementations the paper evaluates (Sec. 8
+ * "Baselines for comparison"):
+ *
+ *  - Base:     a standard implementation with volatile loop state and
+ *              register accumulation. Fast, but does not tolerate
+ *              intermittent operation (never terminates on harvested
+ *              power).
+ *  - Tile-8/32/128: Alpaca-style task-tiled implementations. All loop
+ *              state and written data are task-shared: writes go
+ *              through redo-logging, reads through privatization
+ *              indirection, and every k iterations pay a full
+ *              task-based-runtime transition. Restarting a task
+ *              re-derives loop coordinates from the flattened logged
+ *              index (divide/modulo in software).
+ *  - Sonic:    loop continuation + loop-ordered buffering + sparse
+ *              undo-logging (Sec. 6).
+ *  - Tails:    SONIC plus LEA/DMA hardware acceleration with one-time
+ *              tile calibration (Sec. 7); implemented in src/tails.
+ */
+
+#ifndef SONIC_KERNELS_RUNNER_HH
+#define SONIC_KERNELS_RUNNER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "dnn/device_net.hh"
+#include "util/types.hh"
+
+namespace sonic::kernels
+{
+
+/** Which inference implementation to run. */
+enum class Impl : u8
+{
+    Base,
+    Tile8,
+    Tile32,
+    Tile128,
+    Sonic,
+    Tails
+};
+
+inline constexpr Impl kAllImpls[] = {Impl::Base, Impl::Tile8, Impl::Tile32,
+                                     Impl::Tile128, Impl::Sonic,
+                                     Impl::Tails};
+
+std::string_view implName(Impl impl);
+
+/** Tile size of a tiled implementation (0 otherwise). */
+u32 implTileSize(Impl impl);
+
+/** Outcome of one inference attempt. */
+struct RunResult
+{
+    bool completed = false;
+    bool nonTerminating = false;
+    u64 reboots = 0;
+    u64 tasksExecuted = 0;
+    std::vector<i16> logits; ///< valid when completed
+};
+
+/**
+ * Run one inference of the flashed network with the given
+ * implementation. The input must already be loaded
+ * (DeviceNetwork::loadInput). Statistics accumulate on the device.
+ */
+RunResult runInference(dnn::DeviceNetwork &net, Impl impl);
+
+/** Individual entry points (used by tests and by runInference). */
+RunResult runBase(dnn::DeviceNetwork &net);
+RunResult runTiled(dnn::DeviceNetwork &net, u32 tile);
+RunResult runSonic(dnn::DeviceNetwork &net);
+
+} // namespace sonic::kernels
+
+#endif // SONIC_KERNELS_RUNNER_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The SONIC task-graph builder, exposed so the TAILS runtime can derive
+ * from it: TAILS overrides the dense compute stages (1-D convs, dense
+ * FC, sparse conv) with LEA/DMA-accelerated versions and inherits the
+ * software stages LEA cannot help with (sparse FC — no reuse; scale —
+ * no scalar multiply; pooling), exactly the split the paper describes.
+ */
+
+#ifndef SONIC_KERNELS_SONIC_BUILDER_HH
+#define SONIC_KERNELS_SONIC_BUILDER_HH
+
+#include "arch/memory.hh"
+#include "dnn/device_net.hh"
+#include "task/runtime.hh"
+
+namespace sonic::kernels
+{
+
+/** The SONIC runtime's non-volatile loop registers (Sec. 6.2). */
+struct SonicState
+{
+    explicit SonicState(arch::Device &dev)
+        : tap(dev, "sonic.tap", 0), oc(dev, "sonic.oc", 0),
+          y(dev, "sonic.y", 0), x(dev, "sonic.x", 0),
+          buf(dev, "sonic.buf", 0), rd(dev, "sonic.rd", 0),
+          wr(dev, "sonic.wr", 0), col(dev, "sonic.col", 0),
+          saved(dev, "sonic.saved", 0)
+    {
+    }
+
+    // Loop registers are 16-bit words, as on a real MSP430 (a single
+    // FRAM word write each — the cost Sec. 9.4 quantifies).
+    arch::NvVar<i16> tap; ///< current filter element / input column
+    arch::NvVar<i16> oc;  ///< current output channel (sparse conv)
+    arch::NvVar<i16> y;   ///< outer position index
+    arch::NvVar<i16> x;   ///< inner position index
+    arch::NvVar<i16> buf; ///< which scratch slice is the dest buffer
+    arch::NvVar<i16> rd;  ///< sparse undo-log read index
+    arch::NvVar<i16> wr;  ///< sparse undo-log write index
+    arch::NvVar<i16> col; ///< sparse FC current column
+    arch::NvVar<i16> saved; ///< sparse undo-log canonical slot
+};
+
+/**
+ * Builds the SONIC task graph for a network. Stages are appended in
+ * reverse layer order so each knows its successor statically. Virtual
+ * stage builders are the TAILS extension points.
+ */
+class SonicBuilder
+{
+  public:
+    SonicBuilder(dnn::DeviceNetwork &net, task::Program &program,
+                 SonicState &st)
+        : net_(net), dev_(net.dev()), prog_(program), st_(st)
+    {
+    }
+
+    virtual ~SonicBuilder() = default;
+
+    /** Build all layers; returns the entry task. */
+    task::TaskId build();
+
+  protected:
+    task::TaskId buildLayer(u32 li, task::TaskId next);
+
+    /** 1-D conv stage: tap-major, loop-ordered double buffering,
+     * result deposited in scratch(2). vertical strides by in_w. */
+    virtual task::TaskId buildConv1d(const dnn::DevLayer &layer,
+                                     const dnn::DevSparseVec &taps,
+                                     arch::NvArray<i16> *src,
+                                     u32 src_base, u32 in_w, u32 out_h,
+                                     u32 out_w, bool vertical,
+                                     task::TaskId next);
+
+    /** Channel mix (ic -> 1), a vertical conv with stride = plane. */
+    virtual task::TaskId buildMix(const dnn::DevLayer &layer,
+                                  const dnn::DevSparseVec &mix,
+                                  arch::NvArray<i16> *src, u32 plane,
+                                  task::TaskId next);
+
+    /** Broadcast scale (1 -> oc), write-once, fused relu. */
+    virtual task::TaskId buildScale(const dnn::DevLayer &layer,
+                                    const dnn::DevSparseVec &scale,
+                                    arch::NvArray<i16> *src,
+                                    u32 src_base, u32 plane,
+                                    arch::NvArray<i16> *dst, bool relu,
+                                    task::TaskId next);
+
+    /** Pruned 2-D conv: per-channel tap-major loop-ordered slices. */
+    virtual task::TaskId buildSparseConv(const dnn::DevLayer &layer,
+                                         const dnn::DevSparseConv &op,
+                                         arch::NvArray<i16> *src,
+                                         arch::NvArray<i16> *dst,
+                                         bool relu, task::TaskId next);
+
+    /** Dense FC: input-major loop-ordered double buffering. */
+    virtual task::TaskId buildDenseFc(const dnn::DevLayer &layer,
+                                      const dnn::DevDenseFc &op,
+                                      arch::NvArray<i16> *src,
+                                      arch::NvArray<i16> *dst, bool relu,
+                                      task::TaskId next);
+
+    /** Sparse FC: in-place, sparse undo-logging. */
+    virtual task::TaskId buildSparseFc(const dnn::DevLayer &layer,
+                                       const dnn::DevSparseFc &op,
+                                       arch::NvArray<i16> *src,
+                                       arch::NvArray<i16> *dst,
+                                       bool relu, task::TaskId next);
+
+    /** 2x2 max pool, write-once. */
+    virtual task::TaskId buildPool(const dnn::DevLayer &layer,
+                                   arch::NvArray<i16> *src,
+                                   arch::NvArray<i16> *dst,
+                                   task::TaskId next);
+
+    dnn::DeviceNetwork &net_;
+    arch::Device &dev_;
+    task::Program &prog_;
+    SonicState &st_;
+};
+
+} // namespace sonic::kernels
+
+#endif // SONIC_KERNELS_SONIC_BUILDER_HH

@@ -1,0 +1,270 @@
+#include "tensor/decompose.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace sonic::tensor
+{
+
+EigenResult
+symmetricEigen(const Matrix &sym, u32 max_sweeps, f64 tol)
+{
+    SONIC_ASSERT(sym.rows() == sym.cols(), "symmetricEigen needs square");
+    const u32 n = sym.rows();
+    Matrix a = sym;
+    Matrix v = Matrix::identity(n);
+
+    for (u32 sweep = 0; sweep < max_sweeps; ++sweep) {
+        f64 off = 0.0;
+        for (u32 p = 0; p < n; ++p)
+            for (u32 q = p + 1; q < n; ++q)
+                off += a.at(p, q) * a.at(p, q);
+        if (off < tol * tol)
+            break;
+
+        for (u32 p = 0; p < n; ++p) {
+            for (u32 q = p + 1; q < n; ++q) {
+                const f64 apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const f64 app = a.at(p, p);
+                const f64 aqq = a.at(q, q);
+                const f64 theta = (aqq - app) / (2.0 * apq);
+                const f64 t = (theta >= 0.0 ? 1.0 : -1.0)
+                    / (std::fabs(theta)
+                       + std::sqrt(theta * theta + 1.0));
+                const f64 c = 1.0 / std::sqrt(t * t + 1.0);
+                const f64 s = t * c;
+
+                for (u32 k = 0; k < n; ++k) {
+                    const f64 akp = a.at(k, p);
+                    const f64 akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (u32 k = 0; k < n; ++k) {
+                    const f64 apk = a.at(p, k);
+                    const f64 aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (u32 k = 0; k < n; ++k) {
+                    const f64 vkp = v.at(k, p);
+                    const f64 vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<u32> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](u32 x, u32 y) {
+        return a.at(x, x) > a.at(y, y);
+    });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (u32 i = 0; i < n; ++i) {
+        result.values[i] = a.at(order[i], order[i]);
+        for (u32 r = 0; r < n; ++r)
+            result.vectors.at(r, i) = v.at(r, order[i]);
+    }
+    return result;
+}
+
+Matrix
+SvdResult::reconstruct() const
+{
+    const u32 m = u.rows();
+    const u32 n = v.rows();
+    const u32 k = static_cast<u32>(s.size());
+    Matrix out(m, n);
+    for (u32 r = 0; r < m; ++r)
+        for (u32 c = 0; c < n; ++c) {
+            f64 acc = 0.0;
+            for (u32 i = 0; i < k; ++i)
+                acc += u.at(r, i) * s[i] * v.at(c, i);
+            out.at(r, c) = acc;
+        }
+    return out;
+}
+
+u64
+SvdResult::factoredParams() const
+{
+    return u64{u.rows()} * u.cols() + u64{v.rows()} * v.cols();
+}
+
+SvdResult
+truncatedSvd(const Matrix &a, u32 k)
+{
+    const u32 m = a.rows();
+    const u32 n = a.cols();
+    SONIC_ASSERT(k >= 1 && k <= std::min(m, n), "invalid SVD rank");
+
+    // Work with the smaller Gram matrix.
+    const bool use_rows = m <= n;
+    Matrix gram = use_rows ? a.matmul(a.transpose())
+                           : a.transpose().matmul(a);
+    EigenResult eig = symmetricEigen(gram);
+
+    SvdResult result;
+    result.s.resize(k);
+    if (use_rows) {
+        result.u = Matrix(m, k);
+        result.v = Matrix(n, k);
+        for (u32 i = 0; i < k; ++i) {
+            const f64 sigma = std::sqrt(std::max(0.0, eig.values[i]));
+            result.s[i] = sigma;
+            for (u32 r = 0; r < m; ++r)
+                result.u.at(r, i) = eig.vectors.at(r, i);
+            // v_i = A^T u_i / sigma
+            if (sigma > 1e-300) {
+                for (u32 c = 0; c < n; ++c) {
+                    f64 acc = 0.0;
+                    for (u32 r = 0; r < m; ++r)
+                        acc += a.at(r, c) * eig.vectors.at(r, i);
+                    result.v.at(c, i) = acc / sigma;
+                }
+            }
+        }
+    } else {
+        result.u = Matrix(m, k);
+        result.v = Matrix(n, k);
+        for (u32 i = 0; i < k; ++i) {
+            const f64 sigma = std::sqrt(std::max(0.0, eig.values[i]));
+            result.s[i] = sigma;
+            for (u32 c = 0; c < n; ++c)
+                result.v.at(c, i) = eig.vectors.at(c, i);
+            // u_i = A v_i / sigma
+            if (sigma > 1e-300) {
+                for (u32 r = 0; r < m; ++r) {
+                    f64 acc = 0.0;
+                    for (u32 c = 0; c < n; ++c)
+                        acc += a.at(r, c) * eig.vectors.at(c, i);
+                    result.u.at(r, i) = acc / sigma;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+Tensor3
+Cp1Result::reconstruct(u32 d0, u32 d1, u32 d2) const
+{
+    SONIC_ASSERT(a.size() == d0 && b.size() == d1 && c.size() == d2);
+    Tensor3 out(d0, d1, d2);
+    for (u32 i = 0; i < d0; ++i)
+        for (u32 j = 0; j < d1; ++j)
+            for (u32 k = 0; k < d2; ++k)
+                out.at(i, j, k) = lambda * a[i] * b[j] * c[k];
+    return out;
+}
+
+u64
+Cp1Result::factoredParams() const
+{
+    return a.size() + b.size() + c.size() + 1;
+}
+
+namespace
+{
+
+f64
+norm(const std::vector<f64> &v)
+{
+    f64 sum = 0.0;
+    for (f64 x : v)
+        sum += x * x;
+    return std::sqrt(sum);
+}
+
+void
+normalize(std::vector<f64> &v)
+{
+    const f64 n = norm(v);
+    if (n > 1e-300)
+        for (f64 &x : v)
+            x /= n;
+}
+
+} // namespace
+
+Cp1Result
+cpRank1(const Tensor3 &t, u32 max_iters, f64 tol)
+{
+    const u32 d0 = t.dim0();
+    const u32 d1 = t.dim1();
+    const u32 d2 = t.dim2();
+
+    Cp1Result cp;
+    cp.a.assign(d0, 1.0 / std::sqrt(static_cast<f64>(d0)));
+    cp.b.assign(d1, 1.0 / std::sqrt(static_cast<f64>(d1)));
+    cp.c.assign(d2, 1.0 / std::sqrt(static_cast<f64>(d2)));
+
+    f64 prev_lambda = 0.0;
+    for (u32 iter = 0; iter < max_iters; ++iter) {
+        // a <- T x_1 (b, c)
+        for (u32 i = 0; i < d0; ++i) {
+            f64 acc = 0.0;
+            for (u32 j = 0; j < d1; ++j)
+                for (u32 k = 0; k < d2; ++k)
+                    acc += t.at(i, j, k) * cp.b[j] * cp.c[k];
+            cp.a[i] = acc;
+        }
+        normalize(cp.a);
+
+        // b <- T x_2 (a, c)
+        for (u32 j = 0; j < d1; ++j) {
+            f64 acc = 0.0;
+            for (u32 i = 0; i < d0; ++i)
+                for (u32 k = 0; k < d2; ++k)
+                    acc += t.at(i, j, k) * cp.a[i] * cp.c[k];
+            cp.b[j] = acc;
+        }
+        normalize(cp.b);
+
+        // c <- T x_3 (a, b); lambda is its norm.
+        for (u32 k = 0; k < d2; ++k) {
+            f64 acc = 0.0;
+            for (u32 i = 0; i < d0; ++i)
+                for (u32 j = 0; j < d1; ++j)
+                    acc += t.at(i, j, k) * cp.a[i] * cp.b[j];
+            cp.c[k] = acc;
+        }
+        cp.lambda = norm(cp.c);
+        normalize(cp.c);
+
+        if (std::fabs(cp.lambda - prev_lambda)
+            <= tol * std::max(1.0, std::fabs(cp.lambda))) {
+            break;
+        }
+        prev_lambda = cp.lambda;
+    }
+    return cp;
+}
+
+f64
+cpRank1Error(const Tensor3 &t, const Cp1Result &cp)
+{
+    const f64 denom = t.frobeniusNorm();
+    if (denom == 0.0)
+        return 0.0;
+    Tensor3 rec = cp.reconstruct(t.dim0(), t.dim1(), t.dim2());
+    f64 sum = 0.0;
+    for (u64 i = 0; i < t.size(); ++i) {
+        const f64 d = t.data()[i] - rec.data()[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum) / denom;
+}
+
+} // namespace sonic::tensor

@@ -1,0 +1,178 @@
+#include "tensor/sparse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sonic::tensor
+{
+
+namespace
+{
+
+u64
+pruneVec(std::vector<f64> &data, f64 threshold)
+{
+    u64 kept = 0;
+    for (f64 &v : data) {
+        if (std::fabs(v) < threshold)
+            v = 0.0;
+        else
+            ++kept;
+    }
+    return kept;
+}
+
+u64
+pruneVecToFraction(std::vector<f64> &data, f64 keep_fraction)
+{
+    SONIC_ASSERT(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+    const u64 n = data.size();
+    const u64 keep = static_cast<u64>(std::llround(keep_fraction
+                                                   * static_cast<f64>(n)));
+    if (keep >= n)
+        return n;
+    if (keep == 0) {
+        std::fill(data.begin(), data.end(), 0.0);
+        return 0;
+    }
+    std::vector<f64> mags(n);
+    for (u64 i = 0; i < n; ++i)
+        mags[i] = std::fabs(data[i]);
+    std::nth_element(mags.begin(), mags.begin() + (n - keep), mags.end());
+    const f64 cutoff = mags[n - keep];
+    // Zero strictly-below-cutoff entries, then trim ties deterministically
+    // until exactly `keep` survive.
+    u64 kept = 0;
+    for (f64 &v : data) {
+        if (std::fabs(v) < cutoff)
+            v = 0.0;
+        else
+            ++kept;
+    }
+    for (f64 &v : data) {
+        if (kept <= keep)
+            break;
+        if (v != 0.0 && std::fabs(v) == cutoff) {
+            v = 0.0;
+            --kept;
+        }
+    }
+    return kept;
+}
+
+} // namespace
+
+u64
+pruneThreshold(Matrix &m, f64 threshold)
+{
+    return pruneVec(m.data(), threshold);
+}
+
+u64
+pruneToFraction(Matrix &m, f64 keep_fraction)
+{
+    return pruneVecToFraction(m.data(), keep_fraction);
+}
+
+u64
+pruneThreshold(Tensor3 &t, f64 threshold)
+{
+    return pruneVec(t.data(), threshold);
+}
+
+u64
+pruneToFraction(Tensor3 &t, f64 keep_fraction)
+{
+    return pruneVecToFraction(t.data(), keep_fraction);
+}
+
+CscMatrix
+CscMatrix::fromDense(const Matrix &m)
+{
+    CscMatrix out;
+    out.rows = m.rows();
+    out.cols = m.cols();
+    out.colPtr.assign(m.cols() + 1, 0);
+    for (u32 c = 0; c < m.cols(); ++c) {
+        for (u32 r = 0; r < m.rows(); ++r) {
+            if (m.at(r, c) != 0.0) {
+                out.rowIdx.push_back(r);
+                out.values.push_back(m.at(r, c));
+            }
+        }
+        out.colPtr[c + 1] = static_cast<u32>(out.values.size());
+    }
+    return out;
+}
+
+std::vector<f64>
+CscMatrix::matvec(const std::vector<f64> &x) const
+{
+    SONIC_ASSERT(x.size() == cols);
+    std::vector<f64> y(rows, 0.0);
+    for (u32 c = 0; c < cols; ++c) {
+        const f64 xc = x[c];
+        if (xc == 0.0)
+            continue;
+        for (u32 e = colPtr[c]; e < colPtr[c + 1]; ++e)
+            y[rowIdx[e]] += values[e] * xc;
+    }
+    return y;
+}
+
+Matrix
+CscMatrix::toDense() const
+{
+    Matrix m(rows, cols);
+    for (u32 c = 0; c < cols; ++c)
+        for (u32 e = colPtr[c]; e < colPtr[c + 1]; ++e)
+            m.at(rowIdx[e], c) = values[e];
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::fromDense(const Matrix &m)
+{
+    CsrMatrix out;
+    out.rows = m.rows();
+    out.cols = m.cols();
+    out.rowPtr.assign(m.rows() + 1, 0);
+    for (u32 r = 0; r < m.rows(); ++r) {
+        for (u32 c = 0; c < m.cols(); ++c) {
+            if (m.at(r, c) != 0.0) {
+                out.colIdx.push_back(c);
+                out.values.push_back(m.at(r, c));
+            }
+        }
+        out.rowPtr[r + 1] = static_cast<u32>(out.values.size());
+    }
+    return out;
+}
+
+std::vector<f64>
+CsrMatrix::matvec(const std::vector<f64> &x) const
+{
+    SONIC_ASSERT(x.size() == cols);
+    std::vector<f64> y(rows, 0.0);
+    for (u32 r = 0; r < rows; ++r) {
+        f64 acc = 0.0;
+        for (u32 e = rowPtr[r]; e < rowPtr[r + 1]; ++e)
+            acc += values[e] * x[colIdx[e]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Matrix
+CsrMatrix::toDense() const
+{
+    Matrix m(rows, cols);
+    for (u32 r = 0; r < rows; ++r)
+        for (u32 e = rowPtr[r]; e < rowPtr[r + 1]; ++e)
+            m.at(r, colIdx[e]) = values[e];
+    return m;
+}
+
+} // namespace sonic::tensor

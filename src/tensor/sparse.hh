@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sparse-matrix support: magnitude pruning (GENESIS' second compression
+ * technique) and a compressed-sparse representation. The device-side
+ * sparse fully-connected kernels traverse the matrix column-major —
+ * "for each input activation, the list of (row, weight) pairs" — which
+ * is the access order SONIC's sparse undo-logging assumes, so we build
+ * a CSC form alongside the usual CSR.
+ */
+
+#ifndef SONIC_TENSOR_SPARSE_HH
+#define SONIC_TENSOR_SPARSE_HH
+
+#include <vector>
+
+#include "tensor/matrix.hh"
+#include "util/types.hh"
+
+namespace sonic::tensor
+{
+
+/** Zero all entries with |x| < threshold; returns surviving count. */
+u64 pruneThreshold(Matrix &m, f64 threshold);
+
+/**
+ * Prune to keep approximately the keep_fraction largest-magnitude
+ * entries (exact count via nth_element). Returns surviving count.
+ */
+u64 pruneToFraction(Matrix &m, f64 keep_fraction);
+
+/** Same pruning operations for 3-D filter banks. */
+u64 pruneThreshold(Tensor3 &t, f64 threshold);
+u64 pruneToFraction(Tensor3 &t, f64 keep_fraction);
+
+/**
+ * Compressed sparse columns: for each column c (an input activation),
+ * the (row, value) pairs of surviving weights. entries are ordered by
+ * column then row; colPtr has cols+1 entries.
+ */
+struct CscMatrix
+{
+    u32 rows = 0;
+    u32 cols = 0;
+    std::vector<u32> colPtr;
+    std::vector<u32> rowIdx;
+    std::vector<f64> values;
+
+    static CscMatrix fromDense(const Matrix &m);
+
+    u64 nnz() const { return values.size(); }
+
+    /** y = A x computed column-major (the device traversal order). */
+    std::vector<f64> matvec(const std::vector<f64> &x) const;
+
+    /** Expand back to dense (for testing). */
+    Matrix toDense() const;
+};
+
+/** Compressed sparse rows (standard layout, used for verification). */
+struct CsrMatrix
+{
+    u32 rows = 0;
+    u32 cols = 0;
+    std::vector<u32> rowPtr;
+    std::vector<u32> colIdx;
+    std::vector<f64> values;
+
+    static CsrMatrix fromDense(const Matrix &m);
+
+    u64 nnz() const { return values.size(); }
+
+    std::vector<f64> matvec(const std::vector<f64> &x) const;
+
+    Matrix toDense() const;
+};
+
+} // namespace sonic::tensor
+
+#endif // SONIC_TENSOR_SPARSE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers in the gem5 spirit:
+ * panic() for internal invariant violations, fatal() for user errors,
+ * warn()/inform() for status messages. All are header-only.
+ */
+
+#ifndef SONIC_UTIL_LOGGING_HH
+#define SONIC_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sonic
+{
+
+namespace detail
+{
+
+/** Format a message from stream-able parts. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal error that should never happen (a bug in this
+ * library) and abort. Mirrors gem5's panic().
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::formatMessage(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable error caused by the caller (bad configuration,
+ * invalid argument) and exit. Mirrors gem5's fatal().
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::formatMessage(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious but non-fatal condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Panic unless a library invariant holds. */
+#define SONIC_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sonic::panic("assertion failed: ", #cond, " at ", __FILE__,  \
+                           ":", __LINE__, " ", ##__VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+} // namespace sonic
+
+#endif // SONIC_UTIL_LOGGING_HH

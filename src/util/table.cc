@@ -1,0 +1,154 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace sonic
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SONIC_ASSERT(!headers_.empty());
+}
+
+Table &
+Table::row()
+{
+    SONIC_ASSERT(rows_.empty() || rows_.back().size() == headers_.size(),
+                 "previous row incomplete");
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    SONIC_ASSERT(!rows_.empty(), "cell() before row()");
+    SONIC_ASSERT(rows_.back().size() < headers_.size(), "row overflow");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(f64 value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+Table &
+Table::cell(u64 value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(i64 value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            oss << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c] << ' ';
+        }
+        oss << "|\n";
+    };
+    emit_row(headers_);
+    oss << '|';
+    for (size_t c = 0; c < headers_.size(); ++c)
+        oss << std::string(widths[c] + 2, '-') << '|';
+    oss << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                oss << ',';
+            oss << cells[c];
+        }
+        oss << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << str();
+}
+
+std::string
+formatFixed(f64 value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatEnergy(f64 joules)
+{
+    const f64 a = std::fabs(joules);
+    if (a >= 1.0)
+        return formatFixed(joules, 3) + " J";
+    if (a >= 1e-3)
+        return formatFixed(joules * 1e3, 3) + " mJ";
+    if (a >= 1e-6)
+        return formatFixed(joules * 1e6, 3) + " uJ";
+    return formatFixed(joules * 1e9, 3) + " nJ";
+}
+
+std::string
+formatSeconds(f64 seconds)
+{
+    if (std::fabs(seconds) >= 1.0)
+        return formatFixed(seconds, 3) + " s";
+    return formatFixed(seconds * 1e3, 3) + " ms";
+}
+
+std::string
+asciiBar(f64 fraction, u32 width)
+{
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const u32 filled = static_cast<u32>(std::lround(fraction * width));
+    std::string bar(filled, '#');
+    bar.append(width - filled, '.');
+    return bar;
+}
+
+std::string
+banner(const std::string &title)
+{
+    std::string line(title.size() + 4, '=');
+    return line + "\n= " + title + " =\n" + line + "\n";
+}
+
+} // namespace sonic

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental integer/float type aliases used across the project.
+ */
+
+#ifndef SONIC_UTIL_TYPES_HH
+#define SONIC_UTIL_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sonic
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+} // namespace sonic
+
+#endif // SONIC_UTIL_TYPES_HH

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the device substrate: energy profile, power supplies,
+ * the device's consume/fail path, stats attribution, and the memory
+ * handles (including volatile scrambling at reboot).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/device.hh"
+#include "arch/memory.hh"
+
+namespace sonic::arch
+{
+namespace
+{
+
+Device
+makeContinuousDevice()
+{
+    return Device(EnergyProfile::msp430fr5994(),
+                  std::make_unique<ContinuousPower>());
+}
+
+TEST(EnergyProfile, AllOpsHaveCosts)
+{
+    const auto p = EnergyProfile::msp430fr5994();
+    for (u32 o = 0; o < kNumOps; ++o) {
+        const auto op = static_cast<Op>(o);
+        EXPECT_GT(p.cycles(op), 0u) << opName(op);
+        EXPECT_GT(p.nanojoules(op), 0.0) << opName(op);
+    }
+}
+
+TEST(EnergyProfile, RelativeCostsSane)
+{
+    const auto p = EnergyProfile::msp430fr5994();
+    // Peripheral multiply far slower than an add.
+    EXPECT_GE(p.cycles(Op::AluMul), 8u);
+    // FRAM writes cost more energy than reads, reads more than SRAM.
+    EXPECT_GT(p.nanojoules(Op::FramStore), p.nanojoules(Op::FramLoad));
+    EXPECT_GT(p.nanojoules(Op::FramLoad), p.nanojoules(Op::SramLoad));
+    // Alpaca transition is much heavier than SONIC's.
+    EXPECT_GT(p.nanojoules(Op::AlpacaTransition),
+              10 * p.nanojoules(Op::TaskTransition));
+    // LEA MAC is cheaper than a software fixed multiply.
+    EXPECT_LT(p.nanojoules(Op::LeaMac), p.nanojoules(Op::FixedMul));
+}
+
+TEST(EnergyProfile, AblationsInflateTheRightOps)
+{
+    const auto std_p = EnergyProfile::msp430fr5994();
+    const auto no_lea = EnergyProfile::msp430fr5994NoLea();
+    const auto no_dma = EnergyProfile::msp430fr5994NoDma();
+    EXPECT_GT(no_lea.nanojoules(Op::LeaMac),
+              std_p.nanojoules(Op::LeaMac));
+    EXPECT_GT(no_dma.nanojoules(Op::DmaWord),
+              std_p.nanojoules(Op::DmaWord));
+    EXPECT_EQ(no_lea.nanojoules(Op::FramLoad),
+              std_p.nanojoules(Op::FramLoad));
+}
+
+TEST(CapacitorPower, CapacityFollowsCapacitance)
+{
+    CapacitorPower small(100e-6, 0.5e-3);
+    CapacitorPower big(1e-3, 0.5e-3);
+    EXPECT_NEAR(big.capacityNj() / small.capacityNj(), 10.0, 1e-6);
+}
+
+TEST(CapacitorPower, DrainsAndFails)
+{
+    CapacitorPower cap(100e-6, 0.5e-3);
+    const f64 budget = cap.capacityNj();
+    EXPECT_TRUE(cap.draw(budget * 0.6));
+    EXPECT_FALSE(cap.draw(budget * 0.6)); // exceeds remaining charge
+    EXPECT_EQ(cap.levelNj(), 0.0);
+}
+
+TEST(CapacitorPower, RechargeTimeMatchesHarvestPower)
+{
+    CapacitorPower cap(100e-6, 0.5e-3);
+    const f64 budget = cap.capacityNj();
+    EXPECT_FALSE(cap.draw(budget * 2)); // kill it
+    const f64 dead = cap.recharge();
+    EXPECT_NEAR(dead, budget / (0.5e-3 * 1e9), 1e-9);
+    EXPECT_EQ(cap.levelNj(), cap.capacityNj());
+}
+
+TEST(CapacitorPower, HarvestAccounting)
+{
+    CapacitorPower cap(100e-6, 0.5e-3);
+    const f64 initial = cap.harvestedNj();
+    EXPECT_FALSE(cap.draw(cap.capacityNj() * 2));
+    cap.recharge();
+    EXPECT_GT(cap.harvestedNj(), initial);
+}
+
+TEST(FailOnceAfterOps, FailsExactlyOnce)
+{
+    FailOnceAfterOps psu(3);
+    EXPECT_TRUE(psu.draw(1));
+    EXPECT_TRUE(psu.draw(1));
+    EXPECT_TRUE(psu.draw(1));
+    EXPECT_FALSE(psu.draw(1)); // the 4th draw (index 3) fails
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(psu.draw(1));
+    EXPECT_TRUE(psu.triggered());
+}
+
+TEST(FailEveryOps, PeriodicFailure)
+{
+    FailEveryOps psu(4);
+    int ok = 0;
+    for (int i = 0; i < 12; ++i)
+        ok += psu.draw(1);
+    EXPECT_EQ(ok, 9); // 3 failures in 12 draws
+}
+
+TEST(Device, ConsumeAccumulatesCyclesAndEnergy)
+{
+    auto dev = makeContinuousDevice();
+    dev.consume(Op::AluMul, 10);
+    const auto &p = dev.profile();
+    EXPECT_EQ(dev.cycles(), 10 * p.cycles(Op::AluMul));
+    EXPECT_NEAR(dev.stats().totalNanojoules(),
+                10 * p.nanojoules(Op::AluMul), 1e-9);
+}
+
+TEST(Device, LiveSecondsUsesClock)
+{
+    auto dev = makeContinuousDevice();
+    dev.consume(Op::Nop, 16'000'000); // 16M cycles at 16 MHz = 1 s
+    EXPECT_NEAR(dev.liveSeconds(), 1.0, 1e-9);
+}
+
+TEST(Device, ThrowsOnExhaustedBuffer)
+{
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(2));
+    dev.consume(Op::Nop);
+    dev.consume(Op::Nop);
+    EXPECT_THROW(dev.consume(Op::Nop), PowerFailure);
+    dev.reboot();
+    dev.consume(Op::Nop); // recovered
+    EXPECT_EQ(dev.rebootCount(), 1u);
+}
+
+TEST(Device, StatsAttributionByLayerAndPart)
+{
+    auto dev = makeContinuousDevice();
+    const u16 conv = dev.registerLayer("conv");
+    {
+        ScopedLayer al(dev, conv);
+        ScopedPart kp(dev, Part::Kernel);
+        dev.consume(Op::FixedMul, 5);
+    }
+    dev.consume(Op::Branch, 3); // layer "other", control
+    const auto &stats = dev.stats();
+    EXPECT_EQ(stats.bucket(conv, Part::Kernel)
+                  .count[static_cast<u32>(Op::FixedMul)],
+              5u);
+    EXPECT_EQ(stats.bucket(0, Part::Control)
+                  .count[static_cast<u32>(Op::Branch)],
+              3u);
+    EXPECT_EQ(stats.layerOpCount(conv, Op::Branch), 0u);
+}
+
+TEST(Device, ScopedAttributionRestoresOnUnwind)
+{
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(0));
+    const u16 conv = dev.registerLayer("conv");
+    try {
+        ScopedLayer al(dev, conv);
+        ScopedPart kp(dev, Part::Kernel);
+        dev.consume(Op::Nop);
+        FAIL() << "should have thrown";
+    } catch (const PowerFailure &) {
+    }
+    EXPECT_EQ(dev.currentLayer(), 0);
+    EXPECT_EQ(dev.currentPart(), Part::Control);
+}
+
+TEST(Device, StatsResetKeepsLayers)
+{
+    auto dev = makeContinuousDevice();
+    const u16 conv = dev.registerLayer("conv");
+    dev.consume(Op::Nop);
+    dev.stats().reset();
+    EXPECT_EQ(dev.stats().totalCycles(), 0u);
+    EXPECT_EQ(dev.stats().layerName(conv), "conv");
+}
+
+TEST(Memory, NvArrayPersistsAcrossReboot)
+{
+    auto dev = makeContinuousDevice();
+    NvArray<i16> arr(dev, 8, "a");
+    arr.write(3, 1234);
+    dev.reboot();
+    EXPECT_EQ(arr.read(3), 1234);
+}
+
+TEST(Memory, VolArrayScrambledAtReboot)
+{
+    auto dev = makeContinuousDevice();
+    VolArray<i16> arr(dev, 8, "v");
+    arr.write(2, 77);
+    EXPECT_EQ(arr.read(2), 77);
+    dev.reboot();
+    // Deterministic garbage: extremely unlikely to still be 77, and
+    // two reboots give different garbage.
+    const i16 after1 = arr.peek(2);
+    dev.reboot();
+    const i16 after2 = arr.peek(2);
+    EXPECT_NE(after1, 77);
+    EXPECT_NE(after1, after2);
+}
+
+TEST(Memory, VolVarScrambledAtReboot)
+{
+    auto dev = makeContinuousDevice();
+    VolVar<i16> v(dev, "v", 55);
+    EXPECT_EQ(v.read(), 55);
+    dev.reboot();
+    EXPECT_NE(v.peek(), 55);
+}
+
+TEST(Memory, AccessesAreCharged)
+{
+    auto dev = makeContinuousDevice();
+    NvArray<i16> arr(dev, 4, "a");
+    const u64 before = dev.cycles();
+    arr.write(0, 1);
+    (void)arr.read(0);
+    const auto &p = dev.profile();
+    EXPECT_EQ(dev.cycles() - before,
+              p.cycles(Op::FramStore) + p.cycles(Op::FramLoad));
+}
+
+TEST(Memory, PokePeekUncharged)
+{
+    auto dev = makeContinuousDevice();
+    NvArray<i16> arr(dev, 4, "a");
+    arr.poke(1, 9);
+    EXPECT_EQ(arr.peek(1), 9);
+    EXPECT_EQ(dev.cycles(), 0u);
+}
+
+TEST(Memory, WideTypesChargePerWord)
+{
+    auto dev = makeContinuousDevice();
+    NvVar<i32> v(dev, "v");
+    const u64 before = dev.cycles();
+    v.write(1);
+    EXPECT_EQ(dev.cycles() - before,
+              2 * dev.profile().cycles(Op::FramStore));
+}
+
+TEST(Memory, FramCapacityTracked)
+{
+    auto dev = makeContinuousDevice();
+    EXPECT_EQ(dev.framBytesUsed(), 0u);
+    {
+        NvArray<i16> arr(dev, 100, "a");
+        EXPECT_EQ(dev.framBytesUsed(), 200u);
+    }
+    EXPECT_EQ(dev.framBytesUsed(), 0u);
+}
+
+TEST(Memory, PowerFailureBeforeWriteLands)
+{
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(0));
+    NvArray<i16> arr(dev, 4, "a");
+    arr.poke(0, 42);
+    EXPECT_THROW(arr.write(0, 99), PowerFailure);
+    // The store's energy draw failed, so the old value survives —
+    // word-granularity write atomicity.
+    EXPECT_EQ(arr.peek(0), 42);
+}
+
+} // namespace
+} // namespace sonic::arch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the experiment harness and the application model (wildlife
+ * case study, offload comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/experiment.hh"
+#include "app/wildlife.hh"
+
+namespace sonic::app
+{
+namespace
+{
+
+TEST(Experiment, PowerNames)
+{
+    EXPECT_STREQ(powerName(PowerKind::Continuous), "Continuous");
+    EXPECT_STREQ(powerName(PowerKind::Cap100uF), "100uF");
+}
+
+TEST(Experiment, MakePowerKinds)
+{
+    EXPECT_FALSE(makePower(PowerKind::Continuous)->intermittent());
+    const auto cap = makePower(PowerKind::Cap1mF);
+    EXPECT_TRUE(cap->intermittent());
+    EXPECT_GT(cap->capacityNj(), 0.0);
+}
+
+TEST(Experiment, CachesAreStable)
+{
+    const auto &a = cachedCompressed(dnn::NetId::Har);
+    const auto &b = cachedCompressed(dnn::NetId::Har);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(cachedDataset(dnn::NetId::Har).size(), 64u);
+}
+
+TEST(Experiment, BreakdownSumsToLiveTime)
+{
+    RunSpec spec;
+    spec.net = dnn::NetId::Har;
+    spec.impl = kernels::Impl::Sonic;
+    const auto r = runExperiment(spec);
+    ASSERT_TRUE(r.completed);
+    f64 sum = 0.0;
+    for (const auto &layer : r.layers)
+        sum += layer.kernelSeconds + layer.controlSeconds;
+    EXPECT_NEAR(sum, r.liveSeconds, 1e-9);
+}
+
+TEST(Experiment, EnergyByOpSumsToTotal)
+{
+    RunSpec spec;
+    spec.net = dnn::NetId::Har;
+    spec.impl = kernels::Impl::Sonic;
+    const auto r = runExperiment(spec);
+    f64 sum = 0.0;
+    for (const auto &[op, joules] : r.energyByOp)
+        sum += joules;
+    EXPECT_NEAR(sum, r.energyJ, 1e-9);
+}
+
+TEST(Experiment, ContinuousHasNoDeadTime)
+{
+    RunSpec spec;
+    spec.net = dnn::NetId::Har;
+    spec.impl = kernels::Impl::Base;
+    const auto r = runExperiment(spec);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.deadSeconds, 0.0);
+    EXPECT_EQ(r.reboots, 0u);
+}
+
+TEST(Experiment, SampleIndexChangesInput)
+{
+    RunSpec a;
+    a.net = dnn::NetId::Har;
+    a.impl = kernels::Impl::Sonic;
+    a.sampleIndex = 0;
+    RunSpec b = a;
+    b.sampleIndex = 1;
+    const auto ra = runExperiment(a);
+    const auto rb = runExperiment(b);
+    EXPECT_NE(ra.logits, rb.logits);
+}
+
+TEST(Experiment, AblationProfilesChangeTailsCost)
+{
+    RunSpec spec;
+    spec.net = dnn::NetId::Har;
+    spec.impl = kernels::Impl::Tails;
+    spec.profile = ProfileVariant::Standard;
+    const auto with_hw = runExperiment(spec);
+    spec.profile = ProfileVariant::NoLea;
+    const auto no_lea = runExperiment(spec);
+    EXPECT_GT(no_lea.liveSeconds, with_hw.liveSeconds);
+}
+
+TEST(Wildlife, SweepShapes)
+{
+    WildlifeParams params;
+    const auto rows = sweepWildlife(params, 5, false);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows.front().accuracy, 0.0);
+    EXPECT_EQ(rows.back().accuracy, 1.0);
+    // Always-send is flat; filtered systems grow with accuracy.
+    EXPECT_NEAR(rows.front().alwaysSend, rows.back().alwaysSend, 1e-12);
+    EXPECT_GT(rows.back().sonicTails, rows.front().sonicTails);
+}
+
+TEST(Wildlife, FullImageCalloutsMatchPaperShape)
+{
+    WildlifeParams params; // the paper's measured defaults
+    const auto rows = sweepWildlife(params, 11, false);
+    const auto &top = rows.back();
+    const f64 gain = top.sonicTails / top.alwaysSend;
+    EXPECT_GT(gain, 10.0);
+    EXPECT_LT(gain, 25.0); // paper: ~20x
+    const f64 vs_naive = top.sonicTails / top.naive;
+    EXPECT_GT(vs_naive, 1.0);
+    EXPECT_LT(vs_naive, 1.3); // paper: up to 14%, ~1.1x at the top
+}
+
+TEST(Wildlife, SendResultCalloutsMatchPaperShape)
+{
+    WildlifeParams params;
+    const auto rows = sweepWildlife(params, 11, true);
+    const auto &top = rows.back();
+    EXPECT_GT(top.sonicTails / top.alwaysSend, 200.0); // paper ~480x
+    EXPECT_GT(top.sonicTails / top.naive, 2.0);        // paper ~4.6x
+    EXPECT_LT(top.ideal / top.sonicTails, 4.0);        // paper ~2.2x
+}
+
+TEST(Wildlife, OffloadComparisonHuge)
+{
+    const auto cmp = offloadVsLocal(28 * 28, 26e-3, kHarvestWatts);
+    EXPECT_GT(cmp.speedup, 300.0); // paper: >=360x
+    EXPECT_GT(cmp.offloadSeconds, 3600.0); // over an hour
+}
+
+} // namespace
+} // namespace sonic::app

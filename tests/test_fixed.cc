@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit and property tests for the Q7.8 / Q0.15 fixed-point arithmetic.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fixed/fixed.hh"
+#include "fixed/quantize.hh"
+#include "util/rng.hh"
+
+namespace sonic::fixed
+{
+namespace
+{
+
+TEST(Fixed, ZeroDefault)
+{
+    EXPECT_EQ(Q78().raw(), 0);
+    EXPECT_EQ(Q78().toFloat(), 0.0);
+}
+
+TEST(Fixed, FromFloatRoundTripExactPowers)
+{
+    EXPECT_EQ(Q78::fromFloat(1.0).raw(), 256);
+    EXPECT_EQ(Q78::fromFloat(-1.0).raw(), -256);
+    EXPECT_EQ(Q78::fromFloat(0.5).raw(), 128);
+    EXPECT_EQ(Q78::fromFloat(2.0).toFloat(), 2.0);
+}
+
+TEST(Fixed, QuantizationErrorBounded)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const f64 x = rng.uniform(-100.0, 100.0);
+        const f64 back = Q78::fromFloat(x).toFloat();
+        EXPECT_LE(std::fabs(back - x), 0.5 / 256.0 + 1e-12);
+    }
+}
+
+TEST(Fixed, SaturationAtBounds)
+{
+    EXPECT_EQ(Q78::fromFloat(1000.0).raw(), Q78::kRawMax);
+    EXPECT_EQ(Q78::fromFloat(-1000.0).raw(), Q78::kRawMin);
+    const Q78 big = Q78::maxValue();
+    EXPECT_EQ((big + big).raw(), Q78::kRawMax);
+    const Q78 small = Q78::minValue();
+    EXPECT_EQ((small + small).raw(), Q78::kRawMin);
+}
+
+TEST(Fixed, AdditionMatchesFloatWithoutSaturation)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const f64 a = rng.uniform(-30.0, 30.0);
+        const f64 b = rng.uniform(-30.0, 30.0);
+        const Q78 qa = Q78::fromFloat(a);
+        const Q78 qb = Q78::fromFloat(b);
+        EXPECT_NEAR((qa + qb).toFloat(), qa.toFloat() + qb.toFloat(),
+                    1e-9);
+    }
+}
+
+TEST(Fixed, MultiplicationErrorBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const f64 a = rng.uniform(-8.0, 8.0);
+        const f64 b = rng.uniform(-8.0, 8.0);
+        const Q78 qa = Q78::fromFloat(a);
+        const Q78 qb = Q78::fromFloat(b);
+        const f64 exact = qa.toFloat() * qb.toFloat();
+        EXPECT_NEAR((qa * qb).toFloat(), exact, 0.5 / 256.0 + 1e-9);
+    }
+}
+
+TEST(Fixed, MultiplicationCommutative)
+{
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        const Q78 a = Q78::fromRaw(static_cast<i16>(rng.next()));
+        const Q78 b = Q78::fromRaw(static_cast<i16>(rng.next()));
+        EXPECT_EQ((a * b).raw(), (b * a).raw());
+    }
+}
+
+TEST(Fixed, NegationSymmetric)
+{
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        i16 raw = static_cast<i16>(rng.next());
+        if (raw == Q78::kRawMin)
+            raw = 0; // -min saturates by design
+        const Q78 a = Q78::fromRaw(raw);
+        EXPECT_EQ((-(-a)).raw(), a.raw());
+    }
+}
+
+TEST(Fixed, NegateMinSaturates)
+{
+    EXPECT_EQ((-Q78::minValue()).raw(), Q78::kRawMax);
+}
+
+TEST(Fixed, ReluClampsNegatives)
+{
+    EXPECT_EQ(Q78::relu(Q78::fromFloat(-3.0)).raw(), 0);
+    EXPECT_EQ(Q78::relu(Q78::fromFloat(3.0)).raw(),
+              Q78::fromFloat(3.0).raw());
+    EXPECT_EQ(Q78::relu(Q78()).raw(), 0);
+}
+
+TEST(Fixed, ReluIdempotent)
+{
+    Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        const Q78 a = Q78::fromRaw(static_cast<i16>(rng.next()));
+        EXPECT_EQ(Q78::relu(Q78::relu(a)).raw(), Q78::relu(a).raw());
+    }
+}
+
+TEST(Fixed, MaxPicksLarger)
+{
+    const Q78 a = Q78::fromFloat(1.5);
+    const Q78 b = Q78::fromFloat(-2.5);
+    EXPECT_EQ(Q78::max(a, b).raw(), a.raw());
+    EXPECT_EQ(Q78::max(b, a).raw(), a.raw());
+    EXPECT_EQ(Q78::max(a, a).raw(), a.raw());
+}
+
+TEST(Fixed, ComparisonsFollowRaw)
+{
+    EXPECT_LT(Q78::fromFloat(-1.0), Q78::fromFloat(1.0));
+    EXPECT_GT(Q78::fromFloat(2.0), Q78::fromFloat(1.0));
+    EXPECT_EQ(Q78::fromFloat(1.0), Q78::fromFloat(1.0));
+}
+
+TEST(Fixed, Q15RangeIsUnit)
+{
+    EXPECT_NEAR(Q15::maxValue().toFloat(), 1.0, 1e-4);
+    EXPECT_NEAR(Q15::minValue().toFloat(), -1.0, 1e-4);
+}
+
+TEST(Fixed, FormatConversionUpThenDown)
+{
+    const Q78 a = Q78::fromFloat(0.75);
+    const Q15 b = convertFormat<8, 15>(a);
+    EXPECT_NEAR(b.toFloat(), 0.75, 1e-3);
+    const Q78 c = convertFormat<15, 8>(b);
+    EXPECT_EQ(c.raw(), a.raw());
+}
+
+TEST(Fixed, FormatConversionSaturates)
+{
+    // 4.0 in Q7.8 cannot be represented in Q0.15.
+    const Q78 a = Q78::fromFloat(4.0);
+    const Q15 b = convertFormat<8, 15>(a);
+    EXPECT_EQ(b.raw(), Q15::kRawMax);
+}
+
+TEST(Fixed, ShiftCounts)
+{
+    EXPECT_EQ((formatShiftCount<8, 15>()), 7u);
+    EXPECT_EQ((formatShiftCount<15, 8>()), 7u);
+    EXPECT_EQ((formatShiftCount<8, 8>()), 0u);
+}
+
+TEST(Quantize, RoundTripVector)
+{
+    const std::vector<f64> values = {0.0, 1.0, -1.0, 0.123, -7.875};
+    const auto raw = quantizeQ78(values);
+    const auto back = dequantizeQ78(raw);
+    ASSERT_EQ(back.size(), values.size());
+    for (u32 i = 0; i < values.size(); ++i)
+        EXPECT_NEAR(back[i], values[i], 0.5 / 256.0 + 1e-12);
+}
+
+TEST(Quantize, MaxErrorBound)
+{
+    Rng rng(17);
+    std::vector<f64> values;
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(rng.uniform(-50.0, 50.0));
+    EXPECT_LE(maxQuantizationError(values), 0.5 / 256.0 + 1e-12);
+}
+
+/** Property sweep: a*b via fixed is within half-ulp of float product
+ * across a structured grid. */
+class FixedMulSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FixedMulSweep, GridAccuracy)
+{
+    const int i = GetParam();
+    const f64 a = -10.0 + 0.37 * i;
+    for (int j = 0; j < 54; ++j) {
+        const f64 b = -10.0 + 0.37 * j;
+        const Q78 qa = Q78::fromFloat(a);
+        const Q78 qb = Q78::fromFloat(b);
+        const f64 exact = qa.toFloat() * qb.toFloat();
+        if (std::fabs(exact) < 127.0) {
+            EXPECT_NEAR((qa * qb).toFloat(), exact,
+                        0.5 / 256.0 + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FixedMulSweep, ::testing::Range(0, 54));
+
+} // namespace
+} // namespace sonic::fixed

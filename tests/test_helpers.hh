@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared fixtures for kernel/integration tests: a tiny network that
+ * exercises every device layer kind (factored conv with all stages,
+ * pooling, pruned 2-D conv, sparse FC, dense FC) quickly enough for
+ * exhaustive failure-injection sweeps.
+ */
+
+#ifndef SONIC_TESTS_TEST_HELPERS_HH
+#define SONIC_TESTS_TEST_HELPERS_HH
+
+#include "dnn/spec.hh"
+#include "fixed/fixed.hh"
+#include "tensor/sparse.hh"
+#include "util/rng.hh"
+
+namespace sonic::testutil
+{
+
+/** Tiny all-layer-kinds network: input 1x8x8, 4 classes. */
+inline dnn::NetworkSpec
+tinyNet(u64 seed = 0x7e57)
+{
+    Rng rng(seed);
+    dnn::NetworkSpec net;
+    net.name = "tiny";
+    net.input = {1, 8, 8};
+    net.numClasses = 4;
+
+    // Factored conv: col(3) x row(3) -> 2 channels, relu, pool.
+    dnn::FactoredConvLayer f;
+    f.col = {0.4, -0.2, 0.3};
+    f.row = {0.5, 0.1, -0.3};
+    f.scale = {0.8, -0.6};
+    net.layers.push_back({"conv1", std::move(f), true, true});
+    // Now 2 x 3 x 3.
+
+    // Pruned 2-D conv: 3 x 2 x 2 x 2, half the taps pruned.
+    tensor::FilterBank bank(3, 2, 2, 2);
+    for (auto &w : bank.data)
+        w = rng.gaussian(0.0, 0.4);
+    tensor::Tensor3 flat(3, 2, 4);
+    flat.data() = bank.data;
+    tensor::pruneToFraction(flat, 0.5);
+    bank.data = flat.data();
+    net.layers.push_back({"conv2", dnn::SparseConvLayer{bank}, true,
+                          false});
+    // Now 3 x 2 x 2 = 12.
+
+    // Sparse FC 6 x 12 (40% kept), relu.
+    tensor::Matrix sfc = tensor::Matrix::gaussian(6, 12, rng, 0.35);
+    tensor::pruneToFraction(sfc, 0.4);
+    net.layers.push_back({"fc", dnn::SparseFcLayer{sfc}, true, false});
+
+    // Dense FC 4 x 6.
+    tensor::Matrix dfc = tensor::Matrix::gaussian(4, 6, rng, 0.35);
+    net.layers.push_back({"fc", dnn::DenseFcLayer{dfc}, false, false});
+    return net;
+}
+
+/** A deterministic Q7.8 input for the tiny network. */
+inline std::vector<i16>
+tinyInput(u64 seed = 0xcafe)
+{
+    Rng rng(seed);
+    std::vector<i16> input;
+    for (u32 i = 0; i < 64; ++i)
+        input.push_back(
+            fixed::Q78::fromFloat(rng.uniform(-1.0, 1.0)).raw());
+    return input;
+}
+
+} // namespace sonic::testutil
+
+#endif // SONIC_TESTS_TEST_HELPERS_HH

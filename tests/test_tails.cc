@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the TAILS substrate: the LEA/DMA model's arithmetic
+ * (FIR-DTC, dot products, format shifts), its buffer constraints, and
+ * energy accounting.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/memory.hh"
+#include "fixed/fixed.hh"
+#include "tails/lea.hh"
+#include "util/rng.hh"
+
+namespace sonic::tails
+{
+namespace
+{
+
+using arch::ContinuousPower;
+using arch::Device;
+using arch::EnergyProfile;
+using arch::NvArray;
+using arch::Op;
+using fixed::Q78;
+
+Device
+continuousDevice()
+{
+    return Device(EnergyProfile::msp430fr5994(),
+                  std::make_unique<ContinuousPower>());
+}
+
+/** Scalar model of the LEA pipeline for cross-checking. */
+i16
+scalarFir(const std::vector<i16> &src, u32 base,
+          const std::vector<i16> &coeffs, u32 j)
+{
+    i64 acc = 0;
+    for (u32 k = 0; k < coeffs.size(); ++k)
+        acc += (i64{src[base + j + k]} << kPreShiftBits)
+             * i64{coeffs[k]};
+    acc >>= 15;
+    acc <<= kPostShiftBits;
+    if (acc > 32767)
+        acc = 32767;
+    if (acc < -32768)
+        acc = -32768;
+    return static_cast<i16>(acc);
+}
+
+TEST(Lea, FirMatchesScalarModel)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    Rng rng(1);
+    NvArray<i16> src(dev, 32, "src");
+    std::vector<i16> host(32);
+    for (u32 i = 0; i < 32; ++i) {
+        host[i] = Q78::fromFloat(rng.uniform(-1.0, 1.0)).raw();
+        src.poke(i, host[i]);
+    }
+    std::vector<i16> coeffs = {Q78::fromFloat(0.5).raw(),
+                               Q78::fromFloat(-0.25).raw(),
+                               Q78::fromFloat(0.125).raw()};
+    NvArray<i16> dst(dev, 30, "dst");
+    lea.firDtc(src, 0, 32, coeffs, dst, 0, 30, nullptr, 0);
+    for (u32 j = 0; j < 30; ++j)
+        EXPECT_EQ(dst.peek(j), scalarFir(host, 0, coeffs, j)) << j;
+}
+
+TEST(Lea, FirApproximatesFloatConvolution)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    Rng rng(2);
+    NvArray<i16> src(dev, 24, "src");
+    std::vector<f64> x(24);
+    for (u32 i = 0; i < 24; ++i) {
+        x[i] = rng.uniform(-1.0, 1.0);
+        src.poke(i, Q78::fromFloat(x[i]).raw());
+    }
+    std::vector<f64> w = {0.7, -0.3, 0.2, 0.1};
+    std::vector<i16> coeffs;
+    for (f64 v : w)
+        coeffs.push_back(Q78::fromFloat(v).raw());
+    NvArray<i16> dst(dev, 21, "dst");
+    lea.firDtc(src, 0, 24, coeffs, dst, 0, 21, nullptr, 0);
+    for (u32 j = 0; j < 21; ++j) {
+        f64 want = 0;
+        for (u32 k = 0; k < 4; ++k)
+            want += w[k] * x[j + k];
+        // LEA renormalizes with a truncating >> 15 before the
+        // software << 4 post-shift, so the output step is 1/16 — the
+        // very fixed-point pain the paper's Sec. 9.2 describes.
+        EXPECT_NEAR(Q78::fromRaw(dst.peek(j)).toFloat(), want, 0.1)
+            << j;
+    }
+}
+
+TEST(Lea, FirAccumulatesPartial)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    NvArray<i16> src(dev, 8, "src");
+    for (u32 i = 0; i < 8; ++i)
+        src.poke(i, Q78::fromFloat(0.5).raw());
+    std::vector<i16> coeffs = {Q78::fromFloat(1.0).raw()};
+    NvArray<i16> partial(dev, 8, "partial");
+    for (u32 i = 0; i < 8; ++i)
+        partial.poke(i, Q78::fromFloat(1.0).raw());
+    NvArray<i16> dst(dev, 8, "dst");
+    lea.firDtc(src, 0, 8, coeffs, dst, 0, 8, &partial, 0);
+    for (u32 i = 0; i < 8; ++i)
+        EXPECT_NEAR(Q78::fromRaw(dst.peek(i)).toFloat(), 1.5, 0.02);
+}
+
+TEST(Lea, FirIdempotentReplay)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    Rng rng(3);
+    NvArray<i16> src(dev, 16, "src");
+    for (u32 i = 0; i < 16; ++i)
+        src.poke(i, Q78::fromFloat(rng.uniform(-1.0, 1.0)).raw());
+    std::vector<i16> coeffs = {Q78::fromFloat(0.3).raw(),
+                               Q78::fromFloat(0.4).raw()};
+    NvArray<i16> dst(dev, 15, "dst");
+    lea.firDtc(src, 0, 16, coeffs, dst, 0, 15, nullptr, 0);
+    std::vector<i16> first(15);
+    for (u32 i = 0; i < 15; ++i)
+        first[i] = dst.peek(i);
+    lea.firDtc(src, 0, 16, coeffs, dst, 0, 15, nullptr, 0); // replay
+    for (u32 i = 0; i < 15; ++i)
+        EXPECT_EQ(dst.peek(i), first[i]);
+}
+
+TEST(Lea, DotProductStrided)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    NvArray<i16> src(dev, 12, "src");
+    // Values at stride 4: src[1], src[5], src[9].
+    src.poke(1, Q78::fromFloat(1.0).raw());
+    src.poke(5, Q78::fromFloat(2.0).raw());
+    src.poke(9, Q78::fromFloat(-1.0).raw());
+    std::vector<i16> coeffs = {Q78::fromFloat(0.5).raw(),
+                               Q78::fromFloat(0.25).raw(),
+                               Q78::fromFloat(1.0).raw()};
+    const i16 out = lea.dotProduct(coeffs, src, 1, 4);
+    EXPECT_NEAR(Q78::fromRaw(out).toFloat(),
+                0.5 * 1.0 + 0.25 * 2.0 + 1.0 * -1.0, 0.03);
+}
+
+TEST(Lea, DotProductFramContiguous)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    NvArray<i16> w(dev, 4, "w");
+    NvArray<i16> x(dev, 4, "x");
+    const f64 wv[] = {0.5, -0.5, 1.0, 0.25};
+    const f64 xv[] = {1.0, 2.0, 0.5, -1.0};
+    f64 want = 0;
+    for (u32 i = 0; i < 4; ++i) {
+        w.poke(i, Q78::fromFloat(wv[i]).raw());
+        x.poke(i, Q78::fromFloat(xv[i]).raw());
+        want += wv[i] * xv[i];
+    }
+    const i16 out = lea.dotProductFram(w, 0, x, 0, 4);
+    EXPECT_NEAR(Q78::fromRaw(out).toFloat(), want, 0.03);
+}
+
+TEST(Lea, ChargesDmaShiftsAndMacs)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    NvArray<i16> src(dev, 16, "src");
+    std::vector<i16> coeffs = {256, 128};
+    NvArray<i16> dst(dev, 15, "dst");
+    lea.firDtc(src, 0, 16, coeffs, dst, 0, 15, nullptr, 0);
+    const auto &stats = dev.stats();
+    EXPECT_EQ(stats.opCount(Op::LeaInvoke), 1u);
+    EXPECT_EQ(stats.opCount(Op::LeaMac), u64{15} * 2);
+    // DMA: (in 16 + taps 2) + out 15.
+    EXPECT_EQ(stats.opCount(Op::DmaWord), u64{16 + 2 + 15});
+    // Shifts: 16 pre-shifts x 3 bits + 15 post-shifts x 4 bits.
+    EXPECT_EQ(stats.opCount(Op::AluShift), u64{16 * 3 + 15 * 4});
+}
+
+TEST(Lea, SramBufferAccounted)
+{
+    auto dev = continuousDevice();
+    EXPECT_EQ(dev.sramBytesUsed(), 0u);
+    {
+        LeaUnit lea(dev);
+        EXPECT_EQ(dev.sramBytesUsed(), u64{kLeaBufferWords} * 2);
+    }
+    EXPECT_EQ(dev.sramBytesUsed(), 0u);
+}
+
+TEST(Lea, SaturatesInsteadOfWrapping)
+{
+    auto dev = continuousDevice();
+    LeaUnit lea(dev);
+    NvArray<i16> src(dev, 4, "src");
+    for (u32 i = 0; i < 4; ++i)
+        src.poke(i, Q78::fromFloat(100.0).raw());
+    std::vector<i16> coeffs(4, Q78::fromFloat(100.0).raw());
+    NvArray<i16> dst(dev, 1, "dst");
+    lea.firDtc(src, 0, 4, coeffs, dst, 0, 1, nullptr, 0);
+    EXPECT_EQ(dst.peek(0), 32767);
+}
+
+} // namespace
+} // namespace sonic::tails

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the task runtime: scheduling, redo-log semantics
+ * (read-own-writes, commit atomicity, replay), non-termination
+ * detection, and — crucially — crash consistency at *every* operation
+ * via exhaustive fail-at-N sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/memory.hh"
+#include "task/runtime.hh"
+
+namespace sonic::task
+{
+namespace
+{
+
+using arch::ContinuousPower;
+using arch::Device;
+using arch::EnergyProfile;
+using arch::FailEveryOps;
+using arch::FailOnceAfterOps;
+using arch::NvArray;
+using arch::NvVar;
+using arch::Op;
+
+Device
+continuousDevice()
+{
+    return Device(EnergyProfile::msp430fr5994(),
+                  std::make_unique<ContinuousPower>());
+}
+
+TEST(Scheduler, RunsAChainOfTasks)
+{
+    auto dev = continuousDevice();
+    Program prog;
+    NvVar<i16> counter(dev, "c", 0);
+    const TaskId t2 = prog.addTask("t2", [&](Runtime &rt) {
+        rt.logWrite(counter, static_cast<i16>(counter.peek() + 10));
+        return kDone;
+    });
+    const TaskId t1 = prog.addTask("t1", [&](Runtime &rt) {
+        rt.logWrite(counter, static_cast<i16>(counter.peek() + 1));
+        return t2;
+    });
+    Scheduler sched(dev, prog);
+    const auto res = sched.run(t1);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.tasksExecuted, 2u);
+    EXPECT_EQ(counter.peek(), 11);
+}
+
+TEST(Scheduler, TaskRestartsAfterFailure)
+{
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(20));
+    Program prog;
+    NvVar<i16> attempts(dev, "attempts", 0);
+    const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+        attempts.poke(static_cast<i16>(attempts.peek() + 1));
+        for (int k = 0; k < 50; ++k)
+            rt.dev().consume(Op::Nop); // 50 draws: hits the injector
+        return kDone;
+    });
+    Scheduler sched(dev, prog);
+    const auto res = sched.run(t);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.reboots, 1u);
+    EXPECT_EQ(attempts.peek(), 2); // executed twice
+}
+
+TEST(Runtime, LogReadSeesOwnWrites)
+{
+    auto dev = continuousDevice();
+    Program prog;
+    NvArray<i16> arr(dev, 4, "a");
+    arr.poke(2, 5);
+    bool saw_own = false, saw_home = false;
+    const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+        saw_home = rt.logRead(arr, 2) == 5;
+        rt.logWrite(arr, 2, 9);
+        saw_own = rt.logRead(arr, 2) == 9;
+        return kDone;
+    });
+    Scheduler sched(dev, prog);
+    EXPECT_TRUE(sched.run(t).completed);
+    EXPECT_TRUE(saw_home);
+    EXPECT_TRUE(saw_own);
+    EXPECT_EQ(arr.peek(2), 9); // committed
+}
+
+TEST(Runtime, UncommittedWritesDiscardedOnFailure)
+{
+    // Fail after the log write but before the transition commit: the
+    // home location must keep its old value on restart.
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(8));
+    Program prog;
+    NvArray<i16> arr(dev, 1, "a");
+    arr.poke(0, 1);
+    int attempt = 0;
+    std::vector<i16> seen;
+    const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+        seen.push_back(arr.peek(0));
+        ++attempt;
+        rt.logWrite(arr, 0, static_cast<i16>(100 + attempt));
+        rt.dev().consume(Op::Nop, 20);
+        return kDone;
+    });
+    Scheduler sched(dev, prog);
+    const auto res = sched.run(t);
+    EXPECT_TRUE(res.completed);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 1);
+    EXPECT_EQ(seen[1], 1);       // first attempt's write discarded
+    EXPECT_EQ(arr.peek(0), 102); // second attempt committed
+}
+
+TEST(Runtime, LastLoggedWriteWins)
+{
+    auto dev = continuousDevice();
+    Program prog;
+    NvArray<i16> arr(dev, 1, "a");
+    const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+        rt.logWrite(arr, 0, 1);
+        rt.logWrite(arr, 0, 2);
+        rt.logWrite(arr, 0, 3);
+        return kDone;
+    });
+    Scheduler sched(dev, prog);
+    EXPECT_TRUE(sched.run(t).completed);
+    EXPECT_EQ(arr.peek(0), 3);
+}
+
+TEST(Runtime, ScalarVarsLogged)
+{
+    auto dev = continuousDevice();
+    Program prog;
+    NvVar<i32> big(dev, "big", 7);
+    NvVar<i16> small(dev, "small", -2);
+    const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+        EXPECT_EQ(rt.logRead(big), 7);
+        EXPECT_EQ(rt.logRead(small), -2);
+        rt.logWrite(big, 100000);
+        rt.logWrite(small, static_cast<i16>(123));
+        EXPECT_EQ(rt.logRead(big), 100000);
+        EXPECT_EQ(rt.logRead(small), 123);
+        return kDone;
+    });
+    Scheduler sched(dev, prog);
+    EXPECT_TRUE(sched.run(t).completed);
+    EXPECT_EQ(big.peek(), 100000);
+    EXPECT_EQ(small.peek(), 123);
+}
+
+TEST(Scheduler, DetectsNonTermination)
+{
+    // A task that always needs more energy than one charge cycle and
+    // makes no non-volatile progress.
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailEveryOps>(10));
+    Program prog;
+    const TaskId t = prog.addTask("hog", [&](Runtime &rt) {
+        for (int k = 0; k < 1000; ++k)
+            rt.dev().consume(Op::Nop);
+        return kDone;
+    });
+    SchedulerConfig config;
+    config.maxFailuresWithoutProgress = 16;
+    Scheduler sched(dev, prog, config);
+    const auto res = sched.run(t);
+    EXPECT_FALSE(res.completed);
+    EXPECT_TRUE(res.nonTerminating);
+}
+
+TEST(Scheduler, ProgressBeaconPreventsDnfVerdict)
+{
+    // Same energy starvation, but the task advances a loop-continuation
+    // index each attempt — it must finish eventually.
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailEveryOps>(40));
+    Program prog;
+    NvVar<i16> i(dev, "i", 0);
+    const TaskId t = prog.addTask("loop", [&](Runtime &rt) {
+        i16 cur = i.read();
+        while (cur < 200) {
+            rt.dev().consume(Op::FixedMul);
+            i.write(static_cast<i16>(cur + 1));
+            rt.progress(static_cast<u64>(cur));
+            ++cur;
+        }
+        return kDone;
+    });
+    SchedulerConfig config;
+    config.maxFailuresWithoutProgress = 4;
+    Scheduler sched(dev, prog, config);
+    const auto res = sched.run(t);
+    EXPECT_TRUE(res.completed);
+    EXPECT_GT(res.reboots, 10u);
+    EXPECT_EQ(i.peek(), 200);
+}
+
+/**
+ * The central crash-consistency property: a multi-task program with
+ * logged writes, interrupted by exactly one power failure at operation
+ * N, must produce the same final state as an uninterrupted run — for
+ * every N up to the program's length. This covers failures inside
+ * tasks, during commit phase 1, during entry application, and during
+ * the commit-flag clear.
+ */
+TEST(Scheduler, CommitAtomicityAtEveryOperation)
+{
+    // First measure the uninterrupted op count and golden state.
+    auto golden_run = [](arch::PowerSupply *psu_raw,
+                         std::vector<i16> &out, u64 &ops) {
+        std::unique_ptr<arch::PowerSupply> psu(psu_raw);
+        Device dev(EnergyProfile::msp430fr5994(), std::move(psu));
+        Program prog;
+        NvArray<i16> arr(dev, 8, "a");
+        NvVar<i16> sum(dev, "sum", 0);
+        const TaskId t2 = prog.addTask("t2", [&](Runtime &rt) {
+            i16 s = rt.logRead(sum);
+            for (u32 k = 0; k < 8; ++k)
+                s = static_cast<i16>(s + rt.logRead(arr, k));
+            rt.logWrite(sum, s);
+            return kDone;
+        });
+        const TaskId t1 = prog.addTask("t1", [&](Runtime &rt) {
+            for (u32 k = 0; k < 8; ++k)
+                rt.logWrite(arr, k, static_cast<i16>(k * k + 1));
+            return t2;
+        });
+        Scheduler sched(dev, prog);
+        const auto res = sched.run(t1);
+        ASSERT_TRUE(res.completed);
+        out.clear();
+        for (u32 k = 0; k < 8; ++k)
+            out.push_back(arr.peek(k));
+        out.push_back(sum.peek());
+        ops = dev.stats().totalCycles(); // proxy; we sweep ops below
+    };
+
+    std::vector<i16> golden;
+    u64 unused = 0;
+    golden_run(new arch::ContinuousPower(), golden, unused);
+
+    // Count draws with a huge injector (never fires).
+    u64 total_draws = 0;
+    {
+        Device dev(EnergyProfile::msp430fr5994(),
+                   std::make_unique<FailOnceAfterOps>(1u << 30));
+        Program prog;
+        NvArray<i16> arr(dev, 8, "a");
+        NvVar<i16> sum(dev, "sum", 0);
+        const TaskId t2 = prog.addTask("t2", [&](Runtime &rt) {
+            i16 s = rt.logRead(sum);
+            for (u32 k = 0; k < 8; ++k)
+                s = static_cast<i16>(s + rt.logRead(arr, k));
+            rt.logWrite(sum, s);
+            return kDone;
+        });
+        const TaskId t1 = prog.addTask("t1", [&](Runtime &rt) {
+            for (u32 k = 0; k < 8; ++k)
+                rt.logWrite(arr, k, static_cast<i16>(k * k + 1));
+            return t2;
+        });
+        Scheduler sched(dev, prog);
+        ASSERT_TRUE(sched.run(t1).completed);
+        // Each consume() is one draw; ask the supply.
+        total_draws = static_cast<u64>(
+            dev.power().harvestedNj() > 0 ? 0 : 0);
+        // The injector counts ops internally; recover via describe().
+        // Simpler: re-run and count consume calls through stats counts.
+        u64 count = 0;
+        const auto &stats = dev.stats();
+        for (u32 o = 0; o < arch::kNumOps; ++o)
+            count += stats.opCount(static_cast<arch::Op>(o));
+        total_draws = count;
+    }
+    ASSERT_GT(total_draws, 50u);
+
+    for (u64 n = 0; n < total_draws + 5; ++n) {
+        Device dev(EnergyProfile::msp430fr5994(),
+                   std::make_unique<FailOnceAfterOps>(n));
+        Program prog;
+        NvArray<i16> arr(dev, 8, "a");
+        NvVar<i16> sum(dev, "sum", 0);
+        const TaskId t2 = prog.addTask("t2", [&](Runtime &rt) {
+            i16 s = rt.logRead(sum);
+            for (u32 k = 0; k < 8; ++k)
+                s = static_cast<i16>(s + rt.logRead(arr, k));
+            rt.logWrite(sum, s);
+            return kDone;
+        });
+        const TaskId t1 = prog.addTask("t1", [&](Runtime &rt) {
+            for (u32 k = 0; k < 8; ++k)
+                rt.logWrite(arr, k, static_cast<i16>(k * k + 1));
+            return t2;
+        });
+        Scheduler sched(dev, prog);
+        const auto res = sched.run(t1);
+        ASSERT_TRUE(res.completed) << "failed at op " << n;
+        std::vector<i16> state;
+        for (u32 k = 0; k < 8; ++k)
+            state.push_back(arr.peek(k));
+        state.push_back(sum.peek());
+        EXPECT_EQ(state, golden) << "divergence with failure at op "
+                                 << n;
+    }
+}
+
+/** Repeated periodic failures must also preserve the final state. */
+class PeriodicFailureSweep : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(PeriodicFailureSweep, StateMatchesGolden)
+{
+    const u64 period = GetParam();
+    auto build_and_run = [&](std::unique_ptr<arch::PowerSupply> psu,
+                             std::vector<i16> &out, bool &completed) {
+        Device dev(EnergyProfile::msp430fr5994(), std::move(psu));
+        Program prog;
+        NvArray<i16> arr(dev, 6, "a");
+        const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+            for (u32 k = 0; k < 6; ++k)
+                rt.logWrite(arr, k,
+                            static_cast<i16>(3 * k + 7));
+            return kDone;
+        });
+        Scheduler sched(dev, prog);
+        completed = sched.run(t).completed;
+        out.clear();
+        for (u32 k = 0; k < 6; ++k)
+            out.push_back(arr.peek(k));
+    };
+
+    std::vector<i16> golden, state;
+    bool ok = false;
+    build_and_run(std::make_unique<ContinuousPower>(), golden, ok);
+    ASSERT_TRUE(ok);
+    build_and_run(std::make_unique<FailEveryOps>(period), state, ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(state, golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodicFailureSweep,
+                         ::testing::Values(29u, 37u, 53u, 71u, 97u,
+                                           131u, 211u));
+
+} // namespace
+} // namespace sonic::task

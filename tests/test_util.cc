@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for util: deterministic RNG and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace sonic
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const f64 u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const f64 u = rng.uniform(-2.5, 3.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 3.5);
+    }
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const i64 v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(11);
+    f64 sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const f64 g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<f64>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng base(5);
+    Rng a = base.fork(1);
+    Rng b = base.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng a = Rng(5).fork(9);
+    Rng b = Rng(5).fork(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "bb"});
+    t.row().cell(std::string("x")).cell(u64{12});
+    t.row().cell(std::string("longer")).cell(u64{3});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| a "), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"x", "y"});
+    t.row().cell(u64{1}).cell(2.5, 1);
+    EXPECT_EQ(t.csv(), "x,y\n1,2.5\n");
+}
+
+TEST(Table, FormatEnergyPicksUnit)
+{
+    EXPECT_EQ(formatEnergy(1.5), "1.500 J");
+    EXPECT_EQ(formatEnergy(2e-3), "2.000 mJ");
+    EXPECT_EQ(formatEnergy(3e-6), "3.000 uJ");
+    EXPECT_EQ(formatEnergy(4e-9), "4.000 nJ");
+}
+
+TEST(Table, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(2.0), "2.000 s");
+    EXPECT_EQ(formatSeconds(0.5), "500.000 ms");
+}
+
+TEST(Table, AsciiBarClamps)
+{
+    EXPECT_EQ(asciiBar(0.0, 4), "....");
+    EXPECT_EQ(asciiBar(1.0, 4), "####");
+    EXPECT_EQ(asciiBar(2.0, 4), "####");
+    EXPECT_EQ(asciiBar(0.5, 4), "##..");
+}
+
+} // namespace
+} // namespace sonic
