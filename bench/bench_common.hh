@@ -1,6 +1,8 @@
 /**
  * @file
- * Shared helpers for the figure/table benchmark binaries.
+ * Shared helpers for the figure/table benchmark binaries: record
+ * lookup over SweepPlan/Engine output plus the small numeric helpers
+ * the paper's summary ratios need.
  */
 
 #ifndef SONIC_BENCH_COMMON_HH
@@ -10,8 +12,10 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "app/experiment.hh"
+#include "app/engine.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace sonic::bench
@@ -35,6 +39,43 @@ statusOf(const app::ExperimentResult &r)
     return r.nonTerminating ? "DNF" : "fail";
 }
 
+/**
+ * Find a sweep record by coordinates; nullptr if the plan did not
+ * cover that grid point.
+ */
+inline const app::SweepRecord *
+findRecord(const std::vector<app::SweepRecord> &records,
+           dnn::NetId net, kernels::Impl impl,
+           app::PowerKind power = app::PowerKind::Continuous,
+           app::ProfileVariant profile = app::ProfileVariant::Standard,
+           u32 sample = 0)
+{
+    for (const auto &record : records) {
+        if (record.spec.net == net && record.spec.impl == impl
+            && record.spec.power == power
+            && record.spec.profile == profile
+            && record.spec.sampleIndex == sample)
+            return &record;
+    }
+    return nullptr;
+}
+
+/** As findRecord, but the grid point must exist. */
+inline const app::ExperimentResult &
+resultFor(const std::vector<app::SweepRecord> &records,
+          dnn::NetId net, kernels::Impl impl,
+          app::PowerKind power = app::PowerKind::Continuous,
+          app::ProfileVariant profile = app::ProfileVariant::Standard,
+          u32 sample = 0)
+{
+    const auto *record = findRecord(records, net, impl, power,
+                                    profile, sample);
+    if (record == nullptr)
+        fatal("sweep record missing for ", dnn::netName(net), "/",
+              kernels::implName(impl), "/", app::powerName(power));
+    return record->result;
+}
+
 /** Geometric mean helper for the Sec. 9.1 summary ratios. */
 class GeoMean
 {
@@ -53,6 +94,9 @@ class GeoMean
     {
         return n_ ? std::exp(logSum_ / static_cast<f64>(n_)) : 0.0;
     }
+
+    /** Number of accepted (strictly positive) observations. */
+    u64 count() const { return n_; }
 
   private:
     f64 logSum_ = 0.0;

@@ -21,15 +21,18 @@ main()
                              "full images").c_str());
 
     // Measure Einfer on the prototype (MNIST, 1 mF capacitor).
-    app::RunSpec naive;
-    naive.net = dnn::NetId::Mnist;
-    naive.impl = kernels::Impl::Tile8;
-    naive.power = app::PowerKind::Cap1mF;
-    const auto naive_run = app::runExperiment(naive);
-
-    app::RunSpec tails = naive;
-    tails.impl = kernels::Impl::Tails;
-    const auto tails_run = app::runExperiment(tails);
+    app::Engine engine;
+    app::SweepPlan measure;
+    measure.nets({dnn::NetId::Mnist})
+        .impls({kernels::Impl::Tile8, kernels::Impl::Tails})
+        .power({app::PowerKind::Cap1mF});
+    const auto records = engine.run(measure);
+    const auto &naive_run = resultFor(records, dnn::NetId::Mnist,
+                                      kernels::Impl::Tile8,
+                                      app::PowerKind::Cap1mF);
+    const auto &tails_run = resultFor(records, dnn::NetId::Mnist,
+                                      kernels::Impl::Tails,
+                                      app::PowerKind::Cap1mF);
 
     app::WildlifeParams params;
     params.naiveInferJ = naive_run.energyJ;

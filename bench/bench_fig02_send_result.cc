@@ -18,19 +18,20 @@ main()
     std::printf("%s", banner("Fig. 2 — wildlife monitoring, sending "
                              "results only").c_str());
 
-    app::RunSpec naive;
-    naive.net = dnn::NetId::Mnist;
-    naive.impl = kernels::Impl::Tile8;
-    naive.power = app::PowerKind::Cap1mF;
-    const auto naive_run = app::runExperiment(naive);
-
-    app::RunSpec tails = naive;
-    tails.impl = kernels::Impl::Tails;
-    const auto tails_run = app::runExperiment(tails);
+    app::Engine engine;
+    app::SweepPlan measure;
+    measure.nets({dnn::NetId::Mnist})
+        .impls({kernels::Impl::Tile8, kernels::Impl::Tails})
+        .power({app::PowerKind::Cap1mF});
+    const auto records = engine.run(measure);
 
     app::WildlifeParams params;
-    params.naiveInferJ = naive_run.energyJ;
-    params.tailsInferJ = tails_run.energyJ;
+    params.naiveInferJ = resultFor(records, dnn::NetId::Mnist,
+                                   kernels::Impl::Tile8,
+                                   app::PowerKind::Cap1mF).energyJ;
+    params.tailsInferJ = resultFor(records, dnn::NetId::Mnist,
+                                   kernels::Impl::Tails,
+                                   app::PowerKind::Cap1mF).energyJ;
 
     const auto rows = sweepWildlife(params, 11, true);
     Table table({"accuracy", "always-send (IM/kJ)", "ideal (IM/kJ)",

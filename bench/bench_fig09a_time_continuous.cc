@@ -7,8 +7,6 @@
  * ratios (Tile-8 gmean ~13.4x, SONIC ~1.45x, TAILS ~0.83x).
  */
 
-#include <cmath>
-
 #include "bench/bench_common.hh"
 
 using namespace sonic;
@@ -20,19 +18,19 @@ main()
     std::printf("%s", banner("Fig. 9a — inference time, continuous "
                              "power").c_str());
 
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.allNets().allImpls().power({app::PowerKind::Continuous});
+    const auto records = engine.run(plan);
+
     Table table({"net", "impl", "conv1 (s)", "conv2 (s)", "fc (s)",
                  "other (s)", "total live (s)", "vs Base"});
 
     for (auto net : dnn::kAllNets) {
-        f64 base_live = 0.0;
+        const f64 base_live =
+            resultFor(records, net, kernels::Impl::Base).liveSeconds;
         for (auto impl : kernels::kAllImpls) {
-            app::RunSpec spec;
-            spec.net = net;
-            spec.impl = impl;
-            spec.power = app::PowerKind::Continuous;
-            const auto r = app::runExperiment(spec);
-            if (impl == kernels::Impl::Base)
-                base_live = r.liveSeconds;
+            const auto &r = resultFor(records, net, impl);
             table.row()
                 .cell(std::string(dnn::netName(net)))
                 .cell(std::string(kernels::implName(impl)))

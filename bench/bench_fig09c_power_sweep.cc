@@ -17,15 +17,17 @@ main()
     std::printf("%s", banner("Fig. 9c — MNIST across power systems")
                           .c_str());
 
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.nets({dnn::NetId::Mnist}).allImpls().allPower();
+    const auto records = engine.run(plan);
+
     Table table({"power", "impl", "status", "live (s)", "dead (s)",
                  "total (s)", "reboots"});
     for (auto power : app::kAllPower) {
         for (auto impl : kernels::kAllImpls) {
-            app::RunSpec spec;
-            spec.net = dnn::NetId::Mnist;
-            spec.impl = impl;
-            spec.power = power;
-            const auto r = app::runExperiment(spec);
+            const auto &r = resultFor(records, dnn::NetId::Mnist,
+                                      impl, power);
             table.row()
                 .cell(std::string(app::powerName(power)))
                 .cell(std::string(kernels::implName(impl)))

@@ -19,33 +19,30 @@ main()
     std::printf("%s", banner("Fig. 10 — kernel vs control time")
                           .c_str());
 
-    const kernels::Impl impls[] = {kernels::Impl::Base,
-                                   kernels::Impl::Tile32,
-                                   kernels::Impl::Sonic,
-                                   kernels::Impl::Tails};
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.allNets()
+        .impls({kernels::Impl::Base, kernels::Impl::Tile32,
+                kernels::Impl::Sonic, kernels::Impl::Tails})
+        .power({app::PowerKind::Continuous});
+    const auto records = engine.run(plan);
 
     Table table({"net", "impl", "layer", "kernel (s)", "control (s)",
                  "control share"});
-    for (auto net : dnn::kAllNets) {
-        for (auto impl : impls) {
-            app::RunSpec spec;
-            spec.net = net;
-            spec.impl = impl;
-            spec.power = app::PowerKind::Continuous;
-            const auto r = app::runExperiment(spec);
-            for (const auto &layer : r.layers) {
-                const f64 total =
-                    layer.kernelSeconds + layer.controlSeconds;
-                if (total <= 0.0)
-                    continue;
-                table.row()
-                    .cell(std::string(dnn::netName(net)))
-                    .cell(std::string(kernels::implName(impl)))
-                    .cell(layer.name)
-                    .cell(layer.kernelSeconds, 4)
-                    .cell(layer.controlSeconds, 4)
-                    .cell(layer.controlSeconds / total, 2);
-            }
+    for (const auto &record : records) {
+        for (const auto &layer : record.result.layers) {
+            const f64 total =
+                layer.kernelSeconds + layer.controlSeconds;
+            if (total <= 0.0)
+                continue;
+            table.row()
+                .cell(std::string(dnn::netName(record.spec.net)))
+                .cell(std::string(
+                    kernels::implName(record.spec.impl)))
+                .cell(layer.name)
+                .cell(layer.kernelSeconds, 4)
+                .cell(layer.controlSeconds, 4)
+                .cell(layer.controlSeconds / total, 2);
         }
     }
     table.print(std::cout);

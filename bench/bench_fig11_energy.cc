@@ -16,21 +16,20 @@ main()
     std::printf("%s", banner("Fig. 11 — inference energy (1mF)")
                           .c_str());
 
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.allNets().allImpls().power({app::PowerKind::Cap1mF});
+    const auto records = engine.run(plan);
+
     Table table({"net", "impl", "status", "energy (mJ)", "reboots"});
-    for (auto net : dnn::kAllNets) {
-        for (auto impl : kernels::kAllImpls) {
-            app::RunSpec spec;
-            spec.net = net;
-            spec.impl = impl;
-            spec.power = app::PowerKind::Cap1mF;
-            const auto r = app::runExperiment(spec);
-            table.row()
-                .cell(std::string(dnn::netName(net)))
-                .cell(std::string(kernels::implName(impl)))
-                .cell(statusOf(r))
-                .cell(r.energyJ * 1e3, 3)
-                .cell(static_cast<u64>(r.reboots));
-        }
+    for (const auto &record : records) {
+        const auto &r = record.result;
+        table.row()
+            .cell(std::string(dnn::netName(record.spec.net)))
+            .cell(std::string(kernels::implName(record.spec.impl)))
+            .cell(statusOf(r))
+            .cell(r.energyJ * 1e3, 3)
+            .cell(static_cast<u64>(r.reboots));
     }
     table.print(std::cout);
     return 0;

@@ -17,14 +17,17 @@ main()
     std::printf("%s", banner("Fig. 12 — SONIC energy by operation")
                           .c_str());
 
-    for (auto net : dnn::kAllNets) {
-        app::RunSpec spec;
-        spec.net = net;
-        spec.impl = kernels::Impl::Sonic;
-        spec.power = app::PowerKind::Continuous;
-        const auto r = app::runExperiment(spec);
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.allNets()
+        .impls({kernels::Impl::Sonic})
+        .power({app::PowerKind::Continuous});
+    const auto records = engine.run(plan);
 
-        std::printf("\n%s (total %s):\n", dnn::netName(net),
+    for (const auto &record : records) {
+        const auto &r = record.result;
+        std::printf("\n%s (total %s):\n",
+                    dnn::netName(record.spec.net),
                     formatEnergy(r.energyJ).c_str());
         Table table({"op", "energy (uJ)", "share", ""});
         for (const auto &[op, joules] : r.energyByOp) {

@@ -90,6 +90,45 @@ BM_RedoLogWriteCommit(benchmark::State &state)
 BENCHMARK(BM_RedoLogWriteCommit)->Arg(8)->Arg(32)->Arg(128);
 
 void
+BM_ImplRegistryLookup(benchmark::State &state)
+{
+    auto &registry = kernels::ImplRegistry::instance();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(registry.find("SONIC"));
+        benchmark::DoNotOptimize(registry.find(kernels::Impl::Tails));
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ImplRegistryLookup);
+
+void
+BM_RedoLogRead(benchmark::State &state)
+{
+    // Reads against a log holding `entries` uncommitted writes — the
+    // Tile-128 shape that used to pay a reverse linear scan per read.
+    auto dev = continuousDevice();
+    task::Program prog;
+    arch::NvArray<i16> arr(dev, 1024, "a");
+    const auto entries = static_cast<u32>(state.range(0));
+    u64 sink = 0;
+    const task::TaskId t =
+        prog.addTask("t", [&](task::Runtime &rt) {
+            for (u32 k = 0; k < entries; ++k)
+                rt.logWrite(arr, k % 1024, static_cast<i16>(k));
+            for (u32 k = 0; k < entries; ++k)
+                sink += static_cast<u64>(rt.logRead(arr, k % 1024));
+            return task::kDone;
+        });
+    for (auto _ : state) {
+        task::Scheduler sched(dev, prog);
+        benchmark::DoNotOptimize(sched.run(t).completed);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_RedoLogRead)->Arg(8)->Arg(128)->Arg(1024);
+
+void
 BM_TinyInference(benchmark::State &state)
 {
     const auto impl = static_cast<kernels::Impl>(state.range(0));

@@ -12,6 +12,9 @@
  *  - LEA contributes ~1.4x, DMA ~14%.
  */
 
+#include <algorithm>
+#include <map>
+
 #include "bench/bench_common.hh"
 
 using namespace sonic;
@@ -22,22 +25,31 @@ main()
 {
     std::printf("%s", banner("Sec. 9.1 — headline ratios").c_str());
 
+    app::Engine engine;
+
+    // The continuous-power grid plus the TAILS hardware ablation, as
+    // one declarative sweep per axis combination.
+    app::SweepPlan grid;
+    grid.allNets().allImpls().power({app::PowerKind::Continuous});
+    const auto records = engine.run(grid);
+
+    app::SweepPlan ablation;
+    ablation.allNets()
+        .impls({kernels::Impl::Tails})
+        .power({app::PowerKind::Continuous})
+        .profiles({app::ProfileVariant::NoLea,
+                   app::ProfileVariant::NoDma});
+    const auto ablation_records = engine.run(ablation);
+
     std::map<kernels::Impl, GeoMean> vs_base;
     f64 worst_tile8 = 0.0;
-    std::map<kernels::Impl, std::map<dnn::NetId, f64>> live;
 
     for (auto net : dnn::kAllNets) {
-        f64 base_live = 0.0;
+        const f64 base_live =
+            resultFor(records, net, kernels::Impl::Base).liveSeconds;
         for (auto impl : kernels::kAllImpls) {
-            app::RunSpec spec;
-            spec.net = net;
-            spec.impl = impl;
-            spec.power = app::PowerKind::Continuous;
-            const auto r = app::runExperiment(spec);
-            live[impl][net] = r.liveSeconds;
-            if (impl == kernels::Impl::Base)
-                base_live = r.liveSeconds;
-            const f64 ratio = r.liveSeconds / base_live;
+            const f64 live = resultFor(records, net, impl).liveSeconds;
+            const f64 ratio = live / base_live;
             vs_base[impl].add(ratio);
             if (impl == kernels::Impl::Tile8)
                 worst_tile8 = std::max(worst_tile8, ratio);
@@ -87,15 +99,16 @@ main()
     // LEA / DMA ablation (software-emulated hardware).
     GeoMean lea_gain, dma_gain;
     for (auto net : dnn::kAllNets) {
-        app::RunSpec spec;
-        spec.net = net;
-        spec.impl = kernels::Impl::Tails;
-        spec.power = app::PowerKind::Continuous;
-        spec.profile = app::ProfileVariant::NoLea;
-        const f64 no_lea = app::runExperiment(spec).liveSeconds;
-        spec.profile = app::ProfileVariant::NoDma;
-        const f64 no_dma = app::runExperiment(spec).liveSeconds;
-        const f64 with_hw = live[kernels::Impl::Tails][net];
+        const f64 no_lea =
+            resultFor(ablation_records, net, kernels::Impl::Tails,
+                      app::PowerKind::Continuous,
+                      app::ProfileVariant::NoLea).liveSeconds;
+        const f64 no_dma =
+            resultFor(ablation_records, net, kernels::Impl::Tails,
+                      app::PowerKind::Continuous,
+                      app::ProfileVariant::NoDma).liveSeconds;
+        const f64 with_hw =
+            resultFor(records, net, kernels::Impl::Tails).liveSeconds;
         lea_gain.add(no_lea / with_hw);
         dma_gain.add(no_dma / with_hw);
     }

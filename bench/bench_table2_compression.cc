@@ -25,10 +25,11 @@ main()
                               {dnn::NetId::Har, 0.88},
                               {dnn::NetId::Okg, 0.84}};
 
+    app::Engine engine;
     for (const auto &row : paper) {
-        const auto &teacher = app::cachedTeacher(row.net);
-        const auto &net = app::cachedCompressed(row.net);
-        const auto &data = app::cachedDataset(row.net);
+        const auto &teacher = engine.teacher(row.net);
+        const auto &net = engine.compressed(row.net);
+        const auto &data = engine.dataset(row.net);
 
         const auto orig = dnn::accountLayers(teacher);
         const auto comp = dnn::accountLayers(net);

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "app/experiment.hh"
+#include "app/engine.hh"
 #include "dnn/device_net.hh"
 #include "genesis/genesis.hh"
 #include "util/table.hh"
@@ -55,7 +55,8 @@ main()
     arch::Device dev(arch::EnergyProfile::msp430fr5994(),
                      app::makePower(app::PowerKind::Cap100uF));
     dnn::DeviceNetwork net(dev, chosen_spec);
-    const auto &data = app::cachedDataset(dnn::NetId::Har);
+    app::Engine engine;
+    const auto &data = engine.dataset(dnn::NetId::Har);
     net.loadInput(dnn::DeviceNetwork::quantizeInput(data[0].input));
     const auto run = kernels::runInference(net, kernels::Impl::Sonic);
 

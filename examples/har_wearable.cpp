@@ -2,17 +2,16 @@
  * @file
  * A battery-less wearable running human-activity recognition (HAR):
  * classifies accelerometer windows continuously on harvested energy.
- * Demonstrates sustained intermittent operation — many inferences back
- * to back on a 100 uF capacitor — and reports the achieved inference
- * rate and per-inference energy, plus on-device agreement with the
- * float model.
+ * Demonstrates sustained intermittent operation — ten windows on a
+ * 100 uF capacitor, declared as a samples-axis sweep — and reports
+ * the achieved inference rate and per-inference energy, plus
+ * on-device agreement with the float model.
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "app/experiment.hh"
-#include "dnn/device_net.hh"
+#include "app/engine.hh"
 #include "util/table.hh"
 
 using namespace sonic;
@@ -23,39 +22,44 @@ main()
     std::printf("%s", banner("HAR wearable on harvested energy")
                           .c_str());
 
-    const auto &spec = app::cachedCompressed(dnn::NetId::Har);
-    const auto &data = app::cachedDataset(dnn::NetId::Har);
-
-    arch::Device dev(arch::EnergyProfile::msp430fr5994(),
-                     app::makePower(app::PowerKind::Cap100uF));
-    dnn::DeviceNetwork net(dev, spec);
-
     const u32 kWindows = 10;
+
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.nets({dnn::NetId::Har})
+        .impls({kernels::Impl::Sonic})
+        .power({app::PowerKind::Cap100uF})
+        .samples(kWindows);
+    const auto records = engine.run(plan);
+
+    const auto &spec = engine.compressed(dnn::NetId::Har);
+    const auto &data = engine.dataset(dnn::NetId::Har);
+
     u32 agree = 0;
     u64 reboots = 0;
-    Table table({"window", "label", "device class", "reboots so far",
-                 "elapsed (s)"});
-    for (u32 w = 0; w < kWindows; ++w) {
-        const auto &sample = data[w];
-        net.loadInput(dnn::DeviceNetwork::quantizeInput(sample.input));
-        const auto run = kernels::runInference(net,
-                                               kernels::Impl::Sonic);
-        if (!run.completed) {
+    f64 seconds = 0.0;
+    f64 joules = 0.0;
+    f64 dead_seconds = 0.0;
+    Table table({"window", "label", "device class", "reboots",
+                 "window time (s)"});
+    for (const auto &record : records) {
+        const auto &r = record.result;
+        const u32 w = record.spec.sampleIndex;
+        if (!r.completed) {
             std::printf("window %u did not complete!\n", w);
             return 1;
         }
-        reboots = dev.rebootCount();
-        u32 best = 0;
-        for (u32 i = 1; i < run.logits.size(); ++i)
-            if (run.logits[i] > run.logits[best])
-                best = i;
-        agree += best == spec.classify(sample.input);
+        reboots += r.reboots;
+        seconds += r.totalSeconds;
+        joules += r.energyJ;
+        dead_seconds += r.deadSeconds;
+        agree += r.predictedClass == spec.classify(data[w].input);
         table.row()
             .cell(static_cast<u64>(w))
-            .cell(static_cast<u64>(sample.label))
-            .cell(static_cast<u64>(best))
-            .cell(static_cast<u64>(reboots))
-            .cell(dev.totalSeconds(), 2);
+            .cell(static_cast<u64>(data[w].label))
+            .cell(static_cast<u64>(r.predictedClass))
+            .cell(static_cast<u64>(r.reboots))
+            .cell(r.totalSeconds, 2);
     }
     table.print(std::cout);
 
@@ -65,8 +69,8 @@ main()
                 agree, kWindows);
     std::printf("avg per inference: %s, %s (%.1f%% of time spent "
                 "recharging)\n",
-                formatSeconds(dev.totalSeconds() / kWindows).c_str(),
-                formatEnergy(dev.consumedJoules() / kWindows).c_str(),
-                100.0 * dev.deadSeconds() / dev.totalSeconds());
+                formatSeconds(seconds / kWindows).c_str(),
+                formatEnergy(joules / kWindows).c_str(),
+                100.0 * dead_seconds / seconds);
     return 0;
 }

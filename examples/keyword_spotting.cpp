@@ -4,60 +4,19 @@
  * sensor, comparing SONIC against TAILS on the same harvested-power
  * budget: TAILS' LEA acceleration buys either lower latency or more
  * inferences per harvested Joule. Also shows TAILS' one-time tile
- * calibration adapting to the power system.
+ * calibration adapting to the power system (the calibrated tile
+ * streams out of the sweep as ExperimentResult::tailsTileWords).
  */
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
-#include "app/experiment.hh"
-#include "dnn/device_net.hh"
-#include "tails/tails.hh"
+#include "app/engine.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace sonic;
-
-namespace
-{
-
-struct Outcome
-{
-    f64 seconds = 0.0;
-    f64 joules = 0.0;
-    u64 reboots = 0;
-    u32 tile = 0;
-};
-
-Outcome
-spotKeyword(kernels::Impl impl, app::PowerKind power)
-{
-    const auto &spec = app::cachedCompressed(dnn::NetId::Okg);
-    const auto &data = app::cachedDataset(dnn::NetId::Okg);
-
-    arch::Device dev(arch::EnergyProfile::msp430fr5994(),
-                     app::makePower(power));
-    dnn::DeviceNetwork net(dev, spec);
-    net.loadInput(dnn::DeviceNetwork::quantizeInput(data[0].input));
-
-    Outcome out;
-    if (impl == kernels::Impl::Tails) {
-        tails::CalibrationInfo cal;
-        const auto run = tails::runTails(net, &cal);
-        if (!run.completed)
-            return out;
-        out.tile = cal.tileWords;
-    } else {
-        const auto run = kernels::runInference(net, impl);
-        if (!run.completed)
-            return out;
-    }
-    out.seconds = dev.totalSeconds();
-    out.joules = dev.consumedJoules();
-    out.reboots = dev.rebootCount();
-    return out;
-}
-
-} // namespace
 
 int
 main()
@@ -65,21 +24,42 @@ main()
     std::printf("%s", banner("Keyword spotting: SONIC vs TAILS")
                           .c_str());
 
+    app::Engine engine;
+    app::SweepPlan plan;
+    plan.nets({dnn::NetId::Okg})
+        .impls({kernels::Impl::Sonic, kernels::Impl::Tails})
+        .power({app::PowerKind::Continuous, app::PowerKind::Cap1mF,
+                app::PowerKind::Cap100uF});
+    const auto records = engine.run(plan);
+
     Table table({"power", "impl", "latency", "energy", "reboots",
                  "LEA tile"});
     for (auto power : {app::PowerKind::Continuous,
                        app::PowerKind::Cap1mF,
                        app::PowerKind::Cap100uF}) {
         for (auto impl : {kernels::Impl::Sonic, kernels::Impl::Tails}) {
-            const auto out = spotKeyword(impl, power);
+            const app::SweepRecord *record = nullptr;
+            for (const auto &cand : records) {
+                if (cand.spec.impl == impl
+                    && cand.spec.power == power) {
+                    record = &cand;
+                    break;
+                }
+            }
+            if (record == nullptr)
+                fatal("sweep record missing for ",
+                      kernels::implName(impl), "/",
+                      app::powerName(power));
+            const auto &r = record->result;
             table.row()
                 .cell(std::string(app::powerName(power)))
                 .cell(std::string(kernels::implName(impl)))
-                .cell(formatSeconds(out.seconds))
-                .cell(formatEnergy(out.joules))
-                .cell(static_cast<u64>(out.reboots))
+                .cell(formatSeconds(r.completed ? r.totalSeconds
+                                                : 0.0))
+                .cell(formatEnergy(r.completed ? r.energyJ : 0.0))
+                .cell(static_cast<u64>(r.reboots))
                 .cell(impl == kernels::Impl::Tails
-                          ? std::to_string(out.tile) + " words"
+                          ? std::to_string(r.tailsTileWords) + " words"
                           : std::string("-"));
         }
     }

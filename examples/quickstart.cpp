@@ -1,17 +1,19 @@
 /**
  * @file
- * Quickstart: run one DNN inference on the simulated intermittently-
- * powered device, first on continuous power, then on harvested RF
- * energy with a 100 uF capacitor, and check that the intermittent run
- * — despite dozens of power failures — produces bit-identical logits.
+ * Quickstart: declare a two-point sweep — one HAR inference on
+ * continuous power and one on harvested RF energy with a 100 uF
+ * capacitor — run it through the Engine, and check that the
+ * intermittent run, despite dozens of power failures, produces
+ * bit-identical logits.
  *
- * This exercises the core promise of SONIC: correct intermittent
- * execution with no hand-tuning and modest overhead.
+ * This exercises the core promise of SONIC (correct intermittent
+ * execution with no hand-tuning and modest overhead) and the minimal
+ * SweepPlan/Engine workflow every other bench builds on.
  */
 
 #include <cstdio>
 
-#include "app/experiment.hh"
+#include "app/engine.hh"
 #include "util/table.hh"
 
 using namespace sonic;
@@ -21,20 +23,22 @@ main()
 {
     std::printf("%s", banner("SONIC quickstart: HAR inference").c_str());
 
-    app::RunSpec spec;
-    spec.net = dnn::NetId::Har;
-    spec.impl = kernels::Impl::Sonic;
+    app::SweepPlan plan;
+    plan.nets({dnn::NetId::Har})
+        .impls({kernels::Impl::Sonic})
+        .power({app::PowerKind::Continuous, app::PowerKind::Cap100uF});
 
-    spec.power = app::PowerKind::Continuous;
-    const auto continuous = app::runExperiment(spec);
+    app::Engine engine;
+    const auto records = engine.run(plan);
+
+    const auto &continuous = records[0].result;
+    const auto &intermittent = records[1].result;
+
     std::printf("continuous : completed=%d class=%u live=%s "
                 "energy=%s\n",
                 continuous.completed, continuous.predictedClass,
                 formatSeconds(continuous.liveSeconds).c_str(),
                 formatEnergy(continuous.energyJ).c_str());
-
-    spec.power = app::PowerKind::Cap100uF;
-    const auto intermittent = app::runExperiment(spec);
     std::printf("intermittent: completed=%d class=%u total=%s "
                 "(dead %s) energy=%s reboots=%llu\n",
                 intermittent.completed, intermittent.predictedClass,

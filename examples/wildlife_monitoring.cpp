@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "app/experiment.hh"
+#include "app/engine.hh"
 #include "app/wildlife.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -25,14 +25,15 @@ main()
                           .c_str());
 
     // Measure the inference energies of the two designs on the
-    // prototype (MNIST on a 1 mF capacitor).
-    app::RunSpec spec;
-    spec.net = dnn::NetId::Mnist;
-    spec.power = app::PowerKind::Cap1mF;
-    spec.impl = kernels::Impl::Tile8;
-    const f64 naive_j = app::runExperiment(spec).energyJ;
-    spec.impl = kernels::Impl::Tails;
-    const f64 tails_j = app::runExperiment(spec).energyJ;
+    // prototype (MNIST on a 1 mF capacitor) with one two-point sweep.
+    app::Engine engine;
+    app::SweepPlan measure;
+    measure.nets({dnn::NetId::Mnist})
+        .impls({kernels::Impl::Tile8, kernels::Impl::Tails})
+        .power({app::PowerKind::Cap1mF});
+    const auto records = engine.run(measure);
+    const f64 naive_j = records[0].result.energyJ;
+    const f64 tails_j = records[1].result.energyJ;
 
     app::WildlifeParams params;
     params.naiveInferJ = naive_j;

@@ -1,0 +1,331 @@
+#include "app/engine.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "arch/memory.hh"
+#include "dnn/device_net.hh"
+#include "util/logging.hh"
+
+namespace sonic::app
+{
+
+// --- Sinks ----------------------------------------------------------
+
+void
+MemorySink::begin(u64 totalRecords)
+{
+    records_.reserve(records_.size() + totalRecords);
+}
+
+void
+MemorySink::add(const SweepRecord &record)
+{
+    records_.push_back(record);
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are ASCII identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+CsvSink::begin(u64)
+{
+    os_ << "planIndex,net,impl,power,profile,sample,seed,status,"
+           "reboots,tasksExecuted,liveSeconds,deadSeconds,"
+           "totalSeconds,energyJ,harvestedJ,predictedClass,"
+           "tailsTileWords\n";
+}
+
+void
+CsvSink::add(const SweepRecord &record)
+{
+    const auto &r = record.result;
+    std::ostringstream row;
+    row.precision(12);
+    row << record.planIndex << ',' << dnn::netName(record.spec.net)
+        << ',' << kernels::implName(record.spec.impl) << ','
+        << powerName(record.spec.power) << ','
+        << profileName(record.spec.profile) << ','
+        << record.spec.sampleIndex << ',' << record.spec.seed << ','
+        << (r.completed ? "ok" : (r.nonTerminating ? "dnf" : "fail"))
+        << ',' << r.reboots << ',' << r.tasksExecuted << ','
+        << r.liveSeconds << ',' << r.deadSeconds << ','
+        << r.totalSeconds << ',' << r.energyJ << ',' << r.harvestedJ
+        << ',' << r.predictedClass << ',' << r.tailsTileWords << '\n';
+    os_ << row.str();
+}
+
+void
+JsonSink::begin(u64)
+{
+    os_ << "[";
+    first_ = true;
+}
+
+void
+JsonSink::add(const SweepRecord &record)
+{
+    const auto &r = record.result;
+    std::ostringstream obj;
+    obj.precision(17);
+    obj << (first_ ? "\n" : ",\n");
+    first_ = false;
+    obj << "  {\"planIndex\": " << record.planIndex
+        << ", \"net\": \"" << dnn::netName(record.spec.net)
+        << "\", \"impl\": \""
+        << jsonEscape(std::string(
+               kernels::implName(record.spec.impl)))
+        << "\", \"power\": \"" << powerName(record.spec.power)
+        << "\", \"profile\": \"" << profileName(record.spec.profile)
+        << "\", \"sample\": " << record.spec.sampleIndex
+        << ", \"seed\": " << record.spec.seed
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"nonTerminating\": "
+        << (r.nonTerminating ? "true" : "false")
+        << ", \"reboots\": " << r.reboots
+        << ", \"tasksExecuted\": " << r.tasksExecuted
+        << ", \"liveSeconds\": " << r.liveSeconds
+        << ", \"deadSeconds\": " << r.deadSeconds
+        << ", \"totalSeconds\": " << r.totalSeconds
+        << ", \"energyJ\": " << r.energyJ
+        << ", \"harvestedJ\": " << r.harvestedJ
+        << ", \"predictedClass\": " << r.predictedClass
+        << ", \"tailsTileWords\": " << r.tailsTileWords;
+
+    obj << ", \"layers\": [";
+    for (u64 i = 0; i < r.layers.size(); ++i) {
+        const auto &layer = r.layers[i];
+        obj << (i ? ", " : "") << "{\"name\": \""
+            << jsonEscape(layer.name)
+            << "\", \"kernelSeconds\": " << layer.kernelSeconds
+            << ", \"controlSeconds\": " << layer.controlSeconds
+            << ", \"energyJ\": " << layer.energyJ << "}";
+    }
+    obj << "]";
+
+    obj << ", \"energyByOp\": {";
+    bool firstOp = true;
+    for (const auto &[op, joules] : r.energyByOp) {
+        obj << (firstOp ? "" : ", ") << "\"" << jsonEscape(op)
+            << "\": " << joules;
+        firstOp = false;
+    }
+    obj << "}";
+
+    obj << ", \"logits\": [";
+    for (u64 i = 0; i < r.logits.size(); ++i)
+        obj << (i ? ", " : "") << r.logits[i];
+    obj << "]}";
+    os_ << obj.str();
+}
+
+void
+JsonSink::end()
+{
+    os_ << "\n]\n";
+}
+
+// --- Engine ---------------------------------------------------------
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+Engine::~Engine() = default;
+
+u32
+Engine::threadCount() const
+{
+    if (options_.threads > 0)
+        return options_.threads;
+    const u32 hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+const dnn::NetworkSpec &
+Engine::teacher(dnn::NetId net)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = teachers_.find(net);
+    if (it == teachers_.end())
+        it = teachers_.emplace(net, dnn::buildTeacher(net)).first;
+    return it->second;
+}
+
+const dnn::NetworkSpec &
+Engine::compressed(dnn::NetId net)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = compressed_.find(net);
+    if (it == compressed_.end())
+        it = compressed_.emplace(net, dnn::buildCompressed(net)).first;
+    return it->second;
+}
+
+const dnn::Dataset &
+Engine::dataset(dnn::NetId net)
+{
+    const dnn::NetworkSpec &spec = teacher(net);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = datasets_.find(net);
+    if (it == datasets_.end())
+        it = datasets_.emplace(net, dnn::makeDataset(spec, 64)).first;
+    return it->second;
+}
+
+ExperimentResult
+Engine::runOne(const RunSpec &spec)
+{
+    arch::Device dev(makeProfile(spec.profile), makePower(spec.power));
+    const dnn::NetworkSpec &net_spec = compressed(spec.net);
+    dnn::DeviceNetwork net(dev, net_spec);
+
+    const dnn::Dataset &data = dataset(spec.net);
+    const auto &sample = data[spec.sampleIndex % data.size()];
+    net.loadInput(dnn::DeviceNetwork::quantizeInput(sample.input));
+
+    const auto run = kernels::runInference(net, spec.impl);
+
+    ExperimentResult result;
+    result.completed = run.completed;
+    result.nonTerminating = run.nonTerminating;
+    result.reboots = run.reboots;
+    result.tasksExecuted = run.tasksExecuted;
+    result.tailsTileWords = run.calibTileWords;
+    result.liveSeconds = dev.liveSeconds();
+    result.deadSeconds = dev.deadSeconds();
+    result.totalSeconds = dev.totalSeconds();
+    result.energyJ = dev.consumedJoules();
+    result.harvestedJ = dev.power().harvestedNj() * 1e-9;
+
+    const auto &stats = dev.stats();
+    const f64 hz = dev.config().clockHz;
+    for (u16 l = 0; l < stats.numLayers(); ++l) {
+        LayerBreakdown row;
+        row.name = stats.layerName(l);
+        row.kernelSeconds =
+            static_cast<f64>(
+                stats.bucket(l, arch::Part::Kernel).totalCycles())
+            / hz;
+        row.controlSeconds =
+            static_cast<f64>(
+                stats.bucket(l, arch::Part::Control).totalCycles())
+            / hz;
+        row.energyJ = stats.layerNanojoules(l) * 1e-9;
+        result.layers.push_back(row);
+    }
+    for (u32 o = 0; o < arch::kNumOps; ++o) {
+        const auto op = static_cast<arch::Op>(o);
+        const f64 joules = stats.opNanojoules(op) * 1e-9;
+        if (joules > 0.0)
+            result.energyByOp[std::string(arch::opName(op))] = joules;
+    }
+
+    if (run.completed) {
+        result.logits = run.logits;
+        u32 best = 0;
+        for (u32 i = 1; i < result.logits.size(); ++i)
+            if (result.logits[i] > result.logits[best])
+                best = i;
+        result.predictedClass = best;
+    }
+    return result;
+}
+
+std::vector<SweepRecord>
+Engine::run(const SweepPlan &plan,
+            const std::vector<ResultSink *> &sinks)
+{
+    const auto specs = plan.expand();
+    const u64 total = specs.size();
+
+    // Warm the workload caches up front, single-threaded, so workers
+    // only ever read immutable artifacts (and so cache construction
+    // order — hence content — is independent of the thread count).
+    for (auto net : plan.netAxis()) {
+        compressed(net);
+        dataset(net);
+    }
+
+    MemorySink memory;
+    std::vector<ResultSink *> allSinks;
+    allSinks.push_back(&memory);
+    for (auto *sink : sinks)
+        if (sink != nullptr)
+            allSinks.push_back(sink);
+
+    for (auto *sink : allSinks)
+        sink->begin(total);
+
+    const u32 workers = static_cast<u32>(
+        std::min<u64>(threadCount(), total ? total : 1));
+
+    if (workers <= 1) {
+        for (u64 i = 0; i < total; ++i) {
+            SweepRecord record;
+            record.planIndex = static_cast<u32>(i);
+            record.spec = specs[i];
+            record.result = runOne(specs[i]);
+            for (auto *sink : allSinks)
+                sink->add(record);
+        }
+    } else {
+        std::vector<std::unique_ptr<SweepRecord>> done(total);
+        std::atomic<u64> next{0};
+        std::mutex emitMutex;
+        u64 emitted = 0;
+
+        auto workerLoop = [&]() {
+            for (;;) {
+                const u64 i = next.fetch_add(1);
+                if (i >= total)
+                    return;
+                auto record = std::make_unique<SweepRecord>();
+                record->planIndex = static_cast<u32>(i);
+                record->spec = specs[i];
+                record->result = runOne(specs[i]);
+
+                // Publish, then flush the contiguous finished prefix
+                // in plan order so sinks see a deterministic stream.
+                std::lock_guard<std::mutex> lock(emitMutex);
+                done[i] = std::move(record);
+                while (emitted < total && done[emitted]) {
+                    for (auto *sink : allSinks)
+                        sink->add(*done[emitted]);
+                    ++emitted;
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (u32 w = 0; w < workers; ++w)
+            pool.emplace_back(workerLoop);
+        for (auto &t : pool)
+            t.join();
+        SONIC_ASSERT(emitted == total, "sweep lost records");
+    }
+
+    for (auto *sink : allSinks)
+        sink->end();
+    return memory.take();
+}
+
+} // namespace sonic::app

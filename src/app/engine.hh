@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The experiment engine: executes RunSpecs — single-shot or whole
+ * SweepPlan grids — over a worker-thread pool, owns the deterministic
+ * workload caches (teacher/compressed networks, datasets), and
+ * streams finished results into pluggable sinks.
+ *
+ * Determinism contract: every spec runs on its own freshly-built
+ * Device against immutable cached workloads, so a sweep's results are
+ * bit-identical regardless of the thread count, and sinks always
+ * receive records in plan-expansion order (the engine holds back
+ * out-of-order completions until the gap fills).
+ */
+
+#ifndef SONIC_APP_ENGINE_HH
+#define SONIC_APP_ENGINE_HH
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "app/sweep.hh"
+
+namespace sonic::app
+{
+
+/** One finished grid point: where it was in the plan and what ran. */
+struct SweepRecord
+{
+    u32 planIndex = 0; ///< position in SweepPlan::expand() order
+    RunSpec spec;
+    ExperimentResult result;
+};
+
+/**
+ * Receives records in plan order as they become available. Sink
+ * methods are never called concurrently (the engine serializes them),
+ * so implementations need no locking of their own.
+ */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Called once before any record, with the expanded plan size. */
+    virtual void begin(u64 totalRecords) { (void)totalRecords; }
+
+    /** Called once per record, in plan order. */
+    virtual void add(const SweepRecord &record) = 0;
+
+    /** Called once after the last record. */
+    virtual void end() {}
+};
+
+/** Collects records into memory (what Engine::run returns). */
+class MemorySink : public ResultSink
+{
+  public:
+    void begin(u64 totalRecords) override;
+    void add(const SweepRecord &record) override;
+
+    const std::vector<SweepRecord> &records() const { return records_; }
+    std::vector<SweepRecord> take() { return std::move(records_); }
+
+  private:
+    std::vector<SweepRecord> records_;
+};
+
+/** Streams one CSV row per record (header first). */
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::ostream &os) : os_(os) {}
+
+    void begin(u64 totalRecords) override;
+    void add(const SweepRecord &record) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Streams a JSON array of record objects, including the per-layer
+ * breakdown, per-op energies and logits (the BENCH_*.json trajectory
+ * format).
+ */
+class JsonSink : public ResultSink
+{
+  public:
+    explicit JsonSink(std::ostream &os) : os_(os) {}
+
+    void begin(u64 totalRecords) override;
+    void add(const SweepRecord &record) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    /** Worker threads for sweeps; 0 = hardware concurrency. */
+    u32 threads = 0;
+};
+
+/**
+ * Executes experiments. An Engine owns the workload caches, so
+ * building one per process (or per test fixture) amortizes network
+ * construction across every spec it runs.
+ */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options = {});
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** @name Cached workload artifacts (deterministic, built once). */
+    /// @{
+    const dnn::NetworkSpec &teacher(dnn::NetId net);
+    const dnn::NetworkSpec &compressed(dnn::NetId net);
+    const dnn::Dataset &dataset(dnn::NetId net);
+    /// @}
+
+    /** Run one inference experiment on the calling thread. */
+    ExperimentResult runOne(const RunSpec &spec);
+
+    /**
+     * Expand and execute a plan over the worker pool. Records are
+     * streamed to the sinks in plan order and also returned.
+     */
+    std::vector<SweepRecord> run(const SweepPlan &plan,
+                                 const std::vector<ResultSink *> &sinks
+                                 = {});
+
+    /** The worker-thread count a sweep will use. */
+    u32 threadCount() const;
+
+  private:
+    EngineOptions options_;
+
+    std::mutex cacheMutex_;
+    std::map<dnn::NetId, dnn::NetworkSpec> teachers_;
+    std::map<dnn::NetId, dnn::NetworkSpec> compressed_;
+    std::map<dnn::NetId, dnn::Dataset> datasets_;
+};
+
+} // namespace sonic::app
+
+#endif // SONIC_APP_ENGINE_HH

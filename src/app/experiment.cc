@@ -1,10 +1,5 @@
 #include "app/experiment.hh"
 
-#include <map>
-
-#include "arch/memory.hh"
-#include "dnn/device_net.hh"
-#include "tensor/nnref.hh"
 #include "util/logging.hh"
 
 namespace sonic::app
@@ -18,6 +13,17 @@ powerName(PowerKind kind)
       case PowerKind::Cap50mF: return "50mF";
       case PowerKind::Cap1mF: return "1mF";
       case PowerKind::Cap100uF: return "100uF";
+    }
+    return "?";
+}
+
+const char *
+profileName(ProfileVariant variant)
+{
+    switch (variant) {
+      case ProfileVariant::Standard: return "standard";
+      case ProfileVariant::NoLea: return "no-lea";
+      case ProfileVariant::NoDma: return "no-dma";
     }
     return "?";
 }
@@ -41,108 +47,18 @@ makePower(PowerKind kind)
     panic("bad PowerKind");
 }
 
-const dnn::NetworkSpec &
-cachedTeacher(dnn::NetId net)
+arch::EnergyProfile
+makeProfile(ProfileVariant variant)
 {
-    static std::map<dnn::NetId, dnn::NetworkSpec> cache;
-    auto it = cache.find(net);
-    if (it == cache.end())
-        it = cache.emplace(net, dnn::buildTeacher(net)).first;
-    return it->second;
-}
-
-const dnn::NetworkSpec &
-cachedCompressed(dnn::NetId net)
-{
-    static std::map<dnn::NetId, dnn::NetworkSpec> cache;
-    auto it = cache.find(net);
-    if (it == cache.end())
-        it = cache.emplace(net, dnn::buildCompressed(net)).first;
-    return it->second;
-}
-
-const dnn::Dataset &
-cachedDataset(dnn::NetId net)
-{
-    static std::map<dnn::NetId, dnn::Dataset> cache;
-    auto it = cache.find(net);
-    if (it == cache.end()) {
-        it = cache.emplace(net,
-                           dnn::makeDataset(cachedTeacher(net), 64))
-                 .first;
-    }
-    return it->second;
-}
-
-ExperimentResult
-runExperiment(const RunSpec &spec)
-{
-    arch::EnergyProfile profile;
-    switch (spec.profile) {
+    switch (variant) {
       case ProfileVariant::Standard:
-        profile = arch::EnergyProfile::msp430fr5994();
-        break;
+        return arch::EnergyProfile::msp430fr5994();
       case ProfileVariant::NoLea:
-        profile = arch::EnergyProfile::msp430fr5994NoLea();
-        break;
+        return arch::EnergyProfile::msp430fr5994NoLea();
       case ProfileVariant::NoDma:
-        profile = arch::EnergyProfile::msp430fr5994NoDma();
-        break;
+        return arch::EnergyProfile::msp430fr5994NoDma();
     }
-
-    arch::Device dev(profile, makePower(spec.power));
-    const dnn::NetworkSpec &net_spec = cachedCompressed(spec.net);
-    dnn::DeviceNetwork net(dev, net_spec);
-
-    const dnn::Dataset &data = cachedDataset(spec.net);
-    const auto &sample = data[spec.sampleIndex % data.size()];
-    net.loadInput(dnn::DeviceNetwork::quantizeInput(sample.input));
-
-    const auto run = kernels::runInference(net, spec.impl);
-
-    ExperimentResult result;
-    result.completed = run.completed;
-    result.nonTerminating = run.nonTerminating;
-    result.reboots = run.reboots;
-    result.tasksExecuted = run.tasksExecuted;
-    result.liveSeconds = dev.liveSeconds();
-    result.deadSeconds = dev.deadSeconds();
-    result.totalSeconds = dev.totalSeconds();
-    result.energyJ = dev.consumedJoules();
-    result.harvestedJ = dev.power().harvestedNj() * 1e-9;
-
-    const auto &stats = dev.stats();
-    const f64 hz = dev.config().clockHz;
-    for (u16 l = 0; l < stats.numLayers(); ++l) {
-        LayerBreakdown row;
-        row.name = stats.layerName(l);
-        row.kernelSeconds =
-            static_cast<f64>(
-                stats.bucket(l, arch::Part::Kernel).totalCycles())
-            / hz;
-        row.controlSeconds =
-            static_cast<f64>(
-                stats.bucket(l, arch::Part::Control).totalCycles())
-            / hz;
-        row.energyJ = stats.layerNanojoules(l) * 1e-9;
-        result.layers.push_back(row);
-    }
-    for (u32 o = 0; o < arch::kNumOps; ++o) {
-        const auto op = static_cast<arch::Op>(o);
-        const f64 joules = stats.opNanojoules(op) * 1e-9;
-        if (joules > 0.0)
-            result.energyByOp[std::string(arch::opName(op))] = joules;
-    }
-
-    if (run.completed) {
-        result.logits = run.logits;
-        u32 best = 0;
-        for (u32 i = 1; i < result.logits.size(); ++i)
-            if (result.logits[i] > result.logits[best])
-                best = i;
-        result.predictedClass = best;
-    }
-    return result;
+    panic("bad ProfileVariant");
 }
 
 } // namespace sonic::app

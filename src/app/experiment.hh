@@ -1,10 +1,12 @@
 /**
  * @file
- * The experiment harness shared by the benchmark binaries, the test
- * suite, and the examples: run one inference of a workload under a
- * chosen implementation and power system, and report the measurements
- * the paper's figures need (live time per layer split kernel/control,
- * dead time, energy per op class, reboots, completion).
+ * The experiment vocabulary shared by the sweep engine, the benchmark
+ * binaries, the test suite, and the examples: what one run is (RunSpec)
+ * and what it measures (ExperimentResult — the live/dead/energy
+ * breakdowns the paper's figures need).
+ *
+ * Execution lives in the Engine (app/engine.hh): single runs via
+ * Engine::runOne, grids via SweepPlan + Engine::run.
  */
 
 #ifndef SONIC_APP_EXPERIMENT_HH
@@ -50,6 +52,12 @@ enum class ProfileVariant : u8
     NoDma
 };
 
+inline constexpr ProfileVariant kAllProfiles[] = {
+    ProfileVariant::Standard, ProfileVariant::NoLea,
+    ProfileVariant::NoDma};
+
+const char *profileName(ProfileVariant variant);
+
 /** One experiment specification. */
 struct RunSpec
 {
@@ -58,6 +66,12 @@ struct RunSpec
     PowerKind power = PowerKind::Continuous;
     ProfileVariant profile = ProfileVariant::Standard;
     u32 sampleIndex = 0;
+    /**
+     * Per-run seed, assigned deterministically by SweepPlan::expand
+     * and recorded by every sink. Reserved for stochastic run-time
+     * models (e.g. harvester jitter); the current workloads and power
+     * models are fully deterministic and do not consume it.
+     */
     u64 seed = 0x5eed;
 };
 
@@ -89,20 +103,14 @@ struct ExperimentResult
 
     std::vector<i16> logits;
     u32 predictedClass = 0;
+    u32 tailsTileWords = 0; ///< TAILS' calibrated LEA tile (0 if n/a)
 };
 
 /** Build the power supply for a kind (exposed for tests). */
 std::unique_ptr<arch::PowerSupply> makePower(PowerKind kind);
 
-/** Run one inference experiment. */
-ExperimentResult runExperiment(const RunSpec &spec);
-
-/** @name Cached workload artifacts (deterministic, built once). */
-/// @{
-const dnn::NetworkSpec &cachedTeacher(dnn::NetId net);
-const dnn::NetworkSpec &cachedCompressed(dnn::NetId net);
-const dnn::Dataset &cachedDataset(dnn::NetId net);
-/// @}
+/** Build the energy profile for an ablation variant. */
+arch::EnergyProfile makeProfile(ProfileVariant variant);
 
 } // namespace sonic::app
 

@@ -1,0 +1,159 @@
+#include "app/sweep.hh"
+
+#include "util/logging.hh"
+
+namespace sonic::app
+{
+
+namespace
+{
+
+/** splitmix64 finalizer — the same mixer Rng seeds with. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SweepPlan &
+SweepPlan::nets(std::vector<dnn::NetId> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty net axis");
+    nets_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::allNets()
+{
+    return nets({std::begin(dnn::kAllNets), std::end(dnn::kAllNets)});
+}
+
+SweepPlan &
+SweepPlan::impls(std::vector<kernels::Impl> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty impl axis");
+    impls_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::implNames(const std::vector<std::string> &names)
+{
+    std::vector<kernels::Impl> ids;
+    ids.reserve(names.size());
+    for (const auto &name : names) {
+        const auto *info = kernels::ImplRegistry::instance().find(name);
+        if (info == nullptr)
+            fatal("unknown implementation '", name, "'");
+        ids.push_back(info->id);
+    }
+    return impls(std::move(ids));
+}
+
+SweepPlan &
+SweepPlan::allImpls()
+{
+    return impls({std::begin(kernels::kAllImpls),
+                  std::end(kernels::kAllImpls)});
+}
+
+SweepPlan &
+SweepPlan::power(std::vector<PowerKind> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty power axis");
+    power_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::allPower()
+{
+    return power({std::begin(kAllPower), std::end(kAllPower)});
+}
+
+SweepPlan &
+SweepPlan::profiles(std::vector<ProfileVariant> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty profile axis");
+    profiles_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::samples(u32 n)
+{
+    SONIC_ASSERT(n > 0, "samples(n) needs n > 0");
+    std::vector<u32> indices(n);
+    for (u32 i = 0; i < n; ++i)
+        indices[i] = i;
+    return sampleIndices(std::move(indices));
+}
+
+SweepPlan &
+SweepPlan::sampleIndices(std::vector<u32> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty sample axis");
+    samples_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::baseSeed(u64 seed)
+{
+    baseSeed_ = seed;
+    return *this;
+}
+
+u64
+SweepPlan::size() const
+{
+    return static_cast<u64>(nets_.size()) * impls_.size()
+         * power_.size() * profiles_.size() * samples_.size();
+}
+
+u64
+SweepPlan::specSeed(u64 baseSeed, const RunSpec &spec)
+{
+    // Coordinate-hash, not index-hash: adding points to one axis does
+    // not reseed the specs shared with a smaller plan.
+    u64 coord = static_cast<u64>(spec.net) << 56
+              | static_cast<u64>(spec.impl) << 48
+              | static_cast<u64>(spec.power) << 40
+              | static_cast<u64>(spec.profile) << 32
+              | static_cast<u64>(spec.sampleIndex);
+    return mix64(mix64(baseSeed) ^ coord);
+}
+
+std::vector<RunSpec>
+SweepPlan::expand() const
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(size());
+    for (auto net : nets_) {
+        for (auto impl : impls_) {
+            for (auto power : power_) {
+                for (auto profile : profiles_) {
+                    for (auto sample : samples_) {
+                        RunSpec spec;
+                        spec.net = net;
+                        spec.impl = impl;
+                        spec.power = power;
+                        spec.profile = profile;
+                        spec.sampleIndex = sample;
+                        spec.seed = specSeed(baseSeed_, spec);
+                        specs.push_back(spec);
+                    }
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+} // namespace sonic::app

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Declarative experiment grids. A SweepPlan names the axes of a
+ * cross-product sweep — workloads, implementations, power systems,
+ * energy-profile ablations, input samples — and expands to the
+ * ordered RunSpec list the Engine executes:
+ *
+ *     app::SweepPlan plan;
+ *     plan.allNets().allImpls().power({app::PowerKind::Continuous});
+ *     app::Engine engine;
+ *     const auto records = engine.run(plan);
+ *
+ * Expansion order is fixed and documented (nets outermost, then
+ * impls, power, profiles, samples innermost) so figure code can rely
+ * on record ordering, and each expanded spec gets a deterministic
+ * seed derived from the plan's base seed and the spec's coordinates —
+ * independent of plan shape and of how many worker threads run it.
+ * (Seeds are recorded into every spec and streamed by the sinks;
+ * today's workloads and power models are fully deterministic, so the
+ * seed feeds future stochastic models rather than changing results.)
+ */
+
+#ifndef SONIC_APP_SWEEP_HH
+#define SONIC_APP_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "app/experiment.hh"
+
+namespace sonic::app
+{
+
+/** Builder for a cross-product grid of RunSpecs. */
+class SweepPlan
+{
+  public:
+    /** @name Axis setters (each replaces the axis; default = the
+     * RunSpec default as a single point). */
+    /// @{
+    SweepPlan &nets(std::vector<dnn::NetId> values);
+    SweepPlan &allNets();
+
+    SweepPlan &impls(std::vector<kernels::Impl> values);
+    /** Lookup implementations by registry name; unknown names are a
+     * fatal configuration error. */
+    SweepPlan &implNames(const std::vector<std::string> &names);
+    /** The paper's six implementations (kAllImpls). */
+    SweepPlan &allImpls();
+
+    SweepPlan &power(std::vector<PowerKind> values);
+    SweepPlan &allPower();
+
+    SweepPlan &profiles(std::vector<ProfileVariant> values);
+
+    /** Sample indices 0..n-1. */
+    SweepPlan &samples(u32 n);
+    SweepPlan &sampleIndices(std::vector<u32> values);
+    /// @}
+
+    /**
+     * Base seed mixed into every expanded spec's seed (recorded
+     * metadata — see the file comment; it does not change today's
+     * deterministic results).
+     */
+    SweepPlan &baseSeed(u64 seed);
+
+    /** Number of specs the plan expands to. */
+    u64 size() const;
+
+    /**
+     * Expand the cross product in the documented order, assigning
+     * each spec its deterministic per-coordinate seed.
+     */
+    std::vector<RunSpec> expand() const;
+
+    /** @name Axis inspection (used by the engine and tests). */
+    /// @{
+    const std::vector<dnn::NetId> &netAxis() const { return nets_; }
+    const std::vector<kernels::Impl> &implAxis() const { return impls_; }
+    const std::vector<PowerKind> &powerAxis() const { return power_; }
+    const std::vector<ProfileVariant> &profileAxis() const
+    {
+        return profiles_;
+    }
+    const std::vector<u32> &sampleAxis() const { return samples_; }
+    /// @}
+
+    /**
+     * The seed an expanded spec receives: a splitmix64 mix of the
+     * base seed and the spec coordinates. Exposed so tests can check
+     * shape-independence.
+     */
+    static u64 specSeed(u64 baseSeed, const RunSpec &spec);
+
+  private:
+    std::vector<dnn::NetId> nets_{dnn::NetId::Mnist};
+    std::vector<kernels::Impl> impls_{kernels::Impl::Sonic};
+    std::vector<PowerKind> power_{PowerKind::Continuous};
+    std::vector<ProfileVariant> profiles_{ProfileVariant::Standard};
+    std::vector<u32> samples_{0};
+    u64 baseSeed_ = 0x5eed;
+};
+
+} // namespace sonic::app
+
+#endif // SONIC_APP_SWEEP_HH

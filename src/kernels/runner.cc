@@ -1,52 +1,149 @@
 #include "kernels/runner.hh"
 
+#include <deque>
+#include <mutex>
+
 #include "tails/tails.hh"
 #include "util/logging.hh"
 
 namespace sonic::kernels
 {
 
+namespace
+{
+
+RunResult
+entryBase(dnn::DeviceNetwork &net, u32)
+{
+    return runBase(net);
+}
+
+RunResult
+entryTiled(dnn::DeviceNetwork &net, u32 tile)
+{
+    return runTiled(net, tile);
+}
+
+RunResult
+entrySonic(dnn::DeviceNetwork &net, u32)
+{
+    return runSonic(net);
+}
+
+RunResult
+entryTails(dnn::DeviceNetwork &net, u32)
+{
+    return tails::runTails(net);
+}
+
+} // namespace
+
+/**
+ * Rows live in a deque so pointers handed out by find() survive later
+ * registrations; the mutex serializes add() against concurrent
+ * lookups from Engine worker threads.
+ */
+struct ImplRegistry::State
+{
+    mutable std::mutex mutex;
+    std::deque<ImplInfo> rows;
+};
+
+ImplRegistry::ImplRegistry() : state_(new State)
+{
+    // The paper's six implementations occupy the named enum ids, in
+    // enum order, so dynamic ids start right after Impl::Tails.
+    add("Base", 0, entryBase);
+    add("Tile-8", 8, entryTiled);
+    add("Tile-32", 32, entryTiled);
+    add("Tile-128", 128, entryTiled);
+    add("SONIC", 0, entrySonic);
+    add("TAILS", 0, entryTails);
+}
+
+ImplRegistry &
+ImplRegistry::instance()
+{
+    static ImplRegistry registry;
+    return registry;
+}
+
+Impl
+ImplRegistry::add(std::string name, u32 tileSize, ImplEntry entry)
+{
+    SONIC_ASSERT(entry != nullptr, "impl entry must be non-null");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (const auto &row : state_->rows) {
+        SONIC_ASSERT(row.name != name,
+                     "duplicate impl registration");
+    }
+    ImplInfo info;
+    info.id = static_cast<Impl>(state_->rows.size());
+    info.name = std::move(name);
+    info.tileSize = tileSize;
+    info.entry = entry;
+    state_->rows.push_back(std::move(info));
+    return state_->rows.back().id;
+}
+
+const ImplInfo *
+ImplRegistry::find(Impl id) const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    const auto index = static_cast<u32>(id);
+    if (index >= state_->rows.size())
+        return nullptr;
+    return &state_->rows[index];
+}
+
+const ImplInfo *
+ImplRegistry::find(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (const auto &row : state_->rows)
+        if (row.name == name)
+            return &row;
+    return nullptr;
+}
+
+std::vector<Impl>
+ImplRegistry::all() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::vector<Impl> ids;
+    ids.reserve(state_->rows.size());
+    for (const auto &row : state_->rows)
+        ids.push_back(row.id);
+    return ids;
+}
+
+u32
+ImplRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return static_cast<u32>(state_->rows.size());
+}
+
 std::string_view
 implName(Impl impl)
 {
-    switch (impl) {
-      case Impl::Base: return "Base";
-      case Impl::Tile8: return "Tile-8";
-      case Impl::Tile32: return "Tile-32";
-      case Impl::Tile128: return "Tile-128";
-      case Impl::Sonic: return "SONIC";
-      case Impl::Tails: return "TAILS";
-    }
-    return "?";
+    const auto *info = ImplRegistry::instance().find(impl);
+    return info ? std::string_view(info->name) : std::string_view("?");
 }
 
 u32
 implTileSize(Impl impl)
 {
-    switch (impl) {
-      case Impl::Tile8: return 8;
-      case Impl::Tile32: return 32;
-      case Impl::Tile128: return 128;
-      default: return 0;
-    }
+    const auto *info = ImplRegistry::instance().find(impl);
+    return info ? info->tileSize : 0;
 }
 
 RunResult
 runInference(dnn::DeviceNetwork &net, Impl impl)
 {
-    switch (impl) {
-      case Impl::Base:
-        return runBase(net);
-      case Impl::Tile8:
-      case Impl::Tile32:
-      case Impl::Tile128:
-        return runTiled(net, implTileSize(impl));
-      case Impl::Sonic:
-        return runSonic(net);
-      case Impl::Tails:
-        return tails::runTails(net);
-    }
-    panic("bad Impl");
+    const auto *info = ImplRegistry::instance().find(impl);
+    SONIC_ASSERT(info != nullptr, "unregistered Impl");
+    return info->entry(net, info->tileSize);
 }
 
 } // namespace sonic::kernels

@@ -1,6 +1,6 @@
 /**
  * @file
- * The six inference implementations the paper evaluates (Sec. 8
+ * The inference implementations the paper evaluates (Sec. 8
  * "Baselines for comparison"):
  *
  *  - Base:     a standard implementation with volatile loop state and
@@ -18,11 +18,18 @@
  *              undo-logging (Sec. 6).
  *  - Tails:    SONIC plus LEA/DMA hardware acceleration with one-time
  *              tile calibration (Sec. 7); implemented in src/tails.
+ *
+ * Dispatch goes through ImplRegistry, a name -> tile size -> entry
+ * point table. The six paper implementations are pre-registered;
+ * additional variants (a Tile-64, an accelerated kernel, ...) register
+ * at startup via ImplRegistry::add() and become sweepable without any
+ * change to this file.
  */
 
 #ifndef SONIC_KERNELS_RUNNER_HH
 #define SONIC_KERNELS_RUNNER_HH
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -32,7 +39,11 @@
 namespace sonic::kernels
 {
 
-/** Which inference implementation to run. */
+/**
+ * Identifier of a registered inference implementation. The named
+ * values are the paper's six; ids beyond Tails are assigned
+ * dynamically by ImplRegistry::add().
+ */
 enum class Impl : u8
 {
     Base,
@@ -43,14 +54,10 @@ enum class Impl : u8
     Tails
 };
 
+/** The paper's six implementations (the Fig. 9 sweep axis). */
 inline constexpr Impl kAllImpls[] = {Impl::Base, Impl::Tile8, Impl::Tile32,
                                      Impl::Tile128, Impl::Sonic,
                                      Impl::Tails};
-
-std::string_view implName(Impl impl);
-
-/** Tile size of a tiled implementation (0 otherwise). */
-u32 implTileSize(Impl impl);
 
 /** Outcome of one inference attempt. */
 struct RunResult
@@ -60,16 +67,75 @@ struct RunResult
     u64 reboots = 0;
     u64 tasksExecuted = 0;
     std::vector<i16> logits; ///< valid when completed
+    u32 calibTileWords = 0;  ///< TAILS' converged LEA tile (0 if n/a)
 };
 
 /**
+ * An implementation entry point. The tile argument is the registered
+ * tile size (0 for untiled implementations); entries that do not tile
+ * ignore it.
+ */
+using ImplEntry = RunResult (*)(dnn::DeviceNetwork &net, u32 tile);
+
+/** One registry row. */
+struct ImplInfo
+{
+    Impl id = Impl::Base;
+    std::string name;  ///< stable display/lookup name ("SONIC")
+    u32 tileSize = 0;  ///< task tile in elements (0 = untiled)
+    ImplEntry entry = nullptr;
+};
+
+/**
+ * The process-wide implementation registry. Thread-safe; rows are
+ * stable once added (lookups return pointers that stay valid).
+ */
+class ImplRegistry
+{
+  public:
+    /** The singleton, with the paper's six implementations loaded. */
+    static ImplRegistry &instance();
+
+    /**
+     * Register a new implementation under a fresh id. Names must be
+     * unique; re-registering an existing name panics.
+     */
+    Impl add(std::string name, u32 tileSize, ImplEntry entry);
+
+    /** Lookup by id; nullptr if unknown. */
+    const ImplInfo *find(Impl id) const;
+
+    /** Lookup by exact name; nullptr if unknown. */
+    const ImplInfo *find(std::string_view name) const;
+
+    /** All registered ids, in registration order. */
+    std::vector<Impl> all() const;
+
+    /** Number of registered implementations. */
+    u32 size() const;
+
+  private:
+    ImplRegistry();
+
+    struct State;
+    State *state_;
+};
+
+/** Stable implementation name ("?" if unregistered). */
+std::string_view implName(Impl impl);
+
+/** Tile size of a tiled implementation (0 otherwise). */
+u32 implTileSize(Impl impl);
+
+/**
  * Run one inference of the flashed network with the given
- * implementation. The input must already be loaded
- * (DeviceNetwork::loadInput). Statistics accumulate on the device.
+ * implementation (registry dispatch). The input must already be
+ * loaded (DeviceNetwork::loadInput). Statistics accumulate on the
+ * device.
  */
 RunResult runInference(dnn::DeviceNetwork &net, Impl impl);
 
-/** Individual entry points (used by tests and by runInference). */
+/** Individual entry points (used by tests and by the registry). */
 RunResult runBase(dnn::DeviceNetwork &net);
 RunResult runTiled(dnn::DeviceNetwork &net, u32 tile);
 RunResult runSonic(dnn::DeviceNetwork &net);

@@ -535,6 +535,7 @@ runTails(dnn::DeviceNetwork &net, CalibrationInfo *calibration)
     result.tasksExecuted = run.tasksExecuted;
     if (run.completed)
         result.logits = net.peekLogits();
+    result.calibTileWords = builder.calibratedTile();
     if (calibration != nullptr) {
         calibration->tileWords = builder.calibratedTile();
         calibration->attempts = 1;

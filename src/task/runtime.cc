@@ -6,11 +6,27 @@ namespace sonic::task
 {
 
 void
+Runtime::pushLog(const LogEntry &entry)
+{
+    log_.push_back(entry);
+    // Latest write to a location wins on reads, exactly as the old
+    // reverse scan resolved it.
+    logIndex_[{entry.target, entry.idx, entry.kind}] = entry.value;
+}
+
+void
+Runtime::clearLog()
+{
+    log_.clear();
+    logIndex_.clear();
+}
+
+void
 Runtime::logWrite(arch::NvArray<i16> &arr, u32 idx, i16 value)
 {
     SONIC_ASSERT(idx < arr.size());
     dev_.consume(arch::Op::LogWrite);
-    log_.push_back({LogEntry::Arr16, &arr, idx, value});
+    pushLog({LogEntry::Arr16, &arr, idx, value});
 }
 
 i16
@@ -18,15 +34,13 @@ Runtime::logRead(const arch::NvArray<i16> &arr, u32 idx)
 {
     SONIC_ASSERT(idx < arr.size());
     // Alpaca resolves privatized locations statically, so a read costs
-    // the FRAM access plus an indirection; the host-side scan below is
-    // the semantic lookup, not a charged one.
+    // the FRAM access plus an indirection; the host-side index lookup
+    // below is the semantic lookup, not a charged one.
     dev_.consume(arch::Op::FramLoad);
     dev_.consume(arch::Op::RegOp, 6);
-    for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
-        if (it->kind == LogEntry::Arr16 && it->target == &arr
-            && it->idx == idx)
-            return static_cast<i16>(it->value);
-    }
+    const auto it = logIndex_.find({&arr, idx, LogEntry::Arr16});
+    if (it != logIndex_.end())
+        return static_cast<i16>(it->second);
     return arr.peek(idx);
 }
 
@@ -34,7 +48,7 @@ void
 Runtime::logWrite(arch::NvVar<i32> &var, i32 value)
 {
     dev_.consume(arch::Op::LogWrite);
-    log_.push_back({LogEntry::Var32, &var, 0, value});
+    pushLog({LogEntry::Var32, &var, 0, value});
 }
 
 i32
@@ -42,10 +56,9 @@ Runtime::logRead(const arch::NvVar<i32> &var)
 {
     dev_.consume(arch::Op::FramLoad, 2);
     dev_.consume(arch::Op::RegOp, 6);
-    for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
-        if (it->kind == LogEntry::Var32 && it->target == &var)
-            return it->value;
-    }
+    const auto it = logIndex_.find({&var, 0, LogEntry::Var32});
+    if (it != logIndex_.end())
+        return it->second;
     return var.peek();
 }
 
@@ -53,7 +66,7 @@ void
 Runtime::logWrite(arch::NvVar<i16> &var, i16 value)
 {
     dev_.consume(arch::Op::LogWrite);
-    log_.push_back({LogEntry::Var16, &var, 0, value});
+    pushLog({LogEntry::Var16, &var, 0, value});
 }
 
 i16
@@ -61,10 +74,9 @@ Runtime::logRead(const arch::NvVar<i16> &var)
 {
     dev_.consume(arch::Op::FramLoad);
     dev_.consume(arch::Op::RegOp, 6);
-    for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
-        if (it->kind == LogEntry::Var16 && it->target == &var)
-            return static_cast<i16>(it->value);
-    }
+    const auto it = logIndex_.find({&var, 0, LogEntry::Var16});
+    if (it != logIndex_.end())
+        return static_cast<i16>(it->second);
     return var.peek();
 }
 
@@ -106,7 +118,7 @@ Scheduler::run(TaskId entry)
     currentTask_.poke(entry);
     committedNext_.poke(kDone);
     commitFlag_.poke(0);
-    runtime_.log_.clear();
+    runtime_.clearLog();
     runtime_.lastProgress_ = ~u64{0};
 
     RunResult result;
@@ -128,7 +140,7 @@ Scheduler::run(TaskId entry)
 
             // Discard any uncommitted log left by an interrupted
             // attempt (reset the log header).
-            runtime_.log_.clear();
+            runtime_.clearLog();
             dev_.consume(arch::Op::FramStore);
             runtime_.progressed_ = false;
 
@@ -184,7 +196,7 @@ Scheduler::commitAndTransition(TaskId next)
     }
     currentTask_.write(next);
     commitFlag_.write(0);
-    runtime_.log_.clear();
+    runtime_.clearLog();
 }
 
 void
@@ -197,7 +209,7 @@ Scheduler::replayCommit()
     const auto next = committedNext_.read();
     currentTask_.write(next);
     commitFlag_.write(0);
-    runtime_.log_.clear();
+    runtime_.clearLog();
 }
 
 } // namespace sonic::task

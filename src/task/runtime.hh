@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/device.hh"
@@ -139,10 +140,55 @@ class Runtime
         i32 value;
     };
 
+    /** Host-side key of one logged location (kind, target, index). */
+    struct LogKey
+    {
+        const void *target;
+        u32 idx;
+        u8 kind;
+
+        bool
+        operator==(const LogKey &o) const
+        {
+            return target == o.target && idx == o.idx
+                && kind == o.kind;
+        }
+    };
+
+    struct LogKeyHash
+    {
+        std::size_t
+        operator()(const LogKey &k) const
+        {
+            // Mix in u64 so the shift stays defined on 32-bit hosts.
+            u64 h = static_cast<u64>(
+                reinterpret_cast<std::uintptr_t>(k.target));
+            h ^= (h >> 33) ^ (static_cast<u64>(k.idx) << 8)
+               ^ static_cast<u64>(k.kind);
+            return static_cast<std::size_t>(
+                h * 0x9e3779b97f4a7c15ull);
+        }
+    };
+
     static void applyEntry(const LogEntry &entry);
+
+    /** Append an entry and index it (latest write wins on reads). */
+    void pushLog(const LogEntry &entry);
+
+    /** Discard the uncommitted log and its read index. */
+    void clearLog();
 
     arch::Device &dev_;
     std::vector<LogEntry> log_;
+
+    /**
+     * Read index over log_: maps each logged location to its latest
+     * uncommitted value, making logRead O(1) instead of a reverse
+     * scan (Tile-128 carries hundred-entry logs and pays a logRead
+     * per task-shared load). Host-side bookkeeping only; the charged
+     * device costs in logRead/logWrite are unchanged.
+     */
+    std::unordered_map<LogKey, i32, LogKeyHash> logIndex_;
 
     u64 lastProgress_ = ~u64{0};
     bool progressed_ = false;

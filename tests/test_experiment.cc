@@ -1,12 +1,12 @@
 /**
  * @file
- * Tests for the experiment harness and the application model (wildlife
- * case study, offload comparison).
+ * Tests for the experiment vocabulary, the engine's single-shot path,
+ * and the application model (wildlife case study, offload comparison).
  */
 
 #include <gtest/gtest.h>
 
-#include "app/experiment.hh"
+#include "app/engine.hh"
 #include "app/wildlife.hh"
 
 namespace sonic::app
@@ -14,10 +14,24 @@ namespace sonic::app
 namespace
 {
 
+Engine &
+engine()
+{
+    static Engine instance;
+    return instance;
+}
+
 TEST(Experiment, PowerNames)
 {
     EXPECT_STREQ(powerName(PowerKind::Continuous), "Continuous");
     EXPECT_STREQ(powerName(PowerKind::Cap100uF), "100uF");
+}
+
+TEST(Experiment, ProfileNames)
+{
+    EXPECT_STREQ(profileName(ProfileVariant::Standard), "standard");
+    EXPECT_STREQ(profileName(ProfileVariant::NoLea), "no-lea");
+    EXPECT_STREQ(profileName(ProfileVariant::NoDma), "no-dma");
 }
 
 TEST(Experiment, MakePowerKinds)
@@ -28,12 +42,14 @@ TEST(Experiment, MakePowerKinds)
     EXPECT_GT(cap->capacityNj(), 0.0);
 }
 
-TEST(Experiment, CachesAreStable)
+TEST(Experiment, EngineCachesAreStable)
 {
-    const auto &a = cachedCompressed(dnn::NetId::Har);
-    const auto &b = cachedCompressed(dnn::NetId::Har);
+    const auto &a = engine().compressed(dnn::NetId::Har);
+    const auto &b = engine().compressed(dnn::NetId::Har);
     EXPECT_EQ(&a, &b);
-    EXPECT_EQ(cachedDataset(dnn::NetId::Har).size(), 64u);
+    const auto &t = engine().teacher(dnn::NetId::Har);
+    EXPECT_EQ(&t, &engine().teacher(dnn::NetId::Har));
+    EXPECT_EQ(engine().dataset(dnn::NetId::Har).size(), 64u);
 }
 
 TEST(Experiment, BreakdownSumsToLiveTime)
@@ -41,7 +57,7 @@ TEST(Experiment, BreakdownSumsToLiveTime)
     RunSpec spec;
     spec.net = dnn::NetId::Har;
     spec.impl = kernels::Impl::Sonic;
-    const auto r = runExperiment(spec);
+    const auto r = engine().runOne(spec);
     ASSERT_TRUE(r.completed);
     f64 sum = 0.0;
     for (const auto &layer : r.layers)
@@ -54,7 +70,7 @@ TEST(Experiment, EnergyByOpSumsToTotal)
     RunSpec spec;
     spec.net = dnn::NetId::Har;
     spec.impl = kernels::Impl::Sonic;
-    const auto r = runExperiment(spec);
+    const auto r = engine().runOne(spec);
     f64 sum = 0.0;
     for (const auto &[op, joules] : r.energyByOp)
         sum += joules;
@@ -66,7 +82,7 @@ TEST(Experiment, ContinuousHasNoDeadTime)
     RunSpec spec;
     spec.net = dnn::NetId::Har;
     spec.impl = kernels::Impl::Base;
-    const auto r = runExperiment(spec);
+    const auto r = engine().runOne(spec);
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.deadSeconds, 0.0);
     EXPECT_EQ(r.reboots, 0u);
@@ -80,8 +96,8 @@ TEST(Experiment, SampleIndexChangesInput)
     a.sampleIndex = 0;
     RunSpec b = a;
     b.sampleIndex = 1;
-    const auto ra = runExperiment(a);
-    const auto rb = runExperiment(b);
+    const auto ra = engine().runOne(a);
+    const auto rb = engine().runOne(b);
     EXPECT_NE(ra.logits, rb.logits);
 }
 
@@ -91,10 +107,23 @@ TEST(Experiment, AblationProfilesChangeTailsCost)
     spec.net = dnn::NetId::Har;
     spec.impl = kernels::Impl::Tails;
     spec.profile = ProfileVariant::Standard;
-    const auto with_hw = runExperiment(spec);
+    const auto with_hw = engine().runOne(spec);
     spec.profile = ProfileVariant::NoLea;
-    const auto no_lea = runExperiment(spec);
+    const auto no_lea = engine().runOne(spec);
     EXPECT_GT(no_lea.liveSeconds, with_hw.liveSeconds);
+}
+
+TEST(Experiment, TailsRunReportsCalibratedTile)
+{
+    RunSpec spec;
+    spec.net = dnn::NetId::Har;
+    spec.impl = kernels::Impl::Tails;
+    const auto r = engine().runOne(spec);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.tailsTileWords, 0u);
+
+    spec.impl = kernels::Impl::Sonic;
+    EXPECT_EQ(engine().runOne(spec).tailsTileWords, 0u);
 }
 
 TEST(Wildlife, SweepShapes)

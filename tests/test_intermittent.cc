@@ -17,7 +17,7 @@
 
 #include <gtest/gtest.h>
 
-#include "app/experiment.hh"
+#include "app/engine.hh"
 #include "dnn/device_net.hh"
 #include "kernels/runner.hh"
 #include "tails/tails.hh"
@@ -27,6 +27,14 @@ namespace sonic::kernels
 {
 namespace
 {
+
+/** Shared engine so workload caches warm once per test binary. */
+app::Engine &
+testEngine()
+{
+    static app::Engine engine;
+    return engine;
+}
 
 std::vector<i16>
 runTinyWith(Impl impl, std::unique_ptr<arch::PowerSupply> psu,
@@ -155,11 +163,11 @@ TEST(Intermittent, HarSonicCapacitorBitIdentical)
     spec.net = dnn::NetId::Har;
     spec.impl = Impl::Sonic;
     spec.power = app::PowerKind::Continuous;
-    const auto cont = app::runExperiment(spec);
+    const auto cont = testEngine().runOne(spec);
     ASSERT_TRUE(cont.completed);
 
     spec.power = app::PowerKind::Cap100uF;
-    const auto inter = app::runExperiment(spec);
+    const auto inter = testEngine().runOne(spec);
     ASSERT_TRUE(inter.completed);
     EXPECT_GT(inter.reboots, 50u);
     EXPECT_EQ(inter.logits, cont.logits);
@@ -172,11 +180,11 @@ TEST(Intermittent, OkgTailsCapacitorBitIdentical)
     spec.net = dnn::NetId::Okg;
     spec.impl = Impl::Tails;
     spec.power = app::PowerKind::Continuous;
-    const auto cont = app::runExperiment(spec);
+    const auto cont = testEngine().runOne(spec);
     ASSERT_TRUE(cont.completed);
 
     spec.power = app::PowerKind::Cap100uF;
-    const auto inter = app::runExperiment(spec);
+    const auto inter = testEngine().runOne(spec);
     ASSERT_TRUE(inter.completed);
     EXPECT_GT(inter.reboots, 20u);
     EXPECT_EQ(inter.logits, cont.logits);
@@ -188,7 +196,7 @@ TEST(Intermittent, BaseDoesNotCompleteOnHarvestedPower)
     spec.net = dnn::NetId::Har;
     spec.impl = Impl::Base;
     spec.power = app::PowerKind::Cap100uF;
-    const auto r = app::runExperiment(spec);
+    const auto r = testEngine().runOne(spec);
     EXPECT_FALSE(r.completed);
     EXPECT_TRUE(r.nonTerminating);
 }
@@ -199,7 +207,7 @@ TEST(Intermittent, Tile128DoesNotCompleteAt100uF)
     spec.net = dnn::NetId::Okg;
     spec.impl = Impl::Tile128;
     spec.power = app::PowerKind::Cap100uF;
-    const auto r = app::runExperiment(spec);
+    const auto r = testEngine().runOne(spec);
     EXPECT_FALSE(r.completed);
     EXPECT_TRUE(r.nonTerminating);
 }
@@ -211,10 +219,10 @@ TEST(Intermittent, Tile32CompletesOnHarButNotMnist)
     spec.power = app::PowerKind::Cap100uF;
 
     spec.net = dnn::NetId::Har;
-    EXPECT_TRUE(app::runExperiment(spec).completed);
+    EXPECT_TRUE(testEngine().runOne(spec).completed);
 
     spec.net = dnn::NetId::Mnist;
-    const auto mnist = app::runExperiment(spec);
+    const auto mnist = testEngine().runOne(spec);
     EXPECT_FALSE(mnist.completed);
     EXPECT_TRUE(mnist.nonTerminating);
 }
@@ -225,12 +233,12 @@ TEST(Intermittent, SonicConsistentAcrossCapacitorSizes)
     spec.net = dnn::NetId::Har;
     spec.impl = Impl::Sonic;
     spec.power = app::PowerKind::Continuous;
-    const auto golden = app::runExperiment(spec);
+    const auto golden = testEngine().runOne(spec);
     ASSERT_TRUE(golden.completed);
     for (auto power : {app::PowerKind::Cap50mF, app::PowerKind::Cap1mF,
                        app::PowerKind::Cap100uF}) {
         spec.power = power;
-        const auto r = app::runExperiment(spec);
+        const auto r = testEngine().runOne(spec);
         ASSERT_TRUE(r.completed) << app::powerName(power);
         EXPECT_EQ(r.logits, golden.logits) << app::powerName(power);
         // Live time is the same work regardless of the power system

@@ -118,6 +118,46 @@ TEST(Runtime, UncommittedWritesDiscardedOnFailure)
     EXPECT_EQ(arr.peek(0), 102); // second attempt committed
 }
 
+TEST(Runtime, LogIndexResolvesLargeLogsLatestWins)
+{
+    // The O(1) read index must agree with what the old reverse scan
+    // computed: the latest uncommitted write to each location wins,
+    // unlogged locations fall through to home, and the log itself
+    // still records every entry (commit order is unchanged).
+    auto dev = continuousDevice();
+    Program prog;
+    NvArray<i16> arr(dev, 256, "a");
+    NvVar<i32> big(dev, "big", -7);
+    for (u32 k = 0; k < 256; ++k)
+        arr.poke(k, static_cast<i16>(k));
+    bool ok = true;
+    u64 entries = 0;
+    const TaskId t = prog.addTask("t", [&](Runtime &rt) {
+        // Three overwrite rounds across half the array.
+        for (int round = 0; round < 3; ++round)
+            for (u32 k = 0; k < 256; k += 2)
+                rt.logWrite(arr, k,
+                            static_cast<i16>(1000 * round + k));
+        rt.logWrite(big, 41);
+        rt.logWrite(big, 42);
+        for (u32 k = 0; k < 256; ++k) {
+            const i16 expect = (k % 2 == 0)
+                ? static_cast<i16>(2000 + k)
+                : static_cast<i16>(k); // unlogged -> home value
+            ok = ok && rt.logRead(arr, k) == expect;
+        }
+        ok = ok && rt.logRead(big) == 42;
+        entries = rt.logSize();
+        return kDone;
+    });
+    Scheduler sched(dev, prog);
+    EXPECT_TRUE(sched.run(t).completed);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(entries, 3u * 128u + 2u); // entries, not locations
+    EXPECT_EQ(arr.peek(2), 2002);       // committed latest value
+    EXPECT_EQ(big.peek(), 42);
+}
+
 TEST(Runtime, LastLoggedWriteWins)
 {
     auto dev = continuousDevice();
