@@ -1,25 +1,82 @@
 #include "arch/device.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hh"
 
 namespace sonic::arch
 {
 
+namespace
+{
+
+/** What the Device asks for when opening a lease: effectively "all you
+ * can promise". Supplies clamp to what they can actually honor. */
+constexpr f64 kLeaseAskNj = std::numeric_limits<f64>::infinity();
+constexpr u64 kLeaseAskOps = ~u64{0};
+
+} // namespace
+
 Device::Device(EnergyProfile profile, std::unique_ptr<PowerSupply> power,
                DeviceConfig config)
-    : profile_(profile), power_(std::move(power)), config_(config)
+    : profile_(profile), power_(std::move(power)), config_(config),
+      leaseEnabled_(!config.perOpPowerDraw)
 {
     SONIC_ASSERT(power_ != nullptr);
+    costs_ = profile_.table().data();
+    bucket_ = &stats_.bucketRef(layer_, part_);
 }
 
 Device::~Device() = default;
 
+void
+Device::consumeSlow(f64 nj)
+{
+    settleLease();
+    if (!power_->draw(nj)) {
+        ++rebootPending_;
+        throw PowerFailure();
+    }
+    if (leaseEnabled_) {
+        const EnergyLease lease = power_->grant(kLeaseAskNj, kLeaseAskOps);
+        leaseNj_ = lease.nj;
+        leaseOps_ = lease.ops;
+        grantedOps_ = lease.ops;
+        leaseOutstanding_ = true;
+    }
+}
+
+void
+Device::settleLease() const
+{
+    // Every grant() is settled exactly once, even a zero-op grant — a
+    // supply may have transferred budget out in grant() regardless.
+    if (!leaseOutstanding_)
+        return;
+    power_->settle(leaseNj_, leaseUsedNj_, grantedOps_ - leaseOps_);
+    leaseOutstanding_ = false;
+    leaseOps_ = 0;
+    grantedOps_ = 0;
+    leaseNj_ = 0.0;
+    leaseUsedNj_ = 0.0;
+}
+
+void
+Device::setLeasing(bool enabled)
+{
+    settleLease();
+    leaseEnabled_ = enabled;
+}
+
 u16
 Device::registerLayer(const std::string &name)
 {
-    return stats_.registerLayer(name);
+    const u16 id = stats_.registerLayer(name);
+    // Bucket addresses are stable, but re-derive defensively in case a
+    // future Stats changes storage.
+    bucket_ = &stats_.bucketRef(layer_, part_);
+    return id;
 }
 
 void
@@ -73,7 +130,13 @@ Device::unregisterVolatile(VolatileResettable *v)
 void
 Device::reboot()
 {
+    // A reboot can be requested directly (tests, host tooling) with a
+    // lease still open; book it before the supply recharges.
+    settleLease();
     ++rebootCount_;
+    // Consume the whole failure backlog: however many PowerFailures
+    // were charged since the last reboot (normally exactly one — a
+    // failing bulk charge counts once), this models one power cycle.
     rebootPending_ = 0;
     deadSeconds_ += power_->recharge();
     for (auto *v : volatiles_)

@@ -44,6 +44,14 @@ struct DeviceConfig
     u64 framCapacityBytes = 256 * 1024;
     u64 sramCapacityBytes = 4 * 1024;
     bool enforceCapacity = true;    ///< panic if allocations exceed caps
+
+    /**
+     * Debug/reference mode: disable energy leasing so every consume
+     * crosses the virtual PowerSupply::draw boundary individually.
+     * The equivalence suite runs both modes and asserts bit-identical
+     * outputs, stats, reboot counts and failure indices.
+     */
+    bool perOpPowerDraw = false;
 };
 
 /**
@@ -62,29 +70,82 @@ class Device
 
     /**
      * Charge count instances of op to the current attribution bucket.
+     *
+     * This is the simulation's innermost loop: the common case is a
+     * handful of direct counter increments plus a countdown against the
+     * current energy lease — no virtual call, no bucket lookup. The
+     * virtual PowerSupply boundary is crossed only in consumeSlow(),
+     * when the lease is exhausted (or leasing is disabled). Because op
+     * costs are deterministic and the lease countdown performs the very
+     * subtraction sequence the supply would have, a brown-out lands on
+     * the bit-identical operation either way.
+     *
+     * One consume call counts as one draw regardless of count, exactly
+     * as one PowerSupply::draw call did — the unit the fault injectors
+     * count.
+     *
      * @throws PowerFailure if the supply cannot deliver the energy.
      */
     void
     consume(Op op, u64 count = 1)
     {
-        const auto &c = profile_.cost(op);
+        const EnergyProfile::Cost &c = costs_[static_cast<u32>(op)];
         const u64 cycles = c.cycles * count;
         const f64 nj = c.nanojoules * static_cast<f64>(count);
         totalCycles_ += cycles;
-        stats_.add(layer_, part_, op, count, cycles, nj);
-        if (!power_->draw(nj)) {
-            ++rebootPending_;
-            throw PowerFailure();
+        const auto op_idx = static_cast<u32>(op);
+        bucket_->count[op_idx] += count;
+        bucket_->cycles[op_idx] += cycles;
+        bucket_->nanojoules[op_idx] += nj;
+        if (leaseOps_ != 0 && leaseNj_ >= nj) [[likely]] {
+            --leaseOps_;
+            leaseNj_ -= nj;
+            leaseUsedNj_ += nj;
+            return;
         }
+        consumeSlow(nj);
     }
 
     /** @name Attribution */
     /// @{
     u16 registerLayer(const std::string &name);
-    void setLayer(u16 layer) { layer_ = layer; }
-    void setPart(Part part) { part_ = part; }
+
+    void
+    setLayer(u16 layer)
+    {
+        layer_ = layer;
+        bucket_ = &stats_.bucketRef(layer_, part_);
+    }
+
+    void
+    setPart(Part part)
+    {
+        part_ = part;
+        bucket_ = &stats_.bucketRef(layer_, part_);
+    }
+
     u16 currentLayer() const { return layer_; }
     Part currentPart() const { return part_; }
+    /// @}
+
+    /** @name Energy lease control (see PowerSupply::grant) */
+    /// @{
+
+    /**
+     * Enable/disable the lease fast path at runtime. Disabling settles
+     * any open lease and reverts to one virtual draw per consume.
+     */
+    void setLeasing(bool enabled);
+    bool leasingEnabled() const { return leaseEnabled_; }
+
+    /**
+     * Failures charged but not yet modelled as a reboot. consume()
+     * increments this exactly once per PowerFailure it throws — a
+     * failing bulk (count > 1) charge is still one failure — and
+     * reboot() consumes the whole backlog, so a failure can never be
+     * double-counted.
+     */
+    u64 rebootsPending() const { return rebootPending_; }
     /// @}
 
     /** @name Memory accounting and volatile registry */
@@ -120,19 +181,68 @@ class Device
     f64 consumedJoules() const { return stats_.totalNanojoules() * 1e-9; }
     /// @}
 
-    PowerSupply &power() { return *power_; }
-    const PowerSupply &power() const { return *power_; }
+    /**
+     * Direct supply access. Settles (and drops) any open lease first so
+     * external inspection — harvestedNj for IMpJ, levelNj diagnostics —
+     * and external mutation (reset) always see/act on fully booked
+     * supply state; the next consume opens a fresh lease.
+     */
+    PowerSupply &
+    power()
+    {
+        settleLease();
+        return *power_;
+    }
+
+    const PowerSupply &
+    power() const
+    {
+        settleLease();
+        return *power_;
+    }
+
     const EnergyProfile &profile() const { return profile_; }
     const DeviceConfig &config() const { return config_; }
 
   private:
+    /**
+     * Lease-miss path: settle the spent lease, pay for this operation
+     * through the virtual draw, and open a fresh lease. Out of line to
+     * keep consume()'s inlined body minimal.
+     */
+    void consumeSlow(f64 nj);
+
+    /** Close the open lease, returning unused budget to the supply. */
+    void settleLease() const;
+
     EnergyProfile profile_;
     std::unique_ptr<PowerSupply> power_;
     DeviceConfig config_;
     Stats stats_;
 
+    /** Cost table base pointer (profile_ is immutable after build). */
+    const EnergyProfile::Cost *costs_ = nullptr;
+
     u16 layer_ = 0;
     Part part_ = Part::Control;
+
+    /** Cached (layer_, part_) counters — Stats buckets are address-
+     * stable, so this is refreshed only on attribution changes. */
+    OpCounters *bucket_ = nullptr;
+
+    /**
+     * The open energy lease (mutable: settling from const accessors is
+     * logically non-observable). leaseOps_/leaseNj_ count down what
+     * remains; leaseUsedNj_ accumulates the energy settle() must book
+     * (the exact += sequence a per-op supply would have summed), and
+     * the op usage is derived as grantedOps_ - leaseOps_.
+     */
+    bool leaseEnabled_ = true;
+    mutable bool leaseOutstanding_ = false;
+    mutable u64 leaseOps_ = 0;
+    mutable u64 grantedOps_ = 0;
+    mutable f64 leaseNj_ = 0.0;
+    mutable f64 leaseUsedNj_ = 0.0;
 
     u64 totalCycles_ = 0;
     f64 deadSeconds_ = 0.0;

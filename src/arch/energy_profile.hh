@@ -55,6 +55,13 @@ class EnergyProfile
     f64 nanojoules(Op op) const { return cost(op).nanojoules; }
 
     /**
+     * The whole cost table, for callers that index it per simulated
+     * operation (the Device caches table().data() so its consume fast
+     * path is a single array load with no accessor indirection).
+     */
+    const std::array<Cost, kNumOps> &table() const { return costs_; }
+
+    /**
      * The default profile: a TI MSP430FR5994 at 16 MHz with the LEA
      * vector unit, tuned so continuous-power runtime-system overheads
      * reproduce the paper's reported ratios.

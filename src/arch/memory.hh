@@ -16,6 +16,7 @@
 #ifndef SONIC_ARCH_MEMORY_HH
 #define SONIC_ARCH_MEMORY_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,7 @@ class NvArray
     T
     read(u64 i) const
     {
-        SONIC_ASSERT(i < data_.size(), "NvArray '", name_, "' read OOB");
+        SONIC_DASSERT(i < data_.size(), "NvArray '", name_, "' read OOB");
         dev_.consume(Op::FramLoad, words());
         return data_[i];
     }
@@ -57,23 +58,95 @@ class NvArray
     void
     write(u64 i, T v)
     {
-        SONIC_ASSERT(i < data_.size(), "NvArray '", name_, "' write OOB");
+        SONIC_DASSERT(i < data_.size(), "NvArray '", name_, "' write OOB");
         dev_.consume(Op::FramStore, words());
         data_[i] = v;
     }
+
+    /** @name Bulk span accessors
+     * Charge n elements' worth of word accesses in a single consume
+     * call (one power-supply interaction instead of n), with identical
+     * cycle/energy/op-count totals to n single accesses. A span is
+     * atomic: PowerFailure is thrown before any element transfers, so
+     * callers must only use spans where an all-or-nothing unit is
+     * acceptable (write-once/idempotent loops — see the kernels).
+     */
+    /// @{
+
+    /** Charged bulk read of [base, base+n) into out. */
+    void
+    readRange(u64 base, u64 n, T *out) const
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "NvArray '", name_,
+                      "' readRange OOB");
+        dev_.consume(Op::FramLoad, words() * n);
+        std::copy_n(data_.begin() + static_cast<i64>(base), n, out);
+    }
+
+    /** Charged strided bulk read: out[k] = [base + k*stride], one
+     * charge for the whole gather (a dense-FC weight column). */
+    void
+    readStride(u64 base, u64 stride, u64 n, T *out) const
+    {
+        SONIC_DASSERT(n == 0
+                          || base + (n - 1) * stride < data_.size(),
+                      "NvArray '", name_, "' readStride OOB");
+        dev_.consume(Op::FramLoad, words() * n);
+        for (u64 k = 0; k < n; ++k)
+            out[k] = data_[base + k * stride];
+    }
+
+    /** Charged bulk write of [base, base+n) from src; all-or-nothing. */
+    void
+    writeRange(u64 base, u64 n, const T *src)
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "NvArray '", name_,
+                      "' writeRange OOB");
+        dev_.consume(Op::FramStore, words() * n);
+        std::copy_n(src, n, data_.begin() + static_cast<i64>(base));
+    }
+
+    /** Charged bulk fill of [base, base+n) with v; all-or-nothing. */
+    void
+    fillRange(u64 base, u64 n, T v)
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "NvArray '", name_,
+                      "' fillRange OOB");
+        dev_.consume(Op::FramStore, words() * n);
+        std::fill_n(data_.begin() + static_cast<i64>(base), n, v);
+    }
+
+    /**
+     * Charged bulk read-modify-write of [base, base+n): charges n
+     * loads then n stores (two consume calls), then applies
+     * f(old_value, span_index) -> new_value to each element. The span
+     * updates only after both charges succeed.
+     */
+    template <typename F>
+    void
+    accumRange(u64 base, u64 n, F &&f)
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "NvArray '", name_,
+                      "' accumRange OOB");
+        dev_.consume(Op::FramLoad, words() * n);
+        dev_.consume(Op::FramStore, words() * n);
+        for (u64 k = 0; k < n; ++k)
+            data_[base + k] = f(data_[base + k], k);
+    }
+    /// @}
 
     /** Uncharged host access (initialization / verification only). */
     T
     peek(u64 i) const
     {
-        SONIC_ASSERT(i < data_.size());
+        SONIC_DASSERT(i < data_.size());
         return data_[i];
     }
 
     void
     poke(u64 i, T v)
     {
-        SONIC_ASSERT(i < data_.size());
+        SONIC_DASSERT(i < data_.size());
         data_[i] = v;
     }
 
@@ -131,6 +204,21 @@ class NvVar
         value_ = v;
     }
 
+    /**
+     * Charge n logically-consecutive writes of which only the last
+     * value is observable — the shape of a loop-carried index that a
+     * span-processing loop would have stored n times. Cycle/energy/op
+     * totals match n write() calls; the unit is atomic (the value only
+     * lands if the whole charge succeeds), which is safe exactly where
+     * the span itself is idempotent.
+     */
+    void
+    writeCoalesced(T v, u64 n)
+    {
+        dev_.consume(Op::FramStore, words() * n);
+        value_ = v;
+    }
+
     /** Uncharged host access. */
     T peek() const { return value_; }
     void poke(T v) { value_ = v; }
@@ -176,7 +264,7 @@ class VolArray : public VolatileResettable
     T
     read(u64 i) const
     {
-        SONIC_ASSERT(i < data_.size(), "VolArray '", name_, "' read OOB");
+        SONIC_DASSERT(i < data_.size(), "VolArray '", name_, "' read OOB");
         dev_.consume(Op::SramLoad, words());
         return data_[i];
     }
@@ -184,22 +272,64 @@ class VolArray : public VolatileResettable
     void
     write(u64 i, T v)
     {
-        SONIC_ASSERT(i < data_.size(), "VolArray '", name_, "' write OOB");
+        SONIC_DASSERT(i < data_.size(), "VolArray '", name_, "' write OOB");
         dev_.consume(Op::SramStore, words());
         data_[i] = v;
     }
 
+    /** @name Bulk span accessors (see NvArray) */
+    /// @{
+    void
+    readRange(u64 base, u64 n, T *out) const
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "VolArray '", name_,
+                      "' readRange OOB");
+        dev_.consume(Op::SramLoad, words() * n);
+        std::copy_n(data_.begin() + static_cast<i64>(base), n, out);
+    }
+
+    void
+    writeRange(u64 base, u64 n, const T *src)
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "VolArray '", name_,
+                      "' writeRange OOB");
+        dev_.consume(Op::SramStore, words() * n);
+        std::copy_n(src, n, data_.begin() + static_cast<i64>(base));
+    }
+
+    void
+    fillRange(u64 base, u64 n, T v)
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "VolArray '", name_,
+                      "' fillRange OOB");
+        dev_.consume(Op::SramStore, words() * n);
+        std::fill_n(data_.begin() + static_cast<i64>(base), n, v);
+    }
+
+    template <typename F>
+    void
+    accumRange(u64 base, u64 n, F &&f)
+    {
+        SONIC_DASSERT(base + n <= data_.size(), "VolArray '", name_,
+                      "' accumRange OOB");
+        dev_.consume(Op::SramLoad, words() * n);
+        dev_.consume(Op::SramStore, words() * n);
+        for (u64 k = 0; k < n; ++k)
+            data_[base + k] = f(data_[base + k], k);
+    }
+    /// @}
+
     T
     peek(u64 i) const
     {
-        SONIC_ASSERT(i < data_.size());
+        SONIC_DASSERT(i < data_.size());
         return data_[i];
     }
 
     void
     poke(u64 i, T v)
     {
-        SONIC_ASSERT(i < data_.size());
+        SONIC_DASSERT(i < data_.size());
         data_[i] = v;
     }
 

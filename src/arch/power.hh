@@ -9,6 +9,7 @@
 #ifndef SONIC_ARCH_POWER_HH
 #define SONIC_ARCH_POWER_HH
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -29,8 +30,40 @@ class PowerFailure : public std::runtime_error
 };
 
 /**
- * Abstract energy source. draw() is called for every charged operation;
- * returning false means the device browns out mid-operation.
+ * A prepaid energy budget handed to the Device by its PowerSupply (the
+ * "energy lease"). While a lease is open the Device charges operations
+ * against it with plain arithmetic — no virtual call — and crosses the
+ * virtual boundary again only when the lease runs out. A lease covers
+ * at most `ops` draw-calls and at most `nj` nanojoules; `ops == 0`
+ * means no lease was granted and every operation must go through
+ * draw() individually (the legacy per-op path).
+ */
+struct EnergyLease
+{
+    f64 nj = 0.0; ///< energy budget; may be +infinity (unbounded)
+    u64 ops = 0;  ///< draw-calls covered; 0 = no lease granted
+};
+
+/**
+ * Abstract energy source. draw() is called for every charged operation
+ * on the slow path; returning false means the device browns out
+ * mid-operation. Supplies that can predict when they will next fail
+ * additionally implement grant()/settle() so the Device can run the
+ * common case without any virtual dispatch.
+ *
+ * Lease protocol contract (what keeps the fast path bit-identical to
+ * per-op draws):
+ *  - grant(max_nj, max_ops) returns a budget the supply promises to
+ *    honor: every draw within it would have succeeded. A supply that
+ *    would fail on the very next draw grants ops == 0.
+ *  - The Device counts one lease op per consume call (the same unit a
+ *    draw() call is), and subtracts each operation's energy from the
+ *    lease in operation order — the identical floating-point sequence
+ *    the supply itself would have computed.
+ *  - settle(unused_nj, used_nj, used_ops) returns an open lease: the
+ *    unconsumed energy goes back, the consumed energy and op count are
+ *    booked. The Device always settles before any other supply entry
+ *    point (draw, recharge, reset, external inspection).
  */
 class PowerSupply
 {
@@ -39,6 +72,31 @@ class PowerSupply
 
     /** Attempt to draw nj nanojoules; false means power failure. */
     virtual bool draw(f64 nj) = 0;
+
+    /**
+     * Open an energy lease of at most max_nj nanojoules covering at
+     * most max_ops draw-calls. Default: no lease (per-op draws), so
+     * custom supplies keep exact legacy behavior.
+     */
+    virtual EnergyLease
+    grant(f64 max_nj, u64 max_ops)
+    {
+        (void)max_nj;
+        (void)max_ops;
+        return {};
+    }
+
+    /**
+     * Close the current lease: return the unused remainder and book
+     * what was consumed. Called exactly once per grant().
+     */
+    virtual void
+    settle(f64 unused_nj, f64 used_nj, u64 used_ops)
+    {
+        (void)unused_nj;
+        (void)used_nj;
+        (void)used_ops;
+    }
 
     /**
      * Refill the buffer after a failure.
@@ -71,6 +129,19 @@ class ContinuousPower : public PowerSupply
     {
         drawn_ += nj;
         return true;
+    }
+
+    /** Unbounded: grant everything that was asked for. */
+    EnergyLease
+    grant(f64 max_nj, u64 max_ops) override
+    {
+        return {max_nj, max_ops};
+    }
+
+    void
+    settle(f64 /*unused_nj*/, f64 used_nj, u64 /*used_ops*/) override
+    {
+        drawn_ += used_nj;
     }
 
     f64 recharge() override { return 0.0; }
@@ -110,6 +181,27 @@ class CapacitorPower : public PowerSupply
                    f64 v_max = 2.28, f64 v_min = 2.213);
 
     bool draw(f64 nj) override;
+
+    /**
+     * Hand the whole remaining charge out as the lease. The Device's
+     * countdown then performs the very same subtraction sequence
+     * CapacitorPower::draw would have, so the brown-out lands on the
+     * bit-identical operation; settle() puts the remainder back.
+     */
+    EnergyLease
+    grant(f64 /*max_nj*/, u64 max_ops) override
+    {
+        const f64 nj = levelNj_;
+        levelNj_ = 0.0;
+        return {nj, max_ops};
+    }
+
+    void
+    settle(f64 unused_nj, f64 /*used_nj*/, u64 /*used_ops*/) override
+    {
+        levelNj_ += unused_nj;
+    }
+
     f64 recharge() override;
     void reset() override;
     bool intermittent() const override { return true; }
@@ -150,6 +242,23 @@ class FailOnceAfterOps : public PowerSupply
             return false;
         }
         return true;
+    }
+
+    /** Lease exactly the draws that remain before the injected fault
+     * (unbounded energy — this injector fails by op count). */
+    EnergyLease
+    grant(f64 max_nj, u64 max_ops) override
+    {
+        const u64 ops =
+            failed_ ? max_ops : std::min(max_ops, failAfter_ - ops_);
+        return {max_nj, ops};
+    }
+
+    void
+    settle(f64 /*unused_nj*/, f64 used_nj, u64 used_ops) override
+    {
+        drawn_ += used_nj;
+        ops_ += used_ops;
     }
 
     f64 recharge() override { return 0.0; }
@@ -203,6 +312,24 @@ class FailEveryOps : public PowerSupply
             return false;
         }
         return true;
+    }
+
+    /** Lease the draws left in the current period (the next one after
+     * those fails; with period <= 1 every draw takes the slow path —
+     * period 0 degenerates to failing on every single draw). */
+    EnergyLease
+    grant(f64 max_nj, u64 max_ops) override
+    {
+        const u64 left =
+            ops_ + 1 >= period_ ? 0 : period_ - 1 - ops_;
+        return {max_nj, std::min(max_ops, left)};
+    }
+
+    void
+    settle(f64 /*unused_nj*/, f64 used_nj, u64 used_ops) override
+    {
+        drawn_ += used_nj;
+        ops_ += used_ops;
     }
 
     f64 recharge() override { return deadSeconds_; }

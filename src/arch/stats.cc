@@ -37,17 +37,6 @@ Stats::registerLayer(const std::string &name)
 }
 
 void
-Stats::add(u16 layer, Part part, Op op, u64 count, u64 cycles, f64 nj)
-{
-    SONIC_ASSERT(layer < buckets_.size());
-    auto &bucket = buckets_[layer][static_cast<u32>(part)];
-    const auto op_idx = static_cast<u32>(op);
-    bucket.count[op_idx] += count;
-    bucket.cycles[op_idx] += cycles;
-    bucket.nanojoules[op_idx] += nj;
-}
-
-void
 Stats::reset()
 {
     for (auto &layer : buckets_)
@@ -64,6 +53,13 @@ Stats::layerName(u16 layer) const
 
 const OpCounters &
 Stats::bucket(u16 layer, Part part) const
+{
+    SONIC_ASSERT(layer < buckets_.size());
+    return buckets_[layer][static_cast<u32>(part)];
+}
+
+OpCounters &
+Stats::bucketRef(u16 layer, Part part)
 {
     SONIC_ASSERT(layer < buckets_.size());
     return buckets_[layer][static_cast<u32>(part)];

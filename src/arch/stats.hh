@@ -11,6 +11,7 @@
 #define SONIC_ARCH_STATS_HH
 
 #include <array>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,6 @@ class Stats
     /** Register an attribution layer (e.g., "conv1"); returns its id. */
     u16 registerLayer(const std::string &name);
 
-    /** Record count instances of op in the given bucket. */
-    void add(u16 layer, Part part, Op op, u64 count, u64 cycles, f64 nj);
-
     /** Zero all counters (layer registrations are kept). */
     void reset();
 
@@ -67,6 +65,16 @@ class Stats
     const std::string &layerName(u16 layer) const;
 
     const OpCounters &bucket(u16 layer, Part part) const;
+
+    /**
+     * Mutable bucket for the Device's batched-accounting fast path: the
+     * Device caches this pointer per (layer, part) and bumps the
+     * counters directly, so Stats::add's bounds check and double
+     * indexing are paid once per attribution change instead of once per
+     * simulated operation. Bucket storage is a deque, so the reference
+     * stays valid across registerLayer().
+     */
+    OpCounters &bucketRef(u16 layer, Part part);
 
     /** Sum over parts for one layer. */
     u64 layerCycles(u16 layer) const;
@@ -88,8 +96,8 @@ class Stats
 
   private:
     std::vector<std::string> layers_;
-    // buckets_[layer][part]
-    std::vector<std::array<OpCounters, kNumParts>> buckets_;
+    // buckets_[layer][part]; deque for address stability (see bucketRef)
+    std::deque<std::array<OpCounters, kNumParts>> buckets_;
 };
 
 } // namespace sonic::arch

@@ -9,9 +9,19 @@
  *
  * The whole inference runs as a single task; every local below models a
  * register or stack slot that a power failure clears.
+ *
+ * Host-performance note: the loops below charge the device in bulk —
+ * span reads/writes through readRange/writeRange and batched op-class
+ * charges through the kernel_util helpers — with cycle/energy/op-count
+ * totals and arithmetic evaluation order identical to the per-element
+ * formulation, so logits and every Stats figure are unchanged. Base has
+ * no crash-recovery semantics (a failure restarts the inference), so
+ * the coarser all-or-nothing charge granularity is always safe here.
  */
 
 #include "kernels/runner.hh"
+
+#include <vector>
 
 #include "arch/memory.hh"
 #include "kernels/kernel_util.hh"
@@ -36,6 +46,24 @@ using dnn::DevSparseConv;
 using dnn::DevSparseFc;
 using dnn::DevSparseVec;
 
+/** Host-side copy of a sparse tap vector (uncharged peeks; the loops
+ * below charge the corresponding FRAM loads in bulk where the
+ * per-element code performed them). */
+struct HostTaps
+{
+    std::vector<i16> idx;
+    std::vector<i16> val;
+
+    explicit HostTaps(const DevSparseVec &taps)
+        : idx(taps.nnz), val(taps.nnz)
+    {
+        for (u32 t = 0; t < taps.nnz; ++t) {
+            idx[t] = taps.idx->peek(t);
+            val[t] = taps.val->peek(t);
+        }
+    }
+};
+
 /** Shaped 1-D conv: per-output-element register accumulation.
  * vertical applies taps down columns (stride = width), else along rows. */
 void
@@ -43,24 +71,26 @@ conv1d(Device &dev, const DevSparseVec &taps, NvArray<i16> &src,
        u32 src_base, u32 in_w, NvArray<i16> &dst, u32 dst_base,
        u32 out_h, u32 out_w, bool vertical)
 {
+    const u32 nnz = taps.nnz;
+    const HostTaps host(taps);
     dev.setPart(Part::Kernel);
     for (u32 y = 0; y < out_h; ++y) {
         for (u32 x = 0; x < out_w; ++x) {
+            // Per-element charges, paid once for the whole tap loop:
+            // 2 tap loads + addr2 + 1 src load + MAC + loop step per tap.
+            dev.consume(Op::FramLoad, 2 * nnz);
+            addr2(dev, nnz);
+            dev.consume(Op::FramLoad, nnz); // gathered src reads
+            chargeMacQ(dev, nnz);
+            loopStep(dev, nnz);
             i16 acc = 0;
-            for (u32 t = 0; t < taps.nnz; ++t) {
-                const i16 off = taps.idx->read(t);
-                const i16 w = taps.val->read(t);
-                u32 si;
-                if (vertical) {
-                    si = (y + static_cast<u32>(off)) * in_w + x;
-                    addr2(dev);
-                } else {
-                    si = y * in_w + x + static_cast<u32>(off);
-                    addr2(dev);
-                }
-                const i16 s = src.read(src_base + si);
-                acc = addQ(dev, acc, mulQ(dev, w, s));
-                loopStep(dev);
+            for (u32 t = 0; t < nnz; ++t) {
+                const i16 off = host.idx[t];
+                const u32 si = vertical
+                    ? (y + static_cast<u32>(off)) * in_w + x
+                    : y * in_w + x + static_cast<u32>(off);
+                const i16 s = src.peek(src_base + si);
+                acc = addQRaw(acc, mulQRaw(host.val[t], s));
             }
             addr2(dev);
             dst.write(dst_base + y * out_w + x, acc);
@@ -75,16 +105,20 @@ void
 mixStage(Device &dev, const DevSparseVec &mix, NvArray<i16> &src,
          u32 plane, NvArray<i16> &dst)
 {
+    const u32 nnz = mix.nnz;
+    const HostTaps host(mix);
     dev.setPart(Part::Kernel);
     for (u32 p = 0; p < plane; ++p) {
+        dev.consume(Op::FramLoad, 2 * nnz);
+        addr2(dev, nnz);
+        dev.consume(Op::FramLoad, nnz); // channel-strided src reads
+        chargeMacQ(dev, nnz);
+        loopStep(dev, nnz);
         i16 acc = 0;
-        for (u32 t = 0; t < mix.nnz; ++t) {
-            const i16 c = mix.idx->read(t);
-            const i16 w = mix.val->read(t);
-            addr2(dev);
-            const i16 s = src.read(static_cast<u32>(c) * plane + p);
-            acc = addQ(dev, acc, mulQ(dev, w, s));
-            loopStep(dev);
+        for (u32 t = 0; t < nnz; ++t) {
+            const i16 s =
+                src.peek(static_cast<u32>(host.idx[t]) * plane + p);
+            acc = addQRaw(acc, mulQRaw(host.val[t], s));
         }
         dst.write(p, acc);
         loopStep(dev);
@@ -93,26 +127,32 @@ mixStage(Device &dev, const DevSparseVec &mix, NvArray<i16> &src,
 }
 
 /** Broadcast scale: out[oc * plane + p] = s[oc] * in(p), with fused
- * relu. Write-once. */
+ * relu. Write-once; the whole plane moves as charged spans. */
 void
 scaleStage(Device &dev, const DevSparseVec &scale, NvArray<i16> &src,
            u32 src_base, u32 plane, NvArray<i16> &dst, bool relu)
 {
+    std::vector<i16> in(plane);
+    std::vector<i16> out(plane);
     dev.setPart(Part::Kernel);
     for (u32 t = 0; t < scale.nnz; ++t) {
         const i16 oc = scale.idx->read(t);
         const i16 w = scale.val->read(t);
         const u32 dst_base = static_cast<u32>(oc) * plane;
         dev.consume(Op::AluMul);
+        src.readRange(src_base, plane, in.data());
+        chargeMulQ(dev, plane);
+        if (relu)
+            chargeBranch(dev, plane);
+        addr1(dev, plane);
         for (u32 p = 0; p < plane; ++p) {
-            const i16 s = src.read(src_base + p);
-            i16 v = mulQ(dev, w, s);
+            i16 v = mulQRaw(w, in[p]);
             if (relu)
-                v = reluQ(dev, v);
-            addr1(dev);
-            dst.write(dst_base + p, v);
-            loopStep(dev);
+                v = reluQRaw(v);
+            out[p] = v;
         }
+        dst.writeRange(dst_base, plane, out.data());
+        loopStep(dev, plane);
         loopStep(dev);
     }
     dev.setPart(Part::Control);
@@ -166,24 +206,32 @@ sparseConv(Device &dev, const DevLayer &layer, const DevSparseConv &op,
            NvArray<i16> &src, NvArray<i16> &dst, bool relu)
 {
     const u32 out_plane = layer.out.h * layer.out.w;
+    std::vector<i16> toff;
+    std::vector<i16> tw;
     for (u32 oc = 0; oc < layer.out.c; ++oc) {
         dev.setPart(Part::Control);
         const i32 first = op.ocPtr->read(oc);
         const i32 last = op.ocPtr->read(oc + 1);
+        const u32 k = static_cast<u32>(last - first);
+        toff.resize(k);
+        tw.resize(k);
+        for (u32 t = 0; t < k; ++t) {
+            toff[t] = op.tapOff->peek(static_cast<u32>(first) + t);
+            tw[t] = op.tapW->peek(static_cast<u32>(first) + t);
+        }
         dev.setPart(Part::Kernel);
         for (u32 oy = 0; oy < layer.out.h; ++oy) {
             for (u32 ox = 0; ox < layer.out.w; ++ox) {
+                dev.consume(Op::FramLoad, 2 * k); // tap reads
+                addr2(dev, k);
+                dev.consume(Op::FramLoad, k); // gathered src reads
+                chargeMacQ(dev, k);
+                loopStep(dev, k);
                 i16 acc = 0;
-                for (i32 t = first; t < last; ++t) {
-                    const u32 ti = static_cast<u32>(t);
-                    const i16 off = op.tapOff->read(ti);
-                    const i16 w = op.tapW->read(ti);
-                    addr2(dev);
-                    const u32 si = static_cast<u32>(off)
+                for (u32 t = 0; t < k; ++t) {
+                    const u32 si = static_cast<u32>(toff[t])
                         + oy * layer.in.w + ox;
-                    const i16 s = src.read(si);
-                    acc = addQ(dev, acc, mulQ(dev, w, s));
-                    loopStep(dev);
+                    acc = addQRaw(acc, mulQRaw(tw[t], src.peek(si)));
                 }
                 if (relu)
                     acc = reluQ(dev, acc);
@@ -201,18 +249,20 @@ void
 denseFc(Device &dev, const DevDenseFc &op, NvArray<i16> &src,
         NvArray<i16> &dst, bool relu)
 {
+    std::vector<i16> wrow(op.n);
+    std::vector<i16> xin(op.n);
     dev.setPart(Part::Kernel);
     for (u32 r = 0; r < op.m; ++r) {
-        i16 acc = 0;
-        const u32 row_base = r * op.n;
+        const u64 row_base = u64{r} * op.n;
         dev.consume(Op::AluMul);
-        for (u32 c = 0; c < op.n; ++c) {
-            addr1(dev);
-            const i16 w = op.w->read(row_base + c);
-            const i16 x = src.read(c);
-            acc = addQ(dev, acc, mulQ(dev, w, x));
-            loopStep(dev);
-        }
+        addr1(dev, op.n);
+        op.w->readRange(row_base, op.n, wrow.data());
+        src.readRange(0, op.n, xin.data());
+        chargeMacQ(dev, op.n);
+        loopStep(dev, op.n);
+        i16 acc = 0;
+        for (u32 c = 0; c < op.n; ++c)
+            acc = addQRaw(acc, mulQRaw(wrow[c], xin[c]));
         if (relu)
             acc = reluQ(dev, acc);
         dst.write(r, acc);
@@ -228,10 +278,10 @@ sparseFc(Device &dev, const DevSparseFc &op, NvArray<i16> &src,
          NvArray<i16> &dst, bool relu)
 {
     dev.setPart(Part::Kernel);
-    for (u32 r = 0; r < op.m; ++r) {
-        dst.write(r, 0);
-        loopStep(dev);
-    }
+    dst.fillRange(0, op.m, 0);
+    loopStep(dev, op.m);
+    std::vector<i16> rows;
+    std::vector<i16> vals;
     for (u32 c = 0; c < op.n; ++c) {
         dev.setPart(Part::Control);
         const i32 first = op.colPtr->read(c);
@@ -242,24 +292,28 @@ sparseFc(Device &dev, const DevSparseFc &op, NvArray<i16> &src,
             continue;
         }
         const i16 x = src.read(c);
-        for (i32 t = first; t < last; ++t) {
-            const u32 ti = static_cast<u32>(t);
-            const i16 r = op.rowIdx->read(ti);
-            const i16 w = op.val->read(ti);
-            addr1(dev);
-            const i16 old = dst.read(static_cast<u32>(r));
-            dst.write(static_cast<u32>(r),
-                      addQ(dev, old, mulQ(dev, w, x)));
-            loopStep(dev);
+        const u32 k = static_cast<u32>(last - first);
+        rows.resize(k);
+        vals.resize(k);
+        op.rowIdx->readRange(static_cast<u32>(first), k, rows.data());
+        op.val->readRange(static_cast<u32>(first), k, vals.data());
+        addr1(dev, k);
+        chargeMacQ(dev, k);
+        loopStep(dev, k);
+        // The in-place updates stay per-element: rows are a gather.
+        for (u32 t = 0; t < k; ++t) {
+            const auto r = static_cast<u32>(rows[t]);
+            dev.consume(Op::FramLoad);
+            dev.consume(Op::FramStore);
+            dst.poke(r, addQRaw(dst.peek(r), mulQRaw(vals[t], x)));
         }
         loopStep(dev);
     }
     if (relu) {
-        for (u32 r = 0; r < op.m; ++r) {
-            const i16 v = dst.read(r);
-            dst.write(r, reluQ(dev, v));
-            loopStep(dev);
-        }
+        chargeBranch(dev, op.m);
+        dst.accumRange(0, op.m,
+                       [](i16 v, u64) { return reluQRaw(v); });
+        loopStep(dev, op.m);
     }
     dev.setPart(Part::Control);
 }
@@ -272,20 +326,26 @@ maxPool(Device &dev, const dnn::ActShape &pre, NvArray<i16> &src,
     dev.setPart(Part::Kernel);
     const u32 oh = pre.h / 2;
     const u32 ow = pre.w / 2;
+    std::vector<i16> out(ow);
     for (u32 c = 0; c < pre.c; ++c) {
         for (u32 y = 0; y < oh; ++y) {
+            // One output row per span: 4 gathered loads + 3 max
+            // branches + 2 addr3 per element, one row-wide store.
+            addr3(dev, ow);
+            dev.consume(Op::FramLoad, 4 * ow);
+            chargeBranch(dev, 3 * ow);
+            addr3(dev, ow);
             for (u32 x = 0; x < ow; ++x) {
-                addr3(dev);
                 const u32 base = c * pre.h * pre.w + 2 * y * pre.w
                                + 2 * x;
-                i16 m = src.read(base);
-                m = maxQ(dev, m, src.read(base + 1));
-                m = maxQ(dev, m, src.read(base + pre.w));
-                m = maxQ(dev, m, src.read(base + pre.w + 1));
-                addr3(dev);
-                dst.write(c * oh * ow + y * ow + x, m);
-                loopStep(dev);
+                i16 m = src.peek(base);
+                m = maxQRaw(m, src.peek(base + 1));
+                m = maxQRaw(m, src.peek(base + pre.w));
+                m = maxQRaw(m, src.peek(base + pre.w + 1));
+                out[x] = m;
             }
+            dst.writeRange(c * oh * ow + y * ow, ow, out.data());
+            loopStep(dev, ow);
         }
     }
     dev.setPart(Part::Control);

@@ -29,6 +29,7 @@
 
 #include "kernels/sonic_builder.hh"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -65,6 +66,31 @@ writeIndex(Device &dev, NvVar<i16> &var, i32 value)
 {
     arch::ScopedPart control(dev, Part::Control);
     var.write(static_cast<i16>(value));
+}
+
+/**
+ * Host-side span width for SONIC's loop-continuation chunking. Within
+ * one tap the destination buffer is write-only and the sources are
+ * read-only (loop-ordered buffering), so a span of up to kSpanWords
+ * iterations is idempotent as a unit: a power failure anywhere inside
+ * leaves the index at the span start and re-execution reproduces the
+ * same values. The spans charge bit-identical cycle/energy/op totals
+ * to the per-element loops (n index stores are coalesced into one
+ * n-charged write), they just cross the power-accounting boundary once
+ * per span instead of once per word.
+ *
+ * kSpanWords sizes the stack buffers; the width actually used is the
+ * builder's spanWords_ (safeSpanWords-clamped so one atomic span
+ * always fits inside the device's energy buffer).
+ */
+constexpr u32 kSpanWords = SonicBuilder::kMaxSpanWords;
+
+/** Coalesced loop-continuation index writes for an n-iteration span. */
+inline void
+writeIndexSpan(Device &dev, NvVar<i16> &var, i32 value, u32 n)
+{
+    arch::ScopedPart control(dev, Part::Control);
+    var.writeCoalesced(static_cast<i16>(value), n);
 }
 
 } // namespace
@@ -176,7 +202,8 @@ SonicBuilder::buildConv1d(const DevLayer &layer, const DevSparseVec &taps,
 
     auto slot_next = std::make_shared<TaskId>(task::kDone);
 
-    // Finalize: copy the settled result slice into scratch(2).
+    // Finalize: copy the settled result slice into scratch(2),
+    // span-at-a-time (write-once copy; spans re-execute idempotently).
     const u32 result_slice = (nnz - 1) % 2;
     const TaskId t_fin = prog_.addTask(
         layer.name + ".conv1d.fin",
@@ -186,13 +213,15 @@ SonicBuilder::buildConv1d(const DevLayer &layer, const DevSparseVec &taps,
             const u32 count = out_h * out_w;
             u32 p = static_cast<u32>(st_.x.read());
             d.setPart(Part::Kernel);
+            i16 buf[kSpanWords];
             while (p < count) {
-                const i16 v = net_.scratch(result_slice).read(p);
-                net_.scratch(2).write(p, v);
-                writeIndex(d, st_.x, static_cast<i32>(p + 1));
+                const u32 n = std::min(spanWords_, count - p);
+                net_.scratch(result_slice).readRange(p, n, buf);
+                net_.scratch(2).writeRange(p, n, buf);
+                writeIndexSpan(d, st_.x, static_cast<i32>(p + n), n);
                 rt.progress(p);
-                loopStep(d);
-                ++p;
+                loopStep(d, n);
+                p += n;
             }
             d.setPart(Part::Control);
             rt.logWrite(st_.x, 0);
@@ -216,6 +245,8 @@ SonicBuilder::buildConv1d(const DevLayer &layer, const DevSparseVec &taps,
             const i16 w = tp->val->read(static_cast<u32>(t));
             u32 y = static_cast<u32>(st_.y.read());
             u32 x = static_cast<u32>(st_.x.read());
+            i16 in[kSpanWords];
+            i16 acc[kSpanWords];
             while (y < out_h) {
                 addr2(d);
                 const u32 row_src = vertical
@@ -225,18 +256,30 @@ SonicBuilder::buildConv1d(const DevLayer &layer, const DevSparseVec &taps,
                 const u32 row_out = y * out_w;
                 d.setPart(Part::Kernel);
                 while (x < out_w) {
-                    addr1(d);
-                    const i16 s = src->read(src_base + row_src + x);
-                    i16 v = mulQ(d, w, s);
-                    d.consume(Op::Branch);
-                    if (t > 0)
-                        v = addQ(d, inter.read(row_out + x), v);
-                    dest.write(row_out + x, v);
-                    writeIndex(d, st_.x, static_cast<i32>(x + 1));
+                    // Span: dest is write-only for this tap, src and
+                    // inter read-only — idempotent as a unit.
+                    const u32 n = std::min(spanWords_, out_w - x);
+                    addr1(d, n);
+                    src->readRange(src_base + row_src + x, n, in);
+                    chargeMulQ(d, n);
+                    chargeBranch(d, n);
+                    if (t > 0) {
+                        inter.readRange(row_out + x, n, acc);
+                        d.consume(Op::FixedAdd, n);
+                        for (u32 k = 0; k < n; ++k)
+                            acc[k] = addQRaw(acc[k],
+                                             mulQRaw(w, in[k]));
+                    } else {
+                        for (u32 k = 0; k < n; ++k)
+                            acc[k] = mulQRaw(w, in[k]);
+                    }
+                    dest.writeRange(row_out + x, n, acc);
+                    writeIndexSpan(d, st_.x, static_cast<i32>(x + n),
+                                   n);
                     rt.progress((static_cast<u64>(t) << 32)
                                 | (row_out + x));
-                    loopStep(d);
-                    ++x;
+                    loopStep(d, n);
+                    x += n;
                 }
                 d.setPart(Part::Control);
                 // x reset *before* y advance keeps the nest idempotent.
@@ -299,6 +342,8 @@ SonicBuilder::buildScale(const DevLayer &layer, const DevSparseVec &scale,
             i32 t = st_.tap.read();
             u32 p = static_cast<u32>(st_.x.read());
             const u32 nnz = sp->nnz;
+            i16 in[kSpanWords];
+            i16 out[kSpanWords];
             while (t < static_cast<i32>(nnz)) {
                 const i16 oc = sp->idx->read(static_cast<u32>(t));
                 const i16 w = sp->val->read(static_cast<u32>(t));
@@ -306,16 +351,25 @@ SonicBuilder::buildScale(const DevLayer &layer, const DevSparseVec &scale,
                 const u32 dst_base = static_cast<u32>(oc) * plane;
                 d.setPart(Part::Kernel);
                 while (p < plane) {
-                    const i16 s = src->read(src_base + p);
-                    i16 v = mulQ(d, w, s);
+                    // Write-once broadcast: spans are idempotent.
+                    const u32 n = std::min(spanWords_, plane - p);
+                    src->readRange(src_base + p, n, in);
+                    chargeMulQ(d, n);
                     if (relu)
-                        v = reluQ(d, v);
-                    addr1(d);
-                    dst->write(dst_base + p, v);
-                    writeIndex(d, st_.x, static_cast<i32>(p + 1));
+                        chargeBranch(d, n);
+                    addr1(d, n);
+                    for (u32 k = 0; k < n; ++k) {
+                        i16 v = mulQRaw(w, in[k]);
+                        if (relu)
+                            v = reluQRaw(v);
+                        out[k] = v;
+                    }
+                    dst->writeRange(dst_base + p, n, out);
+                    writeIndexSpan(d, st_.x, static_cast<i32>(p + n),
+                                   n);
                     rt.progress((static_cast<u64>(t) << 32) | p);
-                    loopStep(d);
-                    ++p;
+                    loopStep(d, n);
+                    p += n;
                 }
                 d.setPart(Part::Control);
                 st_.x.write(0);
@@ -370,16 +424,25 @@ SonicBuilder::buildSparseConv(const DevLayer &layer,
             const u32 dst_base = static_cast<u32>(oc) * out_plane;
             u32 p = static_cast<u32>(st_.x.read());
             d.setPart(Part::Kernel);
+            i16 buf[kSpanWords];
             while (p < out_plane) {
-                i16 v = empty ? i16{0} : result.read(p);
-                if (relu)
-                    v = reluQ(d, v);
-                addr1(d);
-                dst->write(dst_base + p, v);
-                writeIndex(d, st_.x, static_cast<i32>(p + 1));
+                const u32 n = std::min(spanWords_, out_plane - p);
+                if (empty) {
+                    std::fill_n(buf, n, i16{0});
+                } else {
+                    result.readRange(p, n, buf);
+                }
+                if (relu) {
+                    chargeBranch(d, n);
+                    for (u32 k = 0; k < n; ++k)
+                        buf[k] = reluQRaw(buf[k]);
+                }
+                addr1(d, n);
+                dst->writeRange(dst_base + p, n, buf);
+                writeIndexSpan(d, st_.x, static_cast<i32>(p + n), n);
                 rt.progress((static_cast<u64>(oc) << 40) | p);
-                loopStep(d);
-                ++p;
+                loopStep(d, n);
+                p += n;
             }
             d.setPart(Part::Control);
             rt.logWrite(st_.oc, oc + 1);
@@ -420,6 +483,8 @@ SonicBuilder::buildSparseConv(const DevLayer &layer,
                 net_.scratch(1 - static_cast<u32>(b));
             u32 y = static_cast<u32>(st_.y.read());
             u32 x = static_cast<u32>(st_.x.read());
+            i16 in[kSpanWords];
+            i16 acc[kSpanWords];
             while (y < out_h) {
                 addr3(d);
                 const u32 row_src = static_cast<u32>(ic) * in_plane
@@ -429,18 +494,29 @@ SonicBuilder::buildSparseConv(const DevLayer &layer,
                 const u32 row_out = y * out_w;
                 d.setPart(Part::Kernel);
                 while (x < out_w) {
-                    addr1(d);
-                    const i16 s = src->read(row_src + x);
-                    i16 v = mulQ(d, w, s);
-                    d.consume(Op::Branch);
-                    if (t > first)
-                        v = addQ(d, inter.read(row_out + x), v);
-                    dest.write(row_out + x, v);
-                    writeIndex(d, st_.x, static_cast<i32>(x + 1));
+                    // Span: same idempotence argument as conv1d.
+                    const u32 n = std::min(spanWords_, out_w - x);
+                    addr1(d, n);
+                    src->readRange(row_src + x, n, in);
+                    chargeMulQ(d, n);
+                    chargeBranch(d, n);
+                    if (t > first) {
+                        inter.readRange(row_out + x, n, acc);
+                        d.consume(Op::FixedAdd, n);
+                        for (u32 k = 0; k < n; ++k)
+                            acc[k] = addQRaw(acc[k],
+                                             mulQRaw(w, in[k]));
+                    } else {
+                        for (u32 k = 0; k < n; ++k)
+                            acc[k] = mulQRaw(w, in[k]);
+                    }
+                    dest.writeRange(row_out + x, n, acc);
+                    writeIndexSpan(d, st_.x, static_cast<i32>(x + n),
+                                   n);
                     rt.progress((static_cast<u64>(t) << 32)
                                 | (row_out + x));
-                    loopStep(d);
-                    ++x;
+                    loopStep(d, n);
+                    x += n;
                 }
                 d.setPart(Part::Control);
                 st_.x.write(0);
@@ -494,15 +570,20 @@ SonicBuilder::buildDenseFc(const DevLayer &layer, const DevDenseFc &op,
             arch::ScopedLayer al(d, stat);
             u32 r = static_cast<u32>(st_.x.read());
             d.setPart(Part::Kernel);
+            i16 buf[kSpanWords];
             while (r < m) {
-                i16 v = net_.scratch(result_slice).read(r);
-                if (relu)
-                    v = reluQ(d, v);
-                dst->write(r, v);
-                writeIndex(d, st_.x, static_cast<i32>(r + 1));
+                const u32 nn = std::min(spanWords_, m - r);
+                net_.scratch(result_slice).readRange(r, nn, buf);
+                if (relu) {
+                    chargeBranch(d, nn);
+                    for (u32 k = 0; k < nn; ++k)
+                        buf[k] = reluQRaw(buf[k]);
+                }
+                dst->writeRange(r, nn, buf);
+                writeIndexSpan(d, st_.x, static_cast<i32>(r + nn), nn);
                 rt.progress(r);
-                loopStep(d);
-                ++r;
+                loopStep(d, nn);
+                r += nn;
             }
             d.setPart(Part::Control);
             rt.logWrite(st_.x, 0);
@@ -525,19 +606,32 @@ SonicBuilder::buildDenseFc(const DevLayer &layer, const DevDenseFc &op,
                 net_.scratch(1 - static_cast<u32>(b));
             u32 r = static_cast<u32>(st_.x.read());
             d.setPart(Part::Kernel);
+            i16 wcol[kSpanWords];
+            i16 acc[kSpanWords];
             while (r < m) {
-                addr2(d);
-                const i16 w =
-                    fp->w->read(u64{r} * n + static_cast<u32>(c));
-                i16 v = mulQ(d, w, xin);
-                d.consume(Op::Branch);
-                if (c > 0)
-                    v = addQ(d, inter.read(r), v);
-                dest.write(r, v);
-                writeIndex(d, st_.x, static_cast<i32>(r + 1));
+                // Span over output rows: the weight column is a
+                // strided gather, dest is write-only for this input.
+                const u32 nn = std::min(spanWords_, m - r);
+                addr2(d, nn);
+                fp->w->readStride(u64{r} * n + static_cast<u32>(c), n,
+                                  nn, wcol);
+                chargeMulQ(d, nn);
+                chargeBranch(d, nn);
+                if (c > 0) {
+                    inter.readRange(r, nn, acc);
+                    d.consume(Op::FixedAdd, nn);
+                    for (u32 k = 0; k < nn; ++k)
+                        acc[k] = addQRaw(acc[k],
+                                         mulQRaw(wcol[k], xin));
+                } else {
+                    for (u32 k = 0; k < nn; ++k)
+                        acc[k] = mulQRaw(wcol[k], xin);
+                }
+                dest.writeRange(r, nn, acc);
+                writeIndexSpan(d, st_.x, static_cast<i32>(r + nn), nn);
                 rt.progress((static_cast<u64>(c) << 32) | r);
-                loopStep(d);
-                ++r;
+                loopStep(d, nn);
+                r += nn;
             }
             d.setPart(Part::Control);
             return *slot_next;
@@ -586,12 +680,18 @@ SonicBuilder::buildSparseFc(const DevLayer &layer, const DevSparseFc &op,
                 u32 r = static_cast<u32>(st_.x.read());
                 d.setPart(Part::Kernel);
                 while (r < m) {
-                    const i16 v = dst->read(r);
-                    dst->write(r, reluQ(d, v));
-                    writeIndex(d, st_.x, static_cast<i32>(r + 1));
+                    // In-place span: relu is idempotent, so a re-run
+                    // after a mid-span failure converges.
+                    const u32 nn = std::min(spanWords_, m - r);
+                    chargeBranch(d, nn);
+                    dst->accumRange(r, nn, [](i16 v, u64) {
+                        return reluQRaw(v);
+                    });
+                    writeIndexSpan(d, st_.x, static_cast<i32>(r + nn),
+                                   nn);
                     rt.progress(r);
-                    loopStep(d);
-                    ++r;
+                    loopStep(d, nn);
+                    r += nn;
                 }
                 d.setPart(Part::Control);
                 rt.logWrite(st_.x, 0);
@@ -650,7 +750,7 @@ SonicBuilder::buildSparseFc(const DevLayer &layer, const DevSparseFc &op,
             return t_reset;
         });
 
-    // Zero the output map (idempotent write-once loop).
+    // Zero the output map (idempotent write-once loop, span-filled).
     const TaskId t_zero = prog_.addTask(
         layer.name + ".sfc.zero",
         [this, stat, dst, m, t_acc](Runtime &rt) {
@@ -659,11 +759,12 @@ SonicBuilder::buildSparseFc(const DevLayer &layer, const DevSparseFc &op,
             u32 r = static_cast<u32>(st_.x.read());
             d.setPart(Part::Kernel);
             while (r < m) {
-                dst->write(r, 0);
-                writeIndex(d, st_.x, static_cast<i32>(r + 1));
+                const u32 nn = std::min(spanWords_, m - r);
+                dst->fillRange(r, nn, 0);
+                writeIndexSpan(d, st_.x, static_cast<i32>(r + nn), nn);
                 rt.progress(r);
-                loopStep(d);
-                ++r;
+                loopStep(d, nn);
+                r += nn;
             }
             d.setPart(Part::Control);
             rt.logWrite(st_.x, 0);

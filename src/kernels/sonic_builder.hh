@@ -12,6 +12,7 @@
 
 #include "arch/memory.hh"
 #include "dnn/device_net.hh"
+#include "kernels/kernel_util.hh"
 #include "task/runtime.hh"
 
 namespace sonic::kernels
@@ -50,9 +51,19 @@ struct SonicState
 class SonicBuilder
 {
   public:
+    /**
+     * Preferred span width for the chunked inner loops (see sonic.cc):
+     * spans amortize the power-accounting boundary, and the width is
+     * clamped so one atomic span always fits inside the energy buffer
+     * (otherwise a small capacitor could never pay for a span and the
+     * loop would stop making forward progress).
+     */
+    static constexpr u32 kMaxSpanWords = 32;
+
     SonicBuilder(dnn::DeviceNetwork &net, task::Program &program,
                  SonicState &st)
-        : net_(net), dev_(net.dev()), prog_(program), st_(st)
+        : net_(net), dev_(net.dev()), prog_(program), st_(st),
+          spanWords_(safeSpanWords(net.dev(), kMaxSpanWords))
     {
     }
 
@@ -118,6 +129,7 @@ class SonicBuilder
     arch::Device &dev_;
     task::Program &prog_;
     SonicState &st_;
+    u32 spanWords_;
 };
 
 } // namespace sonic::kernels

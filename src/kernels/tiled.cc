@@ -18,6 +18,7 @@
 
 #include "kernels/runner.hh"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -271,15 +272,28 @@ TiledBuilder::buildLayer(u32 li)
             const i32 first = sc->ocPtr->read(oc);
             const i32 last = sc->ocPtr->read(oc + 1);
             i16 acc = 0;
-            for (i32 t = first; t < last; ++t) {
-                const u32 ti = static_cast<u32>(t);
-                const i16 off = sc->tapOff->read(ti);
-                const i16 wv = sc->tapW->read(ti);
-                addr2(d);
-                const u32 si =
-                    static_cast<u32>(off) + oy * in_w + ox;
-                acc = addQ(d, acc, mulQ(d, wv, src->read(si)));
-                loopStep(d);
+            // Tap runs charge in bulk spans (identical totals); the
+            // whole body re-executes after a failure, so batching
+            // inside one iteration never changes recovery behavior.
+            constexpr u32 kTapSpan = 32;
+            i16 toff[kTapSpan];
+            i16 tw[kTapSpan];
+            for (i32 t = first; t < last;) {
+                const u32 k = std::min<u32>(
+                    kTapSpan, static_cast<u32>(last - t));
+                sc->tapOff->readRange(static_cast<u32>(t), k, toff);
+                sc->tapW->readRange(static_cast<u32>(t), k, tw);
+                addr2(d, k);
+                d.consume(Op::FramLoad, k); // gathered src reads
+                chargeMacQ(d, k);
+                loopStep(d, k);
+                for (u32 j = 0; j < k; ++j) {
+                    const u32 si = static_cast<u32>(toff[j])
+                        + oy * in_w + ox;
+                    acc = addQRaw(acc,
+                                  mulQRaw(tw[j], src->peek(si)));
+                }
+                t += static_cast<i32>(k);
             }
             if (relu)
                 acc = reluQ(d, acc);

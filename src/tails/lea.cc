@@ -30,6 +30,18 @@ chargeShift(arch::Device &dev, u32 bits)
     dev.consume(Op::SramStore);
 }
 
+/** Batched format shift for a whole buffer: count elements, bits
+ * single-bit shifts each, charged in three bulk consume calls with
+ * totals identical to count chargeShift() calls. TAILS' calibration
+ * sizes tiles by total energy, which is unchanged. */
+void
+chargeShiftBulk(arch::Device &dev, u32 count, u32 bits)
+{
+    dev.consume(Op::SramLoad, count);
+    dev.consume(Op::AluShift, u64{bits} * count);
+    dev.consume(Op::SramStore, count);
+}
+
 } // namespace
 
 LeaUnit::LeaUnit(arch::Device &dev) : dev_(dev)
@@ -57,8 +69,7 @@ LeaUnit::firDtc(const arch::NvArray<i16> &src, u32 src_base, u32 in_count,
     // DMA the source window and coefficients into the LEA buffer.
     dev_.consume(Op::DmaWord, in_count + taps);
     // Software pre-shift of the activations (no vector left-shift).
-    for (u32 i = 0; i < in_count; ++i)
-        chargeShift(dev_, kPreShiftBits);
+    chargeShiftBulk(dev_, in_count, kPreShiftBits);
     if (partial != nullptr)
         dev_.consume(Op::DmaWord, out_count);
 
@@ -66,6 +77,11 @@ LeaUnit::firDtc(const arch::NvArray<i16> &src, u32 src_base, u32 in_count,
     dev_.consume(Op::LeaInvoke);
     dev_.consume(Op::LeaMac, u64{out_count} * taps);
 
+    // Software post-shift back to Q7.8 plus the optional partial-sum
+    // accumulation, charged in bulk for the tile.
+    chargeShiftBulk(dev_, out_count, kPostShiftBits);
+    if (partial != nullptr)
+        dev_.consume(Op::FixedAdd, out_count);
     for (u32 j = 0; j < out_count; ++j) {
         i64 acc = 0;
         for (u32 k = 0; k < taps; ++k) {
@@ -74,13 +90,9 @@ LeaUnit::firDtc(const arch::NvArray<i16> &src, u32 src_base, u32 in_count,
             acc += a * i64{coeffs[k]};
         }
         acc >>= 15;
-        // Software post-shift back to Q7.8.
-        chargeShift(dev_, kPostShiftBits);
         i64 v = acc << kPostShiftBits;
-        if (partial != nullptr) {
-            dev_.consume(Op::FixedAdd);
+        if (partial != nullptr)
             v += i64{partial->peek(partial_base + j)};
-        }
         dst.poke(dst_base + j, saturate(v));
     }
     // DMA results back to FRAM.
@@ -100,8 +112,7 @@ LeaUnit::dotProduct(const std::vector<i16> &coeffs,
     // Coefficients are already staged in SRAM; the strided source pays
     // per-word DMA setup (no stride support).
     dev_.consume(Op::DmaWord, 2 * count);
-    for (u32 i = 0; i < count; ++i)
-        chargeShift(dev_, kPreShiftBits);
+    chargeShiftBulk(dev_, count, kPreShiftBits);
 
     dev_.consume(Op::LeaInvoke);
     dev_.consume(Op::LeaMac, count);
@@ -128,8 +139,7 @@ LeaUnit::dotProductFram(const arch::NvArray<i16> &weights, u64 w_base,
 
     // Two contiguous DMA bursts.
     dev_.consume(Op::DmaWord, 2 * count);
-    for (u32 i = 0; i < count; ++i)
-        chargeShift(dev_, kPreShiftBits);
+    chargeShiftBulk(dev_, count, kPreShiftBits);
 
     dev_.consume(Op::LeaInvoke);
     dev_.consume(Op::LeaMac, count);

@@ -24,7 +24,7 @@ Runtime::clearLog()
 void
 Runtime::logWrite(arch::NvArray<i16> &arr, u32 idx, i16 value)
 {
-    SONIC_ASSERT(idx < arr.size());
+    SONIC_DASSERT(idx < arr.size());
     dev_.consume(arch::Op::LogWrite);
     pushLog({LogEntry::Arr16, &arr, idx, value});
 }
@@ -32,7 +32,7 @@ Runtime::logWrite(arch::NvArray<i16> &arr, u32 idx, i16 value)
 i16
 Runtime::logRead(const arch::NvArray<i16> &arr, u32 idx)
 {
-    SONIC_ASSERT(idx < arr.size());
+    SONIC_DASSERT(idx < arr.size());
     // Alpaca resolves privatized locations statically, so a read costs
     // the FRAM access plus an indirection; the host-side index lookup
     // below is the semantic lookup, not a charged one.

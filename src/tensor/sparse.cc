@@ -88,6 +88,22 @@ pruneToFraction(Tensor3 &t, f64 keep_fraction)
     return pruneVecToFraction(t.data(), keep_fraction);
 }
 
+namespace
+{
+
+/** Count the non-zeros of a dense matrix (reserve() pre-pass, so the
+ * conversion loops below never reallocate mid-build). */
+u64
+countNonZero(const Matrix &m)
+{
+    u64 nnz = 0;
+    for (const f64 v : m.data())
+        nnz += v != 0.0;
+    return nnz;
+}
+
+} // namespace
+
 CscMatrix
 CscMatrix::fromDense(const Matrix &m)
 {
@@ -95,6 +111,9 @@ CscMatrix::fromDense(const Matrix &m)
     out.rows = m.rows();
     out.cols = m.cols();
     out.colPtr.assign(m.cols() + 1, 0);
+    const u64 nnz = countNonZero(m);
+    out.rowIdx.reserve(nnz);
+    out.values.reserve(nnz);
     for (u32 c = 0; c < m.cols(); ++c) {
         for (u32 r = 0; r < m.rows(); ++r) {
             if (m.at(r, c) != 0.0) {
@@ -139,6 +158,9 @@ CsrMatrix::fromDense(const Matrix &m)
     out.rows = m.rows();
     out.cols = m.cols();
     out.rowPtr.assign(m.rows() + 1, 0);
+    const u64 nnz = countNonZero(m);
+    out.colIdx.reserve(nnz);
+    out.values.reserve(nnz);
     for (u32 r = 0; r < m.rows(); ++r) {
         for (u32 c = 0; c < m.cols(); ++c) {
             if (m.at(r, c) != 0.0) {

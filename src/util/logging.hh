@@ -84,6 +84,20 @@ inform(Args &&...args)
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-only variant for per-operation hot paths (charged memory
+ * accessors, Device::consume, redo-log entries). Active in Debug
+ * builds, compiled out under NDEBUG so Release sweeps don't pay a
+ * branch per simulated operation. CI builds both configurations.
+ */
+#ifdef NDEBUG
+#define SONIC_DASSERT(cond, ...)                                            \
+    do {                                                                    \
+    } while (0)
+#else
+#define SONIC_DASSERT(cond, ...) SONIC_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 } // namespace sonic
 
 #endif // SONIC_UTIL_LOGGING_HH

@@ -279,5 +279,183 @@ TEST(Memory, PowerFailureBeforeWriteLands)
     EXPECT_EQ(arr.peek(0), 42);
 }
 
+TEST(Memory, BulkSpansMoveDataAndChargeLikeSingles)
+{
+    auto bulk_dev = makeContinuousDevice();
+    auto single_dev = makeContinuousDevice();
+    NvArray<i16> bulk(bulk_dev, 64, "bulk");
+    NvArray<i16> single(single_dev, 64, "single");
+
+    i16 buf[16];
+    for (u32 i = 0; i < 16; ++i)
+        buf[i] = static_cast<i16>(100 + i);
+    bulk.writeRange(8, 16, buf);
+    for (u32 i = 0; i < 16; ++i)
+        single.write(8 + i, static_cast<i16>(100 + i));
+    for (u32 i = 0; i < 16; ++i)
+        EXPECT_EQ(bulk.peek(8 + i), 100 + i);
+
+    i16 out[16] = {};
+    bulk.readRange(8, 16, out);
+    for (u32 i = 0; i < 16; ++i) {
+        EXPECT_EQ(out[i], 100 + i);
+        (void)single.read(8 + i);
+    }
+
+    bulk.fillRange(0, 8, 7);
+    for (u32 i = 0; i < 8; ++i) {
+        single.write(i, 7);
+        EXPECT_EQ(bulk.peek(i), 7);
+    }
+
+    bulk.accumRange(0, 8, [](i16 v, u64 k) {
+        return static_cast<i16>(v + static_cast<i16>(k));
+    });
+    for (u32 i = 0; i < 8; ++i) {
+        const i16 v = single.read(i);
+        single.write(i, static_cast<i16>(v + static_cast<i16>(i)));
+        EXPECT_EQ(bulk.peek(i), 7 + static_cast<i16>(i));
+    }
+
+    // Identical cycle and energy totals to the per-element accesses.
+    EXPECT_EQ(bulk_dev.cycles(), single_dev.cycles());
+    EXPECT_EQ(bulk_dev.stats().totalNanojoules(),
+              single_dev.stats().totalNanojoules());
+}
+
+TEST(Memory, ReadStrideGathersAndCharges)
+{
+    auto dev = makeContinuousDevice();
+    NvArray<i16> arr(dev, 32, "a");
+    for (u32 i = 0; i < 32; ++i)
+        arr.poke(i, static_cast<i16>(i));
+    i16 out[4];
+    const u64 before = dev.cycles();
+    arr.readStride(1, 8, 4, out);
+    EXPECT_EQ(dev.cycles() - before,
+              4 * dev.profile().cycles(Op::FramLoad));
+    for (u32 k = 0; k < 4; ++k)
+        EXPECT_EQ(out[k], static_cast<i16>(1 + 8 * k));
+}
+
+TEST(Memory, BulkSpanIsAtomicUnderPowerFailure)
+{
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(0));
+    NvArray<i16> arr(dev, 16, "a");
+    arr.fillHost(42);
+    i16 buf[16] = {};
+    EXPECT_THROW(arr.writeRange(0, 16, buf), PowerFailure);
+    // All-or-nothing: no element of the span landed.
+    for (u32 i = 0; i < 16; ++i)
+        EXPECT_EQ(arr.peek(i), 42);
+    dev.reboot();
+    arr.writeRange(0, 16, buf); // recovered
+    EXPECT_EQ(arr.peek(15), 0);
+}
+
+TEST(Memory, AccumRangeAtomicUnderPowerFailure)
+{
+    // accumRange charges loads then stores; fail the store charge and
+    // the span must be untouched.
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(1));
+    NvArray<i16> arr(dev, 8, "a");
+    arr.fillHost(-5);
+    EXPECT_THROW(
+        arr.accumRange(0, 8, [](i16 v, u64) -> i16 {
+            return v > 0 ? v : 0;
+        }),
+        PowerFailure);
+    for (u32 i = 0; i < 8; ++i)
+        EXPECT_EQ(arr.peek(i), -5);
+}
+
+TEST(Memory, VolArraySpansChargeSramAndScramble)
+{
+    auto dev = makeContinuousDevice();
+    VolArray<i16> arr(dev, 32, "v");
+    i16 buf[32];
+    for (u32 i = 0; i < 32; ++i)
+        buf[i] = static_cast<i16>(i);
+    const u64 before = dev.cycles();
+    arr.writeRange(0, 32, buf);
+    arr.readRange(0, 32, buf);
+    EXPECT_EQ(dev.cycles() - before,
+              32 * (dev.profile().cycles(Op::SramStore)
+                    + dev.profile().cycles(Op::SramLoad)));
+    dev.reboot();
+    arr.readRange(0, 32, buf);
+    bool scrambled = false;
+    for (u32 i = 0; i < 32; ++i)
+        scrambled |= buf[i] != static_cast<i16>(i);
+    EXPECT_TRUE(scrambled);
+}
+
+TEST(Memory, WriteCoalescedChargesNStoresLandsLastValue)
+{
+    auto dev = makeContinuousDevice();
+    NvVar<i16> v(dev, "v", 0);
+    const u64 before = dev.cycles();
+    v.writeCoalesced(9, 5);
+    EXPECT_EQ(dev.cycles() - before,
+              5 * dev.profile().cycles(Op::FramStore));
+    EXPECT_EQ(v.peek(), 9);
+
+    Device failing(EnergyProfile::msp430fr5994(),
+                   std::make_unique<FailOnceAfterOps>(0));
+    NvVar<i16> w(failing, "w", 3);
+    EXPECT_THROW(w.writeCoalesced(9, 5), PowerFailure);
+    EXPECT_EQ(w.peek(), 3); // atomic as a unit
+}
+
+TEST(Device, FailingBulkChargeCountsOnePendingReboot)
+{
+    // A PowerFailure thrown from a bulk (count > 1) charge is one
+    // failure, not one per word: the pending counter records exactly
+    // one un-modelled reboot, and reboot() consumes the backlog.
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailOnceAfterOps>(0));
+    NvArray<i16> arr(dev, 64, "a");
+    i16 buf[64] = {};
+    EXPECT_EQ(dev.rebootsPending(), 0u);
+    EXPECT_THROW(arr.writeRange(0, 64, buf), PowerFailure);
+    EXPECT_EQ(dev.rebootsPending(), 1u);
+    dev.reboot();
+    EXPECT_EQ(dev.rebootsPending(), 0u);
+    EXPECT_EQ(dev.rebootCount(), 1u);
+}
+
+TEST(Device, RebootConsumesWholeFailureBacklog)
+{
+    // Two failures charged before the scheduler models the power cycle
+    // still count as a single reboot; the backlog never double-counts.
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailEveryOps>(1));
+    EXPECT_THROW(dev.consume(Op::Nop), PowerFailure);
+    EXPECT_THROW(dev.consume(Op::Nop), PowerFailure);
+    EXPECT_EQ(dev.rebootsPending(), 2u);
+    dev.reboot();
+    EXPECT_EQ(dev.rebootsPending(), 0u);
+    EXPECT_EQ(dev.rebootCount(), 1u);
+}
+
+TEST(Device, BucketCacheSurvivesLayerRegistration)
+{
+    // Stats buckets are address-stable; interleaving registrations and
+    // consumes must never misattribute.
+    auto dev = makeContinuousDevice();
+    std::vector<u16> layers;
+    for (u32 i = 0; i < 64; ++i) {
+        layers.push_back(dev.registerLayer("l" + std::to_string(i)));
+        ScopedLayer al(dev, layers.back());
+        dev.consume(Op::FixedMul, i + 1);
+    }
+    for (u32 i = 0; i < 64; ++i) {
+        EXPECT_EQ(dev.stats().layerOpCount(layers[i], Op::FixedMul),
+                  i + 1);
+    }
+}
+
 } // namespace
 } // namespace sonic::arch
