@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_wildlife.dir/bench/bench_fig01_wildlife.cc.o"
+  "CMakeFiles/bench_fig01_wildlife.dir/bench/bench_fig01_wildlife.cc.o.d"
+  "bench_fig01_wildlife"
+  "bench_fig01_wildlife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_wildlife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_send_result.dir/bench/bench_fig02_send_result.cc.o"
+  "CMakeFiles/bench_fig02_send_result.dir/bench/bench_fig02_send_result.cc.o.d"
+  "bench_fig02_send_result"
+  "bench_fig02_send_result.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_send_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

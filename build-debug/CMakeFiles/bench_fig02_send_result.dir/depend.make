@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_send_result.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_pareto.dir/bench/bench_fig04_pareto.cc.o"
+  "CMakeFiles/bench_fig04_pareto.dir/bench/bench_fig04_pareto.cc.o.d"
+  "bench_fig04_pareto"
+  "bench_fig04_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_impj.dir/bench/bench_fig05_impj.cc.o"
+  "CMakeFiles/bench_fig05_impj.dir/bench/bench_fig05_impj.cc.o.d"
+  "bench_fig05_impj"
+  "bench_fig05_impj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_impj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09a_time_continuous.dir/bench/bench_fig09a_time_continuous.cc.o"
+  "CMakeFiles/bench_fig09a_time_continuous.dir/bench/bench_fig09a_time_continuous.cc.o.d"
+  "bench_fig09a_time_continuous"
+  "bench_fig09a_time_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09a_time_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09b_time_intermittent.dir/bench/bench_fig09b_time_intermittent.cc.o"
+  "CMakeFiles/bench_fig09b_time_intermittent.dir/bench/bench_fig09b_time_intermittent.cc.o.d"
+  "bench_fig09b_time_intermittent"
+  "bench_fig09b_time_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09b_time_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

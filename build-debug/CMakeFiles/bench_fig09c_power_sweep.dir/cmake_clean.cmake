@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09c_power_sweep.dir/bench/bench_fig09c_power_sweep.cc.o"
+  "CMakeFiles/bench_fig09c_power_sweep.dir/bench/bench_fig09c_power_sweep.cc.o.d"
+  "bench_fig09c_power_sweep"
+  "bench_fig09c_power_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09c_power_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

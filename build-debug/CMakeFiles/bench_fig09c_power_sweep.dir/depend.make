@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09c_power_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_kernel_control.dir/bench/bench_fig10_kernel_control.cc.o"
+  "CMakeFiles/bench_fig10_kernel_control.dir/bench/bench_fig10_kernel_control.cc.o.d"
+  "bench_fig10_kernel_control"
+  "bench_fig10_kernel_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_kernel_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_kernel_control.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_energy_profile.dir/bench/bench_fig12_energy_profile.cc.o"
+  "CMakeFiles/bench_fig12_energy_profile.dir/bench/bench_fig12_energy_profile.cc.o.d"
+  "bench_fig12_energy_profile"
+  "bench_fig12_energy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_energy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ops.dir/bench/bench_micro_ops.cc.o"
+  "CMakeFiles/bench_micro_ops.dir/bench/bench_micro_ops.cc.o.d"
+  "bench_micro_ops"
+  "bench_micro_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec9_summary.dir/bench/bench_sec9_summary.cc.o"
+  "CMakeFiles/bench_sec9_summary.dir/bench/bench_sec9_summary.cc.o.d"
+  "bench_sec9_summary"
+  "bench_sec9_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec9_summary.
+# This may be replaced when dependencies are built.

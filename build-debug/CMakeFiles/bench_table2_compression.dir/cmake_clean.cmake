@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_compression.dir/bench/bench_table2_compression.cc.o"
+  "CMakeFiles/bench_table2_compression.dir/bench/bench_table2_compression.cc.o.d"
+  "bench_table2_compression"
+  "bench_table2_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_genesis_compress.dir/examples/genesis_compress.cpp.o"
+  "CMakeFiles/example_genesis_compress.dir/examples/genesis_compress.cpp.o.d"
+  "example_genesis_compress"
+  "example_genesis_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_genesis_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

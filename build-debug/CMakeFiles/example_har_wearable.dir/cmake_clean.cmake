@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_har_wearable.dir/examples/har_wearable.cpp.o"
+  "CMakeFiles/example_har_wearable.dir/examples/har_wearable.cpp.o.d"
+  "example_har_wearable"
+  "example_har_wearable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_har_wearable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_keyword_spotting.dir/examples/keyword_spotting.cpp.o"
+  "CMakeFiles/example_keyword_spotting.dir/examples/keyword_spotting.cpp.o.d"
+  "example_keyword_spotting"
+  "example_keyword_spotting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_keyword_spotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

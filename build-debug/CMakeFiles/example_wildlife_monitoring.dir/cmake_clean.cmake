@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wildlife_monitoring.dir/examples/wildlife_monitoring.cpp.o"
+  "CMakeFiles/example_wildlife_monitoring.dir/examples/wildlife_monitoring.cpp.o.d"
+  "example_wildlife_monitoring"
+  "example_wildlife_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wildlife_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/engine.cc" "CMakeFiles/sonic_core.dir/src/app/engine.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/app/engine.cc.o.d"
+  "/root/repo/src/app/experiment.cc" "CMakeFiles/sonic_core.dir/src/app/experiment.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/app/experiment.cc.o.d"
+  "/root/repo/src/app/sweep.cc" "CMakeFiles/sonic_core.dir/src/app/sweep.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/app/sweep.cc.o.d"
+  "/root/repo/src/app/wildlife.cc" "CMakeFiles/sonic_core.dir/src/app/wildlife.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/app/wildlife.cc.o.d"
+  "/root/repo/src/arch/device.cc" "CMakeFiles/sonic_core.dir/src/arch/device.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/arch/device.cc.o.d"
+  "/root/repo/src/arch/energy_profile.cc" "CMakeFiles/sonic_core.dir/src/arch/energy_profile.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/arch/energy_profile.cc.o.d"
+  "/root/repo/src/arch/power.cc" "CMakeFiles/sonic_core.dir/src/arch/power.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/arch/power.cc.o.d"
+  "/root/repo/src/arch/stats.cc" "CMakeFiles/sonic_core.dir/src/arch/stats.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/arch/stats.cc.o.d"
+  "/root/repo/src/dnn/dataset.cc" "CMakeFiles/sonic_core.dir/src/dnn/dataset.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/dnn/dataset.cc.o.d"
+  "/root/repo/src/dnn/device_net.cc" "CMakeFiles/sonic_core.dir/src/dnn/device_net.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/dnn/device_net.cc.o.d"
+  "/root/repo/src/dnn/networks.cc" "CMakeFiles/sonic_core.dir/src/dnn/networks.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/dnn/networks.cc.o.d"
+  "/root/repo/src/dnn/spec.cc" "CMakeFiles/sonic_core.dir/src/dnn/spec.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/dnn/spec.cc.o.d"
+  "/root/repo/src/fixed/quantize.cc" "CMakeFiles/sonic_core.dir/src/fixed/quantize.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/fixed/quantize.cc.o.d"
+  "/root/repo/src/genesis/genesis.cc" "CMakeFiles/sonic_core.dir/src/genesis/genesis.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/genesis/genesis.cc.o.d"
+  "/root/repo/src/genesis/impj.cc" "CMakeFiles/sonic_core.dir/src/genesis/impj.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/genesis/impj.cc.o.d"
+  "/root/repo/src/kernels/base.cc" "CMakeFiles/sonic_core.dir/src/kernels/base.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/kernels/base.cc.o.d"
+  "/root/repo/src/kernels/runner.cc" "CMakeFiles/sonic_core.dir/src/kernels/runner.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/kernels/runner.cc.o.d"
+  "/root/repo/src/kernels/sonic.cc" "CMakeFiles/sonic_core.dir/src/kernels/sonic.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/kernels/sonic.cc.o.d"
+  "/root/repo/src/kernels/tiled.cc" "CMakeFiles/sonic_core.dir/src/kernels/tiled.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/kernels/tiled.cc.o.d"
+  "/root/repo/src/tails/lea.cc" "CMakeFiles/sonic_core.dir/src/tails/lea.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/tails/lea.cc.o.d"
+  "/root/repo/src/tails/tails.cc" "CMakeFiles/sonic_core.dir/src/tails/tails.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/tails/tails.cc.o.d"
+  "/root/repo/src/task/runtime.cc" "CMakeFiles/sonic_core.dir/src/task/runtime.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/task/runtime.cc.o.d"
+  "/root/repo/src/tensor/decompose.cc" "CMakeFiles/sonic_core.dir/src/tensor/decompose.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/tensor/decompose.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "CMakeFiles/sonic_core.dir/src/tensor/matrix.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/nnref.cc" "CMakeFiles/sonic_core.dir/src/tensor/nnref.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/tensor/nnref.cc.o.d"
+  "/root/repo/src/tensor/sparse.cc" "CMakeFiles/sonic_core.dir/src/tensor/sparse.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/tensor/sparse.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/sonic_core.dir/src/util/table.cc.o" "gcc" "CMakeFiles/sonic_core.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_common.dir/tests/test_bench_common.cc.o"
+  "CMakeFiles/test_bench_common.dir/tests/test_bench_common.cc.o.d"
+  "test_bench_common"
+  "test_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

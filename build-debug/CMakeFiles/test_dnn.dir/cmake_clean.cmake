@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn.dir/tests/test_dnn.cc.o"
+  "CMakeFiles/test_dnn.dir/tests/test_dnn.cc.o.d"
+  "test_dnn"
+  "test_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

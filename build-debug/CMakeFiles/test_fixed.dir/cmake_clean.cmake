@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed.dir/tests/test_fixed.cc.o"
+  "CMakeFiles/test_fixed.dir/tests/test_fixed.cc.o.d"
+  "test_fixed"
+  "test_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genesis.dir/tests/test_genesis.cc.o"
+  "CMakeFiles/test_genesis.dir/tests/test_genesis.cc.o.d"
+  "test_genesis"
+  "test_genesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

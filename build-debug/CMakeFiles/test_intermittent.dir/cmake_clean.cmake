@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intermittent.dir/tests/test_intermittent.cc.o"
+  "CMakeFiles/test_intermittent.dir/tests/test_intermittent.cc.o.d"
+  "test_intermittent"
+  "test_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lease.dir/tests/test_lease.cc.o"
+  "CMakeFiles/test_lease.dir/tests/test_lease.cc.o.d"
+  "test_lease"
+  "test_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep.dir/tests/test_sweep.cc.o"
+  "CMakeFiles/test_sweep.dir/tests/test_sweep.cc.o.d"
+  "test_sweep"
+  "test_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tails.dir/tests/test_tails.cc.o"
+  "CMakeFiles/test_tails.dir/tests/test_tails.cc.o.d"
+  "test_tails"
+  "test_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task.dir/tests/test_task.cc.o"
+  "CMakeFiles/test_task.dir/tests/test_task.cc.o.d"
+  "test_task"
+  "test_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

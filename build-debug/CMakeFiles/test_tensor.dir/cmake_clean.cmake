@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tests/test_tensor.cc.o"
+  "CMakeFiles/test_tensor.dir/tests/test_tensor.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

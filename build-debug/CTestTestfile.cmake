@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-debug
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_arch "/root/repo/build-debug/test_arch")
+set_tests_properties(test_arch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_bench_common "/root/repo/build-debug/test_bench_common")
+set_tests_properties(test_bench_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_dnn "/root/repo/build-debug/test_dnn")
+set_tests_properties(test_dnn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_experiment "/root/repo/build-debug/test_experiment")
+set_tests_properties(test_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_fixed "/root/repo/build-debug/test_fixed")
+set_tests_properties(test_fixed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_genesis "/root/repo/build-debug/test_genesis")
+set_tests_properties(test_genesis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_intermittent "/root/repo/build-debug/test_intermittent")
+set_tests_properties(test_intermittent PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_kernels "/root/repo/build-debug/test_kernels")
+set_tests_properties(test_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_lease "/root/repo/build-debug/test_lease")
+set_tests_properties(test_lease PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sweep "/root/repo/build-debug/test_sweep")
+set_tests_properties(test_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tails "/root/repo/build-debug/test_tails")
+set_tests_properties(test_tails PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_task "/root/repo/build-debug/test_task")
+set_tests_properties(test_task PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build-debug/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_util "/root/repo/build-debug/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;137;add_test;/root/repo/CMakeLists.txt;0;")
