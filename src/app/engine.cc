@@ -52,7 +52,7 @@ CsvSink::begin(u64)
     os_ << "planIndex,net,impl,power,profile,sample,seed,status,"
            "reboots,tasksExecuted,liveSeconds,deadSeconds,"
            "totalSeconds,energyJ,harvestedJ,predictedClass,"
-           "tailsTileWords\n";
+           "tailsTileWords,scheduleLen,scheduleFired\n";
 }
 
 void
@@ -70,7 +70,9 @@ CsvSink::add(const SweepRecord &record)
         << ',' << r.reboots << ',' << r.tasksExecuted << ','
         << r.liveSeconds << ',' << r.deadSeconds << ','
         << r.totalSeconds << ',' << r.energyJ << ',' << r.harvestedJ
-        << ',' << r.predictedClass << ',' << r.tailsTileWords << '\n';
+        << ',' << r.predictedClass << ',' << r.tailsTileWords << ','
+        << record.spec.failureSchedule.size() << ','
+        << r.scheduleFired << '\n';
     os_ << row.str();
 }
 
@@ -110,6 +112,20 @@ JsonSink::add(const SweepRecord &record)
         << ", \"harvestedJ\": " << r.harvestedJ
         << ", \"predictedClass\": " << r.predictedClass
         << ", \"tailsTileWords\": " << r.tailsTileWords;
+
+    if (!record.spec.failureSchedule.empty()) {
+        obj << ", \"failureSchedule\": [";
+        for (u64 i = 0; i < record.spec.failureSchedule.size(); ++i)
+            obj << (i ? ", " : "") << record.spec.failureSchedule[i];
+        obj << "], \"scheduleFired\": " << r.scheduleFired;
+    }
+    if (record.spec.captureNvmDigests) {
+        obj << ", \"finalNvmDigest\": " << r.finalNvmDigest
+            << ", \"rebootDigests\": [";
+        for (u64 i = 0; i < r.rebootDigests.size(); ++i)
+            obj << (i ? ", " : "") << r.rebootDigests[i];
+        obj << "]";
+    }
 
     obj << ", \"layers\": [";
     for (u64 i = 0; i < r.layers.size(); ++i) {
@@ -193,7 +209,22 @@ Engine::dataset(dnn::NetId net)
 ExperimentResult
 Engine::runOne(const RunSpec &spec)
 {
-    arch::Device dev(makeProfile(spec.profile), makePower(spec.power));
+    // A failure schedule overrides the power-kind axis: the run is
+    // driven by the explicit draw-index trace (oracle coordinate).
+    std::unique_ptr<arch::PowerSupply> psu = spec.failureSchedule.empty()
+        ? makePower(spec.power)
+        : std::make_unique<arch::SchedulePower>(spec.failureSchedule);
+    const auto *schedule_psu = spec.failureSchedule.empty()
+        ? nullptr
+        : static_cast<const arch::SchedulePower *>(psu.get());
+
+    arch::Device dev(makeProfile(spec.profile), std::move(psu));
+    ExperimentResult result;
+    if (spec.captureNvmDigests) {
+        dev.setRebootHook([&result](arch::Device &d, u64) {
+            result.rebootDigests.push_back(d.nvmDigest());
+        });
+    }
     const dnn::NetworkSpec &net_spec = compressed(spec.net);
     dnn::DeviceNetwork net(dev, net_spec);
 
@@ -203,7 +234,6 @@ Engine::runOne(const RunSpec &spec)
 
     const auto run = kernels::runInference(net, spec.impl);
 
-    ExperimentResult result;
     result.completed = run.completed;
     result.nonTerminating = run.nonTerminating;
     result.reboots = run.reboots;
@@ -214,8 +244,14 @@ Engine::runOne(const RunSpec &spec)
     result.totalSeconds = dev.totalSeconds();
     result.energyJ = dev.consumedJoules();
     result.harvestedJ = dev.power().harvestedNj() * 1e-9;
+    if (schedule_psu != nullptr)
+        result.scheduleFired = schedule_psu->firedCount();
+    if (spec.captureNvmDigests)
+        result.finalNvmDigest = dev.nvmDigest();
 
     const auto &stats = dev.stats();
+    for (u32 o = 0; o < arch::kNumOps; ++o)
+        result.opInstances += stats.opCount(static_cast<arch::Op>(o));
     const f64 hz = dev.config().clockHz;
     for (u16 l = 0; l < stats.numLayers(); ++l) {
         LayerBreakdown row;

@@ -73,6 +73,22 @@ struct RunSpec
      * models are fully deterministic and do not consume it.
      */
     u64 seed = 0x5eed;
+
+    /**
+     * Explicit failure-index trace (the oracle's coordinate). When
+     * non-empty the run is powered by arch::SchedulePower over these
+     * draw indices and the `power` axis value is ignored; when empty
+     * (the default) `power` selects the supply as always.
+     */
+    std::vector<u64> failureSchedule;
+
+    /**
+     * Snapshot the FRAM digest at every reboot boundary and at run
+     * end (ExperimentResult::rebootDigests / finalNvmDigest). Off by
+     * default: a capacitor run can reboot hundreds of thousands of
+     * times and a digest walks the whole non-volatile region.
+     */
+    bool captureNvmDigests = false;
 };
 
 /** Per-layer timing/energy breakdown row. */
@@ -104,6 +120,14 @@ struct ExperimentResult
     std::vector<i16> logits;
     u32 predictedClass = 0;
     u32 tailsTileWords = 0; ///< TAILS' calibrated LEA tile (0 if n/a)
+
+    /** @name Oracle observables (RunSpec::failureSchedule runs) */
+    /// @{
+    u64 scheduleFired = 0; ///< scheduled failure indices that fired
+    u64 opInstances = 0;   ///< total charged op instances (all kinds)
+    u64 finalNvmDigest = 0; ///< FRAM digest at run end (capture only)
+    std::vector<u64> rebootDigests; ///< FRAM digest per reboot (capture)
+    /// @}
 };
 
 /** Build the power supply for a kind (exposed for tests). */

@@ -104,6 +104,21 @@ SweepPlan::sampleIndices(std::vector<u32> values)
 }
 
 SweepPlan &
+SweepPlan::failureSchedules(std::vector<std::vector<u64>> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty schedule axis");
+    schedules_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::captureNvmDigests(bool enabled)
+{
+    captureNvmDigests_ = enabled;
+    return *this;
+}
+
+SweepPlan &
 SweepPlan::baseSeed(u64 seed)
 {
     baseSeed_ = seed;
@@ -114,7 +129,8 @@ u64
 SweepPlan::size() const
 {
     return static_cast<u64>(nets_.size()) * impls_.size()
-         * power_.size() * profiles_.size() * samples_.size();
+         * power_.size() * profiles_.size() * samples_.size()
+         * schedules_.size();
 }
 
 u64
@@ -127,7 +143,13 @@ SweepPlan::specSeed(u64 baseSeed, const RunSpec &spec)
               | static_cast<u64>(spec.power) << 40
               | static_cast<u64>(spec.profile) << 32
               | static_cast<u64>(spec.sampleIndex);
-    return mix64(mix64(baseSeed) ^ coord);
+    u64 h = mix64(baseSeed) ^ coord;
+    // A failure schedule is a coordinate too: fold its contents so
+    // distinct schedules reseed (empty schedules keep the seed values
+    // plans produced before the axis existed).
+    for (u64 index : spec.failureSchedule)
+        h = mix64(h ^ index);
+    return mix64(h);
 }
 
 std::vector<RunSpec>
@@ -140,14 +162,19 @@ SweepPlan::expand() const
             for (auto power : power_) {
                 for (auto profile : profiles_) {
                     for (auto sample : samples_) {
-                        RunSpec spec;
-                        spec.net = net;
-                        spec.impl = impl;
-                        spec.power = power;
-                        spec.profile = profile;
-                        spec.sampleIndex = sample;
-                        spec.seed = specSeed(baseSeed_, spec);
-                        specs.push_back(spec);
+                        for (const auto &schedule : schedules_) {
+                            RunSpec spec;
+                            spec.net = net;
+                            spec.impl = impl;
+                            spec.power = power;
+                            spec.profile = profile;
+                            spec.sampleIndex = sample;
+                            spec.failureSchedule = schedule;
+                            spec.captureNvmDigests =
+                                captureNvmDigests_;
+                            spec.seed = specSeed(baseSeed_, spec);
+                            specs.push_back(spec);
+                        }
                     }
                 }
             }

@@ -11,7 +11,8 @@
  *     const auto records = engine.run(plan);
  *
  * Expansion order is fixed and documented (nets outermost, then
- * impls, power, profiles, samples innermost) so figure code can rely
+ * impls, power, profiles, samples, failure schedules innermost) so
+ * figure code can rely
  * on record ordering, and each expanded spec gets a deterministic
  * seed derived from the plan's base seed and the spec's coordinates —
  * independent of plan shape and of how many worker threads run it.
@@ -56,7 +57,19 @@ class SweepPlan
     /** Sample indices 0..n-1. */
     SweepPlan &samples(u32 n);
     SweepPlan &sampleIndices(std::vector<u32> values);
+
+    /**
+     * Failure-schedule axis (innermost). Each value is an explicit
+     * draw-index trace executed under arch::SchedulePower; the empty
+     * schedule (the default single point) means "use the power-kind
+     * axis". The verification oracle fans a batch of adversarial
+     * schedules across the worker pool through this axis.
+     */
+    SweepPlan &failureSchedules(std::vector<std::vector<u64>> values);
     /// @}
+
+    /** Capture per-reboot/final NVM digests on every expanded spec. */
+    SweepPlan &captureNvmDigests(bool enabled);
 
     /**
      * Base seed mixed into every expanded spec's seed (recorded
@@ -84,6 +97,10 @@ class SweepPlan
         return profiles_;
     }
     const std::vector<u32> &sampleAxis() const { return samples_; }
+    const std::vector<std::vector<u64>> &scheduleAxis() const
+    {
+        return schedules_;
+    }
     /// @}
 
     /**
@@ -99,6 +116,8 @@ class SweepPlan
     std::vector<PowerKind> power_{PowerKind::Continuous};
     std::vector<ProfileVariant> profiles_{ProfileVariant::Standard};
     std::vector<u32> samples_{0};
+    std::vector<std::vector<u64>> schedules_{{}};
+    bool captureNvmDigests_ = false;
     u64 baseSeed_ = 0x5eed;
 };
 

@@ -128,6 +128,33 @@ Device::unregisterVolatile(VolatileResettable *v)
 }
 
 void
+Device::registerNonVolatile(const NvmDigestible *nv)
+{
+    nonVolatiles_.push_back(nv);
+}
+
+void
+Device::unregisterNonVolatile(const NvmDigestible *nv)
+{
+    auto it =
+        std::find(nonVolatiles_.begin(), nonVolatiles_.end(), nv);
+    if (it != nonVolatiles_.end())
+        nonVolatiles_.erase(it);
+}
+
+u64
+Device::nvmDigest() const
+{
+    // Registration order is the deterministic flash layout order (the
+    // same workload always constructs its handles in the same order),
+    // so two runs of the same workload digest the same region sequence.
+    NvmDigest d;
+    for (const auto *nv : nonVolatiles_)
+        nv->digestInto(d);
+    return d.value();
+}
+
+void
 Device::reboot()
 {
     // A reboot can be requested directly (tests, host tooling) with a
@@ -141,6 +168,8 @@ Device::reboot()
     deadSeconds_ += power_->recharge();
     for (auto *v : volatiles_)
         v->onReboot(rebootCount_);
+    if (rebootHook_)
+        rebootHook_(*this, rebootCount_);
 }
 
 } // namespace sonic::arch

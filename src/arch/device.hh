@@ -11,11 +11,13 @@
 #ifndef SONIC_ARCH_DEVICE_HH
 #define SONIC_ARCH_DEVICE_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/energy_profile.hh"
+#include "arch/nvm_digest.hh"
 #include "arch/op.hh"
 #include "arch/power.hh"
 #include "arch/stats.hh"
@@ -158,6 +160,31 @@ class Device
     u64 sramBytesUsed() const { return sramUsed_; }
     void registerVolatile(VolatileResettable *v);
     void unregisterVolatile(VolatileResettable *v);
+    void registerNonVolatile(const NvmDigestible *nv);
+    void unregisterNonVolatile(const NvmDigestible *nv);
+    /// @}
+
+    /** @name NVM snapshot digesting (oracle instrumentation) */
+    /// @{
+
+    /**
+     * Digest the whole registered non-volatile (FRAM) region in
+     * registration order. Pull-based and never called by the
+     * simulation itself: the cost exists only when a caller (reboot
+     * hook, golden-file emitter, test) asks for it.
+     */
+    u64 nvmDigest() const;
+
+    /**
+     * Hook invoked at the end of every reboot() with the reboot index
+     * (1-based). The verification oracle installs one that snapshots
+     * nvmDigest() into a per-run chain, so state divergence is pinned
+     * to the reboot boundary where it first appears. Empty (the
+     * default) costs a single branch per reboot and nothing per
+     * operation.
+     */
+    using RebootHook = std::function<void(Device &, u64 reboot_index)>;
+    void setRebootHook(RebootHook hook) { rebootHook_ = std::move(hook); }
     /// @}
 
     /**
@@ -252,6 +279,8 @@ class Device
     u64 framUsed_ = 0;
     u64 sramUsed_ = 0;
     std::vector<VolatileResettable *> volatiles_;
+    std::vector<const NvmDigestible *> nonVolatiles_;
+    RebootHook rebootHook_;
 };
 
 /** RAII: set the device's attribution layer, restoring on scope exit. */

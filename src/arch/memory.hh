@@ -29,16 +29,21 @@ namespace sonic::arch
 
 /** Non-volatile (FRAM) array of trivially-copyable elements. */
 template <typename T>
-class NvArray
+class NvArray : public NvmDigestible
 {
   public:
     NvArray(Device &dev, u64 n, std::string name)
         : dev_(dev), name_(std::move(name)), data_(n, T{})
     {
         dev_.allocFram(n * sizeof(T), name_);
+        dev_.registerNonVolatile(this);
     }
 
-    ~NvArray() { dev_.freeFram(data_.size() * sizeof(T)); }
+    ~NvArray() override
+    {
+        dev_.unregisterNonVolatile(this);
+        dev_.freeFram(data_.size() * sizeof(T));
+    }
 
     NvArray(const NvArray &) = delete;
     NvArray &operator=(const NvArray &) = delete;
@@ -160,6 +165,15 @@ class NvArray
     u64 size() const { return data_.size(); }
     const std::string &name() const { return name_; }
 
+    /** Element-wise region digest (see arch/nvm_digest.hh). */
+    void
+    digestInto(NvmDigest &d) const override
+    {
+        d.word(data_.size());
+        for (const T &v : data_)
+            d.element(v);
+    }
+
   private:
     static constexpr u64
     words()
@@ -174,16 +188,21 @@ class NvArray
 
 /** Non-volatile (FRAM) scalar. */
 template <typename T>
-class NvVar
+class NvVar : public NvmDigestible
 {
   public:
     NvVar(Device &dev, std::string name, T initial = T{})
         : dev_(dev), name_(std::move(name)), value_(initial)
     {
         dev_.allocFram(sizeof(T), name_);
+        dev_.registerNonVolatile(this);
     }
 
-    ~NvVar() { dev_.freeFram(sizeof(T)); }
+    ~NvVar() override
+    {
+        dev_.unregisterNonVolatile(this);
+        dev_.freeFram(sizeof(T));
+    }
 
     NvVar(const NvVar &) = delete;
     NvVar &operator=(const NvVar &) = delete;
@@ -224,6 +243,12 @@ class NvVar
     void poke(T v) { value_ = v; }
 
     const std::string &name() const { return name_; }
+
+    void
+    digestInto(NvmDigest &d) const override
+    {
+        d.element(value_);
+    }
 
   private:
     static constexpr u64

@@ -13,6 +13,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/types.hh"
 
@@ -287,6 +288,100 @@ class FailOnceAfterOps : public PowerSupply
     u64 failAfter_;
     u64 ops_ = 0;
     bool failed_ = false;
+    f64 drawn_ = 0.0;
+};
+
+/**
+ * Oracle injector: a supply driven by an explicit failure-index trace.
+ * Draw i (0-based, counting every draw-call since construction or
+ * reset) fails iff i is in the schedule; outside the schedule the
+ * supply is continuous. Unlike the periodic injectors this can place
+ * failures at arbitrary adversarial coordinates — bursts, commit-point
+ * neighborhoods, shrunk counterexamples — which is what the
+ * verification oracle (src/verify) sweeps.
+ *
+ * The schedule is sorted and deduplicated at construction; indices the
+ * run never reaches simply do not fire (firedCount() reports how many
+ * did). drawsSoFar() exposes the draw cursor, which in both power
+ * accounting modes equals the number of Device::consume calls so far —
+ * the coordinate system schedules are expressed in.
+ */
+class SchedulePower : public PowerSupply
+{
+  public:
+    explicit SchedulePower(std::vector<u64> failure_indices = {},
+                           f64 dead_seconds_per_recharge = 0.0)
+        : schedule_(std::move(failure_indices)),
+          deadSeconds_(dead_seconds_per_recharge)
+    {
+        std::sort(schedule_.begin(), schedule_.end());
+        schedule_.erase(std::unique(schedule_.begin(), schedule_.end()),
+                        schedule_.end());
+    }
+
+    bool
+    draw(f64 nj) override
+    {
+        drawn_ += nj;
+        const bool fail =
+            next_ < schedule_.size() && ops_ == schedule_[next_];
+        if (fail)
+            ++next_;
+        ++ops_;
+        return !fail;
+    }
+
+    /** Lease every draw up to (excluding) the next scheduled failure. */
+    EnergyLease
+    grant(f64 max_nj, u64 max_ops) override
+    {
+        const u64 left = next_ < schedule_.size()
+            ? schedule_[next_] - ops_
+            : max_ops;
+        return {max_nj, std::min(max_ops, left)};
+    }
+
+    void
+    settle(f64 /*unused_nj*/, f64 used_nj, u64 used_ops) override
+    {
+        drawn_ += used_nj;
+        ops_ += used_ops;
+    }
+
+    f64 recharge() override { return deadSeconds_; }
+
+    void
+    reset() override
+    {
+        ops_ = 0;
+        next_ = 0;
+        drawn_ = 0.0;
+    }
+
+    bool intermittent() const override { return !schedule_.empty(); }
+    f64 capacityNj() const override { return 0.0; }
+    f64 harvestedNj() const override { return drawn_; }
+
+    std::string
+    describe() const override
+    {
+        return "schedule[" + std::to_string(schedule_.size())
+            + " failures]";
+    }
+
+    /** Scheduled failures that actually fired so far. */
+    u64 firedCount() const { return next_; }
+
+    /** Draw-call (== Device::consume call) cursor. */
+    u64 drawsSoFar() const { return ops_; }
+
+    const std::vector<u64> &schedule() const { return schedule_; }
+
+  private:
+    std::vector<u64> schedule_; ///< sorted, unique failure indices
+    f64 deadSeconds_;
+    u64 ops_ = 0;
+    u64 next_ = 0; ///< first schedule entry not yet fired
     f64 drawn_ = 0.0;
 };
 

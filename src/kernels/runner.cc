@@ -52,8 +52,10 @@ struct ImplRegistry::State
 ImplRegistry::ImplRegistry() : state_(new State)
 {
     // The paper's six implementations occupy the named enum ids, in
-    // enum order, so dynamic ids start right after Impl::Tails.
-    add("Base", 0, entryBase);
+    // enum order, so dynamic ids start right after Impl::Tails. Base
+    // keeps loop state in volatile memory by design (Sec. 8), so it is
+    // the one implementation that does not claim crash consistency.
+    add("Base", 0, entryBase, /*crashConsistent=*/false);
     add("Tile-8", 8, entryTiled);
     add("Tile-32", 32, entryTiled);
     add("Tile-128", 128, entryTiled);
@@ -69,7 +71,8 @@ ImplRegistry::instance()
 }
 
 Impl
-ImplRegistry::add(std::string name, u32 tileSize, ImplEntry entry)
+ImplRegistry::add(std::string name, u32 tileSize, ImplEntry entry,
+                  bool crashConsistent)
 {
     SONIC_ASSERT(entry != nullptr, "impl entry must be non-null");
     std::lock_guard<std::mutex> lock(state_->mutex);
@@ -82,6 +85,7 @@ ImplRegistry::add(std::string name, u32 tileSize, ImplEntry entry)
     info.name = std::move(name);
     info.tileSize = tileSize;
     info.entry = entry;
+    info.crashConsistent = crashConsistent;
     state_->rows.push_back(std::move(info));
     return state_->rows.back().id;
 }

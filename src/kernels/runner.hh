@@ -84,6 +84,17 @@ struct ImplInfo
     std::string name;  ///< stable display/lookup name ("SONIC")
     u32 tileSize = 0;  ///< task tile in elements (0 = untiled)
     ImplEntry entry = nullptr;
+
+    /**
+     * Whether the implementation claims the paper's correctness
+     * property — intermittent execution indistinguishable from
+     * continuous. The verification oracle (src/verify) holds
+     * crash-consistent implementations to logit-equality under
+     * adversarial failure schedules; non-consistent ones (Base, which
+     * keeps loop state in volatile memory by design) are only held to
+     * deterministic replay.
+     */
+    bool crashConsistent = true;
 };
 
 /**
@@ -100,7 +111,8 @@ class ImplRegistry
      * Register a new implementation under a fresh id. Names must be
      * unique; re-registering an existing name panics.
      */
-    Impl add(std::string name, u32 tileSize, ImplEntry entry);
+    Impl add(std::string name, u32 tileSize, ImplEntry entry,
+             bool crashConsistent = true);
 
     /** Lookup by id; nullptr if unknown. */
     const ImplInfo *find(Impl id) const;
@@ -139,6 +151,24 @@ RunResult runInference(dnn::DeviceNetwork &net, Impl impl);
 RunResult runBase(dnn::DeviceNetwork &net);
 RunResult runTiled(dnn::DeviceNetwork &net, u32 tile);
 RunResult runSonic(dnn::DeviceNetwork &net);
+
+namespace testhooks
+{
+
+/**
+ * Oracle self-test fault: when true, SONIC's sparse-FC stage skips its
+ * sparse undo-logging (phase-1 canonical save) and accumulates naively
+ * in place — the classic WAR crash-consistency bug the paper's
+ * protocol exists to prevent. A power failure between the in-place
+ * store and the loop-continuation index advance then double-applies
+ * one tap on re-execution. The verification oracle's own tests flip
+ * this to prove a real progress/consistency bug is caught and shrunk;
+ * it must never be set outside those tests. Not thread-safe: set it
+ * only around single-threaded verification runs.
+ */
+extern bool sonicDisableUndoLogging;
+
+} // namespace testhooks
 
 } // namespace sonic::kernels
 

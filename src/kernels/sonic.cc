@@ -41,6 +41,13 @@
 namespace sonic::kernels
 {
 
+namespace testhooks
+{
+
+bool sonicDisableUndoLogging = false;
+
+} // namespace testhooks
+
 using arch::Device;
 using arch::NvArray;
 using arch::NvVar;
@@ -729,17 +736,27 @@ SonicBuilder::buildSparseFc(const DevLayer &layer, const DevSparseFc &op,
                 d.setPart(Part::Kernel);
                 const u32 ti = static_cast<u32>(t);
                 const i16 r = fp->rowIdx->read(ti);
-                // Phase 1: save the original value once per tap.
-                d.consume(Op::Branch);
-                if (st_.rd.read() <= t) {
-                    st_.saved.write(dst->read(static_cast<u32>(r)));
-                    st_.rd.write(t + 1);
+                i16 base;
+                if (testhooks::sonicDisableUndoLogging) [[unlikely]] {
+                    // Oracle self-test fault: naive in-place RMW. A
+                    // failure between the dst store below and the wr
+                    // index advance re-applies this tap on restart.
+                    d.consume(Op::Branch);
+                    base = dst->read(static_cast<u32>(r));
+                } else {
+                    // Phase 1: save the original value once per tap.
+                    d.consume(Op::Branch);
+                    if (st_.rd.read() <= t) {
+                        st_.saved.write(
+                            dst->read(static_cast<u32>(r)));
+                        st_.rd.write(t + 1);
+                    }
+                    // Phase 2: recompute from the canonical save.
+                    base = st_.saved.read();
                 }
-                // Phase 2: recompute from the canonical saved value.
                 const i16 w = fp->val->read(ti);
                 const i16 xin = src->read(c);
-                const i16 v =
-                    addQ(d, st_.saved.read(), mulQ(d, w, xin));
+                const i16 v = addQ(d, base, mulQ(d, w, xin));
                 dst->write(static_cast<u32>(r), v);
                 writeIndex(d, st_.wr, t + 1);
                 rt.progress(static_cast<u64>(t));

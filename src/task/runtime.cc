@@ -5,6 +5,24 @@
 namespace sonic::task
 {
 
+namespace
+{
+
+/** The calling thread's commit observer (engine workers each own one
+ * run at a time, so thread-local scoping keeps oracle instrumentation
+ * from crosstalking between parallel sweeps). */
+thread_local CommitObserver *t_commitObserver = nullptr;
+
+} // namespace
+
+CommitObserver *
+setThreadCommitObserver(CommitObserver *observer)
+{
+    CommitObserver *previous = t_commitObserver;
+    t_commitObserver = observer;
+    return previous;
+}
+
 void
 Runtime::pushLog(const LogEntry &entry)
 {
@@ -179,6 +197,8 @@ Scheduler::run(TaskId entry)
 void
 Scheduler::commitAndTransition(TaskId next)
 {
+    if (t_commitObserver != nullptr)
+        t_commitObserver->onCommit(dev_, next);
     dev_.consume(config_.transitionStyle == TransitionStyle::Alpaca
                      ? arch::Op::AlpacaTransition
                      : arch::Op::TaskTransition);

@@ -1,0 +1,571 @@
+#include "verify/oracle.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "dnn/device_net.hh"
+#include "kernels/runner.hh"
+#include "task/runtime.hh"
+#include "util/logging.hh"
+#include "verify/workload.hh"
+
+namespace sonic::verify
+{
+
+namespace
+{
+
+u64
+sumOpInstances(const arch::Device &dev)
+{
+    u64 total = 0;
+    for (u32 o = 0; o < arch::kNumOps; ++o)
+        total += dev.stats().opCount(static_cast<arch::Op>(o));
+    return total;
+}
+
+Observation
+toObservation(const app::ExperimentResult &result)
+{
+    Observation o;
+    o.completed = result.completed;
+    o.nonTerminating = result.nonTerminating;
+    o.reboots = result.reboots;
+    o.fired = result.scheduleFired;
+    o.opInstances = result.opInstances;
+    o.logits = result.logits;
+    o.finalNvmDigest = result.finalNvmDigest;
+    o.rebootDigests = result.rebootDigests;
+    return o;
+}
+
+/** Records the draw index of every two-phase commit on this thread. */
+struct TraceRecorder : task::CommitObserver
+{
+    std::vector<u64> commits;
+
+    void
+    onCommit(arch::Device &dev, task::TaskId) override
+    {
+        // dev.power() settles the open lease first, so drawsSoFar is
+        // the exact draw-call cursor in either accounting mode.
+        commits.push_back(
+            static_cast<arch::SchedulePower &>(dev.power())
+                .drawsSoFar());
+    }
+};
+
+/** RAII install/restore of the thread commit observer. */
+struct ObserverGuard
+{
+    explicit ObserverGuard(task::CommitObserver *observer)
+        : previous_(task::setThreadCommitObserver(observer))
+    {
+    }
+
+    ~ObserverGuard() { task::setThreadCommitObserver(previous_); }
+
+    ObserverGuard(const ObserverGuard &) = delete;
+    ObserverGuard &operator=(const ObserverGuard &) = delete;
+
+  private:
+    task::CommitObserver *previous_;
+};
+
+std::string
+hex64(u64 v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
+void
+appendIndexArray(std::ostringstream &os, const std::vector<u64> &values)
+{
+    os << "[";
+    for (u64 i = 0; i < values.size(); ++i)
+        os << (i ? ", " : "") << values[i];
+    os << "]";
+}
+
+void
+appendDigestArray(std::ostringstream &os, const std::vector<u64> &values)
+{
+    os << "[";
+    for (u64 i = 0; i < values.size(); ++i)
+        os << (i ? ", " : "") << "\"" << hex64(values[i]) << "\"";
+    os << "]";
+}
+
+void
+appendLogitArray(std::ostringstream &os, const std::vector<i16> &values)
+{
+    os << "[";
+    for (u64 i = 0; i < values.size(); ++i)
+        os << (i ? ", " : "") << values[i];
+    os << "]";
+}
+
+} // namespace
+
+Observation
+runSchedule(const LocalWorkload &workload, const Schedule &schedule,
+            bool capture_digests)
+{
+    arch::Device dev(app::makeProfile(workload.profile),
+                     std::make_unique<arch::SchedulePower>(schedule));
+    Observation o;
+    if (capture_digests) {
+        dev.setRebootHook([&o](arch::Device &d, u64) {
+            o.rebootDigests.push_back(d.nvmDigest());
+        });
+    }
+    dnn::DeviceNetwork net(dev, workload.net);
+    net.loadInput(workload.input);
+    const auto run = kernels::runInference(net, workload.impl);
+    o.completed = run.completed;
+    o.nonTerminating = run.nonTerminating;
+    o.reboots = run.reboots;
+    o.logits = run.logits;
+    o.cycles = dev.cycles();
+    o.opInstances = sumOpInstances(dev);
+    o.fired = static_cast<const arch::SchedulePower &>(dev.power())
+                  .firedCount();
+    if (capture_digests)
+        o.finalNvmDigest = dev.nvmDigest();
+    return o;
+}
+
+RunScheduleFn
+localRunner(const LocalWorkload &workload, bool capture_digests)
+{
+    return [workload, capture_digests](const Schedule &schedule) {
+        return runSchedule(workload, schedule, capture_digests);
+    };
+}
+
+std::vector<u64>
+recordCommitTrace(const LocalWorkload &workload, u64 *total_draws)
+{
+    arch::Device dev(app::makeProfile(workload.profile),
+                     std::make_unique<arch::SchedulePower>(Schedule{}));
+    dnn::DeviceNetwork net(dev, workload.net);
+    net.loadInput(workload.input);
+    TraceRecorder recorder;
+    ObserverGuard guard(&recorder);
+    const auto run = kernels::runInference(net, workload.impl);
+    SONIC_ASSERT(run.completed,
+                 "commit-trace reference run must complete");
+    if (total_draws != nullptr) {
+        *total_draws =
+            static_cast<const arch::SchedulePower &>(dev.power())
+                .drawsSoFar();
+    }
+    return std::move(recorder.commits);
+}
+
+// --- Oracle ---------------------------------------------------------
+
+Oracle::Oracle(RunScheduleFn run, OracleOptions options)
+    : run_(std::move(run)), options_(options)
+{
+}
+
+const Observation &
+Oracle::reference()
+{
+    if (!haveReference_) {
+        reference_ = run_({});
+        SONIC_ASSERT(reference_.completed,
+                     "continuous reference run must complete");
+        haveReference_ = true;
+    }
+    return reference_;
+}
+
+std::optional<std::string>
+Oracle::judge(const Schedule &schedule, const Observation &observed)
+{
+    if (schedule.empty())
+        return std::nullopt;
+    const Observation &ref = reference();
+    if (observed.nonTerminating) {
+        return "declared non-terminating (schedules carry at most "
+               "40 failures, far below the no-progress threshold, so "
+               "this is a genuine progress bug)";
+    }
+    if (!observed.completed)
+        return "did not complete";
+    if (observed.reboots != observed.fired) {
+        return "reboot accounting diverges: "
+            + std::to_string(observed.reboots) + " reboots for "
+            + std::to_string(observed.fired) + " fired failures";
+    }
+    if (!observed.rebootDigests.empty()
+        && observed.rebootDigests.size() != observed.reboots) {
+        return "NVM snapshot chain has "
+            + std::to_string(observed.rebootDigests.size())
+            + " links for " + std::to_string(observed.reboots)
+            + " reboots";
+    }
+    if (observed.logits != ref.logits)
+        return "logits diverge from the continuous reference";
+    if (options_.checkFinalNvmDigest && observed.finalNvmDigest != 0
+        && ref.finalNvmDigest != 0
+        && observed.finalNvmDigest != ref.finalNvmDigest)
+        return "final NVM digest diverges from the continuous "
+               "reference";
+    return std::nullopt;
+}
+
+std::optional<std::string>
+Oracle::judgeReplay(const Observation &first, const Observation &second)
+{
+    if (first.completed != second.completed
+        || first.nonTerminating != second.nonTerminating)
+        return "replay diverges: outcome";
+    if (first.reboots != second.reboots
+        || first.fired != second.fired)
+        return "replay diverges: reboot/failure accounting";
+    if (first.opInstances != second.opInstances
+        || first.cycles != second.cycles)
+        return "replay diverges: op/cycle totals";
+    if (first.logits != second.logits)
+        return "replay diverges: logits";
+    if (first.finalNvmDigest != second.finalNvmDigest
+        || first.rebootDigests != second.rebootDigests)
+        return "replay diverges: NVM digest chain";
+    return std::nullopt;
+}
+
+Schedule
+Oracle::shrink(const Schedule &schedule)
+{
+    u32 runs = 0;
+    auto still_fails = [&](const Schedule &candidate) -> bool {
+        if (candidate.empty() || runs >= options_.maxShrinkRuns)
+            return false; // budget exhausted: keep the last known bad
+        ++runs;
+        const Observation o = run_(candidate);
+        if (!options_.crashConsistent) {
+            if (runs >= options_.maxShrinkRuns)
+                return false;
+            ++runs;
+            const Observation o2 = run_(candidate);
+            return judgeReplay(o, o2).has_value();
+        }
+        return judge(candidate, o).has_value();
+    };
+
+    // Classic ddmin over the failure-index list: try dropping whole
+    // complements, refining granularity until 1-minimal.
+    Schedule current = schedule;
+    u64 granularity = 2;
+    while (current.size() >= 2) {
+        const u64 chunk =
+            (current.size() + granularity - 1) / granularity;
+        bool reduced = false;
+        for (u64 start = 0; start < current.size(); start += chunk) {
+            Schedule candidate;
+            candidate.reserve(current.size());
+            for (u64 i = 0; i < current.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    candidate.push_back(current[i]);
+            if (!candidate.empty() && still_fails(candidate)) {
+                current = std::move(candidate);
+                granularity = std::max<u64>(granularity - 1, 2);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (granularity >= current.size())
+                break;
+            granularity = std::min<u64>(granularity * 2,
+                                        current.size());
+        }
+    }
+    return current;
+}
+
+OracleReport
+Oracle::verify(const std::vector<Schedule> &schedules)
+{
+    std::vector<Observation> observed;
+    observed.reserve(schedules.size());
+    for (const auto &schedule : schedules)
+        observed.push_back(run_(schedule));
+    return report(schedules, observed);
+}
+
+OracleReport
+Oracle::judgeBatch(const std::vector<Schedule> &schedules,
+                   const std::vector<Observation> &observed)
+{
+    SONIC_ASSERT(schedules.size() == observed.size(),
+                 "schedule/observation count mismatch");
+    return report(schedules, observed);
+}
+
+OracleReport
+Oracle::report(const std::vector<Schedule> &schedules,
+               const std::vector<Observation> &observed)
+{
+    OracleReport rep;
+    rep.schedulesRun = schedules.size();
+    for (u64 i = 0; i < schedules.size(); ++i) {
+        const Schedule &schedule = schedules[i];
+        const Observation &o = observed[i];
+        rep.totalFired += o.fired;
+        rep.totalReboots += o.reboots;
+
+        std::optional<std::string> verdict;
+        if (options_.crashConsistent) {
+            verdict = judge(schedule, o);
+        } else if (!schedule.empty()) {
+            const Observation replay = run_(schedule);
+            verdict = judgeReplay(o, replay);
+        }
+        if (!verdict)
+            continue;
+
+        Divergence d;
+        d.schedule = schedule;
+        d.reason = *verdict;
+        d.shrunk = options_.shrink ? shrink(schedule) : schedule;
+        d.observed = run_(d.shrunk);
+        rep.divergences.push_back(std::move(d));
+    }
+    return rep;
+}
+
+// --- Engine path ----------------------------------------------------
+
+OracleReport
+verifyWithEngine(app::Engine &engine, const EngineOracleConfig &config)
+{
+    const auto *info =
+        kernels::ImplRegistry::instance().find(config.impl);
+    SONIC_ASSERT(info != nullptr, "unregistered Impl");
+
+    app::RunSpec base;
+    base.net = config.net;
+    base.impl = config.impl;
+    base.power = app::PowerKind::Continuous;
+    base.captureNvmDigests = true;
+
+    RunScheduleFn probe = [&engine, base](const Schedule &schedule) {
+        app::RunSpec spec = base;
+        spec.failureSchedule = schedule;
+        return toObservation(engine.runOne(spec));
+    };
+
+    OracleOptions options;
+    options.crashConsistent = info->crashConsistent;
+    // The final FRAM image is part of the property for the purely
+    // software kernels; TAILS' calibration registers legitimately
+    // depend on where failures land.
+    options.checkFinalNvmDigest =
+        info->crashConsistent && config.impl != kernels::Impl::Tails;
+    options.shrink = config.shrink;
+    Oracle oracle(std::move(probe), options);
+
+    // Commit trace and draw horizon from a continuous run over the
+    // engine's cached workload, on this thread.
+    LocalWorkload workload;
+    workload.net = engine.compressed(config.net);
+    const auto &data = engine.dataset(config.net);
+    workload.input =
+        dnn::DeviceNetwork::quantizeInput(data[0].input);
+    workload.impl = config.impl;
+    u64 horizon = 0;
+    const auto commits = recordCommitTrace(workload, &horizon);
+
+    ScheduleGenConfig gen;
+    gen.seed = config.seed;
+    gen.opHorizon = horizon;
+    gen.maxFailures = config.maxFailures;
+    const auto schedules =
+        mixedSchedules(config.schedules, commits, gen);
+
+    // Fan the whole batch across the worker pool via the sweep
+    // engine's failure-schedule axis; records stream in plan order,
+    // which is exactly the schedule order.
+    app::SweepPlan plan;
+    plan.nets({config.net})
+        .impls({config.impl})
+        .failureSchedules(schedules)
+        .captureNvmDigests(true);
+    const auto records = engine.run(plan);
+
+    std::vector<Observation> observed;
+    observed.reserve(records.size());
+    for (const auto &record : records)
+        observed.push_back(toObservation(record.result));
+
+    OracleReport rep = oracle.judgeBatch(schedules, observed);
+    rep.impl = info->name;
+    rep.workload = dnn::netName(config.net);
+    return rep;
+}
+
+// --- Reports and golden files ---------------------------------------
+
+std::string
+reportJson(const OracleReport &report)
+{
+    std::ostringstream os;
+    os << "{\n  \"impl\": \"" << report.impl << "\",\n  \"workload\": \""
+       << report.workload << "\",\n  \"schedulesRun\": "
+       << report.schedulesRun << ",\n  \"totalFired\": "
+       << report.totalFired << ",\n  \"totalReboots\": "
+       << report.totalReboots << ",\n  \"divergences\": [";
+    for (u64 i = 0; i < report.divergences.size(); ++i) {
+        const Divergence &d = report.divergences[i];
+        os << (i ? ",\n" : "\n") << "    {\"reason\": \"" << d.reason
+           << "\",\n     \"schedule\": ";
+        appendIndexArray(os, d.schedule);
+        os << ",\n     \"shrunk\": ";
+        appendIndexArray(os, d.shrunk);
+        os << ",\n     \"shrunkCompleted\": "
+           << (d.observed.completed ? "true" : "false")
+           << ", \"shrunkReboots\": " << d.observed.reboots
+           << ",\n     \"shrunkLogits\": ";
+        appendLogitArray(os, d.observed.logits);
+        os << ",\n     \"shrunkRebootDigests\": ";
+        appendDigestArray(os, d.observed.rebootDigests);
+        os << "}";
+    }
+    os << (report.divergences.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Continuous golden run with per-layer stat digests. */
+struct GoldenContinuous
+{
+    Observation obs;
+    u64 draws = 0;
+    std::vector<std::pair<std::string, u64>> layerDigests;
+};
+
+GoldenContinuous
+goldenContinuousRun(const LocalWorkload &workload)
+{
+    arch::Device dev(app::makeProfile(workload.profile),
+                     std::make_unique<arch::SchedulePower>(Schedule{}));
+    dnn::DeviceNetwork net(dev, workload.net);
+    net.loadInput(workload.input);
+    const auto run = kernels::runInference(net, workload.impl);
+    SONIC_ASSERT(run.completed, "golden continuous run must complete");
+
+    GoldenContinuous g;
+    g.obs.completed = run.completed;
+    g.obs.reboots = run.reboots;
+    g.obs.logits = run.logits;
+    g.obs.cycles = dev.cycles();
+    g.obs.opInstances = sumOpInstances(dev);
+    g.obs.finalNvmDigest = dev.nvmDigest();
+    g.draws = static_cast<const arch::SchedulePower &>(dev.power())
+                  .drawsSoFar();
+
+    const auto &stats = dev.stats();
+    for (u16 l = 0; l < stats.numLayers(); ++l) {
+        arch::NvmDigest d;
+        const std::string &name = stats.layerName(l);
+        d.word(name.size());
+        for (char c : name)
+            d.word(static_cast<u64>(static_cast<unsigned char>(c)));
+        for (u32 p = 0; p < arch::kNumParts; ++p) {
+            const auto &bucket =
+                stats.bucket(l, static_cast<arch::Part>(p));
+            for (u32 o = 0; o < arch::kNumOps; ++o) {
+                d.word(bucket.count[o]);
+                d.word(bucket.cycles[o]);
+            }
+        }
+        g.layerDigests.emplace_back(name, d.value());
+    }
+    return g;
+}
+
+} // namespace
+
+std::string
+goldenJson(const GoldenConfig &config)
+{
+    // Energy (f64 nanojoule sums) is deliberately absent from golden
+    // content: batched charging reassociates the floating-point
+    // accumulation (the documented ~2e-16 relative TAILS drift), so
+    // only exactly-reproducible integers are committed — counts,
+    // cycles, logits and digests.
+    std::ostringstream os;
+    os << "{\n  \"workload\": \"golden\",\n  \"netSeed\": "
+       << config.netSeed << ",\n  \"scheduleSeed\": "
+       << config.scheduleSeed << ",\n  \"impls\": [";
+
+    const auto impls = kernels::ImplRegistry::instance().all();
+    bool first_impl = true;
+    for (const auto impl : impls) {
+        const auto *info = kernels::ImplRegistry::instance().find(impl);
+        LocalWorkload workload;
+        workload.net = goldenNet(config.netSeed);
+        workload.input = goldenInput();
+        workload.impl = impl;
+
+        const GoldenContinuous cont = goldenContinuousRun(workload);
+        os << (first_impl ? "\n" : ",\n");
+        first_impl = false;
+        os << "    {\"name\": \"" << info->name
+           << "\", \"crashConsistent\": "
+           << (info->crashConsistent ? "true" : "false")
+           << ",\n     \"continuous\": {\"cycles\": " << cont.obs.cycles
+           << ", \"opInstances\": " << cont.obs.opInstances
+           << ", \"draws\": " << cont.draws << ",\n       \"logits\": ";
+        appendLogitArray(os, cont.obs.logits);
+        os << ", \"finalNvmDigest\": \""
+           << hex64(cont.obs.finalNvmDigest) << "\",\n       \"layers\": [";
+        for (u64 l = 0; l < cont.layerDigests.size(); ++l) {
+            os << (l ? ", " : "") << "{\"name\": \""
+               << cont.layerDigests[l].first << "\", \"digest\": \""
+               << hex64(cont.layerDigests[l].second) << "\"}";
+        }
+        os << "]},\n     \"schedules\": [";
+
+        ScheduleGenConfig gen;
+        gen.seed = config.scheduleSeed
+            ^ (static_cast<u64>(impl) * 0x9e3779b97f4a7c15ull);
+        gen.opHorizon = cont.draws;
+        gen.maxFailures = config.maxFailures;
+        const auto schedules =
+            uniformSchedules(config.schedulesPerImpl, gen);
+        for (u64 s = 0; s < schedules.size(); ++s) {
+            const Observation o =
+                runSchedule(workload, schedules[s], true);
+            os << (s ? ",\n       " : "\n       ")
+               << "{\"indices\": ";
+            appendIndexArray(os, schedules[s]);
+            os << ", \"fired\": " << o.fired << ", \"reboots\": "
+               << o.reboots << ", \"completed\": "
+               << (o.completed ? "true" : "false")
+               << ", \"logitsMatchContinuous\": "
+               << (o.completed && o.logits == cont.obs.logits
+                       ? "true"
+                       : "false")
+               << ",\n        \"finalNvmDigest\": \""
+               << hex64(o.finalNvmDigest)
+               << "\", \"rebootDigests\": ";
+            appendDigestArray(os, o.rebootDigests);
+            os << "}";
+        }
+        os << (schedules.empty() ? "]}" : "\n     ]}");
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace sonic::verify

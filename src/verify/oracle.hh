@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The adversarial intermittence oracle.
+ *
+ * The paper's central claim — intermittent execution is
+ * indistinguishable from continuous execution — is a differential
+ * property, so the oracle checks it differentially: run a kernel under
+ * an adversarial power-failure schedule, compare every observable
+ * (completion, logits, reboot accounting, optionally the final FRAM
+ * digest) against the continuous-power reference, and when a schedule
+ * diverges, shrink it with delta debugging to a minimal failing
+ * failure-index set that a human can replay in a unit test.
+ *
+ * Two execution paths share the same judge:
+ *  - a local path (runSchedule / recordCommitTrace over an explicit
+ *    workload) used by unit tests, golden-file generation and the CLI's
+ *    built-in platform-stable workload (verify/workload.hh);
+ *  - an engine path (verifyWithEngine) that fans the schedule batch
+ *    across app::Engine's worker pool via the SweepPlan failure-
+ *    schedule axis — (kernel x network x schedule) coordinates in
+ *    parallel.
+ *
+ * Implementations registered without the crashConsistent claim (Base)
+ * cannot promise logit equality under failures; for them the oracle
+ * checks deterministic replay instead: the same schedule twice must
+ * produce bit-identical observables including the per-reboot NVM
+ * digest chain.
+ */
+
+#ifndef SONIC_VERIFY_ORACLE_HH
+#define SONIC_VERIFY_ORACLE_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/engine.hh"
+#include "verify/schedule.hh"
+
+namespace sonic::verify
+{
+
+/** Everything the judge compares from one schedule run. */
+struct Observation
+{
+    bool completed = false;
+    bool nonTerminating = false;
+    u64 reboots = 0;
+    u64 fired = 0;       ///< schedule indices that actually failed a draw
+    u64 opInstances = 0; ///< total charged op instances
+    u64 cycles = 0;      ///< device cycles (local path only)
+    std::vector<i16> logits;
+    u64 finalNvmDigest = 0;
+    std::vector<u64> rebootDigests; ///< FRAM digest at each reboot
+};
+
+/** Runs one schedule and observes it (the oracle's probe). */
+using RunScheduleFn = std::function<Observation(const Schedule &)>;
+
+/** A workload the local path can execute without the engine. */
+struct LocalWorkload
+{
+    dnn::NetworkSpec net;
+    std::vector<i16> input; ///< raw Q7.8 input activations
+    kernels::Impl impl = kernels::Impl::Sonic;
+    app::ProfileVariant profile = app::ProfileVariant::Standard;
+};
+
+/** Execute one schedule run of a local workload. */
+Observation runSchedule(const LocalWorkload &workload,
+                        const Schedule &schedule,
+                        bool capture_digests = true);
+
+/** A RunScheduleFn over a local workload. */
+RunScheduleFn localRunner(const LocalWorkload &workload,
+                          bool capture_digests = true);
+
+/**
+ * Record the draw coordinates of every two-phase task commit in a
+ * continuous run (input to the commit-targeted schedule generator).
+ * Returns the commit draw indices; total_draws (if non-null) receives
+ * the run's draw-call count — the natural schedule horizon.
+ */
+std::vector<u64> recordCommitTrace(const LocalWorkload &workload,
+                                   u64 *total_draws = nullptr);
+
+/** Oracle judgment configuration. */
+struct OracleOptions
+{
+    /**
+     * Hold the kernel to the paper's property (complete + logits equal
+     * to continuous). False selects the deterministic-replay check.
+     */
+    bool crashConsistent = true;
+
+    /**
+     * Additionally require the final FRAM digest to equal the
+     * continuous reference's. Sound for kernels whose recovery
+     * re-writes identical values everywhere (SONIC, Tile-k); not for
+     * TAILS, whose calibrated LEA tile is legitimately a function of
+     * the power system.
+     */
+    bool checkFinalNvmDigest = false;
+
+    bool shrink = true;       ///< ddmin-shrink every divergent schedule
+    u32 maxShrinkRuns = 256;  ///< probe budget per shrink
+};
+
+/** One schedule the kernel failed, plus its shrunk counterexample. */
+struct Divergence
+{
+    Schedule schedule;
+    Schedule shrunk; ///< minimal failing subset (== schedule if unshrunk)
+    std::string reason;
+    Observation observed; ///< observation of the shrunk schedule
+};
+
+/** Outcome of an oracle battery. */
+struct OracleReport
+{
+    std::string impl;
+    std::string workload;
+    u64 schedulesRun = 0;
+    u64 totalFired = 0;
+    u64 totalReboots = 0;
+    std::vector<Divergence> divergences;
+
+    bool ok() const { return divergences.empty(); }
+};
+
+/**
+ * The oracle proper: judges observations against the continuous
+ * reference and shrinks divergent schedules.
+ */
+class Oracle
+{
+  public:
+    Oracle(RunScheduleFn run, OracleOptions options = {});
+
+    /** The continuous-power reference (runs the empty schedule once). */
+    const Observation &reference();
+
+    /**
+     * Judge one observation; nullopt means consistent. The empty
+     * schedule is judged trivially consistent (it is the reference).
+     */
+    std::optional<std::string> judge(const Schedule &schedule,
+                                     const Observation &observed);
+
+    /** Run and judge a batch sequentially, shrinking divergences. */
+    OracleReport verify(const std::vector<Schedule> &schedules);
+
+    /**
+     * Judge pre-computed observations (the engine path runs them in
+     * parallel first), shrinking divergences via the probe function.
+     */
+    OracleReport judgeBatch(const std::vector<Schedule> &schedules,
+                            const std::vector<Observation> &observed);
+
+    /**
+     * Delta-debug a failing schedule to a minimal failing subset:
+     * every index can be removed only at the cost of the divergence
+     * disappearing (1-minimality, up to the probe budget).
+     */
+    Schedule shrink(const Schedule &schedule);
+
+  private:
+    /** Deterministic-replay judgment for non-crash-consistent impls. */
+    std::optional<std::string>
+    judgeReplay(const Observation &first, const Observation &second);
+
+    OracleReport report(const std::vector<Schedule> &schedules,
+                        const std::vector<Observation> &observed);
+
+    RunScheduleFn run_;
+    OracleOptions options_;
+    bool haveReference_ = false;
+    Observation reference_;
+};
+
+/** Engine-path configuration. */
+struct EngineOracleConfig
+{
+    dnn::NetId net = dnn::NetId::Har;
+    kernels::Impl impl = kernels::Impl::Sonic;
+    u32 schedules = 200;
+    u64 seed = 1;
+    u32 maxFailures = 8;
+    bool shrink = true;
+};
+
+/**
+ * Verify one (kernel, network) coordinate against `schedules` mixed
+ * adversarial schedules, fanned across the engine's worker pool via
+ * the SweepPlan failure-schedule axis. crashConsistent is taken from
+ * the implementation registry.
+ */
+OracleReport verifyWithEngine(app::Engine &engine,
+                              const EngineOracleConfig &config);
+
+/** JSON rendering of a report (the CI failure-shrink artifact). */
+std::string reportJson(const OracleReport &report);
+
+/** @name Golden digest files */
+/// @{
+
+struct GoldenConfig
+{
+    u64 netSeed = 0x601d;       ///< goldenNet weight seed
+    u64 scheduleSeed = 0xd16e57; ///< fixed-schedule seed
+    u32 schedulesPerImpl = 3;
+    u32 maxFailures = 6;
+};
+
+/**
+ * Render the golden digest report for every registered implementation
+ * on the platform-stable golden workload: continuous logits, cycle and
+ * op-instance totals, the final FRAM digest, per-layer op digests, and
+ * for crash-consistent kernels the full per-reboot digest chain of a
+ * fixed set of seeded schedules. Byte-stable across hosts, so
+ * verification is an exact string comparison against the committed
+ * file (tests/golden/) — any intermittent-semantics regression is one
+ * diff away.
+ */
+std::string goldenJson(const GoldenConfig &config = {});
+/// @}
+
+} // namespace sonic::verify
+
+#endif // SONIC_VERIFY_ORACLE_HH

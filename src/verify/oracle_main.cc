@@ -1,0 +1,288 @@
+/**
+ * @file
+ * sonic_oracle — the adversarial intermittence oracle CLI.
+ *
+ * Default mode fuzzes implementations with seeded adversarial power
+ * schedules and differentially verifies every run against continuous
+ * power, shrinking any divergence to a minimal failure-index set:
+ *
+ *     sonic_oracle --schedules=200 --seed=1
+ *     sonic_oracle --net=HAR --impls=SONIC,TAILS --schedules=50
+ *
+ * --net=golden (default) uses the built-in platform-stable workload
+ * and runs sequentially; a real workload name (MNIST/HAR/OkG) fans
+ * schedules across the sweep engine's worker pool.
+ *
+ * Golden digest files:
+ *
+ *     sonic_oracle --emit-golden=tests/golden/golden_net.json
+ *     sonic_oracle --verify-golden=tests/golden/golden_net.json
+ *
+ * On divergence the failure-shrink artifact (reasons, schedules,
+ * shrunk counterexamples, NVM digest chains) is written to --artifact
+ * (default oracle_failures.json) and the exit code is 1.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "verify/oracle.hh"
+#include "verify/workload.hh"
+
+namespace
+{
+
+using namespace sonic;
+
+struct Args
+{
+    std::string net = "golden";
+    std::vector<std::string> impls; ///< empty = acceptance five
+    u32 schedules = 200;
+    u64 seed = 1;
+    u32 maxFailures = 8;
+    u32 threads = 0;
+    std::string artifact = "oracle_failures.json";
+    std::string emitGolden;
+    std::string verifyGolden;
+};
+
+bool
+consumeFlag(const std::string &arg, const char *name, std::string *out)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    *out = arg.substr(prefix.size());
+    return true;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::istringstream is(s);
+    std::string part;
+    while (std::getline(is, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: sonic_oracle [--net=golden|MNIST|HAR|OkG]\n"
+           "                    [--impls=SONIC,TAILS,...]\n"
+           "                    [--schedules=N] [--seed=S]\n"
+           "                    [--max-failures=K] [--threads=T]\n"
+           "                    [--artifact=PATH]\n"
+           "                    [--emit-golden=PATH]\n"
+           "                    [--verify-golden=PATH]\n";
+    return 2;
+}
+
+/** The acceptance battery: the paper's kernels plus a second tiling. */
+const char *kDefaultImpls[] = {"Base", "Tile-8", "Tile-32", "SONIC",
+                               "TAILS"};
+
+int
+runGoldenFileMode(const Args &args)
+{
+    const std::string content = verify::goldenJson();
+    if (!args.emitGolden.empty()) {
+        std::ofstream out(args.emitGolden);
+        if (!out) {
+            std::cerr << "cannot write " << args.emitGolden << "\n";
+            return 2;
+        }
+        out << content;
+        std::cout << "wrote golden digests to " << args.emitGolden
+                  << "\n";
+        return 0;
+    }
+    std::ifstream in(args.verifyGolden);
+    if (!in) {
+        std::cerr << "cannot read " << args.verifyGolden << "\n";
+        return 2;
+    }
+    std::ostringstream stored;
+    stored << in.rdbuf();
+    if (stored.str() == content) {
+        std::cout << "golden digests match " << args.verifyGolden
+                  << "\n";
+        return 0;
+    }
+    std::cerr << "golden digest mismatch against " << args.verifyGolden
+              << " — intermittent semantics changed.\n"
+                 "If intentional, refresh with:\n  sonic_oracle "
+                 "--emit-golden="
+              << args.verifyGolden << "\n";
+    return 1;
+}
+
+verify::OracleReport
+runLocalImpl(const std::string &impl_name, const Args &args)
+{
+    const auto *info =
+        kernels::ImplRegistry::instance().find(impl_name);
+    if (info == nullptr)
+        fatal("unknown implementation '", impl_name, "'");
+
+    verify::LocalWorkload workload;
+    workload.net = verify::goldenNet();
+    workload.input = verify::goldenInput();
+    workload.impl = info->id;
+
+    u64 horizon = 0;
+    const auto commits =
+        verify::recordCommitTrace(workload, &horizon);
+    verify::ScheduleGenConfig gen;
+    gen.seed = args.seed
+        ^ (static_cast<u64>(info->id) * 0x9e3779b97f4a7c15ull);
+    gen.opHorizon = horizon;
+    gen.maxFailures = args.maxFailures;
+    const auto schedules =
+        verify::mixedSchedules(args.schedules, commits, gen);
+
+    verify::OracleOptions options;
+    options.crashConsistent = info->crashConsistent;
+    // Software kernels are additionally held to the continuous final
+    // FRAM image; TAILS' calibration registers are power-dependent.
+    options.checkFinalNvmDigest = info->crashConsistent
+        && info->id != kernels::Impl::Tails;
+    verify::Oracle oracle(verify::localRunner(workload), options);
+    auto report = oracle.verify(schedules);
+    report.impl = info->name;
+    report.workload = "golden";
+    return report;
+}
+
+verify::OracleReport
+runEngineImpl(app::Engine &engine, dnn::NetId net,
+              const std::string &impl_name, const Args &args)
+{
+    const auto *info =
+        kernels::ImplRegistry::instance().find(impl_name);
+    if (info == nullptr)
+        fatal("unknown implementation '", impl_name, "'");
+    verify::EngineOracleConfig config;
+    config.net = net;
+    config.impl = info->id;
+    config.schedules = args.schedules;
+    config.seed = args.seed;
+    config.maxFailures = args.maxFailures;
+    return verify::verifyWithEngine(engine, config);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    std::string value;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (consumeFlag(arg, "--net", &value)) {
+                args.net = value;
+            } else if (consumeFlag(arg, "--impls", &value)) {
+                args.impls = splitCsv(value);
+            } else if (consumeFlag(arg, "--schedules", &value)) {
+                args.schedules = static_cast<u32>(std::stoul(value));
+            } else if (consumeFlag(arg, "--seed", &value)) {
+                args.seed = std::stoull(value);
+            } else if (consumeFlag(arg, "--max-failures", &value)) {
+                args.maxFailures = static_cast<u32>(std::stoul(value));
+            } else if (consumeFlag(arg, "--threads", &value)) {
+                args.threads = static_cast<u32>(std::stoul(value));
+            } else if (consumeFlag(arg, "--artifact", &value)) {
+                args.artifact = value;
+            } else if (consumeFlag(arg, "--emit-golden", &value)) {
+                args.emitGolden = value;
+            } else if (consumeFlag(arg, "--verify-golden", &value)) {
+                args.verifyGolden = value;
+            } else {
+                return usage();
+            }
+        }
+    } catch (const std::exception &) { // bad numeric flag value
+        return usage();
+    }
+
+    if (!args.emitGolden.empty() || !args.verifyGolden.empty())
+        return runGoldenFileMode(args);
+
+    std::vector<std::string> impls = args.impls;
+    if (impls.empty())
+        impls.assign(std::begin(kDefaultImpls),
+                     std::end(kDefaultImpls));
+
+    dnn::NetId engine_net = dnn::NetId::Har;
+    const bool use_engine = args.net != "golden";
+    if (use_engine) {
+        bool found = false;
+        for (auto id : dnn::kAllNets) {
+            if (args.net == dnn::netName(id)) {
+                engine_net = id;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown net '" << args.net << "'\n";
+            return usage();
+        }
+    }
+
+    app::Engine engine(app::EngineOptions{args.threads});
+    std::vector<verify::OracleReport> reports;
+    u64 divergent = 0;
+    for (const auto &impl : impls) {
+        auto report = use_engine
+            ? runEngineImpl(engine, engine_net, impl, args)
+            : runLocalImpl(impl, args);
+        divergent += report.divergences.size();
+        std::cout << report.impl << " on " << report.workload << ": "
+                  << report.schedulesRun << " schedules, "
+                  << report.totalFired << " injected failures, "
+                  << report.totalReboots << " reboots — "
+                  << (report.ok()
+                          ? "no divergence"
+                          : std::to_string(report.divergences.size())
+                              + " DIVERGENT")
+                  << "\n";
+        for (const auto &d : report.divergences) {
+            std::cout << "  " << d.reason << "\n    schedule:";
+            for (u64 idx : d.schedule)
+                std::cout << ' ' << idx;
+            std::cout << "\n    shrunk:";
+            for (u64 idx : d.shrunk)
+                std::cout << ' ' << idx;
+            std::cout << "\n";
+        }
+        reports.push_back(std::move(report));
+    }
+
+    if (divergent > 0 && !args.artifact.empty()) {
+        std::ofstream out(args.artifact);
+        out << "[\n";
+        bool first = true;
+        for (const auto &report : reports) {
+            if (report.ok())
+                continue;
+            out << (first ? "" : ",\n") << verify::reportJson(report);
+            first = false;
+        }
+        out << "]\n";
+        std::cout << "failure-shrink artifact written to "
+                  << args.artifact << "\n";
+    }
+    return divergent == 0 ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#include "verify/workload.hh"
+
+#include "tensor/sparse.hh"
+#include "util/rng.hh"
+
+namespace sonic::verify
+{
+
+namespace
+{
+
+/**
+ * Dyadic rational in [-1, 1) with step 1/256 — the Q7.8 grid — from
+ * pure integer Rng output. No libm touches the value, so it is
+ * bit-identical on every host and quantizes exactly at flash time.
+ */
+f64
+dyadic(Rng &rng)
+{
+    const i64 raw = static_cast<i64>(rng.next() % 512) - 256;
+    return static_cast<f64>(raw) / 256.0;
+}
+
+/** Like dyadic(), but never zero (stage taps must survive pruning). */
+f64
+dyadicNonZero(Rng &rng)
+{
+    for (;;) {
+        const f64 v = dyadic(rng);
+        if (v != 0.0)
+            return v;
+    }
+}
+
+/** Deterministic keep/drop pattern: keep ~keep_pct% of indices. */
+bool
+keepIndex(u64 i, u32 keep_pct)
+{
+    return (i * 2654435761ull + 12345) % 100 < keep_pct;
+}
+
+} // namespace
+
+dnn::NetworkSpec
+goldenNet(u64 seed)
+{
+    Rng rng(seed);
+    dnn::NetworkSpec net;
+    net.name = "golden";
+    net.input = {1, 8, 8};
+    net.numClasses = 4;
+
+    // Factored conv: col(3) x row(3) -> 2 channels, relu, pool.
+    dnn::FactoredConvLayer f;
+    for (u32 i = 0; i < 3; ++i)
+        f.col.push_back(dyadicNonZero(rng));
+    for (u32 i = 0; i < 3; ++i)
+        f.row.push_back(dyadicNonZero(rng));
+    for (u32 i = 0; i < 2; ++i)
+        f.scale.push_back(dyadicNonZero(rng));
+    net.layers.push_back({"conv1", std::move(f), true, true});
+    // Now 2 x 3 x 3.
+
+    // Pruned 2-D conv: 3 x 2 x 2 x 2, roughly half the taps kept by a
+    // fixed index pattern (no sort/nth_element tie-breaking involved).
+    tensor::FilterBank bank(3, 2, 2, 2);
+    for (u64 i = 0; i < bank.data.size(); ++i)
+        bank.data[i] = keepIndex(i, 50) ? dyadicNonZero(rng) : 0.0;
+    net.layers.push_back({"conv2", dnn::SparseConvLayer{bank}, true,
+                          false});
+    // Now 3 x 2 x 2 = 12.
+
+    // Sparse FC 6 x 12 (~40% kept), relu.
+    tensor::Matrix sfc(6, 12);
+    for (u32 r = 0; r < 6; ++r)
+        for (u32 c = 0; c < 12; ++c)
+            sfc.at(r, c) = keepIndex(u64{r} * 12 + c + 17, 40)
+                ? dyadicNonZero(rng)
+                : 0.0;
+    net.layers.push_back({"fc", dnn::SparseFcLayer{sfc}, true, false});
+
+    // Dense FC 4 x 6. Named distinctly from the sparse FC so stats
+    // rows and golden layer digests are unambiguous by name.
+    tensor::Matrix dfc(4, 6);
+    for (u32 r = 0; r < 4; ++r)
+        for (u32 c = 0; c < 6; ++c)
+            dfc.at(r, c) = dyadic(rng);
+    net.layers.push_back({"out", dnn::DenseFcLayer{dfc}, false, false});
+    return net;
+}
+
+std::vector<i16>
+goldenInput(u64 seed)
+{
+    Rng rng(seed);
+    std::vector<i16> input;
+    input.reserve(64);
+    for (u32 i = 0; i < 64; ++i) {
+        // Raw Q7.8 in [-256, 255]: |x| <= 1.0 on the Q7.8 grid.
+        input.push_back(
+            static_cast<i16>(static_cast<i64>(rng.next() % 512) - 256));
+    }
+    return input;
+}
+
+} // namespace sonic::verify

@@ -440,6 +440,172 @@ TEST(Device, RebootConsumesWholeFailureBacklog)
     EXPECT_EQ(dev.rebootCount(), 1u);
 }
 
+TEST(SchedulePower, FiresExactlyAtScheduledIndices)
+{
+    // Indices are draw coordinates; duplicates and ordering are
+    // normalized at construction.
+    SchedulePower psu({7, 3, 3, 11});
+    std::vector<u64> failed;
+    for (u64 i = 0; i < 20; ++i)
+        if (!psu.draw(1.0))
+            failed.push_back(i);
+    EXPECT_EQ(failed, (std::vector<u64>{3, 7, 11}));
+    EXPECT_EQ(psu.firedCount(), 3u);
+    EXPECT_EQ(psu.drawsSoFar(), 20u);
+    EXPECT_TRUE(psu.intermittent());
+    EXPECT_FALSE(SchedulePower(std::vector<u64>{}).intermittent());
+}
+
+TEST(SchedulePower, IndicesBeyondTheRunNeverFire)
+{
+    SchedulePower psu({100});
+    for (u64 i = 0; i < 50; ++i)
+        EXPECT_TRUE(psu.draw(1.0));
+    EXPECT_EQ(psu.firedCount(), 0u);
+}
+
+TEST(SchedulePower, LeaseModeFailsOnTheSameDrawAsPerOp)
+{
+    // The lease protocol must land every scheduled brown-out on the
+    // bit-identical consume call the per-draw path fails on.
+    const std::vector<u64> schedule = {0, 1, 5, 6, 7, 40, 41, 90};
+    for (const bool per_op : {false, true}) {
+        DeviceConfig config;
+        config.perOpPowerDraw = per_op;
+        Device dev(EnergyProfile::msp430fr5994(),
+                   std::make_unique<SchedulePower>(schedule), config);
+        std::vector<u64> failed_steps;
+        for (u64 i = 0; i < 120; ++i) {
+            try {
+                dev.consume(Op::FixedMul, 1 + i % 3);
+            } catch (const PowerFailure &) {
+                failed_steps.push_back(i);
+                dev.reboot();
+            }
+        }
+        EXPECT_EQ(failed_steps, schedule) << "per_op=" << per_op;
+    }
+}
+
+TEST(Memory, EmptySpansChargeOneDrawUnitAndMoveNothing)
+{
+    // An n == 0 span is one consume call of zero instances: no
+    // cycles, no energy, no data movement — but still one draw unit
+    // (the accounting boundary crossing), exactly like consume(op, 0).
+    auto dev = makeContinuousDevice();
+    NvArray<i16> arr(dev, 8, "a");
+    arr.fillHost(5);
+    i16 buf[4] = {99, 99, 99, 99};
+    arr.readRange(3, 0, buf);
+    arr.writeRange(3, 0, buf);
+    arr.fillRange(3, 0, 7);
+    arr.readStride(0, 2, 0, buf);
+    arr.accumRange(0, 0, [](i16, u64) -> i16 { return -1; });
+    EXPECT_EQ(dev.cycles(), 0u);
+    EXPECT_EQ(dev.stats().totalNanojoules(), 0.0);
+    EXPECT_EQ(buf[0], 99);
+    for (u32 i = 0; i < 8; ++i)
+        EXPECT_EQ(arr.peek(i), 5);
+
+    // The draw-unit accounting: a supply that fails on draw index 6
+    // sees each empty span as one draw.
+    Device counting(EnergyProfile::msp430fr5994(),
+                    std::make_unique<SchedulePower>(
+                        std::vector<u64>{6}));
+    NvArray<i16> tiny(counting, 4, "t");
+    for (u32 i = 0; i < 6; ++i)
+        tiny.readRange(0, 0, buf); // six empty spans = draws 0..5
+    EXPECT_THROW(tiny.readRange(0, 0, buf), PowerFailure);
+}
+
+TEST(Memory, SpanStraddlingLeaseExhaustionMatchesPerOpMode)
+{
+    // A span whose charge arrives with the lease partly spent crosses
+    // back into the slow path; totals and the failing step must match
+    // the per-op reference exactly, at every injection point.
+    auto script = [](Device &dev) {
+        NvArray<i16> arr(dev, 256, "a");
+        i16 buf[64];
+        std::vector<u32> failures;
+        for (u32 step = 0; step < 64; ++step) {
+            const u32 n = 1 + step % 64;
+            try {
+                if (step % 3 == 0) {
+                    arr.fillRange(0, n, static_cast<i16>(step));
+                } else if (step % 3 == 1) {
+                    arr.readRange(64, n, buf);
+                } else {
+                    arr.accumRange(128, n, [](i16 v, u64 k) {
+                        return static_cast<i16>(v + k);
+                    });
+                }
+            } catch (const PowerFailure &) {
+                failures.push_back(step);
+                dev.reboot();
+            }
+        }
+        return failures;
+    };
+    for (u64 fail_after = 0; fail_after < 96; fail_after += 7) {
+        DeviceConfig leased, per_op;
+        per_op.perOpPowerDraw = true;
+        Device a(EnergyProfile::msp430fr5994(),
+                 std::make_unique<FailOnceAfterOps>(fail_after),
+                 leased);
+        Device b(EnergyProfile::msp430fr5994(),
+                 std::make_unique<FailOnceAfterOps>(fail_after),
+                 per_op);
+        EXPECT_EQ(script(a), script(b)) << fail_after;
+        EXPECT_EQ(a.cycles(), b.cycles()) << fail_after;
+        EXPECT_EQ(a.stats().totalNanojoules(),
+                  b.stats().totalNanojoules())
+            << fail_after;
+    }
+}
+
+TEST(NvmDigest, CapturesFramChangesAndNothingElse)
+{
+    auto dev = makeContinuousDevice();
+    NvArray<i16> fram(dev, 8, "nv");
+    VolArray<i16> sram(dev, 8, "v");
+    NvVar<i32> var(dev, "x", 0);
+    const u64 initial = dev.nvmDigest();
+    EXPECT_EQ(dev.nvmDigest(), initial); // pure
+
+    sram.poke(3, 99); // volatile state is not part of the NVM digest
+    EXPECT_EQ(dev.nvmDigest(), initial);
+
+    fram.poke(3, 99);
+    const u64 changed = dev.nvmDigest();
+    EXPECT_NE(changed, initial);
+    fram.poke(3, 0);
+    EXPECT_EQ(dev.nvmDigest(), initial);
+
+    var.poke(-7);
+    EXPECT_NE(dev.nvmDigest(), initial);
+}
+
+TEST(NvmDigest, RebootHookSnapshotsEveryReboot)
+{
+    Device dev(EnergyProfile::msp430fr5994(),
+               std::make_unique<FailEveryOps>(3));
+    NvArray<i16> fram(dev, 4, "nv");
+    std::vector<u64> chain;
+    dev.setRebootHook([&chain](Device &d, u64 index) {
+        EXPECT_EQ(index, chain.size() + 1);
+        chain.push_back(d.nvmDigest());
+    });
+    for (u32 i = 0; i < 9; ++i) {
+        try {
+            fram.write(i % 4, static_cast<i16>(i));
+        } catch (const PowerFailure &) {
+            dev.reboot();
+        }
+    }
+    EXPECT_EQ(chain.size(), dev.rebootCount());
+    EXPECT_GT(chain.size(), 1u);
+}
+
 TEST(Device, BucketCacheSurvivesLayerRegistration)
 {
     // Stats buckets are address-stable; interleaving registrations and

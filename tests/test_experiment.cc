@@ -8,6 +8,7 @@
 
 #include "app/engine.hh"
 #include "app/wildlife.hh"
+#include "tests/test_helpers.hh"
 
 namespace sonic::app
 {
@@ -54,27 +55,37 @@ TEST(Experiment, EngineCachesAreStable)
 
 TEST(Experiment, BreakdownSumsToLiveTime)
 {
-    RunSpec spec;
-    spec.net = dnn::NetId::Har;
-    spec.impl = kernels::Impl::Sonic;
-    const auto r = engine().runOne(spec);
-    ASSERT_TRUE(r.completed);
-    f64 sum = 0.0;
-    for (const auto &layer : r.layers)
-        sum += layer.kernelSeconds + layer.controlSeconds;
-    EXPECT_NEAR(sum, r.liveSeconds, 1e-9);
+    // TAILS included: its batched LEA shifts are the origin of the
+    // documented reassociation drift (see kBatchedEnergyRelTol).
+    for (const auto impl : {kernels::Impl::Sonic,
+                            kernels::Impl::Tails}) {
+        RunSpec spec;
+        spec.net = dnn::NetId::Har;
+        spec.impl = impl;
+        const auto r = engine().runOne(spec);
+        ASSERT_TRUE(r.completed);
+        f64 sum = 0.0;
+        for (const auto &layer : r.layers)
+            sum += layer.kernelSeconds + layer.controlSeconds;
+        EXPECT_NEAR(sum, r.liveSeconds,
+                    r.liveSeconds * testutil::kBatchedEnergyRelTol);
+    }
 }
 
 TEST(Experiment, EnergyByOpSumsToTotal)
 {
-    RunSpec spec;
-    spec.net = dnn::NetId::Har;
-    spec.impl = kernels::Impl::Sonic;
-    const auto r = engine().runOne(spec);
-    f64 sum = 0.0;
-    for (const auto &[op, joules] : r.energyByOp)
-        sum += joules;
-    EXPECT_NEAR(sum, r.energyJ, 1e-9);
+    for (const auto impl : {kernels::Impl::Sonic,
+                            kernels::Impl::Tails}) {
+        RunSpec spec;
+        spec.net = dnn::NetId::Har;
+        spec.impl = impl;
+        const auto r = engine().runOne(spec);
+        f64 sum = 0.0;
+        for (const auto &[op, joules] : r.energyByOp)
+            sum += joules;
+        EXPECT_NEAR(sum, r.energyJ,
+                    r.energyJ * testutil::kBatchedEnergyRelTol);
+    }
 }
 
 TEST(Experiment, ContinuousHasNoDeadTime)

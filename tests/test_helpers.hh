@@ -17,6 +17,28 @@
 namespace sonic::testutil
 {
 
+/**
+ * Relative tolerance for comparing simulated energy/time totals that
+ * were accumulated in different batching orders.
+ *
+ * Origin: PR 2's bulk charging books an n-element span as cost * n
+ * (one f64 multiply) where per-element accounting summed cost n times
+ * (n rounded additions), and per-layer/per-op report rows re-sum the
+ * same buckets in a different association than the global total. Both
+ * are pure f64 reassociation effects: logits, cycle counts and op
+ * counts stay bit-exact. The largest observed instance is TAILS'
+ * batched LEA format shifts, which drift the end-to-end energy total
+ * by ~2e-16 relative against the per-op accumulation sequence; sums
+ * over a few hundred report rows are bounded by ~n * 2^-52. 1e-12
+ * covers every in-repo comparison of this class with orders of
+ * magnitude to spare while still catching any real accounting bug
+ * (the smallest charged op is ~1e-9 of a run's total).
+ *
+ * Use this named constant — not an ad-hoc epsilon — wherever two
+ * accounting paths for the *same* simulated work are compared.
+ */
+inline constexpr f64 kBatchedEnergyRelTol = 1e-12;
+
 /** Tiny all-layer-kinds network: input 1x8x8, 4 classes. */
 inline dnn::NetworkSpec
 tinyNet(u64 seed = 0x7e57)

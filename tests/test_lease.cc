@@ -152,8 +152,12 @@ TEST(LeaseScript, RuntimeToggleSettlesCleanly)
     EXPECT_EQ(dev.cycles(), reference.cycles());
     EXPECT_EQ(dev.stats().totalNanojoules(),
               reference.stats().totalNanojoules());
+    // Settling books lease sums in coarser f64 additions than per-op
+    // draws: pure reassociation, bounded by the documented tolerance.
     EXPECT_NEAR(dev.power().harvestedNj(),
-                reference.power().harvestedNj(), 1e-6);
+                reference.power().harvestedNj(),
+                reference.power().harvestedNj()
+                    * testutil::kBatchedEnergyRelTol);
 }
 
 } // namespace

@@ -151,6 +151,103 @@ TEST(SweepPlan, SeedsAreDeterministicAndShapeIndependent)
     EXPECT_NE(reseeded.expand()[0].seed, a.seed);
 }
 
+TEST(SweepPlan, SeedsIndependentOfAxisInsertionOrder)
+{
+    // The seed is a pure function of (baseSeed, coordinates): the
+    // order axis setters were called in — and therefore any refactor
+    // of plan-building code — can never reseed a grid point.
+    SweepPlan ab;
+    ab.nets({dnn::NetId::Har, dnn::NetId::Okg})
+        .impls({kernels::Impl::Base, kernels::Impl::Sonic})
+        .power({PowerKind::Continuous, PowerKind::Cap1mF})
+        .samples(2)
+        .baseSeed(77);
+    SweepPlan ba;
+    ba.baseSeed(77)
+        .samples(2)
+        .power({PowerKind::Continuous, PowerKind::Cap1mF})
+        .impls({kernels::Impl::Base, kernels::Impl::Sonic})
+        .nets({dnn::NetId::Har, dnn::NetId::Okg});
+
+    const auto a = ab.expand();
+    const auto b = ba.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (u64 i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].net, b[i].net);
+        EXPECT_EQ(a[i].impl, b[i].impl);
+        EXPECT_EQ(a[i].seed, b[i].seed) << i;
+    }
+}
+
+TEST(SweepPlan, SeedsBitStableAcrossThreadCounts)
+{
+    // Engine workers pull specs from a shared counter; the recorded
+    // seed stream must be the plan's expansion regardless of how many
+    // threads raced over it.
+    SweepPlan plan;
+    plan.nets({dnn::NetId::Har})
+        .impls({kernels::Impl::Sonic, kernels::Impl::Base})
+        .samples(2)
+        .baseSeed(0xabcdef);
+    const auto expanded = plan.expand();
+
+    for (const u32 threads : {1u, 2u, 8u}) {
+        Engine engine(EngineOptions{threads});
+        const auto records = engine.run(plan);
+        ASSERT_EQ(records.size(), expanded.size()) << threads;
+        for (u64 i = 0; i < records.size(); ++i)
+            EXPECT_EQ(records[i].spec.seed, expanded[i].seed)
+                << threads << "/" << i;
+    }
+}
+
+TEST(SweepPlan, ScheduleAxisExpandsInnermostAndReseeds)
+{
+    SweepPlan plan;
+    plan.impls({kernels::Impl::Sonic})
+        .failureSchedules({{}, {10, 20}, {10, 21}});
+    EXPECT_EQ(plan.size(), 3u);
+    const auto specs = plan.expand();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_TRUE(specs[0].failureSchedule.empty());
+    EXPECT_EQ(specs[1].failureSchedule, (std::vector<u64>{10, 20}));
+    EXPECT_EQ(specs[2].failureSchedule, (std::vector<u64>{10, 21}));
+
+    // The empty schedule keeps the pre-axis seed; distinct schedules
+    // get distinct seeds.
+    SweepPlan plain;
+    plain.impls({kernels::Impl::Sonic});
+    EXPECT_EQ(specs[0].seed, plain.expand()[0].seed);
+    std::set<u64> seeds{specs[0].seed, specs[1].seed, specs[2].seed};
+    EXPECT_EQ(seeds.size(), 3u);
+}
+
+TEST(Engine, ScheduleRunsStreamDigestsThroughSinks)
+{
+    SweepPlan plan;
+    plan.nets({dnn::NetId::Har})
+        .impls({kernels::Impl::Sonic})
+        .failureSchedules({{1000, 2000}})
+        .captureNvmDigests(true);
+    std::ostringstream json_out;
+    JsonSink json(json_out);
+    Engine engine(EngineOptions{1});
+    const auto records = engine.run(plan, {&json});
+    ASSERT_EQ(records.size(), 1u);
+    const auto &r = records[0].result;
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.scheduleFired, 2u);
+    EXPECT_EQ(r.reboots, 2u);
+    EXPECT_EQ(r.rebootDigests.size(), 2u);
+    EXPECT_NE(r.finalNvmDigest, 0u);
+
+    const std::string text = json_out.str();
+    EXPECT_NE(text.find("\"failureSchedule\": [1000, 2000]"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"scheduleFired\": 2"), std::string::npos);
+    EXPECT_NE(text.find("\"rebootDigests\": ["), std::string::npos);
+}
+
 TEST(Engine, ParallelSweepBitIdenticalToSerial)
 {
     SweepPlan plan;

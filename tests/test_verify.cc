@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the adversarial intermittence oracle (src/verify): the
+ * schedule-driven power supply, seeded schedule generators, commit
+ * tracing, NVM snapshot chains, the differential oracle with ddmin
+ * shrinking (including the acceptance battery: >= 1000 schedules
+ * across Base/Tile-8/Tile-32/SONIC/TAILS with zero divergences, and a
+ * deliberately broken SONIC caught and shrunk to a tiny schedule), the
+ * engine-parallel path, and the committed golden digest file.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "verify/oracle.hh"
+#include "verify/workload.hh"
+
+namespace sonic::verify
+{
+namespace
+{
+
+LocalWorkload
+goldenWorkload(kernels::Impl impl)
+{
+    LocalWorkload w;
+    w.net = goldenNet();
+    w.input = goldenInput();
+    w.impl = impl;
+    return w;
+}
+
+/** RAII around the injected SONIC fault so no assertion exit can leak
+ * the broken kernel into later tests. */
+struct UndoLogFaultGuard
+{
+    UndoLogFaultGuard()
+    {
+        kernels::testhooks::sonicDisableUndoLogging = true;
+    }
+
+    ~UndoLogFaultGuard()
+    {
+        kernels::testhooks::sonicDisableUndoLogging = false;
+    }
+};
+
+// --- Schedule generators --------------------------------------------
+
+TEST(ScheduleGen, DeterministicBoundedAndSorted)
+{
+    ScheduleGenConfig config;
+    config.seed = 42;
+    config.opHorizon = 10'000;
+    config.maxFailures = 8;
+
+    const auto a = uniformSchedules(50, config);
+    const auto b = uniformSchedules(50, config);
+    ASSERT_EQ(a.size(), 50u);
+    EXPECT_EQ(a, b); // same seed, same battery
+    for (const auto &schedule : a) {
+        ASSERT_FALSE(schedule.empty());
+        EXPECT_LE(schedule.size(), 8u);
+        for (u64 i = 0; i < schedule.size(); ++i) {
+            EXPECT_LT(schedule[i], config.opHorizon);
+            if (i > 0)
+                EXPECT_LT(schedule[i - 1], schedule[i]);
+        }
+    }
+
+    config.seed = 43;
+    EXPECT_NE(uniformSchedules(50, config), a);
+}
+
+TEST(ScheduleGen, FailureCountClampedBelowNoProgressThreshold)
+{
+    // Even an absurd request stays far below the scheduler's
+    // maxFailuresWithoutProgress (48), so generated schedules can
+    // never produce a legitimate non-termination verdict.
+    ScheduleGenConfig config;
+    config.opHorizon = 1'000'000;
+    config.maxFailures = 10'000;
+    for (const auto &schedule : burstySchedules(100, config))
+        EXPECT_LE(schedule.size(), 40u);
+    for (const auto &schedule : uniformSchedules(100, config))
+        EXPECT_LE(schedule.size(), 40u);
+}
+
+TEST(ScheduleGen, CommitTargetedLandsNearCommits)
+{
+    const std::vector<u64> commits = {100, 5'000, 20'000};
+    ScheduleGenConfig config;
+    config.opHorizon = 30'000;
+    const auto schedules =
+        commitTargetedSchedules(40, commits, config);
+    for (const auto &schedule : schedules) {
+        for (u64 index : schedule) {
+            bool near = false;
+            for (u64 commit : commits)
+                near |= index >= commit && index < commit + 8;
+            EXPECT_TRUE(near) << index;
+        }
+    }
+}
+
+// --- Commit tracing -------------------------------------------------
+
+TEST(CommitTrace, RecordsMonotoneInHorizonCommits)
+{
+    const auto workload = goldenWorkload(kernels::Impl::Sonic);
+    u64 draws = 0;
+    const auto commits = recordCommitTrace(workload, &draws);
+    ASSERT_GT(draws, 1000u);
+    ASSERT_GT(commits.size(), 5u); // one per task transition
+    for (u64 i = 0; i < commits.size(); ++i) {
+        EXPECT_LT(commits[i], draws);
+        if (i > 0)
+            EXPECT_LE(commits[i - 1], commits[i]);
+    }
+}
+
+// --- NVM snapshot chains --------------------------------------------
+
+TEST(SnapshotChain, OneDigestPerRebootAndDeterministic)
+{
+    const auto workload = goldenWorkload(kernels::Impl::Sonic);
+    const Schedule schedule = {200, 900, 1400};
+    const auto a = runSchedule(workload, schedule, true);
+    const auto b = runSchedule(workload, schedule, true);
+    ASSERT_TRUE(a.completed);
+    EXPECT_EQ(a.fired, schedule.size());
+    EXPECT_EQ(a.reboots, a.fired);
+    EXPECT_EQ(a.rebootDigests.size(), a.reboots);
+    // Bit-identical replay, including the digest chain.
+    EXPECT_EQ(a.rebootDigests, b.rebootDigests);
+    EXPECT_EQ(a.finalNvmDigest, b.finalNvmDigest);
+    EXPECT_EQ(a.logits, b.logits);
+
+    // A distant failure placement snapshots different FRAM state.
+    const auto c = runSchedule(workload, {1200, 1900, 2400}, true);
+    EXPECT_NE(a.rebootDigests, c.rebootDigests);
+}
+
+TEST(SnapshotChain, RecoveryRestoresTheContinuousFinalState)
+{
+    // SONIC's recovery re-derives identical values everywhere, so the
+    // final FRAM image matches continuous power bit-for-bit.
+    const auto workload = goldenWorkload(kernels::Impl::Sonic);
+    const auto cont = runSchedule(workload, {}, true);
+    const auto inter = runSchedule(workload, {137, 138, 2000}, true);
+    ASSERT_TRUE(inter.completed);
+    EXPECT_EQ(inter.logits, cont.logits);
+    EXPECT_EQ(inter.finalNvmDigest, cont.finalNvmDigest);
+}
+
+// --- The oracle acceptance battery ----------------------------------
+
+/**
+ * >= 1000 schedules with a fixed seed across the five acceptance
+ * kernels: every crash-consistent kernel must be indistinguishable
+ * from continuous power under every schedule; Base must replay
+ * deterministically. Zero divergences.
+ */
+TEST(Oracle, GrandSweepZeroDivergences)
+{
+    const kernels::Impl impls[] = {
+        kernels::Impl::Base, kernels::Impl::Tile8,
+        kernels::Impl::Tile32, kernels::Impl::Sonic,
+        kernels::Impl::Tails};
+    u64 total_schedules = 0;
+    for (const auto impl : impls) {
+        const auto *info = kernels::ImplRegistry::instance().find(impl);
+        const auto workload = goldenWorkload(impl);
+        u64 draws = 0;
+        const auto commits = recordCommitTrace(workload, &draws);
+
+        ScheduleGenConfig gen;
+        gen.seed = 0x5eed1000 + static_cast<u64>(impl);
+        gen.opHorizon = draws;
+        gen.maxFailures = 8;
+        const auto schedules = mixedSchedules(200, commits, gen);
+        total_schedules += schedules.size();
+
+        OracleOptions options;
+        options.crashConsistent = info->crashConsistent;
+        // The final FRAM image is part of the property for the purely
+        // software kernels; TAILS' calibration registers (tile words,
+        // attempt flags) legitimately depend on where failures land,
+        // so only its logits are held to the reference.
+        options.checkFinalNvmDigest = impl != kernels::Impl::Tails;
+        Oracle oracle(localRunner(workload), options);
+        const auto report = oracle.verify(schedules);
+        EXPECT_TRUE(report.ok())
+            << info->name << ": " << report.divergences.size()
+            << " divergences, first: "
+            << (report.ok()
+                    ? std::string()
+                    : report.divergences.front().reason);
+        EXPECT_GT(report.totalFired, 0u) << info->name;
+        EXPECT_EQ(report.totalReboots, report.totalFired)
+            << info->name;
+    }
+    EXPECT_GE(total_schedules, 1000u);
+}
+
+/**
+ * The oracle must catch a real crash-consistency bug: SONIC with its
+ * sparse undo-logging disabled double-applies a tap when a failure
+ * lands between the in-place store and the index advance. The fuzz
+ * battery finds it and ddmin shrinks the counterexample to at most 3
+ * failure indices (typically 1).
+ */
+TEST(Oracle, BrokenSonicCaughtAndShrunk)
+{
+    const auto workload = goldenWorkload(kernels::Impl::Sonic);
+    u64 draws = 0;
+    const auto commits = recordCommitTrace(workload, &draws);
+
+    OracleReport report;
+    {
+        UndoLogFaultGuard fault;
+        ScheduleGenConfig gen;
+        gen.seed = 0xbad5eed;
+        gen.opHorizon = draws;
+        gen.maxFailures = 8;
+        const auto schedules = mixedSchedules(300, commits, gen);
+
+        Oracle oracle(localRunner(workload), {});
+        report = oracle.verify(schedules);
+    }
+
+    ASSERT_FALSE(report.ok())
+        << "oracle failed to catch disabled undo-logging";
+    const auto good = runSchedule(workload, {}, false);
+    for (const auto &d : report.divergences) {
+        EXPECT_LE(d.shrunk.size(), 3u);
+        ASSERT_FALSE(d.shrunk.empty());
+        // The shrunk schedule is a genuine standalone counterexample.
+        UndoLogFaultGuard fault;
+        const auto replay = runSchedule(workload, d.shrunk, true);
+        EXPECT_TRUE(!replay.completed || replay.logits != good.logits);
+    }
+
+    // And the fixed kernel passes the exact schedules that broke the
+    // faulty one.
+    Oracle fixed(localRunner(workload), {});
+    std::vector<Schedule> broken_schedules;
+    for (const auto &d : report.divergences)
+        broken_schedules.push_back(d.schedule);
+    EXPECT_TRUE(fixed.verify(broken_schedules).ok());
+}
+
+TEST(Oracle, ShrinkStripsBenignIndicesFromAMixedSchedule)
+{
+    // Find one minimal failing index under the broken kernel, bury it
+    // in padding, and check ddmin digs a tiny counterexample back out.
+    const auto workload = goldenWorkload(kernels::Impl::Sonic);
+    UndoLogFaultGuard fault;
+    Oracle oracle(localRunner(workload), {});
+
+    std::optional<u64> bad;
+    u64 draws = 0;
+    recordCommitTrace(workload, &draws);
+    for (u64 i = 0; i < draws && !bad; ++i) {
+        const Schedule probe = {i};
+        if (oracle.judge(probe, runSchedule(workload, probe, true)))
+            bad = i;
+    }
+    ASSERT_TRUE(bad.has_value());
+
+    // Padding strictly after the failing index: failures before it
+    // would shift the op stream and could mask the window.
+    const Schedule padded = {*bad, *bad + 997, *bad + 2003,
+                             *bad + 3001};
+    ASSERT_TRUE(
+        oracle.judge(padded, runSchedule(workload, padded, true)));
+    const auto shrunk = oracle.shrink(padded);
+    EXPECT_LT(shrunk.size(), padded.size());
+    EXPECT_LE(shrunk.size(), 2u);
+    // Shrinking never invents indices.
+    for (u64 index : shrunk)
+        EXPECT_TRUE(std::find(padded.begin(), padded.end(), index)
+                    != padded.end());
+}
+
+// --- Engine-parallel path -------------------------------------------
+
+TEST(Oracle, EngineFanOutMatchesLocalJudgment)
+{
+    app::Engine engine(app::EngineOptions{4});
+    EngineOracleConfig config;
+    config.net = dnn::NetId::Har;
+    config.impl = kernels::Impl::Sonic;
+    config.schedules = 24;
+    config.seed = 0xfa11;
+    const auto report = verifyWithEngine(engine, config);
+    EXPECT_TRUE(report.ok())
+        << report.divergences.size() << " divergences, first: "
+        << (report.ok() ? std::string()
+                        : report.divergences.front().reason);
+    EXPECT_EQ(report.schedulesRun, 24u);
+    EXPECT_EQ(report.impl, "SONIC");
+    EXPECT_EQ(report.workload, "HAR");
+    EXPECT_GT(report.totalFired, 0u);
+}
+
+TEST(Oracle, ReportJsonCarriesShrunkCounterexample)
+{
+    OracleReport report;
+    report.impl = "SONIC";
+    report.workload = "golden";
+    report.schedulesRun = 3;
+    Divergence d;
+    d.schedule = {5, 9, 12};
+    d.shrunk = {9};
+    d.reason = "logits diverge from the continuous reference";
+    d.observed.completed = true;
+    d.observed.rebootDigests = {0xabcdu};
+    report.divergences.push_back(d);
+    const std::string json = reportJson(report);
+    EXPECT_NE(json.find("\"shrunk\": [9]"), std::string::npos);
+    EXPECT_NE(json.find("logits diverge"), std::string::npos);
+    EXPECT_NE(json.find("\"schedule\": [5, 9, 12]"),
+              std::string::npos);
+}
+
+// --- Golden digest file ---------------------------------------------
+
+TEST(Golden, CommittedFileMatchesRegeneration)
+{
+    // Byte-exact comparison: any change to a kernel's intermittent
+    // semantics (op stream, reboot recovery, FRAM state) shows up as
+    // a golden diff. Refresh intentionally with:
+    //   sonic_oracle --emit-golden=tests/golden/golden_net.json
+    const std::string path =
+        std::string(SONIC_GOLDEN_DIR) + "/golden_net.json";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path;
+    std::ostringstream stored;
+    stored << in.rdbuf();
+    EXPECT_EQ(stored.str(), goldenJson())
+        << "golden digests diverge; refresh with sonic_oracle "
+           "--emit-golden if the change is intentional";
+}
+
+} // namespace
+} // namespace sonic::verify
