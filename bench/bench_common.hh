@@ -45,7 +45,7 @@ statusOf(const app::ExperimentResult &r)
  */
 inline const app::SweepRecord *
 findRecord(const std::vector<app::SweepRecord> &records,
-           dnn::NetId net, kernels::Impl impl,
+           const dnn::NetRef &net, kernels::Impl impl,
            app::PowerKind power = app::PowerKind::Continuous,
            app::ProfileVariant profile = app::ProfileVariant::Standard,
            u32 sample = 0)
@@ -63,7 +63,7 @@ findRecord(const std::vector<app::SweepRecord> &records,
 /** As findRecord, but the grid point must exist. */
 inline const app::ExperimentResult &
 resultFor(const std::vector<app::SweepRecord> &records,
-          dnn::NetId net, kernels::Impl impl,
+          const dnn::NetRef &net, kernels::Impl impl,
           app::PowerKind power = app::PowerKind::Continuous,
           app::ProfileVariant profile = app::ProfileVariant::Standard,
           u32 sample = 0)
@@ -71,7 +71,7 @@ resultFor(const std::vector<app::SweepRecord> &records,
     const auto *record = findRecord(records, net, impl, power,
                                     profile, sample);
     if (record == nullptr)
-        fatal("sweep record missing for ", dnn::netName(net), "/",
+        fatal("sweep record missing for ", net, "/",
               kernels::implName(impl), "/", app::powerName(power));
     return record->result;
 }

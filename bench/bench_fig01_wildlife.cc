@@ -23,14 +23,14 @@ main()
     // Measure Einfer on the prototype (MNIST, 1 mF capacitor).
     app::Engine engine;
     app::SweepPlan measure;
-    measure.nets({dnn::NetId::Mnist})
+    measure.nets({"MNIST"})
         .impls({kernels::Impl::Tile8, kernels::Impl::Tails})
         .power({app::PowerKind::Cap1mF});
     const auto records = engine.run(measure);
-    const auto &naive_run = resultFor(records, dnn::NetId::Mnist,
+    const auto &naive_run = resultFor(records, "MNIST",
                                       kernels::Impl::Tile8,
                                       app::PowerKind::Cap1mF);
-    const auto &tails_run = resultFor(records, dnn::NetId::Mnist,
+    const auto &tails_run = resultFor(records, "MNIST",
                                       kernels::Impl::Tails,
                                       app::PowerKind::Cap1mF);
 

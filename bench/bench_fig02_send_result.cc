@@ -20,16 +20,16 @@ main()
 
     app::Engine engine;
     app::SweepPlan measure;
-    measure.nets({dnn::NetId::Mnist})
+    measure.nets({"MNIST"})
         .impls({kernels::Impl::Tile8, kernels::Impl::Tails})
         .power({app::PowerKind::Cap1mF});
     const auto records = engine.run(measure);
 
     app::WildlifeParams params;
-    params.naiveInferJ = resultFor(records, dnn::NetId::Mnist,
+    params.naiveInferJ = resultFor(records, "MNIST",
                                    kernels::Impl::Tile8,
                                    app::PowerKind::Cap1mF).energyJ;
-    params.tailsInferJ = resultFor(records, dnn::NetId::Mnist,
+    params.tailsInferJ = resultFor(records, "MNIST",
                                    kernels::Impl::Tails,
                                    app::PowerKind::Cap1mF).energyJ;
 

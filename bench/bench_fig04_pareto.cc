@@ -19,12 +19,12 @@ main()
     std::printf("%s", banner("Fig. 4 — GENESIS accuracy vs MAC ops")
                           .c_str());
 
-    for (auto net : dnn::kAllNets) {
+    for (const auto &net : dnn::kPaperNets) {
         genesis::GenesisOptions opts;
         opts.evalSamples = 64;
         const auto result = genesis::runGenesis(net, opts);
 
-        std::printf("\n--- %s ---\n", dnn::netName(net));
+        std::printf("\n--- %s ---\n", net.c_str());
         std::printf("original (uncompressed): %llu MACs, %llu params, "
                     "%.1f KB FRAM -> %s\n",
                     static_cast<unsigned long long>(
@@ -76,7 +76,7 @@ main()
                     chosen.knobs.fcKeep,
                     static_cast<unsigned long long>(chosen.macs),
                     chosen.accuracy,
-                    dnn::paperAccuracy(net));
+                    dnn::ModelZoo::instance().get(net).meta().paperAccuracy);
     }
     return 0;
 }

@@ -18,12 +18,12 @@ main()
     std::printf("%s", banner("Fig. 5 — IMpJ vs energy per inference")
                           .c_str());
 
-    for (auto net : dnn::kAllNets) {
+    for (const auto &net : dnn::kPaperNets) {
         genesis::GenesisOptions opts;
         opts.evalSamples = 64;
         const auto result = genesis::runGenesis(net, opts);
 
-        std::printf("\n--- %s ---\n", dnn::netName(net));
+        std::printf("\n--- %s ---\n", net.c_str());
         Table table({"Einfer (mJ)", "accuracy", "tp", "tn",
                      "IMpJ (per kJ)", "feasible", "chosen"});
         for (u32 i = 0; i < result.configs.size(); ++i) {

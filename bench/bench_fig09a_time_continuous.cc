@@ -26,13 +26,13 @@ main()
     Table table({"net", "impl", "conv1 (s)", "conv2 (s)", "fc (s)",
                  "other (s)", "total live (s)", "vs Base"});
 
-    for (auto net : dnn::kAllNets) {
+    for (const auto &net : dnn::kPaperNets) {
         const f64 base_live =
             resultFor(records, net, kernels::Impl::Base).liveSeconds;
         for (auto impl : kernels::kAllImpls) {
             const auto &r = resultFor(records, net, impl);
             table.row()
-                .cell(std::string(dnn::netName(net)))
+                .cell(net)
                 .cell(std::string(kernels::implName(impl)))
                 .cell(layerSeconds(r, "conv1"), 4)
                 .cell(layerSeconds(r, "conv2"), 4)

@@ -19,14 +19,14 @@ main()
 
     app::Engine engine;
     app::SweepPlan plan;
-    plan.nets({dnn::NetId::Mnist}).allImpls().allPower();
+    plan.nets({"MNIST"}).allImpls().allPower();
     const auto records = engine.run(plan);
 
     Table table({"power", "impl", "status", "live (s)", "dead (s)",
                  "total (s)", "reboots"});
     for (auto power : app::kAllPower) {
         for (auto impl : kernels::kAllImpls) {
-            const auto &r = resultFor(records, dnn::NetId::Mnist,
+            const auto &r = resultFor(records, "MNIST",
                                       impl, power);
             table.row()
                 .cell(std::string(app::powerName(power)))

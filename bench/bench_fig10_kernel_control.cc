@@ -36,7 +36,7 @@ main()
             if (total <= 0.0)
                 continue;
             table.row()
-                .cell(std::string(dnn::netName(record.spec.net)))
+                .cell(record.spec.net)
                 .cell(std::string(
                     kernels::implName(record.spec.impl)))
                 .cell(layer.name)

@@ -25,7 +25,7 @@ main()
     for (const auto &record : records) {
         const auto &r = record.result;
         table.row()
-            .cell(std::string(dnn::netName(record.spec.net)))
+            .cell(record.spec.net)
             .cell(std::string(kernels::implName(record.spec.impl)))
             .cell(statusOf(r))
             .cell(r.energyJ * 1e3, 3)

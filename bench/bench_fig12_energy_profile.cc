@@ -27,7 +27,7 @@ main()
     for (const auto &record : records) {
         const auto &r = record.result;
         std::printf("\n%s (total %s):\n",
-                    dnn::netName(record.spec.net),
+                    record.spec.net.c_str(),
                     formatEnergy(r.energyJ).c_str());
         Table table({"op", "energy (uJ)", "share", ""});
         for (const auto &[op, joules] : r.energyByOp) {

@@ -44,7 +44,7 @@ main()
     std::map<kernels::Impl, GeoMean> vs_base;
     f64 worst_tile8 = 0.0;
 
-    for (auto net : dnn::kAllNets) {
+    for (const auto &net : dnn::kPaperNets) {
         const f64 base_live =
             resultFor(records, net, kernels::Impl::Base).liveSeconds;
         for (auto impl : kernels::kAllImpls) {
@@ -98,7 +98,7 @@ main()
 
     // LEA / DMA ablation (software-emulated hardware).
     GeoMean lea_gain, dma_gain;
-    for (auto net : dnn::kAllNets) {
+    for (const auto &net : dnn::kPaperNets) {
         const f64 no_lea =
             resultFor(ablation_records, net, kernels::Impl::Tails,
                       app::PowerKind::Continuous,

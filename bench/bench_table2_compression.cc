@@ -16,25 +16,17 @@ main()
 {
     std::printf("%s", banner("Table 2 — network compression").c_str());
 
-    struct PaperRow
-    {
-        dnn::NetId net;
-        f64 accuracy;
-    };
-    const PaperRow paper[] = {{dnn::NetId::Mnist, 0.99},
-                              {dnn::NetId::Har, 0.88},
-                              {dnn::NetId::Okg, 0.84}};
-
     app::Engine engine;
-    for (const auto &row : paper) {
-        const auto &teacher = engine.teacher(row.net);
-        const auto &net = engine.compressed(row.net);
-        const auto &data = engine.dataset(row.net);
+    for (const auto &name : dnn::kPaperNets) {
+        const auto &model = engine.model(name);
+        const auto &teacher = model.teacher();
+        const auto &net = model.compressed();
+        const auto &data = model.dataset();
 
         const auto orig = dnn::accountLayers(teacher);
         const auto comp = dnn::accountLayers(net);
 
-        std::printf("\n--- %s ---\n", dnn::netName(row.net));
+        std::printf("\n--- %s ---\n", name.c_str());
         Table table({"layer", "kind", "params", "MACs"});
         std::printf("original layers:\n");
         for (const auto &l : orig)
@@ -57,15 +49,15 @@ main()
 
         const f64 ratio = static_cast<f64>(teacher.paramCount())
                         / static_cast<f64>(net.paramCount());
-        const f64 acc = dnn::scaledAccuracy(
-            row.net, dnn::agreement(net, data));
+        const f64 acc = model.meta().scaledAccuracy(
+            dnn::agreement(net, data));
         std::printf("total: %llu -> %llu params (%.1fx); accuracy "
                     "%.3f (paper: %.2f); FRAM %.1f KB (cap 256 KB, "
                     "original %.1f KB)\n",
                     static_cast<unsigned long long>(
                         teacher.paramCount()),
                     static_cast<unsigned long long>(net.paramCount()),
-                    ratio, acc, row.accuracy,
+                    ratio, acc, model.meta().paperAccuracy,
                     static_cast<f64>(net.framBytesNeeded()) / 1024.0,
                     static_cast<f64>(teacher.framBytesNeeded())
                         / 1024.0);

@@ -26,7 +26,7 @@ main()
     genesis::GenesisOptions opts;
     opts.denseGrid = false; // quick demonstration sweep
     opts.evalSamples = 48;
-    const auto result = genesis::runGenesis(dnn::NetId::Har, opts);
+    const auto result = genesis::runGenesis("HAR", opts);
 
     std::printf("original: %llu params, %.0f KB (infeasible: exceeds "
                 "the 256 KB FRAM)\n",
@@ -50,13 +50,14 @@ main()
 
     // Deploy the chosen configuration on the simulated device and run
     // one intermittent inference to prove it fits and completes.
-    const auto chosen_spec = dnn::buildWithKnobs(
-        dnn::NetId::Har, result.chosen().knobs, opts.seed);
+    const auto chosen_spec = dnn::ModelZoo::instance().get("HAR")
+                                 .withKnobs(result.chosen().knobs,
+                                            opts.seed);
     arch::Device dev(arch::EnergyProfile::msp430fr5994(),
                      app::makePower(app::PowerKind::Cap100uF));
     dnn::DeviceNetwork net(dev, chosen_spec);
     app::Engine engine;
-    const auto &data = engine.dataset(dnn::NetId::Har);
+    const auto &data = engine.dataset("HAR");
     net.loadInput(dnn::DeviceNetwork::quantizeInput(data[0].input));
     const auto run = kernels::runInference(net, kernels::Impl::Sonic);
 

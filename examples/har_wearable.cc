@@ -26,14 +26,14 @@ main()
 
     app::Engine engine;
     app::SweepPlan plan;
-    plan.nets({dnn::NetId::Har})
+    plan.nets({"HAR"})
         .impls({kernels::Impl::Sonic})
         .power({app::PowerKind::Cap100uF})
         .samples(kWindows);
     const auto records = engine.run(plan);
 
-    const auto &spec = engine.compressed(dnn::NetId::Har);
-    const auto &data = engine.dataset(dnn::NetId::Har);
+    const auto &spec = engine.compressed("HAR");
+    const auto &data = engine.dataset("HAR");
 
     u32 agree = 0;
     u64 reboots = 0;

@@ -26,7 +26,7 @@ main()
 
     app::Engine engine;
     app::SweepPlan plan;
-    plan.nets({dnn::NetId::Okg})
+    plan.nets({"OkG"})
         .impls({kernels::Impl::Sonic, kernels::Impl::Tails})
         .power({app::PowerKind::Continuous, app::PowerKind::Cap1mF,
                 app::PowerKind::Cap100uF});

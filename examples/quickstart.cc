@@ -24,7 +24,7 @@ main()
     std::printf("%s", banner("SONIC quickstart: HAR inference").c_str());
 
     app::SweepPlan plan;
-    plan.nets({dnn::NetId::Har})
+    plan.nets({"HAR"})
         .impls({kernels::Impl::Sonic})
         .power({app::PowerKind::Continuous, app::PowerKind::Cap100uF});
 

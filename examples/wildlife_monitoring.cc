@@ -28,7 +28,7 @@ main()
     // prototype (MNIST on a 1 mF capacitor) with one two-point sweep.
     app::Engine engine;
     app::SweepPlan measure;
-    measure.nets({dnn::NetId::Mnist})
+    measure.nets({"MNIST"})
         .impls({kernels::Impl::Tile8, kernels::Impl::Tails})
         .power({app::PowerKind::Cap1mF});
     const auto records = engine.run(measure);

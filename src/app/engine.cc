@@ -8,6 +8,7 @@
 
 #include "arch/memory.hh"
 #include "dnn/device_net.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace sonic::app
@@ -30,17 +31,23 @@ MemorySink::add(const SweepRecord &record)
 namespace
 {
 
-/** Minimal JSON string escaping (names are ASCII identifiers). */
+/**
+ * RFC 4180 CSV quoting: a field containing a comma, quote or newline
+ * is wrapped in quotes with embedded quotes doubled — a model named
+ * `a,b` must not shift every column after it.
+ */
 std::string
-jsonEscape(const std::string &s)
+csvField(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size());
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
+        if (c == '"')
+            out.push_back('"');
         out.push_back(c);
     }
+    out.push_back('"');
     return out;
 }
 
@@ -61,9 +68,9 @@ CsvSink::add(const SweepRecord &record)
     const auto &r = record.result;
     std::ostringstream row;
     row.precision(12);
-    row << record.planIndex << ',' << dnn::netName(record.spec.net)
-        << ',' << kernels::implName(record.spec.impl) << ','
-        << powerName(record.spec.power) << ','
+    row << record.planIndex << ',' << csvField(record.spec.net) << ','
+        << csvField(std::string(kernels::implName(record.spec.impl)))
+        << ',' << powerName(record.spec.power) << ','
         << profileName(record.spec.profile) << ','
         << record.spec.sampleIndex << ',' << record.spec.seed << ','
         << (r.completed ? "ok" : (r.nonTerminating ? "dnf" : "fail"))
@@ -92,7 +99,7 @@ JsonSink::add(const SweepRecord &record)
     obj << (first_ ? "\n" : ",\n");
     first_ = false;
     obj << "  {\"planIndex\": " << record.planIndex
-        << ", \"net\": \"" << dnn::netName(record.spec.net)
+        << ", \"net\": \"" << jsonEscape(record.spec.net)
         << "\", \"impl\": \""
         << jsonEscape(std::string(
                kernels::implName(record.spec.impl)))
@@ -175,35 +182,28 @@ Engine::threadCount() const
     return hw > 0 ? hw : 1;
 }
 
-const dnn::NetworkSpec &
-Engine::teacher(dnn::NetId net)
+const dnn::ModelEntry &
+Engine::model(const dnn::NetRef &net)
 {
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    auto it = teachers_.find(net);
-    if (it == teachers_.end())
-        it = teachers_.emplace(net, dnn::buildTeacher(net)).first;
-    return it->second;
+    return dnn::ModelZoo::instance().get(net);
 }
 
 const dnn::NetworkSpec &
-Engine::compressed(dnn::NetId net)
+Engine::teacher(const dnn::NetRef &net)
 {
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    auto it = compressed_.find(net);
-    if (it == compressed_.end())
-        it = compressed_.emplace(net, dnn::buildCompressed(net)).first;
-    return it->second;
+    return model(net).teacher();
+}
+
+const dnn::NetworkSpec &
+Engine::compressed(const dnn::NetRef &net)
+{
+    return model(net).compressed();
 }
 
 const dnn::Dataset &
-Engine::dataset(dnn::NetId net)
+Engine::dataset(const dnn::NetRef &net)
 {
-    const dnn::NetworkSpec &spec = teacher(net);
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    auto it = datasets_.find(net);
-    if (it == datasets_.end())
-        it = datasets_.emplace(net, dnn::makeDataset(spec, 64)).first;
-    return it->second;
+    return model(net).dataset();
 }
 
 ExperimentResult
@@ -292,10 +292,10 @@ Engine::run(const SweepPlan &plan,
     const auto specs = plan.expand();
     const u64 total = specs.size();
 
-    // Warm the workload caches up front, single-threaded, so workers
-    // only ever read immutable artifacts (and so cache construction
-    // order — hence content — is independent of the thread count).
-    for (auto net : plan.netAxis()) {
+    // Warm the zoo cache up front, single-threaded, so workers only
+    // ever read immutable artifacts (and so cache construction order —
+    // hence content — is independent of the thread count).
+    for (const auto &net : plan.netAxis()) {
         compressed(net);
         dataset(net);
     }

@@ -1,9 +1,10 @@
 /**
  * @file
  * The experiment engine: executes RunSpecs — single-shot or whole
- * SweepPlan grids — over a worker-thread pool, owns the deterministic
- * workload caches (teacher/compressed networks, datasets), and
- * streams finished results into pluggable sinks.
+ * SweepPlan grids — over a worker-thread pool, resolving workloads by
+ * name through the ModelZoo's deterministic cache (teacher/compressed
+ * networks, datasets), and streams finished results into pluggable
+ * sinks.
  *
  * Determinism contract: every spec runs on its own freshly-built
  * Device against immutable cached workloads, so a sweep's results are
@@ -16,9 +17,6 @@
 #define SONIC_APP_ENGINE_HH
 
 #include <iosfwd>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "app/sweep.hh"
@@ -108,9 +106,9 @@ struct EngineOptions
 };
 
 /**
- * Executes experiments. An Engine owns the workload caches, so
- * building one per process (or per test fixture) amortizes network
- * construction across every spec it runs.
+ * Executes experiments. Workload artifacts come from the process-wide
+ * ModelZoo cache (dnn/zoo.hh): any registered model is sweepable by
+ * name, built lazily once, and shared by every engine.
  */
 class Engine
 {
@@ -121,11 +119,13 @@ class Engine
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
 
-    /** @name Cached workload artifacts (deterministic, built once). */
+    /** @name Zoo-backed workload artifacts (deterministic, cached;
+     * unknown names are fatal with the registered list). */
     /// @{
-    const dnn::NetworkSpec &teacher(dnn::NetId net);
-    const dnn::NetworkSpec &compressed(dnn::NetId net);
-    const dnn::Dataset &dataset(dnn::NetId net);
+    const dnn::ModelEntry &model(const dnn::NetRef &net);
+    const dnn::NetworkSpec &teacher(const dnn::NetRef &net);
+    const dnn::NetworkSpec &compressed(const dnn::NetRef &net);
+    const dnn::Dataset &dataset(const dnn::NetRef &net);
     /// @}
 
     /** Run one inference experiment on the calling thread. */
@@ -144,11 +144,6 @@ class Engine
 
   private:
     EngineOptions options_;
-
-    std::mutex cacheMutex_;
-    std::map<dnn::NetId, dnn::NetworkSpec> teachers_;
-    std::map<dnn::NetId, dnn::NetworkSpec> compressed_;
-    std::map<dnn::NetId, dnn::Dataset> datasets_;
 };
 
 } // namespace sonic::app

@@ -19,7 +19,7 @@
 
 #include "arch/device.hh"
 #include "dnn/dataset.hh"
-#include "dnn/networks.hh"
+#include "dnn/zoo.hh"
 #include "kernels/runner.hh"
 #include "util/types.hh"
 
@@ -61,7 +61,8 @@ const char *profileName(ProfileVariant variant);
 /** One experiment specification. */
 struct RunSpec
 {
-    dnn::NetId net = dnn::NetId::Mnist;
+    /** Registered model name, resolved through dnn::ModelZoo. */
+    dnn::NetRef net = "MNIST";
     kernels::Impl impl = kernels::Impl::Sonic;
     PowerKind power = PowerKind::Continuous;
     ProfileVariant profile = ProfileVariant::Standard;

@@ -18,12 +18,33 @@ mix64(u64 x)
     return x ^ (x >> 31);
 }
 
+/** FNV-1a over the model name: the net coordinate for seeding. */
+u64
+nameHash(const std::string &name)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<u64>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 } // namespace
 
 SweepPlan &
-SweepPlan::nets(std::vector<dnn::NetId> values)
+SweepPlan::nets(std::vector<dnn::NetRef> values)
 {
     SONIC_ASSERT(!values.empty(), "empty net axis");
+    // Validate at plan-build, not mid-sweep: a typo should fail before
+    // any worker thread spins up, with the remedy in the message.
+    auto &zoo = dnn::ModelZoo::instance();
+    for (const auto &name : values) {
+        if (!zoo.contains(name))
+            fatal("unknown model '", name,
+                  "' in the sweep net axis; registered models: ",
+                  zoo.availableList());
+    }
     nets_ = std::move(values);
     return *this;
 }
@@ -31,7 +52,7 @@ SweepPlan::nets(std::vector<dnn::NetId> values)
 SweepPlan &
 SweepPlan::allNets()
 {
-    return nets({std::begin(dnn::kAllNets), std::end(dnn::kAllNets)});
+    return nets({std::begin(dnn::kPaperNets), std::end(dnn::kPaperNets)});
 }
 
 SweepPlan &
@@ -137,13 +158,14 @@ u64
 SweepPlan::specSeed(u64 baseSeed, const RunSpec &spec)
 {
     // Coordinate-hash, not index-hash: adding points to one axis does
-    // not reseed the specs shared with a smaller plan.
-    u64 coord = static_cast<u64>(spec.net) << 56
-              | static_cast<u64>(spec.impl) << 48
+    // not reseed the specs shared with a smaller plan. The model
+    // coordinate is a hash of its registered name, so a model keeps
+    // its seeds no matter what else is in the zoo.
+    u64 coord = static_cast<u64>(spec.impl) << 48
               | static_cast<u64>(spec.power) << 40
               | static_cast<u64>(spec.profile) << 32
               | static_cast<u64>(spec.sampleIndex);
-    u64 h = mix64(baseSeed) ^ coord;
+    u64 h = mix64(baseSeed) ^ mix64(nameHash(spec.net)) ^ coord;
     // A failure schedule is a coordinate too: fold its contents so
     // distinct schedules reseed (empty schedules keep the seed values
     // plans produced before the axis existed).
@@ -157,7 +179,7 @@ SweepPlan::expand() const
 {
     std::vector<RunSpec> specs;
     specs.reserve(size());
-    for (auto net : nets_) {
+    for (const auto &net : nets_) {
         for (auto impl : impls_) {
             for (auto power : power_) {
                 for (auto profile : profiles_) {

@@ -39,7 +39,13 @@ class SweepPlan
     /** @name Axis setters (each replaces the axis; default = the
      * RunSpec default as a single point). */
     /// @{
-    SweepPlan &nets(std::vector<dnn::NetId> values);
+    /**
+     * Workloads by registered model name. Every name is validated
+     * against the ModelZoo here, at plan-build time: an unknown name
+     * is a fatal configuration error reporting the available models.
+     */
+    SweepPlan &nets(std::vector<dnn::NetRef> values);
+    /** The paper's three workloads (dnn::kPaperNets). */
     SweepPlan &allNets();
 
     SweepPlan &impls(std::vector<kernels::Impl> values);
@@ -89,7 +95,7 @@ class SweepPlan
 
     /** @name Axis inspection (used by the engine and tests). */
     /// @{
-    const std::vector<dnn::NetId> &netAxis() const { return nets_; }
+    const std::vector<dnn::NetRef> &netAxis() const { return nets_; }
     const std::vector<kernels::Impl> &implAxis() const { return impls_; }
     const std::vector<PowerKind> &powerAxis() const { return power_; }
     const std::vector<ProfileVariant> &profileAxis() const
@@ -111,7 +117,7 @@ class SweepPlan
     static u64 specSeed(u64 baseSeed, const RunSpec &spec);
 
   private:
-    std::vector<dnn::NetId> nets_{dnn::NetId::Mnist};
+    std::vector<dnn::NetRef> nets_{"MNIST"};
     std::vector<kernels::Impl> impls_{kernels::Impl::Sonic};
     std::vector<PowerKind> power_{PowerKind::Continuous};
     std::vector<ProfileVariant> profiles_{ProfileVariant::Standard};

@@ -1,0 +1,284 @@
+#include "dnn/builder.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace sonic::dnn
+{
+
+namespace
+{
+
+/**
+ * Dyadic rational in [-1, 1) with step 1/256 — the Q7.8 grid — from
+ * pure integer Rng output (no libm), the same platform-stability trick
+ * as the verify golden workload.
+ */
+f64
+dyadic(Rng &rng)
+{
+    const i64 raw = static_cast<i64>(rng.next() % 512) - 256;
+    return static_cast<f64>(raw) / 256.0;
+}
+
+/** Like dyadic(), but never zero (structural taps must be present). */
+f64
+dyadicNonZero(Rng &rng)
+{
+    for (;;) {
+        const f64 v = dyadic(rng);
+        if (v != 0.0)
+            return v;
+    }
+}
+
+/**
+ * Power-of-two damping so |sum over fan_in| stays well inside the
+ * Q7.8 accumulator range regardless of layer width.
+ */
+f64
+fanInScale(u64 fan_in)
+{
+    f64 s = 1.0;
+    while (static_cast<f64>(fan_in) * s > 64.0)
+        s *= 0.5;
+    return s;
+}
+
+/** Deterministic keep/drop pattern (no sort tie-breaking involved). */
+bool
+keepIndex(u64 i, f64 density)
+{
+    const u64 pct = static_cast<u64>(density * 100.0 + 0.5);
+    return (i * 2654435761ull + 12345) % 100 < pct;
+}
+
+} // namespace
+
+NetworkBuilder::NetworkBuilder(std::string name, ActShape input,
+                               u64 seed)
+    : shape_(input), seed_(seed)
+{
+    SONIC_ASSERT(input.elems() > 0, "builder input shape is empty");
+    net_.name = std::move(name);
+    net_.input = input;
+}
+
+Rng
+NetworkBuilder::layerRng()
+{
+    // Per-layer fork: inserting or reordering fusion modifiers never
+    // reseeds the weights of other layers.
+    return Rng(seed_).fork(100 + layerIndex_);
+}
+
+NetworkBuilder &
+NetworkBuilder::append(std::string name, LayerOp op)
+{
+    const ActShape out = opOutputShape(op, shape_);
+    SONIC_ASSERT(out.elems() > 0, "layer '", name, "' of ", net_.name,
+                 " produces an empty activation");
+    net_.layers.push_back({std::move(name), std::move(op), false, false});
+    shape_ = out;
+    ++layerIndex_;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::conv(std::string name, u32 oc, u32 kh, u32 kw)
+{
+    SONIC_ASSERT(kh <= shape_.h && kw <= shape_.w,
+                 "conv '", name, "' kernel exceeds the ", shape_.h, "x",
+                 shape_.w, " input of ", net_.name);
+    Rng rng = layerRng();
+    tensor::FilterBank bank(oc, shape_.c, kh, kw);
+    const f64 s = fanInScale(u64{shape_.c} * kh * kw);
+    for (auto &w : bank.data)
+        w = dyadic(rng) * s;
+    return append(std::move(name), DenseConvLayer{std::move(bank)});
+}
+
+NetworkBuilder &
+NetworkBuilder::sparseConv(std::string name, u32 oc, u32 kh, u32 kw,
+                           f64 density)
+{
+    SONIC_ASSERT(kh <= shape_.h && kw <= shape_.w,
+                 "sparseConv '", name, "' kernel exceeds the input of ",
+                 net_.name);
+    Rng rng = layerRng();
+    tensor::FilterBank bank(oc, shape_.c, kh, kw);
+    const f64 s = fanInScale(u64{shape_.c} * kh * kw);
+    for (u64 i = 0; i < bank.data.size(); ++i)
+        bank.data[i] = keepIndex(i, density) ? dyadicNonZero(rng) * s
+                                             : 0.0;
+    return append(std::move(name), SparseConvLayer{std::move(bank)});
+}
+
+NetworkBuilder &
+NetworkBuilder::factoredConv(std::string name, u32 oc, u32 kh, u32 kw)
+{
+    SONIC_ASSERT(kh <= shape_.h && kw <= shape_.w,
+                 "factoredConv '", name,
+                 "' kernel exceeds the input of ", net_.name);
+    Rng rng = layerRng();
+    FactoredConvLayer f;
+    if (shape_.c > 1) {
+        const f64 ms = fanInScale(shape_.c);
+        for (u32 i = 0; i < shape_.c; ++i)
+            f.mix.push_back(dyadicNonZero(rng) * ms);
+    }
+    if (kh > 1) {
+        const f64 cs = fanInScale(kh);
+        for (u32 i = 0; i < kh; ++i)
+            f.col.push_back(dyadicNonZero(rng) * cs);
+    }
+    if (kw > 1) {
+        const f64 rs = fanInScale(kw);
+        for (u32 i = 0; i < kw; ++i)
+            f.row.push_back(dyadicNonZero(rng) * rs);
+    }
+    for (u32 i = 0; i < oc; ++i)
+        f.scale.push_back(dyadicNonZero(rng));
+    return append(std::move(name), std::move(f));
+}
+
+NetworkBuilder &
+NetworkBuilder::fc(std::string name, u32 outputs)
+{
+    Rng rng = layerRng();
+    const u32 inputs = static_cast<u32>(shape_.elems());
+    tensor::Matrix w(outputs, inputs);
+    const f64 s = fanInScale(inputs);
+    for (auto &x : w.data())
+        x = dyadic(rng) * s;
+    return append(std::move(name), DenseFcLayer{std::move(w)});
+}
+
+NetworkBuilder &
+NetworkBuilder::sparseFc(std::string name, u32 outputs, f64 density)
+{
+    Rng rng = layerRng();
+    const u32 inputs = static_cast<u32>(shape_.elems());
+    tensor::Matrix w(outputs, inputs);
+    const f64 s = fanInScale(inputs);
+    for (u64 i = 0; i < w.size(); ++i)
+        w.data()[i] = keepIndex(i + 17, density)
+            ? dyadicNonZero(rng) * s
+            : 0.0;
+    return append(std::move(name), SparseFcLayer{std::move(w)});
+}
+
+NetworkBuilder &
+NetworkBuilder::conv(std::string name, tensor::FilterBank filters)
+{
+    SONIC_ASSERT(filters.inChannels == shape_.c,
+                 "conv '", name, "' channel mismatch in ", net_.name);
+    return append(std::move(name), DenseConvLayer{std::move(filters)});
+}
+
+NetworkBuilder &
+NetworkBuilder::sparseConv(std::string name, tensor::FilterBank filters)
+{
+    SONIC_ASSERT(filters.inChannels == shape_.c,
+                 "sparseConv '", name, "' channel mismatch in ",
+                 net_.name);
+    return append(std::move(name), SparseConvLayer{std::move(filters)});
+}
+
+NetworkBuilder &
+NetworkBuilder::factoredConv(std::string name, FactoredConvLayer layer)
+{
+    return append(std::move(name), std::move(layer));
+}
+
+NetworkBuilder &
+NetworkBuilder::fc(std::string name, tensor::Matrix weights)
+{
+    SONIC_ASSERT(weights.cols() == shape_.elems(),
+                 "fc '", name, "' expects ", weights.cols(),
+                 " inputs but the current shape of ", net_.name,
+                 " flattens to ", shape_.elems());
+    return append(std::move(name), DenseFcLayer{std::move(weights)});
+}
+
+NetworkBuilder &
+NetworkBuilder::sparseFc(std::string name, tensor::Matrix weights)
+{
+    SONIC_ASSERT(weights.cols() == shape_.elems(),
+                 "sparseFc '", name, "' expects ", weights.cols(),
+                 " inputs but the current shape of ", net_.name,
+                 " flattens to ", shape_.elems());
+    return append(std::move(name), SparseFcLayer{std::move(weights)});
+}
+
+NetworkBuilder &
+NetworkBuilder::relu()
+{
+    SONIC_ASSERT(!net_.layers.empty(), "relu() before any layer");
+    net_.layers.back().reluAfter = true;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::pool()
+{
+    SONIC_ASSERT(!net_.layers.empty(), "pool() before any layer");
+    auto &layer = net_.layers.back();
+    SONIC_ASSERT(!std::holds_alternative<DenseFcLayer>(layer.op)
+                     && !std::holds_alternative<SparseFcLayer>(layer.op),
+                 "pool() fuses onto convolutions only");
+    SONIC_ASSERT(!layer.poolAfter, "pool() fused twice");
+    layer.poolAfter = true;
+    shape_.h /= 2;
+    shape_.w /= 2;
+    SONIC_ASSERT(shape_.elems() > 0, "pool() collapsed the map of ",
+                 net_.name);
+    return *this;
+}
+
+NetworkSpec
+NetworkBuilder::build() const
+{
+    SONIC_ASSERT(!net_.layers.empty(), "build() on an empty network");
+    NetworkSpec out = net_;
+    out.numClasses = static_cast<u32>(shape_.elems());
+    return out;
+}
+
+NetworkSpec
+deepFcNet(const std::string &name, u32 inputDim, u32 depth, u32 width,
+          u32 classes, u64 seed)
+{
+    SONIC_ASSERT(depth >= 1, "deepFcNet needs at least one layer");
+    NetworkBuilder b(name, {1, 1, inputDim}, seed);
+    for (u32 i = 0; i + 1 < depth; ++i)
+        b.fc("fc" + std::to_string(i + 1), width).relu();
+    b.fc("out", classes);
+    return b.build();
+}
+
+NetworkSpec
+wideFcNet(const std::string &name, u32 inputDim, u32 width, f64 density,
+          u32 classes, u64 seed)
+{
+    return NetworkBuilder(name, {1, 1, inputDim}, seed)
+        .sparseFc("wide", width, density)
+        .relu()
+        .fc("out", classes)
+        .build();
+}
+
+NetworkSpec
+depthwiseConvNet(const std::string &name, u32 channels, u32 hw,
+                 u32 depth, u32 classes, u64 seed)
+{
+    NetworkBuilder b(name, {channels, hw, hw}, seed);
+    for (u32 i = 0; i < depth; ++i)
+        b.factoredConv("dw" + std::to_string(i + 1), channels, 3, 3)
+            .relu();
+    b.sparseFc("fc", 16, 0.5).relu().fc("out", classes);
+    return b.build();
+}
+
+} // namespace sonic::dnn

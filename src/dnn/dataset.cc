@@ -103,12 +103,6 @@ agreement(const NetworkSpec &net, const Dataset &data)
     return static_cast<f64>(correct) / static_cast<f64>(data.size());
 }
 
-f64
-scaledAccuracy(NetId id, f64 agreement_fraction)
-{
-    return paperAccuracy(id) * agreement_fraction;
-}
-
 Rates
 detectionRates(const NetworkSpec &net, const Dataset &data,
                u32 interesting_class)

@@ -18,7 +18,6 @@
 
 #include <vector>
 
-#include "dnn/networks.hh"
 #include "dnn/spec.hh"
 #include "util/types.hh"
 
@@ -43,9 +42,8 @@ Dataset makeDataset(const NetworkSpec &teacher, u32 n, u64 seed = 0xda7a);
 
 /** Fraction of samples on which net agrees with the labels. */
 f64 agreement(const NetworkSpec &net, const Dataset &data);
-
-/** Agreement scaled by the paper's base accuracy for the workload. */
-f64 scaledAccuracy(NetId id, f64 agreement_fraction);
+// Scaling agreement by the paper's reported base accuracy lives with
+// the per-model metadata: dnn::ModelMeta::scaledAccuracy (dnn/zoo.hh).
 
 /** True-positive / true-negative rates for one "interesting" class. */
 struct Rates

@@ -1,0 +1,849 @@
+#include "dnn/model_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace sonic::dnn
+{
+
+namespace
+{
+
+// --- f64 <-> hex ----------------------------------------------------
+
+u64
+bitsOf(f64 v)
+{
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+f64
+f64Of(u64 bits)
+{
+    f64 v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+void
+appendHex64(std::string &out, u64 bits)
+{
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(digits[(bits >> shift) & 0xf]);
+}
+
+std::string
+hexBlob(const std::vector<f64> &values)
+{
+    std::string out;
+    out.reserve(values.size() * 16);
+    for (f64 v : values)
+        appendHex64(out, bitsOf(v));
+    return out;
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+bool
+parseHexBlob(const std::string &hex, std::vector<f64> *out,
+             std::string *error, const std::string &what)
+{
+    if (hex.size() % 16 != 0) {
+        *error = what + ": hex blob length " + std::to_string(hex.size())
+               + " is not a multiple of 16";
+        return false;
+    }
+    out->clear();
+    out->reserve(hex.size() / 16);
+    for (u64 i = 0; i < hex.size(); i += 16) {
+        u64 bits = 0;
+        for (u64 j = 0; j < 16; ++j) {
+            const int d = hexDigit(hex[i + j]);
+            if (d < 0) {
+                *error = what + ": invalid hex digit '" + hex[i + j]
+                       + "'";
+                return false;
+            }
+            bits = (bits << 4) | static_cast<u64>(d);
+        }
+        out->push_back(f64Of(bits));
+    }
+    return true;
+}
+
+// --- Minimal JSON value parser --------------------------------------
+//
+// Only what the model format needs: objects, arrays, strings (with
+// escapes), numbers, booleans, null. Strict — trailing garbage and
+// malformed tokens are errors, because a model file is a contract.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue
+{
+    std::variant<std::nullptr_t, bool, f64, std::string,
+                 std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+        v = nullptr;
+
+    const JsonObject *object() const
+    {
+        auto p = std::get_if<std::shared_ptr<JsonObject>>(&v);
+        return p ? p->get() : nullptr;
+    }
+
+    const JsonArray *array() const
+    {
+        auto p = std::get_if<std::shared_ptr<JsonArray>>(&v);
+        return p ? p->get() : nullptr;
+    }
+
+    const std::string *string() const
+    {
+        return std::get_if<std::string>(&v);
+    }
+
+    const f64 *number() const { return std::get_if<f64>(&v); }
+    const bool *boolean() const { return std::get_if<bool>(&v); }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after the document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (error_->empty())
+            *error_ = "JSON parse error at byte "
+                    + std::to_string(pos_) + ": " + message;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue value, JsonValue *out)
+    {
+        const u64 len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid token");
+        pos_ += len;
+        *out = std::move(value);
+        return true;
+    }
+
+    bool
+    value(JsonValue *out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            std::string s;
+            if (!string(&s))
+                return false;
+            out->v = std::move(s);
+            return true;
+        }
+        if (c == 't')
+            return literal("true", JsonValue{true}, out);
+        if (c == 'f')
+            return literal("false", JsonValue{false}, out);
+        if (c == 'n')
+            return literal("null", JsonValue{nullptr}, out);
+        return number(out);
+    }
+
+    bool
+    object(JsonValue *out)
+    {
+        ++pos_; // '{'
+        auto obj = std::make_shared<JsonObject>();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out->v = std::move(obj);
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            JsonValue member;
+            if (!value(&member))
+                return false;
+            (*obj)[std::move(key)] = std::move(member);
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                out->v = std::move(obj);
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array(JsonValue *out)
+    {
+        ++pos_; // '['
+        auto arr = std::make_shared<JsonArray>();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out->v = std::move(arr);
+            return true;
+        }
+        for (;;) {
+            JsonValue element;
+            if (!value(&element))
+                return false;
+            arr->push_back(std::move(element));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                out->v = std::move(arr);
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected a string");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out->push_back('"'); break;
+                  case '\\': out->push_back('\\'); break;
+                  case '/': out->push_back('/'); break;
+                  case 'n': out->push_back('\n'); break;
+                  case 't': out->push_back('\t'); break;
+                  case 'r': out->push_back('\r'); break;
+                  case 'b': out->push_back('\b'); break;
+                  case 'f': out->push_back('\f'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    u32 code = 0;
+                    for (u32 i = 0; i < 4; ++i) {
+                        const int d = hexDigit(text_[pos_ + i]);
+                        if (d < 0)
+                            return fail("invalid \\u escape");
+                        code = (code << 4) | static_cast<u32>(d);
+                    }
+                    pos_ += 4;
+                    if (code > 0x7f)
+                        return fail("non-ASCII \\u escape unsupported");
+                    out->push_back(static_cast<char>(code));
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out->push_back(c);
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue *out)
+    {
+        const u64 start = pos_;
+        if (pos_ < text_.size()
+            && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size()
+               && ((text_[pos_] >= '0' && text_[pos_] <= '9')
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E' || text_[pos_] == '-'
+                   || text_[pos_] == '+')) {
+            if (text_[pos_] >= '0' && text_[pos_] <= '9')
+                digits = true;
+            ++pos_;
+        }
+        if (!digits)
+            return fail("invalid number");
+        const std::string token = text_.substr(start, pos_ - start);
+        try {
+            std::size_t used = 0;
+            out->v = std::stod(token, &used);
+            // stod parsing a valid prefix of a malformed token (e.g.
+            // "6..2e+-") is not acceptance.
+            if (used != token.size())
+                return fail("invalid number");
+        } catch (const std::exception &) {
+            return fail("unparsable number");
+        }
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    u64 pos_ = 0;
+};
+
+// --- Typed field access ---------------------------------------------
+
+bool
+getString(const JsonObject &obj, const char *key, std::string *out,
+          std::string *error, const std::string &ctx)
+{
+    auto it = obj.find(key);
+    if (it == obj.end() || it->second.string() == nullptr) {
+        *error = ctx + ": missing or non-string field \"" + key + "\"";
+        return false;
+    }
+    *out = *it->second.string();
+    return true;
+}
+
+bool
+getU32(const JsonObject &obj, const char *key, u32 *out,
+       std::string *error, const std::string &ctx)
+{
+    auto it = obj.find(key);
+    if (it == obj.end() || it->second.number() == nullptr) {
+        *error = ctx + ": missing or non-numeric field \"" + key + "\"";
+        return false;
+    }
+    const f64 v = *it->second.number();
+    if (v < 0 || v > 4294967295.0
+        || v != static_cast<f64>(static_cast<u64>(v))) {
+        *error = ctx + ": field \"" + key
+               + "\" is not an unsigned integer";
+        return false;
+    }
+    *out = static_cast<u32>(v);
+    return true;
+}
+
+bool
+getBool(const JsonObject &obj, const char *key, bool *out,
+        std::string *error, const std::string &ctx)
+{
+    auto it = obj.find(key);
+    if (it == obj.end() || it->second.boolean() == nullptr) {
+        *error = ctx + ": missing or non-boolean field \"" + key + "\"";
+        return false;
+    }
+    *out = *it->second.boolean();
+    return true;
+}
+
+bool
+getBlob(const JsonObject &obj, const char *key, std::vector<f64> *out,
+        std::string *error, const std::string &ctx)
+{
+    auto it = obj.find(key);
+    if (it == obj.end() || it->second.string() == nullptr) {
+        *error = ctx + ": missing or non-string blob \"" + key + "\"";
+        return false;
+    }
+    return parseHexBlob(*it->second.string(), out, error,
+                        ctx + " \"" + key + "\"");
+}
+
+bool
+getSizedBlob(const JsonObject &obj, const char *key, u64 expected,
+             std::vector<f64> *out, std::string *error,
+             const std::string &ctx)
+{
+    if (!getBlob(obj, key, out, error, ctx))
+        return false;
+    if (out->size() != expected) {
+        *error = ctx + " \"" + key + "\": blob holds "
+               + std::to_string(out->size()) + " values but the "
+               + "declared dimensions need " + std::to_string(expected);
+        return false;
+    }
+    return true;
+}
+
+// --- Layer emit / parse ---------------------------------------------
+
+const char *
+kindOf(const LayerOp &op)
+{
+    if (std::holds_alternative<FactoredConvLayer>(op))
+        return "factored-conv";
+    if (std::holds_alternative<SparseConvLayer>(op))
+        return "sparse-conv";
+    if (std::holds_alternative<DenseConvLayer>(op))
+        return "dense-conv";
+    if (std::holds_alternative<DenseFcLayer>(op))
+        return "dense-fc";
+    return "sparse-fc";
+}
+
+void
+emitLayer(std::ostream &os, const LayerSpec &layer)
+{
+    os << "    {\"name\": " << jsonQuote(layer.name) << ", \"kind\": \""
+       << kindOf(layer.op) << "\", \"relu\": "
+       << (layer.reluAfter ? "true" : "false")
+       << ", \"pool\": " << (layer.poolAfter ? "true" : "false");
+    if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+        os << ",\n     \"mix\": \"" << hexBlob(f->mix)
+           << "\", \"col\": \"" << hexBlob(f->col) << "\", \"row\": \""
+           << hexBlob(f->row) << "\", \"scale\": \""
+           << hexBlob(f->scale) << "\"";
+    } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
+        os << ", \"oc\": " << s->filters.outChannels
+           << ", \"ic\": " << s->filters.inChannels
+           << ", \"kh\": " << s->filters.kh << ", \"kw\": "
+           << s->filters.kw << ",\n     \"data\": \""
+           << hexBlob(s->filters.data) << "\"";
+    } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
+        os << ", \"oc\": " << d->filters.outChannels
+           << ", \"ic\": " << d->filters.inChannels
+           << ", \"kh\": " << d->filters.kh << ", \"kw\": "
+           << d->filters.kw << ",\n     \"data\": \""
+           << hexBlob(d->filters.data) << "\"";
+    } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
+        os << ", \"rows\": " << fc->weights.rows() << ", \"cols\": "
+           << fc->weights.cols() << ",\n     \"data\": \""
+           << hexBlob(fc->weights.data()) << "\"";
+    } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
+        os << ", \"rows\": " << sfc->weights.rows() << ", \"cols\": "
+           << sfc->weights.cols() << ",\n     \"data\": \""
+           << hexBlob(sfc->weights.data()) << "\"";
+    }
+    os << "}";
+}
+
+bool
+parseFilterBank(const JsonObject &obj, tensor::FilterBank *bank,
+                std::string *error, const std::string &ctx)
+{
+    u32 oc = 0, ic = 0, kh = 0, kw = 0;
+    if (!getU32(obj, "oc", &oc, error, ctx)
+        || !getU32(obj, "ic", &ic, error, ctx)
+        || !getU32(obj, "kh", &kh, error, ctx)
+        || !getU32(obj, "kw", &kw, error, ctx))
+        return false;
+    if (oc == 0 || ic == 0 || kh == 0 || kw == 0) {
+        *error = ctx + ": zero filter-bank dimension";
+        return false;
+    }
+    std::vector<f64> data;
+    if (!getSizedBlob(obj, "data", u64{oc} * ic * kh * kw, &data, error,
+                      ctx))
+        return false;
+    *bank = tensor::FilterBank(oc, ic, kh, kw);
+    bank->data = std::move(data);
+    return true;
+}
+
+bool
+parseMatrix(const JsonObject &obj, tensor::Matrix *m, std::string *error,
+            const std::string &ctx)
+{
+    u32 rows = 0, cols = 0;
+    if (!getU32(obj, "rows", &rows, error, ctx)
+        || !getU32(obj, "cols", &cols, error, ctx))
+        return false;
+    if (rows == 0 || cols == 0) {
+        *error = ctx + ": zero matrix dimension";
+        return false;
+    }
+    std::vector<f64> data;
+    if (!getSizedBlob(obj, "data", u64{rows} * cols, &data, error, ctx))
+        return false;
+    *m = tensor::Matrix(rows, cols);
+    m->data() = std::move(data);
+    return true;
+}
+
+bool
+parseLayer(const JsonValue &value, LayerSpec *layer, std::string *error,
+           u64 index)
+{
+    const std::string ctx = "layer " + std::to_string(index);
+    const JsonObject *obj = value.object();
+    if (obj == nullptr) {
+        *error = ctx + ": not an object";
+        return false;
+    }
+    std::string kind;
+    if (!getString(*obj, "name", &layer->name, error, ctx)
+        || !getString(*obj, "kind", &kind, error, ctx)
+        || !getBool(*obj, "relu", &layer->reluAfter, error, ctx)
+        || !getBool(*obj, "pool", &layer->poolAfter, error, ctx))
+        return false;
+
+    if (kind == "factored-conv") {
+        FactoredConvLayer f;
+        if (!getBlob(*obj, "mix", &f.mix, error, ctx)
+            || !getBlob(*obj, "col", &f.col, error, ctx)
+            || !getBlob(*obj, "row", &f.row, error, ctx)
+            || !getBlob(*obj, "scale", &f.scale, error, ctx))
+            return false;
+        if (f.scale.empty()) {
+            *error = ctx + ": factored conv needs non-empty scales";
+            return false;
+        }
+        layer->op = std::move(f);
+    } else if (kind == "sparse-conv" || kind == "dense-conv") {
+        tensor::FilterBank bank;
+        if (!parseFilterBank(*obj, &bank, error, ctx))
+            return false;
+        if (kind == "sparse-conv")
+            layer->op = SparseConvLayer{std::move(bank)};
+        else
+            layer->op = DenseConvLayer{std::move(bank)};
+    } else if (kind == "dense-fc" || kind == "sparse-fc") {
+        tensor::Matrix m;
+        if (!parseMatrix(*obj, &m, error, ctx))
+            return false;
+        if (kind == "dense-fc")
+            layer->op = DenseFcLayer{std::move(m)};
+        else
+            layer->op = SparseFcLayer{std::move(m)};
+    } else {
+        *error = ctx + ": unknown layer kind \"" + kind + "\"";
+        return false;
+    }
+    return true;
+}
+
+/** Walk the layer shapes exactly like the forward pass would, so a
+ * dimensionally inconsistent file is rejected at load, not at run. */
+bool
+validateShapes(const NetworkSpec &net, std::string *error)
+{
+    ActShape shape = net.input;
+    for (u64 li = 0; li < net.layers.size(); ++li) {
+        const auto &layer = net.layers[li];
+        const std::string ctx = "layer " + std::to_string(li) + " (\""
+                              + layer.name + "\")";
+        if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
+            if (!f->col.empty() && f->col.size() > shape.h) {
+                *error = ctx + ": column kernel exceeds map height";
+                return false;
+            }
+            if (!f->row.empty() && f->row.size() > shape.w) {
+                *error = ctx + ": row kernel exceeds map width";
+                return false;
+            }
+            if (!f->mix.empty() && f->mix.size() != shape.c) {
+                *error = ctx + ": channel mix size mismatch";
+                return false;
+            }
+            if (f->mix.empty() && shape.c != 1) {
+                *error = ctx + ": multi-channel input needs a mix stage";
+                return false;
+            }
+        } else if (const auto *s =
+                       std::get_if<SparseConvLayer>(&layer.op)) {
+            if (s->filters.inChannels != shape.c
+                || s->filters.kh > shape.h || s->filters.kw > shape.w) {
+                *error = ctx + ": filter bank does not fit the "
+                       + std::to_string(shape.c) + "x"
+                       + std::to_string(shape.h) + "x"
+                       + std::to_string(shape.w) + " input";
+                return false;
+            }
+        } else if (const auto *d =
+                       std::get_if<DenseConvLayer>(&layer.op)) {
+            if (d->filters.inChannels != shape.c
+                || d->filters.kh > shape.h || d->filters.kw > shape.w) {
+                *error = ctx + ": filter bank does not fit the input";
+                return false;
+            }
+        } else if (const auto *fc =
+                       std::get_if<DenseFcLayer>(&layer.op)) {
+            if (fc->weights.cols() != shape.elems()) {
+                *error = ctx + ": FC expects "
+                       + std::to_string(fc->weights.cols())
+                       + " inputs, activation flattens to "
+                       + std::to_string(shape.elems());
+                return false;
+            }
+        } else if (const auto *sfc =
+                       std::get_if<SparseFcLayer>(&layer.op)) {
+            if (sfc->weights.cols() != shape.elems()) {
+                *error = ctx + ": FC expects "
+                       + std::to_string(sfc->weights.cols())
+                       + " inputs, activation flattens to "
+                       + std::to_string(shape.elems());
+                return false;
+            }
+        }
+        shape = opOutputShape(layer.op, shape);
+        if (layer.poolAfter) {
+            shape.h /= 2;
+            shape.w /= 2;
+        }
+        if (shape.elems() == 0) {
+            *error = ctx + ": produces an empty activation";
+            return false;
+        }
+    }
+    if (shape.elems() != net.numClasses) {
+        *error = "final activation has " + std::to_string(shape.elems())
+               + " elements but numClasses is "
+               + std::to_string(net.numClasses);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+saveModel(const NetworkSpec &net, std::ostream &os)
+{
+    os << "{\"format\": \"sonic-model\", \"version\": "
+       << kModelFormatVersion << ",\n \"name\": " << jsonQuote(net.name)
+       << ",\n \"input\": [" << net.input.c << ", " << net.input.h
+       << ", " << net.input.w << "], \"numClasses\": " << net.numClasses
+       << ",\n \"layers\": [";
+    for (u64 li = 0; li < net.layers.size(); ++li) {
+        os << (li ? ",\n" : "\n");
+        emitLayer(os, net.layers[li]);
+    }
+    os << "\n ]}\n";
+}
+
+std::string
+modelJson(const NetworkSpec &net)
+{
+    std::ostringstream os;
+    saveModel(net, os);
+    return os.str();
+}
+
+bool
+saveModelFile(const NetworkSpec &net, const std::string &path,
+              std::string *error)
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error != nullptr)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    saveModel(net, out);
+    out.flush();
+    if (!out) {
+        if (error != nullptr)
+            *error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+std::optional<NetworkSpec>
+parseModel(const std::string &text, std::string *error)
+{
+    std::string scratch;
+    std::string &err = error != nullptr ? *error : scratch;
+    err.clear();
+
+    JsonValue root;
+    JsonParser parser(text, &err);
+    if (!parser.parse(&root))
+        return std::nullopt;
+    const JsonObject *obj = root.object();
+    if (obj == nullptr) {
+        err = "model document is not a JSON object";
+        return std::nullopt;
+    }
+
+    std::string format;
+    if (!getString(*obj, "format", &format, &err, "document"))
+        return std::nullopt;
+    if (format != "sonic-model") {
+        err = "not a sonic-model document (format \"" + format + "\")";
+        return std::nullopt;
+    }
+    u32 version = 0;
+    if (!getU32(*obj, "version", &version, &err, "document"))
+        return std::nullopt;
+    if (version != kModelFormatVersion) {
+        err = "unsupported model format version "
+            + std::to_string(version) + " (this build reads version "
+            + std::to_string(kModelFormatVersion) + ")";
+        return std::nullopt;
+    }
+
+    NetworkSpec net;
+    if (!getString(*obj, "name", &net.name, &err, "document"))
+        return std::nullopt;
+    if (net.name.empty()) {
+        err = "model name must be non-empty";
+        return std::nullopt;
+    }
+
+    auto input = obj->find("input");
+    if (input == obj->end() || input->second.array() == nullptr
+        || input->second.array()->size() != 3) {
+        err = "document: \"input\" must be a [c, h, w] array";
+        return std::nullopt;
+    }
+    u32 dims[3] = {0, 0, 0};
+    for (u32 i = 0; i < 3; ++i) {
+        const f64 *n = (*input->second.array())[i].number();
+        if (n == nullptr || *n <= 0 || *n > 65535
+            || *n != static_cast<f64>(static_cast<u32>(*n))) {
+            err = "document: input dimension " + std::to_string(i)
+                + " is not a positive integer";
+            return std::nullopt;
+        }
+        dims[i] = static_cast<u32>(*n);
+    }
+    net.input = {dims[0], dims[1], dims[2]};
+
+    if (!getU32(*obj, "numClasses", &net.numClasses, &err, "document"))
+        return std::nullopt;
+    if (net.numClasses == 0) {
+        err = "document: numClasses must be positive";
+        return std::nullopt;
+    }
+
+    auto layers = obj->find("layers");
+    if (layers == obj->end() || layers->second.array() == nullptr) {
+        err = "document: missing \"layers\" array";
+        return std::nullopt;
+    }
+    if (layers->second.array()->empty()) {
+        err = "document: \"layers\" must be non-empty";
+        return std::nullopt;
+    }
+    for (u64 li = 0; li < layers->second.array()->size(); ++li) {
+        LayerSpec layer;
+        if (!parseLayer((*layers->second.array())[li], &layer, &err, li))
+            return std::nullopt;
+        net.layers.push_back(std::move(layer));
+    }
+
+    if (!validateShapes(net, &err))
+        return std::nullopt;
+    return net;
+}
+
+std::optional<NetworkSpec>
+loadModel(std::istream &is, std::string *error)
+{
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return parseModel(buffer.str(), error);
+}
+
+std::optional<NetworkSpec>
+loadModelFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot read " + path;
+        return std::nullopt;
+    }
+    return loadModel(in, error);
+}
+
+bool
+loadModelIntoZoo(const std::string &path, ModelZoo &zoo,
+                 std::string *error)
+{
+    auto net = loadModelFile(path, error);
+    if (!net)
+        return false;
+    if (zoo.contains(net->name)) {
+        if (error != nullptr)
+            *error = "model '" + net->name
+                   + "' is already registered in the zoo";
+        return false;
+    }
+    ModelMeta meta;
+    meta.family = "loaded";
+    meta.description = "loaded from " + path;
+    std::string name = net->name; // copy before the spec is moved from
+    zoo.add(std::move(name), meta, std::move(*net));
+    return true;
+}
+
+} // namespace sonic::dnn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The versioned on-disk model format: networks as data, not code.
+ *
+ * A model file is JSON with hex-encoded weight blobs — every f64 is
+ * serialized as the 16-hex-digit big-endian image of its IEEE-754 bit
+ * pattern, so a save/load round trip is bit-exact: the reloaded
+ * network flashes to identical Q7.8 device weights and produces
+ * bit-identical logits and FRAM digests on every kernel.
+ *
+ *     {"format": "sonic-model", "version": 1,
+ *      "name": "HAR", "input": [3, 1, 36], "numClasses": 6,
+ *      "layers": [
+ *        {"name": "conv1", "kind": "factored-conv",
+ *         "relu": true, "pool": false,
+ *         "mix": "3fb1...", "col": "", "row": "...", "scale": "..."},
+ *        {"name": "fc", "kind": "sparse-fc", "relu": true,
+ *         "pool": false, "rows": 192, "cols": 2450, "data": "..."},
+ *        ...]}
+ *
+ * Loading is total: any malformed document — wrong format tag, future
+ * version, missing field, type mismatch, truncated or odd-length hex,
+ * dimension/blob-size disagreement, trailing garbage — is rejected
+ * with a diagnostic instead of a crash, so untrusted model files are
+ * safe to probe.
+ */
+
+#ifndef SONIC_DNN_MODEL_IO_HH
+#define SONIC_DNN_MODEL_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "dnn/spec.hh"
+#include "dnn/zoo.hh"
+#include "util/types.hh"
+
+namespace sonic::dnn
+{
+
+/** Current model-format version (the "version" field). Loaders accept
+ * exactly this version: the format promises bit-exactness, so silent
+ * cross-version reinterpretation is never correct. */
+inline constexpr u32 kModelFormatVersion = 1;
+
+/** Serialize a network to the model format. */
+void saveModel(const NetworkSpec &net, std::ostream &os);
+
+/** saveModel into a string. */
+std::string modelJson(const NetworkSpec &net);
+
+/** saveModel to a file; false (with *error set) on I/O failure. */
+bool saveModelFile(const NetworkSpec &net, const std::string &path,
+                   std::string *error = nullptr);
+
+/**
+ * Parse a model document. On failure returns nullopt and, when error
+ * is non-null, a one-line diagnostic naming the offending field.
+ */
+std::optional<NetworkSpec> parseModel(const std::string &text,
+                                      std::string *error = nullptr);
+
+/** parseModel over a stream. */
+std::optional<NetworkSpec> loadModel(std::istream &is,
+                                     std::string *error = nullptr);
+
+/** parseModel over a file. */
+std::optional<NetworkSpec> loadModelFile(const std::string &path,
+                                         std::string *error = nullptr);
+
+/**
+ * Load a model file and register it in the zoo under its serialized
+ * name (family "loaded", teacher == device network). Fails — without
+ * registering — on parse errors or if the name is already taken.
+ */
+bool loadModelIntoZoo(const std::string &path, ModelZoo &zoo,
+                      std::string *error = nullptr);
+
+} // namespace sonic::dnn
+
+#endif // SONIC_DNN_MODEL_IO_HH

@@ -498,4 +498,68 @@ buildCompressed(NetId id, u64 seed)
     return buildWithKnobs(id, CompressionKnobs{}, seed);
 }
 
+NetworkSpec
+compressGeneric(const NetworkSpec &teacher, const CompressionKnobs &knobs)
+{
+    NetworkSpec net;
+    net.name = teacher.name;
+    net.input = teacher.input;
+    net.numClasses = teacher.numClasses;
+
+    for (u32 li = 0; li < teacher.layers.size(); ++li) {
+        const auto &layer = teacher.layers[li];
+        const bool is_last = li + 1 == teacher.layers.size();
+        if (const auto *conv = std::get_if<DenseConvLayer>(&layer.op)) {
+            if (knobs.separateConv && conv->filters.inChannels == 1) {
+                net.layers.push_back(
+                    {layer.name,
+                     factorSingleChannelConv(conv->filters,
+                                             std::min(1.0,
+                                                      knobs.convKeep)),
+                     layer.reluAfter, layer.poolAfter});
+            } else {
+                tensor::FilterBank bank = conv->filters;
+                tensor::Tensor3 flat(bank.outChannels, bank.inChannels,
+                                     bank.kh * bank.kw);
+                flat.data() = bank.data;
+                tensor::pruneToFraction(
+                    flat, std::min(1.0, 0.25 * knobs.convKeep));
+                bank.data = flat.data();
+                net.layers.push_back({layer.name, SparseConvLayer{bank},
+                                      layer.reluAfter, layer.poolAfter});
+            }
+        } else if (const auto *fc =
+                       std::get_if<DenseFcLayer>(&layer.op)) {
+            if (is_last) {
+                // Final classifier stays dense (the Table 2 "—" rule).
+                net.layers.push_back(layer);
+                continue;
+            }
+            const u32 max_rank =
+                std::min(fc->weights.rows(), fc->weights.cols());
+            const u64 nnz = std::max<u64>(
+                16, static_cast<u64>(std::llround(
+                        0.10 * static_cast<f64>(fc->weights.size())
+                        * knobs.fcKeep)));
+            if (knobs.svdFc) {
+                const u32 rank = std::max(
+                    1u,
+                    std::min(max_rank,
+                             static_cast<u32>(std::lround(
+                                 static_cast<f64>(max_rank) / 8.0
+                                 * knobs.fcRankScale))));
+                appendCompressedFc(net.layers, layer.name, fc->weights,
+                                   rank, nnz, layer.reluAfter);
+            } else {
+                appendPrunedFc(net.layers, layer.name, fc->weights, nnz,
+                               layer.reluAfter);
+            }
+        } else {
+            // Factored / sparse forms are already compressed.
+            net.layers.push_back(layer);
+        }
+    }
+    return net;
+}
+
 } // namespace sonic::dnn

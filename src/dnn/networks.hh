@@ -15,6 +15,12 @@
  * budgets. Accuracy of any derived network is measured as agreement
  * with the teacher on synthetic held-out samples, scaled by the paper's
  * reported base accuracy (see dnn/dataset.hh).
+ *
+ * COMPAT SHIM: the NetId enum below is internal to dnn/ — the rest of
+ * the system addresses workloads by registered name through the
+ * string-keyed ModelZoo (dnn/zoo.hh), where these three pre-register
+ * alongside builder-generated and disk-loaded models. Do not reference
+ * NetId outside dnn/.
  */
 
 #ifndef SONIC_DNN_NETWORKS_HH
@@ -26,7 +32,7 @@
 namespace sonic::dnn
 {
 
-/** The three evaluation workloads. */
+/** The three paper workloads (dnn-internal; see the file comment). */
 enum class NetId : u8
 {
     Mnist,
@@ -36,9 +42,6 @@ enum class NetId : u8
 
 /** Stable workload name ("MNIST", "HAR", "OkG"). */
 const char *netName(NetId id);
-
-/** All three, for sweep loops. */
-inline constexpr NetId kAllNets[] = {NetId::Mnist, NetId::Har, NetId::Okg};
 
 /** The paper's reported accuracy for the chosen configuration. */
 f64 paperAccuracy(NetId id);
@@ -70,6 +73,18 @@ struct CompressionKnobs
 /** Build a compressed network with explicit knobs (GENESIS sweep). */
 NetworkSpec buildWithKnobs(NetId id, const CompressionKnobs &knobs,
                            u64 seed = 0x5eed);
+
+/**
+ * Knob-driven compression for an arbitrary teacher (workloads without
+ * hand-tuned Table 2 budgets): rank-1 separation of single-channel
+ * conv banks, magnitude pruning of multi-channel convs, truncated SVD
+ * plus pruning of hidden FC layers (rank ~ min(m, n)/8 and a ~10%
+ * weight budget at knob 1.0), final classifier kept dense. Paper
+ * workloads override this with their Table 2 budgets through
+ * ModelDef::withKnobs (dnn/zoo.hh).
+ */
+NetworkSpec compressGeneric(const NetworkSpec &teacher,
+                            const CompressionKnobs &knobs);
 
 } // namespace sonic::dnn
 

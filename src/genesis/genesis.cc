@@ -19,7 +19,7 @@ techniqueName(Technique t)
 }
 
 ConfigPoint
-evaluateConfig(dnn::NetId net, Technique technique,
+evaluateConfig(const dnn::ModelEntry &entry, Technique technique,
                const dnn::CompressionKnobs &knobs,
                const dnn::NetworkSpec &teacher, const dnn::Dataset &data,
                u32 interesting_class, const GenesisOptions &opts)
@@ -29,15 +29,14 @@ evaluateConfig(dnn::NetId net, Technique technique,
     point.technique = technique;
     point.knobs = knobs;
 
-    const dnn::NetworkSpec spec =
-        dnn::buildWithKnobs(net, knobs, opts.seed);
+    const dnn::NetworkSpec spec = entry.withKnobs(knobs, opts.seed);
     point.params = spec.paramCount();
     point.macs = spec.macCount();
     point.framBytes = spec.framBytesNeeded();
     point.feasible = point.framBytes <= opts.framBudgetBytes;
 
     point.agreement = dnn::agreement(spec, data);
-    point.accuracy = dnn::scaledAccuracy(net, point.agreement);
+    point.accuracy = entry.meta().scaledAccuracy(point.agreement);
     (void)interesting_class;
     // The application model uses the paper's Fig. 1/2 simplification
     // tp = tn = accuracy; per-class detection rates on the skewed
@@ -60,12 +59,13 @@ evaluateConfig(dnn::NetId net, Technique technique,
 }
 
 GenesisResult
-runGenesis(dnn::NetId net, const GenesisOptions &opts)
+runGenesis(const dnn::NetRef &net, const GenesisOptions &opts)
 {
+    const dnn::ModelEntry &model = dnn::ModelZoo::instance().get(net);
     GenesisResult result;
     result.net = net;
 
-    const dnn::NetworkSpec teacher = dnn::buildTeacher(net, opts.seed);
+    const dnn::NetworkSpec teacher = model.teacherAt(opts.seed);
     const dnn::Dataset data =
         dnn::makeDataset(teacher, opts.evalSamples, opts.seed + 17);
     result.interestingClass =
@@ -79,7 +79,7 @@ runGenesis(dnn::NetId net, const GenesisOptions &opts)
     result.original.feasible =
         result.original.framBytes <= opts.framBudgetBytes;
     result.original.agreement = 1.0;
-    result.original.accuracy = dnn::paperAccuracy(net);
+    result.original.accuracy = model.meta().paperAccuracy;
     result.original.inferJ =
         static_cast<f64>(result.original.macs) * opts.joulesPerMac;
 
@@ -99,7 +99,7 @@ runGenesis(dnn::NetId net, const GenesisOptions &opts)
 
     auto eval = [&](Technique t, const dnn::CompressionKnobs &knobs) {
         result.configs.push_back(evaluateConfig(
-            net, t, knobs, teacher, data, result.interestingClass,
+            model, t, knobs, teacher, data, result.interestingClass,
             opts));
     };
 

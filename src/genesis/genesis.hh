@@ -20,6 +20,7 @@
 
 #include "dnn/dataset.hh"
 #include "dnn/networks.hh"
+#include "dnn/zoo.hh"
 #include "genesis/impj.hh"
 #include "util/types.hh"
 
@@ -80,7 +81,7 @@ struct GenesisOptions
 /** Full sweep result. */
 struct GenesisResult
 {
-    dnn::NetId net;
+    dnn::NetRef net;
     std::vector<ConfigPoint> configs;
     ConfigPoint original;  ///< the uncompressed teacher (infeasible)
     u32 chosenIndex = 0;   ///< feasible config maximizing IMpJ
@@ -89,8 +90,13 @@ struct GenesisResult
     const ConfigPoint &chosen() const { return configs[chosenIndex]; }
 };
 
-/** Run the sweep for one workload. */
-GenesisResult runGenesis(dnn::NetId net, const GenesisOptions &opts);
+/**
+ * Run the sweep for one registered workload. Paper workloads compress
+ * through their Table 2 budgets; any other zoo model goes through the
+ * generic knob compressor (see dnn::ModelDef::withKnobs).
+ */
+GenesisResult runGenesis(const dnn::NetRef &net,
+                         const GenesisOptions &opts);
 
 /**
  * Indices of the accuracy-vs-MACs Pareto frontier (maximize accuracy,
@@ -101,7 +107,8 @@ std::vector<u32> paretoFrontier(const std::vector<ConfigPoint> &configs,
                                 const Technique *technique);
 
 /** Evaluate one configuration (exposed for tests). */
-ConfigPoint evaluateConfig(dnn::NetId net, Technique technique,
+ConfigPoint evaluateConfig(const dnn::ModelEntry &entry,
+                           Technique technique,
                            const dnn::CompressionKnobs &knobs,
                            const dnn::NetworkSpec &teacher,
                            const dnn::Dataset &data,

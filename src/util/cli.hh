@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tiny argument-parsing helpers shared by the CLI binaries
+ * (sonic_oracle, sonic_zoo). Header-only.
+ */
+
+#ifndef SONIC_UTIL_CLI_HH
+#define SONIC_UTIL_CLI_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sonic::cli
+{
+
+/** Match `--name=value`; on match store the value and return true. */
+inline bool
+consumeFlag(const std::string &arg, const char *name, std::string *out)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    *out = arg.substr(prefix.size());
+    return true;
+}
+
+/** Split a comma-separated list, dropping empty parts. */
+inline std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::istringstream is(s);
+    std::string part;
+    while (std::getline(is, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+} // namespace sonic::cli
+
+#endif // SONIC_UTIL_CLI_HH

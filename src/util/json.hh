@@ -1,0 +1,58 @@
+/**
+ * @file
+ * JSON string escaping shared by everything that emits JSON (the
+ * engine's sinks, the model format, reports). One escape table so a
+ * fix lands everywhere at once. Header-only.
+ */
+
+#ifndef SONIC_UTIL_JSON_HH
+#define SONIC_UTIL_JSON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace sonic
+{
+
+/**
+ * Escape a string for embedding in a JSON string literal. Handles
+ * quotes, backslashes and all control characters — inputs may be
+ * user-supplied (model names, layer names).
+ */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** jsonEscape wrapped in quotes: a complete JSON string literal. */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+} // namespace sonic
+
+#endif // SONIC_UTIL_JSON_HH

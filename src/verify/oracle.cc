@@ -407,7 +407,7 @@ verifyWithEngine(app::Engine &engine, const EngineOracleConfig &config)
 
     OracleReport rep = oracle.judgeBatch(schedules, observed);
     rep.impl = info->name;
-    rep.workload = dnn::netName(config.net);
+    rep.workload = config.net;
     return rep;
 }
 

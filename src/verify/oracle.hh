@@ -182,7 +182,7 @@ class Oracle
 /** Engine-path configuration. */
 struct EngineOracleConfig
 {
-    dnn::NetId net = dnn::NetId::Har;
+    dnn::NetRef net = "HAR"; ///< any registered zoo model
     kernels::Impl impl = kernels::Impl::Sonic;
     u32 schedules = 200;
     u64 seed = 1;

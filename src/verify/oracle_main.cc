@@ -8,10 +8,12 @@
  *
  *     sonic_oracle --schedules=200 --seed=1
  *     sonic_oracle --net=HAR --impls=SONIC,TAILS --schedules=50
+ *     sonic_oracle --net=DeepFC-6 --schedules=50
  *
  * --net=golden (default) uses the built-in platform-stable workload
- * and runs sequentially; a real workload name (MNIST/HAR/OkG) fans
- * schedules across the sweep engine's worker pool.
+ * and runs sequentially; any other registered model-zoo name (--list
+ * prints them; model files register via --load) fans schedules across
+ * the sweep engine's worker pool.
  *
  * Golden digest files:
  *
@@ -30,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "dnn/model_io.hh"
+#include "dnn/zoo.hh"
+#include "util/cli.hh"
 #include "util/logging.hh"
 #include "verify/oracle.hh"
 #include "verify/workload.hh"
@@ -38,11 +43,15 @@ namespace
 {
 
 using namespace sonic;
+using cli::consumeFlag;
+using cli::splitCsv;
 
 struct Args
 {
     std::string net = "golden";
     std::vector<std::string> impls; ///< empty = acceptance five
+    std::vector<std::string> loadModels; ///< model files to register
+    bool list = false;
     u32 schedules = 200;
     u64 seed = 1;
     u32 maxFailures = 8;
@@ -52,39 +61,21 @@ struct Args
     std::string verifyGolden;
 };
 
-bool
-consumeFlag(const std::string &arg, const char *name, std::string *out)
-{
-    const std::string prefix = std::string(name) + "=";
-    if (arg.rfind(prefix, 0) != 0)
-        return false;
-    *out = arg.substr(prefix.size());
-    return true;
-}
-
-std::vector<std::string>
-splitCsv(const std::string &s)
-{
-    std::vector<std::string> parts;
-    std::istringstream is(s);
-    std::string part;
-    while (std::getline(is, part, ','))
-        if (!part.empty())
-            parts.push_back(part);
-    return parts;
-}
-
 int
 usage()
 {
     std::cerr
-        << "usage: sonic_oracle [--net=golden|MNIST|HAR|OkG]\n"
+        << "usage: sonic_oracle [--net=golden|<zoo model name>]\n"
            "                    [--impls=SONIC,TAILS,...]\n"
+           "                    [--load=model.json[,model2.json]]\n"
+           "                    [--list]\n"
            "                    [--schedules=N] [--seed=S]\n"
            "                    [--max-failures=K] [--threads=T]\n"
            "                    [--artifact=PATH]\n"
            "                    [--emit-golden=PATH]\n"
-           "                    [--verify-golden=PATH]\n";
+           "                    [--verify-golden=PATH]\n"
+           "registered models: "
+        << sonic::dnn::ModelZoo::instance().availableList() << "\n";
     return 2;
 }
 
@@ -165,7 +156,7 @@ runLocalImpl(const std::string &impl_name, const Args &args)
 }
 
 verify::OracleReport
-runEngineImpl(app::Engine &engine, dnn::NetId net,
+runEngineImpl(app::Engine &engine, const dnn::NetRef &net,
               const std::string &impl_name, const Args &args)
 {
     const auto *info =
@@ -195,6 +186,10 @@ main(int argc, char **argv)
                 args.net = value;
             } else if (consumeFlag(arg, "--impls", &value)) {
                 args.impls = splitCsv(value);
+            } else if (consumeFlag(arg, "--load", &value)) {
+                args.loadModels = splitCsv(value);
+            } else if (arg == "--list") {
+                args.list = true;
             } else if (consumeFlag(arg, "--schedules", &value)) {
                 args.schedules = static_cast<u32>(std::stoul(value));
             } else if (consumeFlag(arg, "--seed", &value)) {
@@ -217,6 +212,26 @@ main(int argc, char **argv)
         return usage();
     }
 
+    auto &zoo = dnn::ModelZoo::instance();
+    for (const auto &path : args.loadModels) {
+        std::string error;
+        if (!dnn::loadModelIntoZoo(path, zoo, &error)) {
+            std::cerr << "cannot load model " << path << ": " << error
+                      << "\n";
+            return 2;
+        }
+    }
+
+    if (args.list) {
+        // Registry metadata only — listing must not build every model.
+        for (const auto &name : zoo.names()) {
+            const auto *meta = zoo.meta(name);
+            std::cout << name << " [" << meta->family << "] — "
+                      << meta->description << "\n";
+        }
+        return 0;
+    }
+
     if (!args.emitGolden.empty() || !args.verifyGolden.empty())
         return runGoldenFileMode(args);
 
@@ -225,20 +240,15 @@ main(int argc, char **argv)
         impls.assign(std::begin(kDefaultImpls),
                      std::end(kDefaultImpls));
 
-    dnn::NetId engine_net = dnn::NetId::Har;
+    // "golden" runs the built-in platform-stable workload on the
+    // sequential local path; every other zoo model fans through the
+    // engine's worker pool.
     const bool use_engine = args.net != "golden";
-    if (use_engine) {
-        bool found = false;
-        for (auto id : dnn::kAllNets) {
-            if (args.net == dnn::netName(id)) {
-                engine_net = id;
-                found = true;
-            }
-        }
-        if (!found) {
-            std::cerr << "unknown net '" << args.net << "'\n";
-            return usage();
-        }
+    if (use_engine && !zoo.contains(args.net)) {
+        std::cerr << "unknown model '" << args.net
+                  << "'; registered models: " << zoo.availableList()
+                  << "\n";
+        return 2;
     }
 
     app::Engine engine(app::EngineOptions{args.threads});
@@ -246,7 +256,7 @@ main(int argc, char **argv)
     u64 divergent = 0;
     for (const auto &impl : impls) {
         auto report = use_engine
-            ? runEngineImpl(engine, engine_net, impl, args)
+            ? runEngineImpl(engine, args.net, impl, args)
             : runLocalImpl(impl, args);
         divergent += report.divergences.size();
         std::cout << report.impl << " on " << report.workload << ": "

@@ -93,29 +93,29 @@ TEST(StatusOfTest, ThreeStates)
 TEST(FindRecordTest, MatchesCoordinatesOrNull)
 {
     std::vector<app::SweepRecord> records(2);
-    records[0].spec.net = dnn::NetId::Har;
+    records[0].spec.net = "HAR";
     records[0].spec.impl = kernels::Impl::Sonic;
     records[0].result.energyJ = 1.0;
-    records[1].spec.net = dnn::NetId::Har;
+    records[1].spec.net = "HAR";
     records[1].spec.impl = kernels::Impl::Tails;
     records[1].spec.power = app::PowerKind::Cap1mF;
     records[1].result.energyJ = 2.0;
 
-    const auto *hit = findRecord(records, dnn::NetId::Har,
+    const auto *hit = findRecord(records, "HAR",
                                  kernels::Impl::Tails,
                                  app::PowerKind::Cap1mF);
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->result.energyJ, 2.0);
 
-    EXPECT_EQ(findRecord(records, dnn::NetId::Okg,
+    EXPECT_EQ(findRecord(records, "OkG",
                          kernels::Impl::Sonic),
               nullptr);
-    EXPECT_EQ(findRecord(records, dnn::NetId::Har,
+    EXPECT_EQ(findRecord(records, "HAR",
                          kernels::Impl::Tails,
                          app::PowerKind::Cap100uF),
               nullptr);
 
-    EXPECT_EQ(resultFor(records, dnn::NetId::Har,
+    EXPECT_EQ(resultFor(records, "HAR",
                         kernels::Impl::Sonic)
                   .energyJ,
               1.0);

@@ -10,7 +10,7 @@
 #include "arch/memory.hh"
 #include "dnn/dataset.hh"
 #include "dnn/device_net.hh"
-#include "dnn/networks.hh"
+#include "dnn/zoo.hh"
 #include "fixed/fixed.hh"
 #include "tests/test_helpers.hh"
 
@@ -18,6 +18,13 @@ namespace sonic::dnn
 {
 namespace
 {
+
+/** The zoo-cached entry for a registered model. */
+const ModelEntry &
+zooModel(const char *name)
+{
+    return ModelZoo::instance().get(name);
+}
 
 arch::Device
 continuousDevice()
@@ -84,45 +91,45 @@ TEST(Spec, MacAndParamCountsTiny)
 
 TEST(Networks, TeacherShapesMatchTable2)
 {
-    const auto mnist = buildTeacher(NetId::Mnist);
+    const auto &mnist = zooModel("MNIST").teacher();
     EXPECT_EQ(mnist.numClasses, 10u);
     EXPECT_EQ(mnist.shapeAfter(0).elems(), 20u * 12 * 12);
     EXPECT_EQ(mnist.shapeAfter(1).elems(), 100u * 4 * 4);
     EXPECT_EQ(mnist.paramCount(),
               u64{500} + 50000 + 200 * 1600 + 500 * 200 + 10 * 500);
 
-    const auto har = buildTeacher(NetId::Har);
+    const auto &har = zooModel("HAR").teacher();
     EXPECT_EQ(har.numClasses, 6u);
     EXPECT_EQ(har.shapeAfter(0).elems(), 2450u);
 
-    const auto okg = buildTeacher(NetId::Okg);
+    const auto &okg = zooModel("OkG").teacher();
     EXPECT_EQ(okg.numClasses, 12u);
     EXPECT_EQ(okg.shapeAfter(0).elems(), 1674u);
 }
 
 TEST(Networks, TeachersAreInfeasibleOnDevice)
 {
-    for (auto id : kAllNets) {
-        const auto teacher = buildTeacher(id);
-        EXPECT_GT(teacher.framBytesNeeded(), u64{256} * 1024)
-            << netName(id);
+    for (const auto &name : kPaperNets) {
+        const auto &teacher = zooModel(name.c_str()).teacher();
+        EXPECT_GT(teacher.framBytesNeeded(), u64{256} * 1024) << name;
     }
 }
 
 TEST(Networks, CompressedConfigsFitOnDevice)
 {
-    for (auto id : kAllNets) {
-        const auto net = buildCompressed(id);
-        EXPECT_LT(net.framBytesNeeded(), u64{224} * 1024)
-            << netName(id);
-        EXPECT_LT(net.paramCount(), buildTeacher(id).paramCount() / 10)
-            << netName(id);
+    for (const auto &name : kPaperNets) {
+        const auto &entry = zooModel(name.c_str());
+        const auto &net = entry.compressed();
+        EXPECT_LT(net.framBytesNeeded(), u64{224} * 1024) << name;
+        EXPECT_LT(net.paramCount(),
+                  entry.teacher().paramCount() / 10)
+            << name;
     }
 }
 
 TEST(Networks, CompressedMnistMatchesTable2Budgets)
 {
-    const auto net = buildCompressed(NetId::Mnist);
+    const auto &net = zooModel("MNIST").compressed();
     const auto rows = accountLayers(net);
     // conv2 pruned to ~1253 (13 per output channel balanced).
     u64 conv2_params = 0;
@@ -134,8 +141,9 @@ TEST(Networks, CompressedMnistMatchesTable2Budgets)
 
 TEST(Networks, DeterministicConstruction)
 {
-    const auto a = buildCompressed(NetId::Har, 123);
-    const auto b = buildCompressed(NetId::Har, 123);
+    // withKnobs at default knobs is the compressed build at that seed.
+    const auto a = zooModel("HAR").withKnobs(CompressionKnobs{}, 123);
+    const auto b = zooModel("HAR").withKnobs(CompressionKnobs{}, 123);
     EXPECT_EQ(a.paramCount(), b.paramCount());
     EXPECT_EQ(a.macCount(), b.macCount());
 }
@@ -146,15 +154,15 @@ TEST(Networks, KnobsChangeCost)
     lean.fcKeep = 0.2;
     CompressionKnobs fat;
     fat.fcKeep = 1.0;
-    const auto a = buildWithKnobs(NetId::Har, lean);
-    const auto b = buildWithKnobs(NetId::Har, fat);
+    const auto a = zooModel("HAR").withKnobs(lean, 0x5eed);
+    const auto b = zooModel("HAR").withKnobs(fat, 0x5eed);
     EXPECT_LT(a.paramCount(), b.paramCount());
     EXPECT_LT(a.macCount(), b.macCount());
 }
 
 TEST(Dataset, DeterministicAndLabeledByTeacher)
 {
-    const auto teacher = buildTeacher(NetId::Har);
+    const auto &teacher = zooModel("HAR").teacher();
     const auto a = makeDataset(teacher, 16, 42);
     const auto b = makeDataset(teacher, 16, 42);
     ASSERT_EQ(a.size(), 16u);
@@ -166,15 +174,16 @@ TEST(Dataset, DeterministicAndLabeledByTeacher)
 
 TEST(Dataset, TeacherPerfectAgreement)
 {
-    const auto teacher = buildTeacher(NetId::Har);
-    const auto data = makeDataset(teacher, 24, 7);
-    EXPECT_EQ(agreement(teacher, data), 1.0);
-    EXPECT_EQ(scaledAccuracy(NetId::Har, 1.0), paperAccuracy(NetId::Har));
+    const auto &entry = zooModel("HAR");
+    const auto data = makeDataset(entry.teacher(), 24, 7);
+    EXPECT_EQ(agreement(entry.teacher(), data), 1.0);
+    EXPECT_EQ(entry.meta().scaledAccuracy(1.0),
+              entry.meta().paperAccuracy);
 }
 
 TEST(Dataset, DetectionRatesOfTeacherArePerfect)
 {
-    const auto teacher = buildTeacher(NetId::Har);
+    const auto &teacher = zooModel("HAR").teacher();
     const auto data = makeDataset(teacher, 32, 7);
     const u32 cls = dominantClass(data, teacher.numClasses);
     const auto rates = detectionRates(teacher, data, cls);
@@ -257,7 +266,7 @@ TEST(DeviceNet, InputLoadAndQuantize)
 TEST(DeviceNet, FramFootprintWithinBudget)
 {
     auto dev = continuousDevice();
-    const auto spec = buildCompressed(NetId::Har);
+    const auto &spec = zooModel("HAR").compressed();
     DeviceNetwork net(dev, spec);
     EXPECT_LE(dev.framBytesUsed(), u64{256} * 1024);
     EXPECT_GT(dev.framBytesUsed(), 0u);

@@ -45,12 +45,12 @@ TEST(Experiment, MakePowerKinds)
 
 TEST(Experiment, EngineCachesAreStable)
 {
-    const auto &a = engine().compressed(dnn::NetId::Har);
-    const auto &b = engine().compressed(dnn::NetId::Har);
+    const auto &a = engine().compressed("HAR");
+    const auto &b = engine().compressed("HAR");
     EXPECT_EQ(&a, &b);
-    const auto &t = engine().teacher(dnn::NetId::Har);
-    EXPECT_EQ(&t, &engine().teacher(dnn::NetId::Har));
-    EXPECT_EQ(engine().dataset(dnn::NetId::Har).size(), 64u);
+    const auto &t = engine().teacher("HAR");
+    EXPECT_EQ(&t, &engine().teacher("HAR"));
+    EXPECT_EQ(engine().dataset("HAR").size(), 64u);
 }
 
 TEST(Experiment, BreakdownSumsToLiveTime)
@@ -60,7 +60,7 @@ TEST(Experiment, BreakdownSumsToLiveTime)
     for (const auto impl : {kernels::Impl::Sonic,
                             kernels::Impl::Tails}) {
         RunSpec spec;
-        spec.net = dnn::NetId::Har;
+        spec.net = "HAR";
         spec.impl = impl;
         const auto r = engine().runOne(spec);
         ASSERT_TRUE(r.completed);
@@ -77,7 +77,7 @@ TEST(Experiment, EnergyByOpSumsToTotal)
     for (const auto impl : {kernels::Impl::Sonic,
                             kernels::Impl::Tails}) {
         RunSpec spec;
-        spec.net = dnn::NetId::Har;
+        spec.net = "HAR";
         spec.impl = impl;
         const auto r = engine().runOne(spec);
         f64 sum = 0.0;
@@ -91,7 +91,7 @@ TEST(Experiment, EnergyByOpSumsToTotal)
 TEST(Experiment, ContinuousHasNoDeadTime)
 {
     RunSpec spec;
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     spec.impl = kernels::Impl::Base;
     const auto r = engine().runOne(spec);
     EXPECT_TRUE(r.completed);
@@ -102,7 +102,7 @@ TEST(Experiment, ContinuousHasNoDeadTime)
 TEST(Experiment, SampleIndexChangesInput)
 {
     RunSpec a;
-    a.net = dnn::NetId::Har;
+    a.net = "HAR";
     a.impl = kernels::Impl::Sonic;
     a.sampleIndex = 0;
     RunSpec b = a;
@@ -115,7 +115,7 @@ TEST(Experiment, SampleIndexChangesInput)
 TEST(Experiment, AblationProfilesChangeTailsCost)
 {
     RunSpec spec;
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     spec.impl = kernels::Impl::Tails;
     spec.profile = ProfileVariant::Standard;
     const auto with_hw = engine().runOne(spec);
@@ -127,7 +127,7 @@ TEST(Experiment, AblationProfilesChangeTailsCost)
 TEST(Experiment, TailsRunReportsCalibratedTile)
 {
     RunSpec spec;
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     spec.impl = kernels::Impl::Tails;
     const auto r = engine().runOne(spec);
     ASSERT_TRUE(r.completed);

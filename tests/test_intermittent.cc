@@ -160,7 +160,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Intermittent, HarSonicCapacitorBitIdentical)
 {
     app::RunSpec spec;
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     spec.impl = Impl::Sonic;
     spec.power = app::PowerKind::Continuous;
     const auto cont = testEngine().runOne(spec);
@@ -177,7 +177,7 @@ TEST(Intermittent, HarSonicCapacitorBitIdentical)
 TEST(Intermittent, OkgTailsCapacitorBitIdentical)
 {
     app::RunSpec spec;
-    spec.net = dnn::NetId::Okg;
+    spec.net = "OkG";
     spec.impl = Impl::Tails;
     spec.power = app::PowerKind::Continuous;
     const auto cont = testEngine().runOne(spec);
@@ -193,7 +193,7 @@ TEST(Intermittent, OkgTailsCapacitorBitIdentical)
 TEST(Intermittent, BaseDoesNotCompleteOnHarvestedPower)
 {
     app::RunSpec spec;
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     spec.impl = Impl::Base;
     spec.power = app::PowerKind::Cap100uF;
     const auto r = testEngine().runOne(spec);
@@ -204,7 +204,7 @@ TEST(Intermittent, BaseDoesNotCompleteOnHarvestedPower)
 TEST(Intermittent, Tile128DoesNotCompleteAt100uF)
 {
     app::RunSpec spec;
-    spec.net = dnn::NetId::Okg;
+    spec.net = "OkG";
     spec.impl = Impl::Tile128;
     spec.power = app::PowerKind::Cap100uF;
     const auto r = testEngine().runOne(spec);
@@ -218,10 +218,10 @@ TEST(Intermittent, Tile32CompletesOnHarButNotMnist)
     spec.impl = Impl::Tile32;
     spec.power = app::PowerKind::Cap100uF;
 
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     EXPECT_TRUE(testEngine().runOne(spec).completed);
 
-    spec.net = dnn::NetId::Mnist;
+    spec.net = "MNIST";
     const auto mnist = testEngine().runOne(spec);
     EXPECT_FALSE(mnist.completed);
     EXPECT_TRUE(mnist.nonTerminating);
@@ -230,7 +230,7 @@ TEST(Intermittent, Tile32CompletesOnHarButNotMnist)
 TEST(Intermittent, SonicConsistentAcrossCapacitorSizes)
 {
     app::RunSpec spec;
-    spec.net = dnn::NetId::Har;
+    spec.net = "HAR";
     spec.impl = Impl::Sonic;
     spec.power = app::PowerKind::Continuous;
     const auto golden = testEngine().runOne(spec);

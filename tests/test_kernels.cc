@@ -14,7 +14,7 @@
 
 #include "dnn/dataset.hh"
 #include "dnn/device_net.hh"
-#include "dnn/networks.hh"
+#include "dnn/zoo.hh"
 #include "fixed/fixed.hh"
 #include "kernels/runner.hh"
 #include "tests/test_helpers.hh"
@@ -208,21 +208,21 @@ class RealNetContinuous
 
 TEST_P(RealNetContinuous, ArgmaxMatchesFloatReference)
 {
-    const auto net_id =
-        static_cast<dnn::NetId>(std::get<0>(GetParam()));
+    const dnn::NetRef net_name =
+        dnn::kPaperNets[std::get<0>(GetParam())];
     const auto impl = static_cast<Impl>(std::get<1>(GetParam()));
     // MNIST on the tiled impls is slow; restrict tiled checks to the
     // smaller networks (MNIST tiled correctness is covered by the
     // bit-identity with Base on the tiny net plus Fig. 9 benches).
-    if (net_id == dnn::NetId::Mnist
+    if (net_name == "MNIST"
         && (impl == Impl::Tile8 || impl == Impl::Tile32
             || impl == Impl::Tile128)) {
         GTEST_SKIP();
     }
 
-    const auto spec = dnn::buildCompressed(net_id);
-    const auto teacher = dnn::buildTeacher(net_id);
-    const auto data = dnn::makeDataset(teacher, 3, 0xabc);
+    const auto &entry = dnn::ModelZoo::instance().get(net_name);
+    const auto &spec = entry.compressed();
+    const auto data = dnn::makeDataset(entry.teacher(), 3, 0xabc);
 
     auto dev = continuousDevice();
     dnn::DeviceNetwork net(dev, spec);

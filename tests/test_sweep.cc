@@ -57,7 +57,7 @@ TEST(SweepPlan, DefaultsToSingleDefaultSpec)
     EXPECT_EQ(plan.size(), 1u);
     const auto specs = plan.expand();
     ASSERT_EQ(specs.size(), 1u);
-    EXPECT_EQ(specs[0].net, dnn::NetId::Mnist);
+    EXPECT_EQ(specs[0].net, "MNIST");
     EXPECT_EQ(specs[0].impl, kernels::Impl::Sonic);
     EXPECT_EQ(specs[0].power, PowerKind::Continuous);
     EXPECT_EQ(specs[0].profile, ProfileVariant::Standard);
@@ -67,7 +67,7 @@ TEST(SweepPlan, DefaultsToSingleDefaultSpec)
 TEST(SweepPlan, CrossProductSizeAndOrder)
 {
     SweepPlan plan;
-    plan.nets({dnn::NetId::Har, dnn::NetId::Okg})
+    plan.nets({"HAR", "OkG"})
         .impls({kernels::Impl::Base, kernels::Impl::Sonic})
         .power({PowerKind::Continuous, PowerKind::Cap1mF})
         .samples(2);
@@ -76,15 +76,15 @@ TEST(SweepPlan, CrossProductSizeAndOrder)
     ASSERT_EQ(specs.size(), 16u);
 
     // Nets outermost ... samples innermost.
-    EXPECT_EQ(specs[0].net, dnn::NetId::Har);
+    EXPECT_EQ(specs[0].net, "HAR");
     EXPECT_EQ(specs[0].impl, kernels::Impl::Base);
     EXPECT_EQ(specs[0].power, PowerKind::Continuous);
     EXPECT_EQ(specs[0].sampleIndex, 0u);
     EXPECT_EQ(specs[1].sampleIndex, 1u);
     EXPECT_EQ(specs[2].power, PowerKind::Cap1mF);
     EXPECT_EQ(specs[4].impl, kernels::Impl::Sonic);
-    EXPECT_EQ(specs[8].net, dnn::NetId::Okg);
-    EXPECT_EQ(specs[15].net, dnn::NetId::Okg);
+    EXPECT_EQ(specs[8].net, "OkG");
+    EXPECT_EQ(specs[15].net, "OkG");
     EXPECT_EQ(specs[15].impl, kernels::Impl::Sonic);
     EXPECT_EQ(specs[15].power, PowerKind::Cap1mF);
     EXPECT_EQ(specs[15].sampleIndex, 1u);
@@ -113,7 +113,7 @@ TEST(SweepPlan, ImplNamesResolveThroughRegistry)
 TEST(SweepPlan, SeedsAreDeterministicAndShapeIndependent)
 {
     SweepPlan small;
-    small.nets({dnn::NetId::Har})
+    small.nets({"HAR"})
         .impls({kernels::Impl::Sonic});
     SweepPlan large;
     large.allNets()
@@ -145,7 +145,7 @@ TEST(SweepPlan, SeedsAreDeterministicAndShapeIndependent)
 
     // A different base seed reseeds everything.
     SweepPlan reseeded;
-    reseeded.nets({dnn::NetId::Har})
+    reseeded.nets({"HAR"})
         .impls({kernels::Impl::Sonic})
         .baseSeed(1234);
     EXPECT_NE(reseeded.expand()[0].seed, a.seed);
@@ -157,7 +157,7 @@ TEST(SweepPlan, SeedsIndependentOfAxisInsertionOrder)
     // order axis setters were called in — and therefore any refactor
     // of plan-building code — can never reseed a grid point.
     SweepPlan ab;
-    ab.nets({dnn::NetId::Har, dnn::NetId::Okg})
+    ab.nets({"HAR", "OkG"})
         .impls({kernels::Impl::Base, kernels::Impl::Sonic})
         .power({PowerKind::Continuous, PowerKind::Cap1mF})
         .samples(2)
@@ -167,7 +167,7 @@ TEST(SweepPlan, SeedsIndependentOfAxisInsertionOrder)
         .samples(2)
         .power({PowerKind::Continuous, PowerKind::Cap1mF})
         .impls({kernels::Impl::Base, kernels::Impl::Sonic})
-        .nets({dnn::NetId::Har, dnn::NetId::Okg});
+        .nets({"HAR", "OkG"});
 
     const auto a = ab.expand();
     const auto b = ba.expand();
@@ -185,7 +185,7 @@ TEST(SweepPlan, SeedsBitStableAcrossThreadCounts)
     // seed stream must be the plan's expansion regardless of how many
     // threads raced over it.
     SweepPlan plan;
-    plan.nets({dnn::NetId::Har})
+    plan.nets({"HAR"})
         .impls({kernels::Impl::Sonic, kernels::Impl::Base})
         .samples(2)
         .baseSeed(0xabcdef);
@@ -225,7 +225,7 @@ TEST(SweepPlan, ScheduleAxisExpandsInnermostAndReseeds)
 TEST(Engine, ScheduleRunsStreamDigestsThroughSinks)
 {
     SweepPlan plan;
-    plan.nets({dnn::NetId::Har})
+    plan.nets({"HAR"})
         .impls({kernels::Impl::Sonic})
         .failureSchedules({{1000, 2000}})
         .captureNvmDigests(true);
@@ -251,7 +251,7 @@ TEST(Engine, ScheduleRunsStreamDigestsThroughSinks)
 TEST(Engine, ParallelSweepBitIdenticalToSerial)
 {
     SweepPlan plan;
-    plan.nets({dnn::NetId::Har})
+    plan.nets({"HAR"})
         .impls({kernels::Impl::Sonic, kernels::Impl::Tails})
         .power({PowerKind::Continuous, PowerKind::Cap100uF});
 
@@ -287,7 +287,7 @@ TEST(Engine, ParallelSweepBitIdenticalToSerial)
 TEST(Engine, SinksStreamInPlanOrder)
 {
     SweepPlan plan;
-    plan.nets({dnn::NetId::Har})
+    plan.nets({"HAR"})
         .impls({kernels::Impl::Base, kernels::Impl::Sonic});
 
     std::ostringstream csv_out, json_out;
@@ -336,10 +336,39 @@ TEST(Engine, SinksStreamInPlanOrder)
     EXPECT_EQ(objects, 2u);
 }
 
+TEST(Sinks, CsvQuotesHostileModelNamesAndJsonEscapes)
+{
+    // Model names are user-supplied: a comma/quote in a name must not
+    // shift CSV columns, and control characters must not break JSON.
+    SweepRecord record;
+    record.planIndex = 0;
+    record.spec.net = "evil,\"model\"\nname";
+
+    std::ostringstream csv_out;
+    CsvSink csv(csv_out);
+    csv.begin(1);
+    csv.add(record);
+    const std::string csv_text = csv_out.str();
+    // RFC 4180: quoted field, embedded quotes doubled.
+    EXPECT_NE(csv_text.find("0,\"evil,\"\"model\"\"\nname\","),
+              std::string::npos)
+        << csv_text;
+
+    std::ostringstream json_out;
+    JsonSink json(json_out);
+    json.begin(1);
+    json.add(record);
+    json.end();
+    const std::string json_text = json_out.str();
+    EXPECT_NE(json_text.find("evil,\\\"model\\\"\\nname"),
+              std::string::npos)
+        << json_text;
+}
+
 TEST(Engine, RunOneMatchesSweepRecord)
 {
     SweepPlan plan;
-    plan.nets({dnn::NetId::Har}).impls({kernels::Impl::Sonic});
+    plan.nets({"HAR"}).impls({kernels::Impl::Sonic});
     Engine engine;
     const auto records = engine.run(plan);
     ASSERT_EQ(records.size(), 1u);

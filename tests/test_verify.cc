@@ -293,7 +293,7 @@ TEST(Oracle, EngineFanOutMatchesLocalJudgment)
 {
     app::Engine engine(app::EngineOptions{4});
     EngineOracleConfig config;
-    config.net = dnn::NetId::Har;
+    config.net = "HAR";
     config.impl = kernels::Impl::Sonic;
     config.schedules = 24;
     config.seed = 0xfa11;

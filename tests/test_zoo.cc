@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the model zoo and the declarative NetworkBuilder: registry
+ * semantics (lazy caching, registration order, duplicate/unknown
+ * names), builder shape propagation and fusion, the synthetic model
+ * families, generic knob compression, and the unknown-model error
+ * paths in SweepPlan and Engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/engine.hh"
+#include "dnn/builder.hh"
+#include "dnn/zoo.hh"
+
+namespace sonic::dnn
+{
+namespace
+{
+
+TEST(ModelZoo, BuiltinsAreRegisteredInOrder)
+{
+    auto &zoo = ModelZoo::instance();
+    const auto names = zoo.names();
+    ASSERT_GE(names.size(), 7u);
+    // The paper trio leads, then the verify workload, then the
+    // builder-generated synthetic families.
+    EXPECT_EQ(names[0], "MNIST");
+    EXPECT_EQ(names[1], "HAR");
+    EXPECT_EQ(names[2], "OkG");
+    EXPECT_EQ(names[3], "golden");
+    EXPECT_TRUE(zoo.contains("DeepFC-6"));
+    EXPECT_TRUE(zoo.contains("WideFC-512"));
+    EXPECT_TRUE(zoo.contains("DWConv-3"));
+    EXPECT_FALSE(zoo.contains("no-such-model"));
+    EXPECT_EQ(zoo.find("no-such-model"), nullptr);
+}
+
+TEST(ModelZoo, EntriesAreCachedAndStable)
+{
+    auto &zoo = ModelZoo::instance();
+    const ModelEntry *a = zoo.find("HAR");
+    const ModelEntry *b = zoo.find("HAR");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(&a->teacher(), &b->teacher());
+    EXPECT_EQ(&a->dataset(), &b->dataset());
+    EXPECT_EQ(a->dataset().size(), a->meta().datasetSamples);
+}
+
+TEST(ModelZoo, PaperMetadataMatchesTable2)
+{
+    auto &zoo = ModelZoo::instance();
+    EXPECT_DOUBLE_EQ(zoo.get("MNIST").meta().paperAccuracy, 0.99);
+    EXPECT_DOUBLE_EQ(zoo.get("HAR").meta().paperAccuracy, 0.88);
+    EXPECT_DOUBLE_EQ(zoo.get("OkG").meta().paperAccuracy, 0.84);
+    EXPECT_EQ(zoo.get("MNIST").meta().family, "paper");
+    EXPECT_EQ(zoo.get("golden").meta().family, "verify");
+    EXPECT_EQ(zoo.get("DeepFC-6").meta().family, "synthetic");
+    EXPECT_DOUBLE_EQ(zoo.get("HAR").meta().scaledAccuracy(0.5),
+                     0.44);
+}
+
+TEST(ModelZoo, AddRegistersACustomModelSweepableByName)
+{
+    auto &zoo = ModelZoo::instance();
+    // Process-global registry: stay idempotent under --gtest_repeat.
+    if (!zoo.contains("test-custom")) {
+        ModelMeta meta;
+        meta.family = "custom";
+        zoo.add("test-custom", meta,
+                deepFcNet("test-custom", 16, 2, 8, 4));
+    }
+    const auto &entry = zoo.get("test-custom");
+    EXPECT_EQ(entry.teacher().numClasses, 4u);
+    // teacher == compressed for fixed registered networks.
+    EXPECT_EQ(entry.compressed().paramCount(),
+              entry.teacher().paramCount());
+
+    // Sweepable through the engine with zero engine edits.
+    app::SweepPlan plan;
+    plan.nets({"test-custom"}).impls({kernels::Impl::Sonic});
+    app::Engine engine(app::EngineOptions{1});
+    const auto records = engine.run(plan);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].result.completed);
+    EXPECT_EQ(records[0].spec.net, "test-custom");
+}
+
+TEST(ModelZoo, SyntheticModelsRunOnEveryPaperKernel)
+{
+    app::SweepPlan plan;
+    plan.nets({"DeepFC-6", "WideFC-512", "DWConv-3"}).allImpls();
+    app::Engine engine;
+    const auto records = engine.run(plan);
+    ASSERT_EQ(records.size(), 3u * 6u);
+    for (const auto &record : records)
+        EXPECT_TRUE(record.result.completed)
+            << record.spec.net << "/"
+            << kernels::implName(record.spec.impl);
+}
+
+TEST(ModelZoo, UnknownNameInSweepPlanDies)
+{
+    EXPECT_EXIT(
+        {
+            app::SweepPlan plan;
+            plan.nets({"HAR", "definitely-not-registered"});
+        },
+        ::testing::ExitedWithCode(1), "definitely-not-registered");
+}
+
+TEST(ModelZoo, UnknownNameInEngineDies)
+{
+    EXPECT_EXIT(
+        {
+            app::Engine engine;
+            app::RunSpec spec;
+            spec.net = "definitely-not-registered";
+            engine.runOne(spec);
+        },
+        ::testing::ExitedWithCode(1), "registered models");
+}
+
+TEST(ModelZoo, GenericKnobCompressionShrinksSyntheticTeachers)
+{
+    const auto &entry = ModelZoo::instance().get("DeepFC-6");
+    CompressionKnobs lean;
+    lean.fcKeep = 0.5;
+    const auto compressed = entry.withKnobs(lean, 0x5eed);
+    EXPECT_LT(compressed.paramCount(), entry.teacher().paramCount());
+    EXPECT_EQ(compressed.numClasses, entry.teacher().numClasses);
+}
+
+TEST(Builder, TracksShapesThroughConvPoolAndFc)
+{
+    NetworkBuilder b("shapes", {1, 12, 12});
+    b.factoredConv("conv1", 4, 3, 3).relu().pool();
+    // (12-3+1) = 10 -> pool -> 5; 4 channels.
+    EXPECT_EQ(b.currentShape().c, 4u);
+    EXPECT_EQ(b.currentShape().h, 5u);
+    EXPECT_EQ(b.currentShape().w, 5u);
+    b.sparseFc("fc", 16, 0.5).relu().fc("out", 6);
+    const auto net = b.build();
+    EXPECT_EQ(net.numClasses, 6u);
+    ASSERT_EQ(net.layers.size(), 3u);
+    EXPECT_TRUE(net.layers[0].reluAfter);
+    EXPECT_TRUE(net.layers[0].poolAfter);
+    EXPECT_TRUE(net.layers[1].reluAfter);
+    EXPECT_FALSE(net.layers[2].reluAfter);
+    EXPECT_EQ(net.shapeAfter(2).elems(), 6u);
+}
+
+TEST(Builder, SyntheticWeightsAreDeterministicDyadics)
+{
+    const auto a = deepFcNet("det", 16, 3, 8, 4, 99);
+    const auto b = deepFcNet("det", 16, 3, 8, 4, 99);
+    const auto c = deepFcNet("det", 16, 3, 8, 4, 100);
+    const auto *fa = std::get_if<DenseFcLayer>(&a.layers[0].op);
+    const auto *fb = std::get_if<DenseFcLayer>(&b.layers[0].op);
+    const auto *fc = std::get_if<DenseFcLayer>(&c.layers[0].op);
+    ASSERT_NE(fa, nullptr);
+    EXPECT_EQ(fa->weights.data(), fb->weights.data());
+    EXPECT_NE(fa->weights.data(), fc->weights.data());
+    // Every weight sits on a dyadic grid: scaling by 4096 yields an
+    // integer exactly (the platform-stability property).
+    for (f64 w : fa->weights.data()) {
+        const f64 scaled = w * 4096.0;
+        EXPECT_EQ(scaled, static_cast<f64>(static_cast<i64>(scaled)));
+    }
+}
+
+TEST(Builder, FamiliesProduceRunnableDeviceNets)
+{
+    // One-liner families must lower and classify on the host.
+    const auto wide = wideFcNet("w", 24, 64, 0.25, 5);
+    EXPECT_EQ(wide.numClasses, 5u);
+    const auto dw = depthwiseConvNet("d", 2, 10, 2, 3);
+    EXPECT_EQ(dw.numClasses, 3u);
+    tensor::FeatureMap in(2, 10, 10);
+    in.data[3] = 0.5;
+    EXPECT_LT(dw.classify(in), 3u);
+}
+
+TEST(Builder, ExplicitWeightsAndValidation)
+{
+    tensor::Matrix w(3, 16);
+    w.at(0, 0) = 1.0;
+    const auto net = NetworkBuilder("explicit", {1, 4, 4})
+                         .fc("fc", std::move(w))
+                         .build();
+    EXPECT_EQ(net.numClasses, 3u);
+
+    // A mis-sized explicit FC is a fatal configuration error.
+    EXPECT_DEATH(
+        {
+            tensor::Matrix bad(3, 7);
+            NetworkBuilder("bad", {1, 4, 4}).fc("fc", std::move(bad));
+        },
+        "expects");
+}
+
+} // namespace
+} // namespace sonic::dnn
