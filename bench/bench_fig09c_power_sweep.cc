@@ -4,6 +4,11 @@
  * (continuous, 50 mF, 1 mF, 100 uF). SONIC & TAILS complete everywhere
  * with consistent performance; the baseline and large tilings fail as
  * buffers shrink.
+ *
+ * The capacitor sizes ride the sweep's environment axis (the paper's
+ * RF deployment with per-point capacitor overrides) — no hand-rolled
+ * sweep loop; the table groups rows power-system-major, matching the
+ * figure's layout.
  */
 
 #include "bench/bench_common.hh"
@@ -19,18 +24,22 @@ main()
 
     app::Engine engine;
     app::SweepPlan plan;
-    plan.nets({"MNIST"}).allImpls().allPower();
+    plan.nets({"MNIST"}).allImpls().environmentLabels(
+        {"continuous", "rf-paper@50mF", "rf-paper@1mF",
+         "rf-paper@100uF"});
     const auto records = engine.run(plan);
 
-    Table table({"power", "impl", "status", "live (s)", "dead (s)",
-                 "total (s)", "reboots"});
-    for (auto power : app::kAllPower) {
-        for (auto impl : kernels::kAllImpls) {
-            const auto &r = resultFor(records, "MNIST",
-                                      impl, power);
+    Table table({"environment", "impl", "status", "live (s)",
+                 "dead (s)", "total (s)", "reboots"});
+    for (const auto &environment : plan.environmentAxis()) {
+        for (const auto &record : records) {
+            if (!(record.spec.environment == environment))
+                continue;
+            const auto &r = record.result;
             table.row()
-                .cell(std::string(app::powerName(power)))
-                .cell(std::string(kernels::implName(impl)))
+                .cell(record.spec.environment.label())
+                .cell(std::string(
+                    kernels::implName(record.spec.impl)))
                 .cell(statusOf(r))
                 .cell(r.liveSeconds, 3)
                 .cell(r.deadSeconds, 3)

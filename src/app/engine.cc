@@ -10,6 +10,7 @@
 #include "dnn/device_net.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 
 namespace sonic::app
 {
@@ -28,35 +29,11 @@ MemorySink::add(const SweepRecord &record)
     records_.push_back(record);
 }
 
-namespace
-{
-
-/**
- * RFC 4180 CSV quoting: a field containing a comma, quote or newline
- * is wrapped in quotes with embedded quotes doubled — a model named
- * `a,b` must not shift every column after it.
- */
-std::string
-csvField(const std::string &s)
-{
-    if (s.find_first_of(",\"\n\r") == std::string::npos)
-        return s;
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"')
-            out.push_back('"');
-        out.push_back(c);
-    }
-    out.push_back('"');
-    return out;
-}
-
-} // namespace
-
 void
 CsvSink::begin(u64)
 {
-    os_ << "planIndex,net,impl,power,profile,sample,seed,status,"
+    os_ << "planIndex,net,impl,power,environment,profile,sample,seed,"
+           "status,"
            "reboots,tasksExecuted,liveSeconds,deadSeconds,"
            "totalSeconds,energyJ,harvestedJ,predictedClass,"
            "tailsTileWords,scheduleLen,scheduleFired\n";
@@ -68,9 +45,10 @@ CsvSink::add(const SweepRecord &record)
     const auto &r = record.result;
     std::ostringstream row;
     row.precision(12);
-    row << record.planIndex << ',' << csvField(record.spec.net) << ','
-        << csvField(std::string(kernels::implName(record.spec.impl)))
+    row << record.planIndex << ',' << csvQuote(record.spec.net) << ','
+        << csvQuote(std::string(kernels::implName(record.spec.impl)))
         << ',' << powerName(record.spec.power) << ','
+        << csvQuote(record.spec.environment.label()) << ','
         << profileName(record.spec.profile) << ','
         << record.spec.sampleIndex << ',' << record.spec.seed << ','
         << (r.completed ? "ok" : (r.nonTerminating ? "dnf" : "fail"))
@@ -104,6 +82,8 @@ JsonSink::add(const SweepRecord &record)
         << jsonEscape(std::string(
                kernels::implName(record.spec.impl)))
         << "\", \"power\": \"" << powerName(record.spec.power)
+        << "\", \"environment\": \""
+        << jsonEscape(record.spec.environment.label())
         << "\", \"profile\": \"" << profileName(record.spec.profile)
         << "\", \"sample\": " << record.spec.sampleIndex
         << ", \"seed\": " << record.spec.seed
@@ -209,11 +189,9 @@ Engine::dataset(const dnn::NetRef &net)
 ExperimentResult
 Engine::runOne(const RunSpec &spec)
 {
-    // A failure schedule overrides the power-kind axis: the run is
-    // driven by the explicit draw-index trace (oracle coordinate).
-    std::unique_ptr<arch::PowerSupply> psu = spec.failureSchedule.empty()
-        ? makePower(spec.power)
-        : std::make_unique<arch::SchedulePower>(spec.failureSchedule);
+    // Supply precedence (makeSupply): an explicit failure-index trace
+    // overrides the environment, which overrides the power-kind axis.
+    std::unique_ptr<arch::PowerSupply> psu = makeSupply(spec);
     const auto *schedule_psu = spec.failureSchedule.empty()
         ? nullptr
         : static_cast<const arch::SchedulePower *>(psu.get());

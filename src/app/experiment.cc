@@ -47,6 +47,18 @@ makePower(PowerKind kind)
     panic("bad PowerKind");
 }
 
+std::unique_ptr<arch::PowerSupply>
+makeSupply(const RunSpec &spec)
+{
+    if (!spec.failureSchedule.empty())
+        return std::make_unique<arch::SchedulePower>(
+            spec.failureSchedule);
+    if (!spec.environment.empty())
+        return env::EnvRegistry::instance().make(spec.environment,
+                                                 spec.seed);
+    return makePower(spec.power);
+}
+
 arch::EnergyProfile
 makeProfile(ProfileVariant variant)
 {

@@ -20,6 +20,7 @@
 #include "arch/device.hh"
 #include "dnn/dataset.hh"
 #include "dnn/zoo.hh"
+#include "env/environment.hh"
 #include "kernels/runner.hh"
 #include "util/types.hh"
 
@@ -76,10 +77,20 @@ struct RunSpec
     u64 seed = 0x5eed;
 
     /**
+     * Harvested-energy environment (the env::EnvRegistry axis). When
+     * non-empty the run is powered by the named environment — seeded
+     * with this spec's `seed`, honoring the capacitor override — and
+     * the legacy `power` axis value is ignored; when empty (the
+     * default) `power` selects the supply as before the axis existed.
+     */
+    env::EnvRef environment;
+
+    /**
      * Explicit failure-index trace (the oracle's coordinate). When
      * non-empty the run is powered by arch::SchedulePower over these
-     * draw indices and the `power` axis value is ignored; when empty
-     * (the default) `power` selects the supply as always.
+     * draw indices and the `power`/`environment` axis values are
+     * ignored; when empty (the default) they select the supply as
+     * always.
      */
     std::vector<u64> failureSchedule;
 
@@ -133,6 +144,12 @@ struct ExperimentResult
 
 /** Build the power supply for a kind (exposed for tests). */
 std::unique_ptr<arch::PowerSupply> makePower(PowerKind kind);
+
+/**
+ * Build the supply a spec runs under, applying the documented
+ * precedence: failureSchedule > environment > power kind.
+ */
+std::unique_ptr<arch::PowerSupply> makeSupply(const RunSpec &spec);
 
 /** Build the energy profile for an ablation variant. */
 arch::EnergyProfile makeProfile(ProfileVariant variant);

@@ -1,6 +1,9 @@
 #include "app/sweep.hh"
 
+#include <cstring>
+
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace sonic::app
 {
@@ -8,26 +11,11 @@ namespace sonic::app
 namespace
 {
 
-/** splitmix64 finalizer — the same mixer Rng seeds with. */
-u64
-mix64(u64 x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
 /** FNV-1a over the model name: the net coordinate for seeding. */
 u64
 nameHash(const std::string &name)
 {
-    u64 h = 0xcbf29ce484222325ull;
-    for (char c : name) {
-        h ^= static_cast<u64>(static_cast<unsigned char>(c));
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return fnv1a(name);
 }
 
 } // namespace
@@ -99,6 +87,39 @@ SweepPlan::allPower()
 }
 
 SweepPlan &
+SweepPlan::environments(std::vector<env::EnvRef> values)
+{
+    SONIC_ASSERT(!values.empty(), "empty environment axis");
+    // Validate at plan-build: a typo should fail before any worker
+    // spins up, naming the registered environments.
+    auto &registry = env::EnvRegistry::instance();
+    for (const auto &ref : values) {
+        if (!ref.empty() && !registry.contains(ref.env))
+            fatal("unknown environment '", ref.env,
+                  "' in the sweep environment axis; registered "
+                  "environments: ",
+                  registry.availableList());
+    }
+    environments_ = std::move(values);
+    return *this;
+}
+
+SweepPlan &
+SweepPlan::environmentLabels(const std::vector<std::string> &labels)
+{
+    std::vector<env::EnvRef> refs;
+    refs.reserve(labels.size());
+    for (const auto &label : labels) {
+        env::EnvRef ref;
+        std::string error;
+        if (!env::parseEnvRef(label, &ref, &error))
+            fatal(error);
+        refs.push_back(std::move(ref));
+    }
+    return environments(std::move(refs));
+}
+
+SweepPlan &
 SweepPlan::profiles(std::vector<ProfileVariant> values)
 {
     SONIC_ASSERT(!values.empty(), "empty profile axis");
@@ -150,8 +171,8 @@ u64
 SweepPlan::size() const
 {
     return static_cast<u64>(nets_.size()) * impls_.size()
-         * power_.size() * profiles_.size() * samples_.size()
-         * schedules_.size();
+         * power_.size() * environments_.size() * profiles_.size()
+         * samples_.size() * schedules_.size();
 }
 
 u64
@@ -166,6 +187,19 @@ SweepPlan::specSeed(u64 baseSeed, const RunSpec &spec)
               | static_cast<u64>(spec.profile) << 32
               | static_cast<u64>(spec.sampleIndex);
     u64 h = mix64(baseSeed) ^ mix64(nameHash(spec.net)) ^ coord;
+    // An environment is a coordinate too: fold its name and capacitor
+    // override so distinct environments reseed — which is what makes
+    // per-device deployment phases diverge — while the empty EnvRef
+    // keeps the seed values plans produced before the axis existed.
+    if (!spec.environment.empty()) {
+        h = mix64(h ^ nameHash(spec.environment.env));
+        u64 cap_bits = 0;
+        static_assert(sizeof cap_bits
+                      == sizeof spec.environment.capacitanceFarads);
+        std::memcpy(&cap_bits, &spec.environment.capacitanceFarads,
+                    sizeof cap_bits);
+        h = mix64(h ^ cap_bits);
+    }
     // A failure schedule is a coordinate too: fold its contents so
     // distinct schedules reseed (empty schedules keep the seed values
     // plans produced before the axis existed).
@@ -182,20 +216,23 @@ SweepPlan::expand() const
     for (const auto &net : nets_) {
         for (auto impl : impls_) {
             for (auto power : power_) {
-                for (auto profile : profiles_) {
-                    for (auto sample : samples_) {
-                        for (const auto &schedule : schedules_) {
-                            RunSpec spec;
-                            spec.net = net;
-                            spec.impl = impl;
-                            spec.power = power;
-                            spec.profile = profile;
-                            spec.sampleIndex = sample;
-                            spec.failureSchedule = schedule;
-                            spec.captureNvmDigests =
-                                captureNvmDigests_;
-                            spec.seed = specSeed(baseSeed_, spec);
-                            specs.push_back(spec);
+                for (const auto &environment : environments_) {
+                    for (auto profile : profiles_) {
+                        for (auto sample : samples_) {
+                            for (const auto &schedule : schedules_) {
+                                RunSpec spec;
+                                spec.net = net;
+                                spec.impl = impl;
+                                spec.power = power;
+                                spec.environment = environment;
+                                spec.profile = profile;
+                                spec.sampleIndex = sample;
+                                spec.failureSchedule = schedule;
+                                spec.captureNvmDigests =
+                                    captureNvmDigests_;
+                                spec.seed = specSeed(baseSeed_, spec);
+                                specs.push_back(spec);
+                            }
                         }
                     }
                 }

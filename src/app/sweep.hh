@@ -11,7 +11,8 @@
  *     const auto records = engine.run(plan);
  *
  * Expansion order is fixed and documented (nets outermost, then
- * impls, power, profiles, samples, failure schedules innermost) so
+ * impls, power, environments, profiles, samples, failure schedules
+ * innermost) so
  * figure code can rely
  * on record ordering, and each expanded spec gets a deterministic
  * seed derived from the plan's base seed and the spec's coordinates —
@@ -58,6 +59,19 @@ class SweepPlan
     SweepPlan &power(std::vector<PowerKind> values);
     SweepPlan &allPower();
 
+    /**
+     * Harvested-energy environment axis. Each value names a registered
+     * environment (env::EnvRegistry) with an optional capacitor-size
+     * override; names are validated here, at plan-build time. The
+     * empty EnvRef (the default single point) means "use the
+     * power-kind axis", so plans built before this axis existed keep
+     * their exact specs and seeds.
+     */
+    SweepPlan &environments(std::vector<env::EnvRef> values);
+    /** Environments by label ("solar", "rf-paper@50mF"); bad labels
+     * and unknown names are fatal configuration errors. */
+    SweepPlan &environmentLabels(const std::vector<std::string> &labels);
+
     SweepPlan &profiles(std::vector<ProfileVariant> values);
 
     /** Sample indices 0..n-1. */
@@ -98,6 +112,10 @@ class SweepPlan
     const std::vector<dnn::NetRef> &netAxis() const { return nets_; }
     const std::vector<kernels::Impl> &implAxis() const { return impls_; }
     const std::vector<PowerKind> &powerAxis() const { return power_; }
+    const std::vector<env::EnvRef> &environmentAxis() const
+    {
+        return environments_;
+    }
     const std::vector<ProfileVariant> &profileAxis() const
     {
         return profiles_;
@@ -120,6 +138,7 @@ class SweepPlan
     std::vector<dnn::NetRef> nets_{"MNIST"};
     std::vector<kernels::Impl> impls_{kernels::Impl::Sonic};
     std::vector<PowerKind> power_{PowerKind::Continuous};
+    std::vector<env::EnvRef> environments_{{}};
     std::vector<ProfileVariant> profiles_{ProfileVariant::Standard};
     std::vector<u32> samples_{0};
     std::vector<std::vector<u64>> schedules_{{}};

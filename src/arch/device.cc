@@ -28,7 +28,16 @@ Device::Device(EnergyProfile profile, std::unique_ptr<PowerSupply> power,
     bucket_ = &stats_.bucketRef(layer_, part_);
 }
 
-Device::~Device() = default;
+Device::~Device()
+{
+    // Flush the uptime accrued since the last reboot (or the whole
+    // run, if it never failed) into the supply's environment clock: a
+    // supply that outlives this Device — a fleet lifetime powering a
+    // sequence of inferences through BorrowedSupply views — must not
+    // lag the device time it already served.
+    settleLease();
+    power_->elapse(liveSeconds() - liveSecondsNotified_);
+}
 
 void
 Device::consumeSlow(f64 nj)
@@ -165,6 +174,12 @@ Device::reboot()
     // were charged since the last reboot (normally exactly one — a
     // failing bulk charge counts once), this models one power cycle.
     rebootPending_ = 0;
+    // Advance the supply's environment clock by the uptime accrued
+    // since the previous reboot, so a time-varying harvester recharges
+    // at the harvest rate of the correct simulated moment.
+    const f64 live = liveSeconds();
+    power_->elapse(live - liveSecondsNotified_);
+    liveSecondsNotified_ = live;
     deadSeconds_ += power_->recharge();
     for (auto *v : volatiles_)
         v->onReboot(rebootCount_);

@@ -273,6 +273,8 @@ class Device
 
     u64 totalCycles_ = 0;
     f64 deadSeconds_ = 0.0;
+    /** Uptime already reported through PowerSupply::elapse. */
+    f64 liveSecondsNotified_ = 0.0;
     u64 rebootCount_ = 0;
     u64 rebootPending_ = 0;
 

@@ -105,6 +105,16 @@ class PowerSupply
      */
     virtual f64 recharge() = 0;
 
+    /**
+     * Notify the supply that `live_seconds` of simulated device
+     * uptime elapsed since the previous notification. Time-varying
+     * harvesters (src/env) advance their environment clock here; the
+     * stationary supplies ignore it. Called by Device::reboot just
+     * before recharge() — never on the per-operation path — so the
+     * lease fast path stays free of virtual calls.
+     */
+    virtual void elapse(f64 live_seconds) { (void)live_seconds; }
+
     /** Restore the initial fully-charged state. */
     virtual void reset() = 0;
 
@@ -157,17 +167,24 @@ class ContinuousPower : public PowerSupply
 };
 
 /**
+ * The effective usable regulator window of the paper's harvester
+ * front-end (~0.09 J per farad of storage). Calibrated so that a
+ * 100 uF capacitor sustains on the order of a few thousand
+ * instructions per charge cycle — the regime in which the paper's
+ * Fig. 9b completion/DNF pattern (Tile-8 completes, Tile-128 never
+ * does, Tile-32 fails only on MNIST) is observed. One definition:
+ * every capacitor-buffered supply (CapacitorPower here, the
+ * environment subsystem's HarvestSupply) defaults to it, so a
+ * recalibration lands everywhere at once.
+ */
+inline constexpr f64 kRegulatorVMax = 2.28;
+inline constexpr f64 kRegulatorVMin = 2.213;
+
+/**
  * A capacitor charged by a constant-power harvester (e.g., the paper's
  * Powercast RF setup). The usable buffer is E = 1/2 C (Vmax^2 - Vmin^2).
  * While operating, harvest income continues to trickle in; when the
  * buffer empties the device dies and recharges at the harvest power.
- *
- * The default voltage window models the *effective* usable window of
- * the paper's regulator front-end (~0.09 J per farad). It is calibrated
- * so that a 100 uF capacitor sustains on the order of a few thousand
- * instructions per charge cycle, which is the regime in which the
- * paper's Fig. 9b completion/DNF pattern (Tile-8 completes, Tile-128
- * never does, Tile-32 fails only on MNIST) is observed.
  */
 class CapacitorPower : public PowerSupply
 {
@@ -179,7 +196,8 @@ class CapacitorPower : public PowerSupply
      * @param v_min brown-out voltage
      */
     CapacitorPower(f64 capacitance_farads, f64 harvest_watts,
-                   f64 v_max = 2.28, f64 v_min = 2.213);
+                   f64 v_max = kRegulatorVMax,
+                   f64 v_min = kRegulatorVMin);
 
     bool draw(f64 nj) override;
 

@@ -53,6 +53,155 @@ hexBlob(const std::vector<f64> &values)
     return out;
 }
 
+// --- f64 <-> base64 (the v2 blob encoding) --------------------------
+
+constexpr char kBase64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+    "0123456789+/";
+
+/** Base64 of the raw little-endian f64 bytes (v2 blobs). */
+std::string
+base64Blob(const std::vector<f64> &values)
+{
+    std::string bytes;
+    bytes.reserve(values.size() * 8);
+    for (f64 v : values) {
+        const u64 bits = bitsOf(v);
+        for (u32 i = 0; i < 8; ++i)
+            bytes.push_back(
+                static_cast<char>((bits >> (8 * i)) & 0xff));
+    }
+    std::string out;
+    out.reserve((bytes.size() + 2) / 3 * 4);
+    u64 i = 0;
+    for (; i + 3 <= bytes.size(); i += 3) {
+        const u32 n = (static_cast<u32>(
+                           static_cast<unsigned char>(bytes[i]))
+                       << 16)
+            | (static_cast<u32>(
+                   static_cast<unsigned char>(bytes[i + 1]))
+               << 8)
+            | static_cast<u32>(
+                  static_cast<unsigned char>(bytes[i + 2]));
+        out.push_back(kBase64Digits[(n >> 18) & 0x3f]);
+        out.push_back(kBase64Digits[(n >> 12) & 0x3f]);
+        out.push_back(kBase64Digits[(n >> 6) & 0x3f]);
+        out.push_back(kBase64Digits[n & 0x3f]);
+    }
+    const u64 rest = bytes.size() - i;
+    if (rest == 1) {
+        const u32 n = static_cast<u32>(
+                          static_cast<unsigned char>(bytes[i]))
+            << 16;
+        out.push_back(kBase64Digits[(n >> 18) & 0x3f]);
+        out.push_back(kBase64Digits[(n >> 12) & 0x3f]);
+        out.push_back('=');
+        out.push_back('=');
+    } else if (rest == 2) {
+        const u32 n = (static_cast<u32>(
+                           static_cast<unsigned char>(bytes[i]))
+                       << 16)
+            | (static_cast<u32>(
+                   static_cast<unsigned char>(bytes[i + 1]))
+               << 8);
+        out.push_back(kBase64Digits[(n >> 18) & 0x3f]);
+        out.push_back(kBase64Digits[(n >> 12) & 0x3f]);
+        out.push_back(kBase64Digits[(n >> 6) & 0x3f]);
+        out.push_back('=');
+    }
+    return out;
+}
+
+int
+base64Value(char c)
+{
+    if (c >= 'A' && c <= 'Z')
+        return c - 'A';
+    if (c >= 'a' && c <= 'z')
+        return c - 'a' + 26;
+    if (c >= '0' && c <= '9')
+        return c - '0' + 52;
+    if (c == '+')
+        return 62;
+    if (c == '/')
+        return 63;
+    return -1;
+}
+
+bool
+parseBase64Blob(const std::string &text, std::vector<f64> *out,
+                std::string *error, const std::string &what)
+{
+    out->clear();
+    if (text.empty())
+        return true;
+    if (text.size() % 4 != 0) {
+        *error = what + ": base64 blob length "
+               + std::to_string(text.size())
+               + " is not a multiple of 4";
+        return false;
+    }
+    std::string bytes;
+    bytes.reserve(text.size() / 4 * 3);
+    for (u64 i = 0; i < text.size(); i += 4) {
+        u32 pad = 0;
+        u32 n = 0;
+        for (u32 j = 0; j < 4; ++j) {
+            const char c = text[i + j];
+            if (c == '=') {
+                // Padding is only legal as the last one or two
+                // characters of the final group.
+                if (i + 4 != text.size() || j < 2) {
+                    *error = what + ": misplaced base64 padding";
+                    return false;
+                }
+                ++pad;
+                n <<= 6;
+                continue;
+            }
+            if (pad > 0) {
+                *error = what + ": base64 digit after padding";
+                return false;
+            }
+            const int v = base64Value(c);
+            if (v < 0) {
+                *error = what + ": invalid base64 character '"
+                       + std::string(1, c) + "'";
+                return false;
+            }
+            n = (n << 6) | static_cast<u32>(v);
+        }
+        bytes.push_back(static_cast<char>((n >> 16) & 0xff));
+        if (pad < 2)
+            bytes.push_back(static_cast<char>((n >> 8) & 0xff));
+        if (pad < 1)
+            bytes.push_back(static_cast<char>(n & 0xff));
+    }
+    if (bytes.size() % 8 != 0) {
+        *error = what + ": blob decodes to "
+               + std::to_string(bytes.size())
+               + " bytes, not a whole number of f64 values";
+        return false;
+    }
+    out->reserve(bytes.size() / 8);
+    for (u64 i = 0; i < bytes.size(); i += 8) {
+        u64 bits = 0;
+        for (u32 j = 0; j < 8; ++j)
+            bits |= static_cast<u64>(
+                        static_cast<unsigned char>(bytes[i + j]))
+                 << (8 * j);
+        out->push_back(f64Of(bits));
+    }
+    return true;
+}
+
+/** Which blob encoding the document's version selects. */
+enum class BlobCodec
+{
+    Hex,    ///< v1: 16 hex digits per f64, big-endian bit image
+    Base64  ///< v2: base64 of raw little-endian f64 bytes
+};
+
 int
 hexDigit(char c)
 {
@@ -414,24 +563,27 @@ getBool(const JsonObject &obj, const char *key, bool *out,
 }
 
 bool
-getBlob(const JsonObject &obj, const char *key, std::vector<f64> *out,
-        std::string *error, const std::string &ctx)
+getBlob(const JsonObject &obj, const char *key, BlobCodec codec,
+        std::vector<f64> *out, std::string *error,
+        const std::string &ctx)
 {
     auto it = obj.find(key);
     if (it == obj.end() || it->second.string() == nullptr) {
         *error = ctx + ": missing or non-string blob \"" + key + "\"";
         return false;
     }
-    return parseHexBlob(*it->second.string(), out, error,
-                        ctx + " \"" + key + "\"");
+    const std::string what = ctx + " \"" + key + "\"";
+    return codec == BlobCodec::Hex
+        ? parseHexBlob(*it->second.string(), out, error, what)
+        : parseBase64Blob(*it->second.string(), out, error, what);
 }
 
 bool
-getSizedBlob(const JsonObject &obj, const char *key, u64 expected,
-             std::vector<f64> *out, std::string *error,
+getSizedBlob(const JsonObject &obj, const char *key, BlobCodec codec,
+             u64 expected, std::vector<f64> *out, std::string *error,
              const std::string &ctx)
 {
-    if (!getBlob(obj, key, out, error, ctx))
+    if (!getBlob(obj, key, codec, out, error, ctx))
         return false;
     if (out->size() != expected) {
         *error = ctx + " \"" + key + "\": blob holds "
@@ -458,45 +610,64 @@ kindOf(const LayerOp &op)
     return "sparse-fc";
 }
 
+using BlobEncoder = std::string (*)(const std::vector<f64> &);
+
 void
-emitLayer(std::ostream &os, const LayerSpec &layer)
+emitLayer(std::ostream &os, const LayerSpec &layer, BlobEncoder blob)
 {
     os << "    {\"name\": " << jsonQuote(layer.name) << ", \"kind\": \""
        << kindOf(layer.op) << "\", \"relu\": "
        << (layer.reluAfter ? "true" : "false")
        << ", \"pool\": " << (layer.poolAfter ? "true" : "false");
     if (const auto *f = std::get_if<FactoredConvLayer>(&layer.op)) {
-        os << ",\n     \"mix\": \"" << hexBlob(f->mix)
-           << "\", \"col\": \"" << hexBlob(f->col) << "\", \"row\": \""
-           << hexBlob(f->row) << "\", \"scale\": \""
-           << hexBlob(f->scale) << "\"";
+        os << ",\n     \"mix\": \"" << blob(f->mix)
+           << "\", \"col\": \"" << blob(f->col)
+           << "\", \"row\": \"" << blob(f->row)
+           << "\", \"scale\": \"" << blob(f->scale) << "\"";
     } else if (const auto *s = std::get_if<SparseConvLayer>(&layer.op)) {
         os << ", \"oc\": " << s->filters.outChannels
            << ", \"ic\": " << s->filters.inChannels
            << ", \"kh\": " << s->filters.kh << ", \"kw\": "
            << s->filters.kw << ",\n     \"data\": \""
-           << hexBlob(s->filters.data) << "\"";
+           << blob(s->filters.data) << "\"";
     } else if (const auto *d = std::get_if<DenseConvLayer>(&layer.op)) {
         os << ", \"oc\": " << d->filters.outChannels
            << ", \"ic\": " << d->filters.inChannels
            << ", \"kh\": " << d->filters.kh << ", \"kw\": "
            << d->filters.kw << ",\n     \"data\": \""
-           << hexBlob(d->filters.data) << "\"";
+           << blob(d->filters.data) << "\"";
     } else if (const auto *fc = std::get_if<DenseFcLayer>(&layer.op)) {
         os << ", \"rows\": " << fc->weights.rows() << ", \"cols\": "
            << fc->weights.cols() << ",\n     \"data\": \""
-           << hexBlob(fc->weights.data()) << "\"";
+           << blob(fc->weights.data()) << "\"";
     } else if (const auto *sfc = std::get_if<SparseFcLayer>(&layer.op)) {
         os << ", \"rows\": " << sfc->weights.rows() << ", \"cols\": "
            << sfc->weights.cols() << ",\n     \"data\": \""
-           << hexBlob(sfc->weights.data()) << "\"";
+           << blob(sfc->weights.data()) << "\"";
     }
     os << "}";
 }
 
+void
+emitModel(std::ostream &os, const NetworkSpec &net, u32 version,
+          BlobEncoder blob)
+{
+    os << "{\"format\": \"sonic-model\", \"version\": " << version
+       << ",\n \"name\": " << jsonQuote(net.name) << ",\n \"input\": ["
+       << net.input.c << ", " << net.input.h << ", " << net.input.w
+       << "], \"numClasses\": " << net.numClasses
+       << ",\n \"layers\": [";
+    for (u64 li = 0; li < net.layers.size(); ++li) {
+        os << (li ? ",\n" : "\n");
+        emitLayer(os, net.layers[li], blob);
+    }
+    os << "\n ]}\n";
+}
+
 bool
-parseFilterBank(const JsonObject &obj, tensor::FilterBank *bank,
-                std::string *error, const std::string &ctx)
+parseFilterBank(const JsonObject &obj, BlobCodec codec,
+                tensor::FilterBank *bank, std::string *error,
+                const std::string &ctx)
 {
     u32 oc = 0, ic = 0, kh = 0, kw = 0;
     if (!getU32(obj, "oc", &oc, error, ctx)
@@ -509,8 +680,8 @@ parseFilterBank(const JsonObject &obj, tensor::FilterBank *bank,
         return false;
     }
     std::vector<f64> data;
-    if (!getSizedBlob(obj, "data", u64{oc} * ic * kh * kw, &data, error,
-                      ctx))
+    if (!getSizedBlob(obj, "data", codec, u64{oc} * ic * kh * kw,
+                      &data, error, ctx))
         return false;
     *bank = tensor::FilterBank(oc, ic, kh, kw);
     bank->data = std::move(data);
@@ -518,8 +689,8 @@ parseFilterBank(const JsonObject &obj, tensor::FilterBank *bank,
 }
 
 bool
-parseMatrix(const JsonObject &obj, tensor::Matrix *m, std::string *error,
-            const std::string &ctx)
+parseMatrix(const JsonObject &obj, BlobCodec codec, tensor::Matrix *m,
+            std::string *error, const std::string &ctx)
 {
     u32 rows = 0, cols = 0;
     if (!getU32(obj, "rows", &rows, error, ctx)
@@ -530,7 +701,8 @@ parseMatrix(const JsonObject &obj, tensor::Matrix *m, std::string *error,
         return false;
     }
     std::vector<f64> data;
-    if (!getSizedBlob(obj, "data", u64{rows} * cols, &data, error, ctx))
+    if (!getSizedBlob(obj, "data", codec, u64{rows} * cols, &data,
+                      error, ctx))
         return false;
     *m = tensor::Matrix(rows, cols);
     m->data() = std::move(data);
@@ -538,8 +710,8 @@ parseMatrix(const JsonObject &obj, tensor::Matrix *m, std::string *error,
 }
 
 bool
-parseLayer(const JsonValue &value, LayerSpec *layer, std::string *error,
-           u64 index)
+parseLayer(const JsonValue &value, BlobCodec codec, LayerSpec *layer,
+           std::string *error, u64 index)
 {
     const std::string ctx = "layer " + std::to_string(index);
     const JsonObject *obj = value.object();
@@ -556,10 +728,10 @@ parseLayer(const JsonValue &value, LayerSpec *layer, std::string *error,
 
     if (kind == "factored-conv") {
         FactoredConvLayer f;
-        if (!getBlob(*obj, "mix", &f.mix, error, ctx)
-            || !getBlob(*obj, "col", &f.col, error, ctx)
-            || !getBlob(*obj, "row", &f.row, error, ctx)
-            || !getBlob(*obj, "scale", &f.scale, error, ctx))
+        if (!getBlob(*obj, "mix", codec, &f.mix, error, ctx)
+            || !getBlob(*obj, "col", codec, &f.col, error, ctx)
+            || !getBlob(*obj, "row", codec, &f.row, error, ctx)
+            || !getBlob(*obj, "scale", codec, &f.scale, error, ctx))
             return false;
         if (f.scale.empty()) {
             *error = ctx + ": factored conv needs non-empty scales";
@@ -568,7 +740,7 @@ parseLayer(const JsonValue &value, LayerSpec *layer, std::string *error,
         layer->op = std::move(f);
     } else if (kind == "sparse-conv" || kind == "dense-conv") {
         tensor::FilterBank bank;
-        if (!parseFilterBank(*obj, &bank, error, ctx))
+        if (!parseFilterBank(*obj, codec, &bank, error, ctx))
             return false;
         if (kind == "sparse-conv")
             layer->op = SparseConvLayer{std::move(bank)};
@@ -576,7 +748,7 @@ parseLayer(const JsonValue &value, LayerSpec *layer, std::string *error,
             layer->op = DenseConvLayer{std::move(bank)};
     } else if (kind == "dense-fc" || kind == "sparse-fc") {
         tensor::Matrix m;
-        if (!parseMatrix(*obj, &m, error, ctx))
+        if (!parseMatrix(*obj, codec, &m, error, ctx))
             return false;
         if (kind == "dense-fc")
             layer->op = DenseFcLayer{std::move(m)};
@@ -676,17 +848,21 @@ validateShapes(const NetworkSpec &net, std::string *error)
 void
 saveModel(const NetworkSpec &net, std::ostream &os)
 {
-    os << "{\"format\": \"sonic-model\", \"version\": "
-       << kModelFormatVersion << ",\n \"name\": " << jsonQuote(net.name)
-       << ",\n \"input\": [" << net.input.c << ", " << net.input.h
-       << ", " << net.input.w << "], \"numClasses\": " << net.numClasses
-       << ",\n \"layers\": [";
-    for (u64 li = 0; li < net.layers.size(); ++li) {
-        os << (li ? ",\n" : "\n");
-        emitLayer(os, net.layers[li]);
-    }
-    os << "\n ]}\n";
+    emitModel(os, net, kModelFormatVersion, base64Blob);
 }
+
+namespace testhooks
+{
+
+std::string
+modelJsonV1(const NetworkSpec &net)
+{
+    std::ostringstream os;
+    emitModel(os, net, 1, hexBlob);
+    return os.str();
+}
+
+} // namespace testhooks
 
 std::string
 modelJson(const NetworkSpec &net)
@@ -743,12 +919,16 @@ parseModel(const std::string &text, std::string *error)
     u32 version = 0;
     if (!getU32(*obj, "version", &version, &err, "document"))
         return std::nullopt;
-    if (version != kModelFormatVersion) {
+    if (version < kOldestReadableModelVersion
+        || version > kModelFormatVersion) {
         err = "unsupported model format version "
-            + std::to_string(version) + " (this build reads version "
+            + std::to_string(version) + " (this build reads versions "
+            + std::to_string(kOldestReadableModelVersion) + " through "
             + std::to_string(kModelFormatVersion) + ")";
         return std::nullopt;
     }
+    const BlobCodec codec =
+        version == 1 ? BlobCodec::Hex : BlobCodec::Base64;
 
     NetworkSpec net;
     if (!getString(*obj, "name", &net.name, &err, "document"))
@@ -795,7 +975,8 @@ parseModel(const std::string &text, std::string *error)
     }
     for (u64 li = 0; li < layers->second.array()->size(); ++li) {
         LayerSpec layer;
-        if (!parseLayer((*layers->second.array())[li], &layer, &err, li))
+        if (!parseLayer((*layers->second.array())[li], codec, &layer,
+                        &err, li))
             return std::nullopt;
         net.layers.push_back(std::move(layer));
     }

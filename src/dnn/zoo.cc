@@ -38,14 +38,22 @@ ModelEntry::ModelEntry(std::string name, ModelMeta meta, ModelDef def)
             return compressGeneric(teacherAt(seed), k);
         };
     }
+    datasetBuilder_ = std::move(def.dataset);
 }
 
 const Dataset &
 ModelEntry::dataset() const
 {
     std::call_once(datasetOnce_, [this] {
-        dataset_ = makeDataset(teacher_, meta_.datasetSamples,
-                               meta_.datasetSeed);
+        // A model-supplied builder replaces the synthetic default
+        // (the ROADMAP dataset plug-in point): loaded models can ship
+        // their own eval inputs instead of the fixed synthetic shape.
+        dataset_ = datasetBuilder_
+            ? datasetBuilder_(teacher_, meta_)
+            : makeDataset(teacher_, meta_.datasetSamples,
+                          meta_.datasetSeed);
+        SONIC_ASSERT(!dataset_.empty(),
+                     "model '", name_, "' built an empty dataset");
     });
     return dataset_;
 }

@@ -103,6 +103,19 @@ struct ModelDef
      */
     std::function<NetworkSpec(const CompressionKnobs &, u64 seed)>
         withKnobs;
+
+    /**
+     * Per-model dataset builder: how the model ships its own eval
+     * inputs. When unset, the default synthetic generator
+     * (makeDataset over the teacher, shaped by ModelMeta's
+     * datasetSamples/datasetSeed) labels class-structured noise with
+     * the teacher — the Table 2 substitution. A loaded or imported
+     * model can instead provide its real samples here; the zoo caches
+     * the result lazily exactly like the default.
+     */
+    std::function<Dataset(const NetworkSpec &teacher,
+                          const ModelMeta &meta)>
+        dataset;
 };
 
 /** One cached zoo row: everything consumers need about a model. */
@@ -143,6 +156,8 @@ class ModelEntry
     NetworkSpec compressed_;
     std::function<NetworkSpec(u64)> teacherAt_;
     std::function<NetworkSpec(const CompressionKnobs &, u64)> withKnobs_;
+    std::function<Dataset(const NetworkSpec &, const ModelMeta &)>
+        datasetBuilder_;
 
     mutable std::once_flag datasetOnce_;
     mutable Dataset dataset_;

@@ -1,0 +1,409 @@
+#include "env/traces.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sonic::env
+{
+
+namespace
+{
+
+/**
+ * Validate raw trace samples and build the periodic model. Shared by
+ * both formats so CSV and JSON traces obey identical rules: at least
+ * two samples, strictly increasing timestamps, non-negative power,
+ * strictly positive energy over the loop. The last sample closes the
+ * loop — it marks the period boundary and playback wraps from it back
+ * to the first sample's rate.
+ */
+bool
+samplesToModel(const std::vector<HarvestModel::Point> &samples,
+               HarvestModel *out, std::string *error)
+{
+    if (samples.size() < 2) {
+        *error = "trace needs at least 2 samples (got "
+               + std::to_string(samples.size()) + ")";
+        return false;
+    }
+    for (u64 i = 0; i < samples.size(); ++i) {
+        if (samples[i].watts < 0.0) {
+            *error = "trace sample " + std::to_string(i)
+                   + " has negative power";
+            return false;
+        }
+        if (i > 0 && samples[i].seconds <= samples[i - 1].seconds) {
+            *error = "trace timestamps must be strictly increasing "
+                     "(sample " + std::to_string(i) + ")";
+            return false;
+        }
+    }
+    // Normalize to t = 0 and drop the loop-closing sample (the wrap
+    // segment interpolates back to the first sample's rate).
+    const f64 t0 = samples.front().seconds;
+    const f64 period = samples.back().seconds - t0;
+    std::vector<HarvestModel::Point> points;
+    points.reserve(samples.size() - 1);
+    for (u64 i = 0; i + 1 < samples.size(); ++i)
+        points.push_back({samples[i].seconds - t0, samples[i].watts});
+    // The model's own integral (trapezoids over the kept points, the
+    // last segment wrapping to the first point's rate): a trace that
+    // delivers zero energy per loop could never recharge a device.
+    f64 loop_joules = 0.0;
+    for (u64 i = 0; i < points.size(); ++i) {
+        const f64 end = i + 1 < points.size() ? points[i + 1].seconds
+                                              : period;
+        const f64 end_watts = i + 1 < points.size()
+            ? points[i + 1].watts
+            : points.front().watts;
+        loop_joules += 0.5 * (points[i].watts + end_watts)
+                     * (end - points[i].seconds);
+    }
+    if (loop_joules <= 0.0) {
+        *error = "trace harvests no energy over its loop — playback "
+                 "could never recharge a device";
+        return false;
+    }
+    *out = HarvestModel(std::move(points), period);
+    return true;
+}
+
+} // namespace
+
+bool
+parseTraceCsv(const std::string &text, HarvestModel *out,
+              std::string *error)
+{
+    std::string scratch;
+    std::string &err = error != nullptr ? *error : scratch;
+    std::vector<HarvestModel::Point> samples;
+    std::istringstream lines(text);
+    std::string line;
+    u64 line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        // Trim whitespace; skip blanks and comments.
+        u64 begin = 0, end = line.size();
+        while (begin < end
+               && std::isspace(static_cast<unsigned char>(line[begin])))
+            ++begin;
+        while (end > begin
+               && std::isspace(static_cast<unsigned char>(line[end - 1])))
+            --end;
+        if (begin == end || line[begin] == '#')
+            continue;
+        const std::string row = line.substr(begin, end - begin);
+        const auto comma = row.find(',');
+        if (comma == std::string::npos) {
+            err = "trace line " + std::to_string(line_no)
+                + ": expected 'seconds,watts' (no comma found)";
+            return false;
+        }
+        // Fields tolerate surrounding whitespace ("10 , 0.5").
+        auto trimmed = [](std::string field) {
+            u64 b = 0, e = field.size();
+            while (b < e && std::isspace(
+                       static_cast<unsigned char>(field[b])))
+                ++b;
+            while (e > b && std::isspace(
+                       static_cast<unsigned char>(field[e - 1])))
+                --e;
+            return field.substr(b, e - b);
+        };
+        const std::string secs = trimmed(row.substr(0, comma));
+        const std::string watts = trimmed(row.substr(comma + 1));
+        HarvestModel::Point p;
+        try {
+            std::size_t used = 0;
+            p.seconds = std::stod(secs, &used);
+            if (used != secs.size()) {
+                err = "trace line " + std::to_string(line_no)
+                    + ": unparsable timestamp";
+                return false;
+            }
+            p.watts = std::stod(watts, &used);
+            if (used != watts.size()) {
+                err = "trace line " + std::to_string(line_no)
+                    + ": unparsable power value";
+                return false;
+            }
+        } catch (const std::exception &) {
+            err = "trace line " + std::to_string(line_no)
+                + ": unparsable number";
+            return false;
+        }
+        samples.push_back(p);
+    }
+    return samplesToModel(samples, out, &err);
+}
+
+namespace
+{
+
+/**
+ * A pocket parser for the sonic-trace JSON document. The grammar is
+ * tiny (one flat object, string keys, numbers, a nested array of
+ * 2-element arrays), so the full model-format parser is not pulled in.
+ */
+class TraceJsonParser
+{
+  public:
+    TraceJsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(std::string *format, u32 *version,
+          std::vector<HarvestModel::Point> *points)
+    {
+        bool have_points = false;
+        skipWs();
+        if (!expect('{'))
+            return false;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            if (key == "format") {
+                if (!string(format))
+                    return false;
+            } else if (key == "version") {
+                f64 v = 0.0;
+                if (!number(&v))
+                    return false;
+                if (v < 0 || v != static_cast<f64>(static_cast<u32>(v)))
+                    return fail("\"version\" is not an unsigned "
+                                "integer");
+                *version = static_cast<u32>(v);
+            } else if (key == "points") {
+                if (!pointArray(points))
+                    return false;
+                have_points = true;
+            } else {
+                return fail("unknown field \"" + key + "\"");
+            }
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!expect('}'))
+                return false;
+            break;
+        }
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after the document");
+        if (!have_points)
+            return fail("missing \"points\" array");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (error_->empty())
+            *error_ = "trace JSON error at byte " + std::to_string(pos_)
+                    + ": " + message;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected a string");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                return fail("escapes are not used in trace documents");
+            out->push_back(text_[pos_++]);
+        }
+        return expect('"');
+    }
+
+    bool
+    number(f64 *out)
+    {
+        const u64 start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        try {
+            std::size_t used = 0;
+            *out = std::stod(token, &used);
+            if (used != token.size())
+                return fail("invalid number");
+        } catch (const std::exception &) {
+            return fail("invalid number");
+        }
+        return true;
+    }
+
+    bool
+    pointArray(std::vector<HarvestModel::Point> *out)
+    {
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!expect('['))
+                return false;
+            HarvestModel::Point p;
+            skipWs();
+            if (!number(&p.seconds))
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']')
+                return fail("each point must be [seconds, watts]");
+            if (!expect(','))
+                return false;
+            skipWs();
+            if (!number(&p.watts))
+                return false;
+            skipWs();
+            if (!expect(']'))
+                return fail("each point must be [seconds, watts]");
+            out->push_back(p);
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    u64 pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseTraceJson(const std::string &text, HarvestModel *out,
+               std::string *error)
+{
+    std::string scratch;
+    std::string &err = error != nullptr ? *error : scratch;
+    err.clear();
+
+    std::string format;
+    u32 version = 0;
+    std::vector<HarvestModel::Point> samples;
+    TraceJsonParser parser(text, &err);
+    if (!parser.parse(&format, &version, &samples))
+        return false;
+    if (format != "sonic-trace") {
+        err = "not a sonic-trace document (format \"" + format + "\")";
+        return false;
+    }
+    if (version != kTraceFormatVersion) {
+        err = "unsupported trace format version "
+            + std::to_string(version) + " (this build reads version "
+            + std::to_string(kTraceFormatVersion) + ")";
+        return false;
+    }
+    return samplesToModel(samples, out, &err);
+}
+
+bool
+loadTraceFile(const std::string &path, HarvestModel *out,
+              std::string *error)
+{
+    std::string scratch;
+    std::string &err = error != nullptr ? *error : scratch;
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const bool json = path.size() >= 5
+        && path.compare(path.size() - 5, 5, ".json") == 0;
+    return json ? parseTraceJson(buffer.str(), out, &err)
+                : parseTraceCsv(buffer.str(), out, &err);
+}
+
+// --- Embedded traces ------------------------------------------------
+
+/** ~2 minutes of office ambient RF: a noisy 0.2–0.9 mW floor with
+ * stronger bursts when the nearby transmitter keys up. */
+const char *const kTraceRfOfficeCsv =
+    "# embedded office RF harvest trace (seconds,watts)\n"
+    "0,0.00040\n"
+    "5,0.00025\n"
+    "10,0.00055\n"
+    "15,0.00090\n"
+    "20,0.00035\n"
+    "25,0.00020\n"
+    "30,0.00240\n"
+    "32,0.00260\n"
+    "34,0.00045\n"
+    "40,0.00030\n"
+    "45,0.00065\n"
+    "50,0.00085\n"
+    "55,0.00040\n"
+    "60,0.00022\n"
+    "65,0.00050\n"
+    "70,0.00180\n"
+    "72,0.00210\n"
+    "74,0.00055\n"
+    "80,0.00035\n"
+    "85,0.00070\n"
+    "90,0.00090\n"
+    "95,0.00045\n"
+    "100,0.00028\n"
+    "105,0.00060\n"
+    "110,0.00080\n"
+    "115,0.00050\n"
+    "120,0.00040\n";
+
+/** A cloudy day of solar harvest, hourly samples: late dawn, a broken
+ * noon plateau with cloud dips, early dusk. */
+const char *const kTraceSolarCloudyJson =
+    "{\"format\": \"sonic-trace\", \"version\": 1, \"points\": ["
+    "[0, 0], [21600, 0], [25200, 0.0008], [28800, 0.0030], "
+    "[32400, 0.0055], [36000, 0.0024], [39600, 0.0075], "
+    "[43200, 0.0088], [46800, 0.0031], [50400, 0.0066], "
+    "[54000, 0.0042], [57600, 0.0021], [61200, 0.0009], "
+    "[64800, 0], [86400, 0]]}";
+
+} // namespace sonic::env

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Power-trace playback: measured (or synthesized) harvest-rate traces
+ * as environment inputs.
+ *
+ * Two formats, both mapping to a periodic HarvestModel whose period is
+ * the last sample's timestamp (the trace loops):
+ *
+ *  - CSV: one `seconds,watts` pair per line; blank lines and lines
+ *    starting with '#' are ignored.
+ *
+ *        # office RF harvest, 1 Hz samples
+ *        0.0,0.0005
+ *        1.0,0.0007
+ *        ...
+ *        120.0,0.0004
+ *
+ *  - JSON: `{"format": "sonic-trace", "version": 1,
+ *            "points": [[seconds, watts], ...]}`
+ *
+ * Parsing is total: malformed rows, non-monotonic timestamps,
+ * negative power, empty or all-dark traces, wrong format tags and
+ * unknown versions are all rejected with a one-line diagnostic naming
+ * the offending row — corrupt trace files must never turn into
+ * silently wrong deployment results.
+ */
+
+#ifndef SONIC_ENV_TRACES_HH
+#define SONIC_ENV_TRACES_HH
+
+#include <string>
+
+#include "env/environment.hh"
+
+namespace sonic::env
+{
+
+/** Current trace-format version (JSON "version" field). */
+inline constexpr u32 kTraceFormatVersion = 1;
+
+/**
+ * Parse a CSV power trace. On failure returns false and, when error
+ * is non-null, a diagnostic with the offending line number.
+ */
+bool parseTraceCsv(const std::string &text, HarvestModel *out,
+                   std::string *error = nullptr);
+
+/** Parse a JSON power trace (the sonic-trace document). */
+bool parseTraceJson(const std::string &text, HarvestModel *out,
+                    std::string *error = nullptr);
+
+/**
+ * Load a trace file, dispatching on extension: ".json" parses the
+ * sonic-trace document, anything else is read as CSV.
+ */
+bool loadTraceFile(const std::string &path, HarvestModel *out,
+                   std::string *error = nullptr);
+
+/** @name Embedded traces
+ * Always-available measured-style traces (registered as
+ * trace-rf-office / trace-solar-cloudy), exercising the same playback
+ * pipeline user trace files go through. */
+/// @{
+extern const char *const kTraceRfOfficeCsv;
+extern const char *const kTraceSolarCloudyJson;
+/// @}
+
+} // namespace sonic::env
+
+#endif // SONIC_ENV_TRACES_HH

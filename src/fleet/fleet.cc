@@ -1,0 +1,364 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "dnn/device_net.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace sonic::fleet
+{
+
+// --- FleetPlan ------------------------------------------------------
+
+void
+FleetPlan::validate() const
+{
+    SONIC_ASSERT(devices > 0, "fleet needs at least one device");
+    SONIC_ASSERT(!nets.empty(), "empty fleet net distribution");
+    SONIC_ASSERT(!impls.empty(), "empty fleet impl distribution");
+    SONIC_ASSERT(!environments.empty(),
+                 "empty fleet environment distribution");
+    SONIC_ASSERT(horizonSeconds > 0.0,
+                 "fleet horizon must be positive");
+    auto &zoo = dnn::ModelZoo::instance();
+    for (const auto &net : nets) {
+        if (!zoo.contains(net))
+            fatal("unknown model '", net,
+                  "' in the fleet net distribution; registered "
+                  "models: ",
+                  zoo.availableList());
+    }
+    auto &registry = env::EnvRegistry::instance();
+    for (const auto &ref : environments) {
+        if (ref.empty() || !registry.contains(ref.env))
+            fatal("unknown environment '", ref.env,
+                  "' in the fleet environment distribution; "
+                  "registered environments: ",
+                  registry.availableList());
+    }
+    for (const auto impl : impls) {
+        if (kernels::ImplRegistry::instance().find(impl) == nullptr)
+            fatal("unregistered implementation id in the fleet impl "
+                  "distribution");
+    }
+}
+
+DeviceAssignment
+FleetPlan::assignmentFor(u32 device_index) const
+{
+    // A pure function of (baseSeed, deviceIndex) and the distribution
+    // lists: device 17 is the same deployment no matter how many
+    // threads race over the fleet or which worker picks it up.
+    const u64 h = mix64(mix64(baseSeed) ^ (0xf1ee7u + device_index));
+    DeviceAssignment a;
+    a.deviceIndex = device_index;
+    a.net = nets[mix64(h ^ 1) % nets.size()];
+    a.impl = impls[mix64(h ^ 2) % impls.size()];
+    a.environment = environments[mix64(h ^ 3) % environments.size()];
+    a.seed = mix64(h ^ 4);
+    return a;
+}
+
+// --- Device lifetime ------------------------------------------------
+
+DeviceTelemetry
+simulateDevice(const FleetPlan &plan, u32 device_index)
+{
+    DeviceTelemetry t;
+    t.assignment = plan.assignmentFor(device_index);
+
+    const auto &entry = dnn::ModelZoo::instance().get(t.assignment.net);
+    const auto &net_spec = entry.compressed();
+    const auto &data = entry.dataset();
+    auto supply = env::EnvRegistry::instance().make(
+        t.assignment.environment, t.assignment.seed);
+
+    for (u32 k = 0; plan.maxInferencesPerDevice == 0
+         || k < plan.maxInferencesPerDevice;
+         ++k) {
+        if (t.totalSeconds() >= plan.horizonSeconds)
+            break;
+        if (k > 0) {
+            // Between inferences the device sleeps until the
+            // harvester refills the buffer — the standard
+            // charge-then-burst duty cycle of intermittent systems.
+            t.deadSeconds += supply->recharge();
+            if (t.totalSeconds() >= plan.horizonSeconds)
+                break;
+        }
+
+        // A fresh Device per inference (single-run kernel semantics),
+        // powered through a borrowed view of the lifetime's supply so
+        // the capacitor level and environment clock persist.
+        arch::Device dev(
+            app::makeProfile(plan.profile),
+            std::make_unique<env::BorrowedSupply>(supply.get()));
+        dnn::DeviceNetwork net(dev, net_spec);
+        net.loadInput(dnn::DeviceNetwork::quantizeInput(
+            data[k % data.size()].input));
+        const auto run = kernels::runInference(net, t.assignment.impl);
+        dev.power(); // settle the open lease back into the supply
+
+        t.liveSeconds += dev.liveSeconds();
+        t.deadSeconds += dev.deadSeconds();
+        t.energyJ += dev.consumedJoules();
+        t.reboots += run.reboots;
+        if (run.nonTerminating) {
+            t.diedNonTerminating = true;
+            break;
+        }
+        if (!run.completed) {
+            t.failedIncomplete = true;
+            break;
+        }
+        ++t.inferencesCompleted;
+        t.inferenceSeconds.push_back(dev.totalSeconds());
+    }
+
+    t.harvestedJ = supply->harvestedNj() * 1e-9;
+    return t;
+}
+
+// --- Sinks ----------------------------------------------------------
+
+void
+FleetCsvSink::begin(u64)
+{
+    os_ << "device,net,impl,environment,seed,status,inferences,"
+           "reboots,liveSeconds,deadSeconds,totalSeconds,energyJ,"
+           "harvestedJ,inferencesPerDay,rebootsPerInference,"
+           "deadFraction,energyPerInferenceJ,meanInferenceSeconds\n";
+}
+
+void
+FleetCsvSink::add(const DeviceTelemetry &t)
+{
+    f64 mean_latency = 0.0;
+    for (f64 s : t.inferenceSeconds)
+        mean_latency += s;
+    if (!t.inferenceSeconds.empty())
+        mean_latency /= static_cast<f64>(t.inferenceSeconds.size());
+
+    std::ostringstream row;
+    row.precision(12);
+    row << t.assignment.deviceIndex << ','
+        << csvQuote(t.assignment.net) << ','
+        << csvQuote(std::string(
+               kernels::implName(t.assignment.impl)))
+        << ',' << csvQuote(t.assignment.environment.label()) << ','
+        << t.assignment.seed << ','
+        << (t.diedNonTerminating
+                ? "dnf"
+                : (t.failedIncomplete ? "fail" : "ok"))
+        << ','
+        << t.inferencesCompleted << ',' << t.reboots << ','
+        << t.liveSeconds << ',' << t.deadSeconds << ','
+        << t.totalSeconds() << ',' << t.energyJ << ','
+        << t.harvestedJ << ',' << t.inferencesPerDay() << ','
+        << t.rebootsPerInference() << ',' << t.deadFraction() << ','
+        << t.energyPerInferenceJ() << ',' << mean_latency << '\n';
+    os_ << row.str();
+}
+
+// --- Aggregation ----------------------------------------------------
+
+void
+GroupStats::accumulate(const DeviceTelemetry &t)
+{
+    ++devices;
+    if (t.diedNonTerminating)
+        ++dnfDevices;
+    if (t.failedIncomplete)
+        ++failedDevices;
+    inferences += t.inferencesCompleted;
+    reboots += t.reboots;
+    liveSeconds += t.liveSeconds;
+    deadSeconds += t.deadSeconds;
+    energyJ += t.energyJ;
+    harvestedJ += t.harvestedJ;
+}
+
+namespace
+{
+
+f64
+nearestRank(const std::vector<f64> &sorted, f64 percentile)
+{
+    if (sorted.empty())
+        return 0.0;
+    const u64 rank = static_cast<u64>(
+        std::ceil(percentile / 100.0
+                  * static_cast<f64>(sorted.size())));
+    return sorted[std::min<u64>(rank > 0 ? rank - 1 : 0,
+                                sorted.size() - 1)];
+}
+
+void
+emitGroup(std::ostringstream &os, const GroupStats &g)
+{
+    os << "{\"devices\": " << g.devices
+       << ", \"dnfDevices\": " << g.dnfDevices
+       << ", \"failedDevices\": " << g.failedDevices
+       << ", \"inferences\": " << g.inferences
+       << ", \"reboots\": " << g.reboots
+       << ", \"liveSeconds\": " << g.liveSeconds
+       << ", \"deadSeconds\": " << g.deadSeconds
+       << ", \"energyJ\": " << g.energyJ
+       << ", \"harvestedJ\": " << g.harvestedJ
+       << ", \"inferencesPerDeviceDay\": " << g.inferencesPerDeviceDay()
+       << ", \"rebootsPerInference\": " << g.rebootsPerInference()
+       << ", \"deadFraction\": " << g.deadFraction()
+       << ", \"energyPerInferenceJ\": " << g.energyPerInferenceJ()
+       << "}";
+}
+
+void
+emitGroupMap(std::ostringstream &os, const char *key,
+             const std::map<std::string, GroupStats> &groups)
+{
+    os << ",\n  \"" << key << "\": {";
+    bool first = true;
+    for (const auto &[name, stats] : groups) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": ";
+        emitGroup(os, stats);
+        first = false;
+    }
+    os << (groups.empty() ? "}" : "\n  }");
+}
+
+} // namespace
+
+std::string
+FleetSummary::toJson() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"devices\": " << devices
+       << ",\n  \"horizonSeconds\": " << horizonSeconds
+       << ",\n  \"baseSeed\": " << baseSeed
+       << ",\n  \"latencyP50Seconds\": " << latencyP50Seconds
+       << ",\n  \"latencyP95Seconds\": " << latencyP95Seconds
+       << ",\n  \"latencyP99Seconds\": " << latencyP99Seconds
+       << ",\n  \"total\": ";
+    emitGroup(os, total);
+    emitGroupMap(os, "byEnvironment", byEnvironment);
+    emitGroupMap(os, "byImpl", byImpl);
+    emitGroupMap(os, "byNet", byNet);
+    os << "\n}\n";
+    return os.str();
+}
+
+// --- Fleet execution ------------------------------------------------
+
+FleetSummary
+runFleet(const FleetPlan &plan, FleetOptions options,
+         const std::vector<FleetSink *> &sinks)
+{
+    plan.validate();
+
+    // Warm the zoo cache single-threaded so workers only read
+    // immutable artifacts (same discipline as Engine::run).
+    for (const auto &net : plan.nets) {
+        const auto &entry = dnn::ModelZoo::instance().get(net);
+        entry.compressed();
+        entry.dataset();
+    }
+
+    const u64 total = plan.devices;
+    u32 workers = options.threads > 0
+        ? options.threads
+        : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<u32>(std::min<u64>(workers, total));
+
+    std::vector<FleetSink *> live_sinks;
+    for (auto *sink : sinks)
+        if (sink != nullptr)
+            live_sinks.push_back(sink);
+    for (auto *sink : live_sinks)
+        sink->begin(total);
+
+    std::vector<std::unique_ptr<DeviceTelemetry>> done(total);
+
+    if (workers <= 1) {
+        for (u64 i = 0; i < total; ++i) {
+            done[i] = std::make_unique<DeviceTelemetry>(
+                simulateDevice(plan, static_cast<u32>(i)));
+            for (auto *sink : live_sinks)
+                sink->add(*done[i]);
+        }
+    } else {
+        // Work stealing over device lifetimes: the shared cursor hands
+        // the next device to whichever worker frees up first, so a
+        // fleet of wildly uneven lifetimes (a solar device waiting out
+        // the night next to a bench device) still load-balances.
+        std::atomic<u64> next{0};
+        std::mutex emitMutex;
+        u64 emitted = 0;
+
+        auto workerLoop = [&]() {
+            for (;;) {
+                const u64 i = next.fetch_add(1);
+                if (i >= total)
+                    return;
+                auto telemetry = std::make_unique<DeviceTelemetry>(
+                    simulateDevice(plan, static_cast<u32>(i)));
+
+                std::lock_guard<std::mutex> lock(emitMutex);
+                done[i] = std::move(telemetry);
+                while (emitted < total && done[emitted]) {
+                    for (auto *sink : live_sinks)
+                        sink->add(*done[emitted]);
+                    ++emitted;
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (u32 w = 0; w < workers; ++w)
+            pool.emplace_back(workerLoop);
+        for (auto &t : pool)
+            t.join();
+        SONIC_ASSERT(emitted == total, "fleet lost devices");
+    }
+
+    for (auto *sink : live_sinks)
+        sink->end();
+
+    // Sequential reduction in device-index order: the summary is a
+    // pure function of the per-device telemetry, so it is bit-identical
+    // for every thread count.
+    FleetSummary summary;
+    summary.devices = plan.devices;
+    summary.horizonSeconds = plan.horizonSeconds;
+    summary.baseSeed = plan.baseSeed;
+    std::vector<f64> latencies;
+    for (u64 i = 0; i < total; ++i) {
+        const DeviceTelemetry &t = *done[i];
+        summary.total.accumulate(t);
+        summary.byEnvironment[t.assignment.environment.label()]
+            .accumulate(t);
+        summary.byImpl[std::string(
+                           kernels::implName(t.assignment.impl))]
+            .accumulate(t);
+        summary.byNet[t.assignment.net].accumulate(t);
+        latencies.insert(latencies.end(), t.inferenceSeconds.begin(),
+                         t.inferenceSeconds.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    summary.latencyP50Seconds = nearestRank(latencies, 50.0);
+    summary.latencyP95Seconds = nearestRank(latencies, 95.0);
+    summary.latencyP99Seconds = nearestRank(latencies, 99.0);
+    return summary;
+}
+
+} // namespace sonic::fleet

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The fleet simulator: thousands of concurrent intermittently-powered
+ * devices, each living out a seeded deployment — a model, a kernel, a
+ * harvested-energy environment (src/env) with its own capacitor size
+ * and deployment phase — and streaming per-device plus aggregate
+ * telemetry.
+ *
+ * A FleetPlan is declarative, like a SweepPlan: it names the
+ * model/kernel/environment distributions and the fleet size, and every
+ * device's assignment and seed derive deterministically from the base
+ * seed and the device index alone. Execution fans device lifetimes
+ * across a worker pool with work stealing (a shared atomic cursor:
+ * whichever worker frees up first takes the next device), and the
+ * aggregate FleetSummary is bit-identical regardless of thread count
+ * because per-device telemetry is placed by device index and reduced
+ * sequentially.
+ *
+ * A device lifetime: boot fully charged, run an inference, sleep until
+ * the harvester refills the buffer, repeat — until the simulated
+ * horizon or the per-device inference cap is reached, or the kernel is
+ * declared non-terminating under that environment (a DNF device, e.g.
+ * a large tiling on a tiny capacitor). Telemetry per device:
+ * inferences/day, reboots/inference, dead-time fraction,
+ * energy/inference, per-inference latency; the summary aggregates
+ * fleet-wide and per environment/kernel/model, with p50/p95/p99
+ * latency over every completed inference.
+ */
+
+#ifndef SONIC_FLEET_FLEET_HH
+#define SONIC_FLEET_FLEET_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/experiment.hh"
+#include "env/environment.hh"
+
+namespace sonic::fleet
+{
+
+/** What one device in the fleet was assigned (derived, not chosen). */
+struct DeviceAssignment
+{
+    u32 deviceIndex = 0;
+    dnn::NetRef net;
+    kernels::Impl impl = kernels::Impl::Sonic;
+    env::EnvRef environment;
+    /** Per-device seed: environment phase + future stochastic models. */
+    u64 seed = 0;
+};
+
+/** Declarative fleet description. */
+struct FleetPlan
+{
+    /** Number of devices in the deployment. */
+    u32 devices = 100;
+
+    /** @name Assignment distributions (uniform over each list,
+     * seeded per device). */
+    /// @{
+    std::vector<dnn::NetRef> nets{"MNIST"};
+    std::vector<kernels::Impl> impls{kernels::Impl::Sonic};
+    std::vector<env::EnvRef> environments{{"rf-paper", 0.0}};
+    /// @}
+
+    /** Simulated deployment length per device. */
+    f64 horizonSeconds = 86400.0;
+
+    /**
+     * Inference cap per device (0 = horizon-bound only). Fleet-scale
+     * runs simulate a few inferences per device and report rates;
+     * the horizon still bounds devices whose environment is so poor
+     * that even one inference exceeds it.
+     */
+    u32 maxInferencesPerDevice = 4;
+
+    app::ProfileVariant profile = app::ProfileVariant::Standard;
+    u64 baseSeed = 0x5eed;
+
+    /**
+     * Validate the distributions (registered model/environment names,
+     * non-empty axes, positive fleet size). Fatal on configuration
+     * errors, naming the registered alternatives.
+     */
+    void validate() const;
+
+    /**
+     * The deterministic assignment of one device: a pure function of
+     * (baseSeed, deviceIndex) and the distribution lists — independent
+     * of thread count and of which worker runs the device.
+     */
+    DeviceAssignment assignmentFor(u32 device_index) const;
+};
+
+/** Everything measured over one device lifetime. */
+struct DeviceTelemetry
+{
+    DeviceAssignment assignment;
+
+    u32 inferencesCompleted = 0;
+    bool diedNonTerminating = false; ///< kernel DNF under this env
+    /** An inference ended neither completed nor non-terminating (no
+     * kernel does this today; kept distinct so a future bounded-retry
+     * failure mode cannot masquerade as a healthy device). */
+    bool failedIncomplete = false;
+    u64 reboots = 0;
+
+    f64 liveSeconds = 0.0;
+    f64 deadSeconds = 0.0; ///< recharge time, in- and between-inference
+    f64 energyJ = 0.0;
+    f64 harvestedJ = 0.0;
+
+    /** Wall-clock (live + dead) seconds of each completed inference. */
+    std::vector<f64> inferenceSeconds;
+
+    f64 totalSeconds() const { return liveSeconds + deadSeconds; }
+
+    f64
+    inferencesPerDay() const
+    {
+        const f64 t = totalSeconds();
+        return t > 0.0 ? inferencesCompleted * 86400.0 / t : 0.0;
+    }
+
+    f64
+    rebootsPerInference() const
+    {
+        return inferencesCompleted > 0
+            ? static_cast<f64>(reboots) / inferencesCompleted
+            : static_cast<f64>(reboots);
+    }
+
+    f64
+    deadFraction() const
+    {
+        const f64 t = totalSeconds();
+        return t > 0.0 ? deadSeconds / t : 0.0;
+    }
+
+    f64
+    energyPerInferenceJ() const
+    {
+        return inferencesCompleted > 0 ? energyJ / inferencesCompleted
+                                       : 0.0;
+    }
+};
+
+/**
+ * Receives per-device telemetry in device-index order as lifetimes
+ * complete (out-of-order completions are held back, as in the sweep
+ * engine). Methods are never called concurrently.
+ */
+class FleetSink
+{
+  public:
+    virtual ~FleetSink() = default;
+
+    virtual void begin(u64 totalDevices) { (void)totalDevices; }
+    virtual void add(const DeviceTelemetry &device) = 0;
+    virtual void end() {}
+};
+
+/** Streams one CSV row per device (header first). */
+class FleetCsvSink : public FleetSink
+{
+  public:
+    explicit FleetCsvSink(std::ostream &os) : os_(os) {}
+
+    void begin(u64 totalDevices) override;
+    void add(const DeviceTelemetry &device) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** One aggregation bucket (the whole fleet, or a breakdown group). */
+struct GroupStats
+{
+    u64 devices = 0;
+    u64 dnfDevices = 0;
+    u64 failedDevices = 0; ///< stopped incomplete without a DNF verdict
+    u64 inferences = 0;
+    u64 reboots = 0;
+    f64 liveSeconds = 0.0;
+    f64 deadSeconds = 0.0;
+    f64 energyJ = 0.0;
+    f64 harvestedJ = 0.0;
+
+    void accumulate(const DeviceTelemetry &device);
+
+    f64
+    inferencesPerDeviceDay() const
+    {
+        const f64 t = liveSeconds + deadSeconds;
+        return t > 0.0 ? inferences * 86400.0 / t : 0.0;
+    }
+
+    f64
+    rebootsPerInference() const
+    {
+        return inferences > 0
+            ? static_cast<f64>(reboots) / inferences
+            : static_cast<f64>(reboots);
+    }
+
+    f64
+    deadFraction() const
+    {
+        const f64 t = liveSeconds + deadSeconds;
+        return t > 0.0 ? deadSeconds / t : 0.0;
+    }
+
+    f64
+    energyPerInferenceJ() const
+    {
+        return inferences > 0 ? energyJ / inferences : 0.0;
+    }
+};
+
+/** The machine-readable outcome of a fleet run. */
+struct FleetSummary
+{
+    u32 devices = 0;
+    f64 horizonSeconds = 0.0;
+    u64 baseSeed = 0;
+
+    GroupStats total;
+    std::map<std::string, GroupStats> byEnvironment;
+    std::map<std::string, GroupStats> byImpl;
+    std::map<std::string, GroupStats> byNet;
+
+    /** Latency percentiles over every completed inference
+     * (nearest-rank on the sorted latency list; 0 when none). */
+    f64 latencyP50Seconds = 0.0;
+    f64 latencyP95Seconds = 0.0;
+    f64 latencyP99Seconds = 0.0;
+
+    /** Render the deployment report as JSON (the CI artifact). */
+    std::string toJson() const;
+};
+
+/** Execution options. */
+struct FleetOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    u32 threads = 0;
+};
+
+/**
+ * Simulate one device lifetime on the calling thread (exposed for
+ * tests; runFleet fans this across the pool).
+ */
+DeviceTelemetry simulateDevice(const FleetPlan &plan, u32 device_index);
+
+/**
+ * Run the whole fleet. Telemetry streams to the sinks in device-index
+ * order; the returned summary is bit-identical for every thread count.
+ */
+FleetSummary runFleet(const FleetPlan &plan, FleetOptions options = {},
+                      const std::vector<FleetSink *> &sinks = {});
+
+} // namespace sonic::fleet
+
+#endif // SONIC_FLEET_FLEET_HH

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * sonic_fleet — the deployment fleet simulator CLI.
+ *
+ * Runs a fleet of intermittently-powered inference devices across
+ * harvested-energy environments and reports per-device and aggregate
+ * telemetry:
+ *
+ *     sonic_fleet --scenario=mixed-1k --summary=fleet_summary.json
+ *     sonic_fleet --devices=500 --nets=MNIST,HAR --impls=SONIC,TAILS \
+ *                 --envs=solar@1mF,rf-paper@100uF --csv=fleet.csv
+ *     sonic_fleet --trace=my-site=site_power.csv --envs=my-site@1mF \
+ *                 --devices=50
+ *
+ * --list-envs and --list-scenarios enumerate the registered
+ * environments and the named scenarios. The process exits 1 when the
+ * fleet completed zero inferences (a deployment that delivers nothing
+ * is a failure unless --allow-zero says otherwise), so CI can gate on
+ * the exit code alone.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace sonic;
+using cli::consumeFlag;
+using cli::splitCsv;
+
+struct Scenario
+{
+    const char *name;
+    const char *description;
+    fleet::FleetPlan plan;
+};
+
+std::vector<Scenario>
+scenarios()
+{
+    std::vector<Scenario> out;
+    {
+        // The CI smoke fleet: small, seconds to run, but mixed enough
+        // to cross every kernel with both trace environments.
+        fleet::FleetPlan plan;
+        plan.devices = 200;
+        plan.nets = {"MNIST", "HAR", "OkG"};
+        plan.impls.assign(std::begin(kernels::kAllImpls),
+                          std::end(kernels::kAllImpls));
+        plan.environments = {{"trace-rf-office", 1e-3},
+                             {"trace-solar-cloudy", 1e-3},
+                             {"rf-paper", 100e-6},
+                             {"duty-cycle", 1e-3},
+                             {"continuous", 0.0}};
+        plan.maxInferencesPerDevice = 2;
+        out.push_back({"smoke-200",
+                       "200 devices, all kernels, trace + synthetic "
+                       "environments (CI smoke)",
+                       plan});
+    }
+    {
+        // The acceptance fleet: 1,000 devices of the paper's three
+        // workloads on SONIC/TAILS under mixed solar + RF power.
+        fleet::FleetPlan plan;
+        plan.devices = 1000;
+        plan.nets = {"MNIST", "HAR", "OkG"};
+        plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails};
+        plan.environments = {{"solar", 1e-3},
+                             {"solar", 100e-6},
+                             {"rf-paper", 1e-3},
+                             {"rf-paper", 100e-6},
+                             {"rf-bursty", 1e-3}};
+        plan.maxInferencesPerDevice = 2;
+        out.push_back({"mixed-1k",
+                       "1,000 devices, MNIST/HAR/OkG x SONIC/TAILS, "
+                       "solar + RF mixed power",
+                       plan});
+    }
+    {
+        // A day of wildlife cameras: the paper's motivating deployment
+        // at fleet scale, solar-powered with cloudy-trace variants.
+        fleet::FleetPlan plan;
+        plan.devices = 500;
+        plan.nets = {"MNIST"};
+        plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails,
+                      kernels::Impl::Tile8};
+        plan.environments = {{"solar", 1e-3},
+                             {"trace-solar-cloudy", 1e-3},
+                             {"trace-solar-cloudy", 100e-6}};
+        plan.maxInferencesPerDevice = 3;
+        out.push_back({"wildlife-day",
+                       "500 solar wildlife cameras, clear vs cloudy "
+                       "traces",
+                       plan});
+    }
+    return out;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: sonic_fleet [--scenario=NAME]\n"
+           "                   [--devices=N] [--nets=A,B,...]\n"
+           "                   [--impls=SONIC,TAILS,...]\n"
+           "                   [--envs=solar@1mF,rf-paper,...]\n"
+           "                   [--horizon=SECONDS]\n"
+           "                   [--max-inferences=K] [--threads=T]\n"
+           "                   [--seed=S] [--csv=PATH]\n"
+           "                   [--summary=PATH]\n"
+           "                   [--trace=NAME=FILE] [--allow-zero]\n"
+           "                   [--list-envs] [--list-scenarios]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fleet::FleetPlan plan;
+    fleet::FleetOptions options;
+    bool allow_zero = false;
+    std::string csv_path, summary_path;
+    std::vector<std::string> trace_args;
+    std::string value;
+
+    // Two passes: traces must register and --scenario must resolve
+    // before axis overrides apply, whatever the flag order was.
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        for (const auto &arg : args) {
+            if (consumeFlag(arg, "--trace", &value)) {
+                trace_args.push_back(value);
+            } else if (consumeFlag(arg, "--scenario", &value)) {
+                bool found = false;
+                for (const auto &scenario : scenarios()) {
+                    if (scenario.name == value) {
+                        plan = scenario.plan;
+                        found = true;
+                    }
+                }
+                if (!found) {
+                    std::cerr << "unknown scenario '" << value
+                              << "' (--list-scenarios)\n";
+                    return 2;
+                }
+            }
+        }
+
+        for (const auto &trace : trace_args) {
+            const auto eq = trace.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::cerr << "--trace expects NAME=FILE (got '"
+                          << trace << "')\n";
+                return 2;
+            }
+            std::string error;
+            if (!env::EnvRegistry::instance().addTraceFile(
+                    trace.substr(0, eq), trace.substr(eq + 1),
+                    &error)) {
+                std::cerr << "cannot register trace: " << error
+                          << "\n";
+                return 2;
+            }
+        }
+
+        for (const auto &arg : args) {
+            if (consumeFlag(arg, "--trace", &value)
+                || consumeFlag(arg, "--scenario", &value)) {
+                continue; // handled above
+            } else if (arg == "--list-envs") {
+                auto &registry = env::EnvRegistry::instance();
+                for (const auto &name : registry.names()) {
+                    const auto *meta = registry.meta(name);
+                    std::cout
+                        << name << " [" << meta->family << "] — "
+                        << meta->description << " (default "
+                        << env::formatCapacitance(
+                               meta->defaultCapacitanceFarads)
+                        << ")\n";
+                }
+                return 0;
+            } else if (arg == "--list-scenarios") {
+                for (const auto &scenario : scenarios())
+                    std::cout << scenario.name << " — "
+                              << scenario.description << "\n";
+                return 0;
+            } else if (consumeFlag(arg, "--devices", &value)) {
+                plan.devices = static_cast<u32>(std::stoul(value));
+            } else if (consumeFlag(arg, "--nets", &value)) {
+                plan.nets = splitCsv(value);
+            } else if (consumeFlag(arg, "--impls", &value)) {
+                plan.impls.clear();
+                for (const auto &name : splitCsv(value)) {
+                    const auto *info =
+                        kernels::ImplRegistry::instance().find(name);
+                    if (info == nullptr)
+                        fatal("unknown implementation '", name, "'");
+                    plan.impls.push_back(info->id);
+                }
+            } else if (consumeFlag(arg, "--envs", &value)) {
+                plan.environments.clear();
+                for (const auto &label : splitCsv(value)) {
+                    env::EnvRef ref;
+                    std::string error;
+                    if (!env::parseEnvRef(label, &ref, &error))
+                        fatal(error);
+                    plan.environments.push_back(std::move(ref));
+                }
+            } else if (consumeFlag(arg, "--horizon", &value)) {
+                plan.horizonSeconds = std::stod(value);
+            } else if (consumeFlag(arg, "--max-inferences", &value)) {
+                plan.maxInferencesPerDevice =
+                    static_cast<u32>(std::stoul(value));
+            } else if (consumeFlag(arg, "--threads", &value)) {
+                options.threads =
+                    static_cast<u32>(std::stoul(value));
+            } else if (consumeFlag(arg, "--seed", &value)) {
+                plan.baseSeed = std::stoull(value);
+            } else if (consumeFlag(arg, "--csv", &value)) {
+                csv_path = value;
+            } else if (consumeFlag(arg, "--summary", &value)) {
+                summary_path = value;
+            } else if (arg == "--allow-zero") {
+                allow_zero = true;
+            } else {
+                return usage();
+            }
+        }
+    } catch (const std::exception &) { // bad numeric flag value
+        return usage();
+    }
+
+    std::ofstream csv_file;
+    fleet::FleetCsvSink *csv_sink = nullptr;
+    fleet::FleetCsvSink csv_sink_storage(csv_file);
+    if (!csv_path.empty()) {
+        csv_file.open(csv_path);
+        if (!csv_file) {
+            std::cerr << "cannot write " << csv_path << "\n";
+            return 2;
+        }
+        csv_sink = &csv_sink_storage;
+    }
+
+    const auto summary =
+        fleet::runFleet(plan, options, {csv_sink});
+
+    // Human-readable deployment report.
+    std::cout << "fleet: " << summary.devices << " devices, "
+              << summary.total.inferences << " inferences, "
+              << summary.total.dnfDevices << " DNF devices, "
+              << summary.total.reboots << " reboots\n";
+    std::cout << "latency p50/p95/p99: " << summary.latencyP50Seconds
+              << " / " << summary.latencyP95Seconds << " / "
+              << summary.latencyP99Seconds << " s\n";
+    Table table({"environment", "devices", "dnf", "inf/dev-day",
+                 "reboots/inf", "dead frac", "J/inf"});
+    for (const auto &[name, g] : summary.byEnvironment) {
+        table.row()
+            .cell(name)
+            .cell(g.devices)
+            .cell(g.dnfDevices)
+            .cell(g.inferencesPerDeviceDay(), 3)
+            .cell(g.rebootsPerInference(), 2)
+            .cell(g.deadFraction(), 4)
+            .cell(g.energyPerInferenceJ(), 6);
+    }
+    table.print(std::cout);
+
+    if (!summary_path.empty()) {
+        std::ofstream out(summary_path);
+        if (!out) {
+            std::cerr << "cannot write " << summary_path << "\n";
+            return 2;
+        }
+        out << summary.toJson();
+        std::cout << "fleet summary written to " << summary_path
+                  << "\n";
+    }
+
+    if (summary.total.inferences == 0 && !allow_zero) {
+        std::cerr << "fleet completed zero inferences — failing "
+                     "(--allow-zero to override)\n";
+        return 1;
+    }
+    return 0;
+}

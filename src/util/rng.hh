@@ -10,11 +10,41 @@
 #define SONIC_UTIL_RNG_HH
 
 #include <cmath>
+#include <string>
 
 #include "util/types.hh"
 
 namespace sonic
 {
+
+/**
+ * splitmix64 finalizer: the project's standard 64-bit mixer for
+ * deriving deterministic per-coordinate seeds (sweep specs, fleet
+ * device assignments). Bijective, so distinct inputs cannot collide.
+ */
+inline u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * FNV-1a over a string: the name-coordinate hash (model names,
+ * environment names) folded into seed derivations.
+ */
+inline u64
+fnv1a(const std::string &name)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<u64>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
 /**
  * Deterministic PRNG. Not cryptographic; chosen for reproducibility and

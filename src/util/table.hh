@@ -57,6 +57,27 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
+/**
+ * RFC 4180 CSV quoting: a field containing a comma, quote or newline
+ * is wrapped in quotes with embedded quotes doubled. One
+ * implementation for every CSV-emitting sink, so a quoting fix lands
+ * everywhere at once (the jsonEscape principle, util/json.hh).
+ */
+inline std::string
+csvQuote(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 /** Format a double with the given precision (fixed notation). */
 std::string formatFixed(f64 value, int precision = 3);
 

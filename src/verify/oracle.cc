@@ -1,6 +1,7 @@
 #include "verify/oracle.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -8,6 +9,7 @@
 #include "kernels/runner.hh"
 #include "task/runtime.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "verify/workload.hh"
 
 namespace sonic::verify
@@ -164,6 +166,94 @@ recordCommitTrace(const LocalWorkload &workload, u64 *total_draws)
                 .drawsSoFar();
     }
     return std::move(recorder.commits);
+}
+
+std::vector<u64>
+recordEnvironmentFailures(const LocalWorkload &workload,
+                          const env::EnvRef &ref, u64 seed)
+{
+    auto &registry = env::EnvRegistry::instance();
+    const auto *meta = registry.meta(ref.env);
+    if (meta == nullptr)
+        fatal("unknown environment '", ref.env,
+              "'; registered environments: ", registry.availableList());
+    if (meta->alwaysOn)
+        fatal("environment '", ref.env,
+              "' never fails — nothing to record for the oracle");
+
+    auto psu = registry.make(ref, seed);
+    auto *harvest = dynamic_cast<env::HarvestSupply *>(psu.get());
+    SONIC_ASSERT(harvest != nullptr,
+                 "intermittent environments build HarvestSupply");
+    harvest->setRecordFailures(true);
+
+    arch::Device dev(app::makeProfile(workload.profile),
+                     std::move(psu));
+    dnn::DeviceNetwork net(dev, workload.net);
+    net.loadInput(workload.input);
+    (void)kernels::runInference(net, workload.impl);
+    dev.power(); // settle the open lease so the cursor is booked
+    return harvest->failureIndices();
+}
+
+std::vector<Schedule>
+environmentSchedules(const LocalWorkload &workload,
+                     const env::EnvRef &ref, u32 count,
+                     const ScheduleGenConfig &config)
+{
+    if (count == 0)
+        return {};
+    // A few seeded deployments (distinct phases in the environment
+    // cycle) supply the raw brown-out traces; every schedule is a
+    // window of consecutive coordinates from one of them, clamped to
+    // maxFailures so non-termination verdicts stay genuine.
+    // The environment identity folds into the seeds: capacitor size
+    // sets where brown-outs land (charge is spent op-by-op, income
+    // arrives only while recharging), and the name desynchronizes the
+    // window sampling between environments sharing a capacitor.
+    u64 env_bits = 0;
+    static_assert(sizeof env_bits == sizeof ref.capacitanceFarads);
+    std::memcpy(&env_bits, &ref.capacitanceFarads, sizeof env_bits);
+    const u64 env_seed =
+        mix64(config.seed ^ fnv1a(ref.env) ^ env_bits);
+
+    const u32 runs = std::min<u32>(count, 8);
+    std::vector<std::vector<u64>> recorded;
+    recorded.reserve(runs);
+    u64 total_recorded = 0;
+    for (u32 r = 0; r < runs; ++r) {
+        recorded.push_back(recordEnvironmentFailures(
+            workload, ref, mix64(env_seed ^ (0xe2f + r))));
+        total_recorded += recorded.back().size();
+    }
+    // All phases failure-free would make every schedule empty and the
+    // whole fuzz pass vacuously — that is a configuration error, not
+    // a verification result.
+    if (total_recorded == 0)
+        fatal("environment '", ref.label(), "' never browned out in ",
+              runs, " sampled deployment phases — the fuzz would ",
+              "inject nothing; use a smaller capacitor override ",
+              "(e.g. '", ref.env, "@20uF')");
+
+    Rng rng(env_seed ^ 0xe2f5eed);
+    const u32 max_failures = std::max<u32>(config.maxFailures, 1);
+    std::vector<Schedule> schedules;
+    schedules.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        const auto &trace = recorded[i % runs];
+        if (trace.empty()) {
+            // The capacitor never emptied under this phase: the
+            // environment behaves continuously, nothing to inject.
+            schedules.push_back({});
+            continue;
+        }
+        const u64 len =
+            1 + rng.below(std::min<u64>(max_failures, trace.size()));
+        const u64 start = rng.below(trace.size() - len + 1);
+        schedules.emplace_back(trace.begin() + start,
+                               trace.begin() + start + len);
+    }
+    return schedules;
 }
 
 // --- Oracle ---------------------------------------------------------
@@ -380,15 +470,24 @@ verifyWithEngine(app::Engine &engine, const EngineOracleConfig &config)
     workload.input =
         dnn::DeviceNetwork::quantizeInput(data[0].input);
     workload.impl = config.impl;
-    u64 horizon = 0;
-    const auto commits = recordCommitTrace(workload, &horizon);
 
     ScheduleGenConfig gen;
     gen.seed = config.seed;
-    gen.opHorizon = horizon;
     gen.maxFailures = config.maxFailures;
-    const auto schedules =
-        mixedSchedules(config.schedules, commits, gen);
+    // An environment swaps the synthetic battery for schedules sliced
+    // from where that deployment's capacitor actually browns out; the
+    // commit-trace run (a full instrumented inference) only pays off
+    // for the synthetic generators that consume it.
+    std::vector<Schedule> schedules;
+    if (config.environment.empty()) {
+        u64 horizon = 0;
+        const auto commits = recordCommitTrace(workload, &horizon);
+        gen.opHorizon = horizon;
+        schedules = mixedSchedules(config.schedules, commits, gen);
+    } else {
+        schedules = environmentSchedules(workload, config.environment,
+                                         config.schedules, gen);
+    }
 
     // Fan the whole batch across the worker pool via the sweep
     // engine's failure-schedule axis; records stream in plan order,
@@ -407,7 +506,9 @@ verifyWithEngine(app::Engine &engine, const EngineOracleConfig &config)
 
     OracleReport rep = oracle.judgeBatch(schedules, observed);
     rep.impl = info->name;
-    rep.workload = config.net;
+    rep.workload = config.environment.empty()
+        ? config.net
+        : config.net + " under " + config.environment.label();
     return rep;
 }
 

@@ -85,6 +85,33 @@ RunScheduleFn localRunner(const LocalWorkload &workload,
 std::vector<u64> recordCommitTrace(const LocalWorkload &workload,
                                    u64 *total_draws = nullptr);
 
+/**
+ * Run the workload once under a harvesting environment (seeded
+ * deployment phase) and record the draw coordinate of every brown-out
+ * — where a real capacitor under that power trace actually empties.
+ * A non-terminating run still returns the coordinates recorded before
+ * the scheduler gave up. Always-on environments are a configuration
+ * error (there is nothing to record).
+ */
+std::vector<u64> recordEnvironmentFailures(const LocalWorkload &workload,
+                                           const env::EnvRef &ref,
+                                           u64 seed);
+
+/**
+ * Realistic adversarial schedules: windows of at most
+ * config.maxFailures consecutive brown-out coordinates sliced from a
+ * handful of seeded runs under the environment. Each window keeps the
+ * oracle's invariant (well below the non-termination threshold, so
+ * every verdict is a genuine bug) while placing failures exactly
+ * where that deployment's physics puts them — the coordinates the
+ * synthetic uniform/bursty/commit-targeted generators can only guess
+ * at.
+ */
+std::vector<Schedule>
+environmentSchedules(const LocalWorkload &workload,
+                     const env::EnvRef &ref, u32 count,
+                     const ScheduleGenConfig &config);
+
 /** Oracle judgment configuration. */
 struct OracleOptions
 {
@@ -188,6 +215,14 @@ struct EngineOracleConfig
     u64 seed = 1;
     u32 maxFailures = 8;
     bool shrink = true;
+
+    /**
+     * When non-empty, fuzz with realistic schedules recorded under
+     * this registered environment (environmentSchedules) instead of
+     * the synthetic mixed battery. The capacitor override of the
+     * EnvRef applies; the environment must be intermittent.
+     */
+    env::EnvRef environment;
 };
 
 /**

@@ -10,6 +10,14 @@
  *     sonic_oracle --net=HAR --impls=SONIC,TAILS --schedules=50
  *     sonic_oracle --net=DeepFC-6 --schedules=50
  *
+ * --env=<environment[@cap]> swaps the synthetic schedule battery for
+ * realistic ones: failure windows sliced from where the named
+ * harvesting environment (env::EnvRegistry; see sonic_fleet
+ * --list-envs) actually browns the capacitor out:
+ *
+ *     sonic_oracle --env=trace-rf-office --schedules=250
+ *     sonic_oracle --net=HAR --env=solar@1mF --impls=SONIC,TAILS
+ *
  * --net=golden (default) uses the built-in platform-stable workload
  * and runs sequentially; any other registered model-zoo name (--list
  * prints them; model files register via --load) fans schedules across
@@ -34,6 +42,7 @@
 
 #include "dnn/model_io.hh"
 #include "dnn/zoo.hh"
+#include "env/environment.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "verify/oracle.hh"
@@ -51,6 +60,7 @@ struct Args
     std::string net = "golden";
     std::vector<std::string> impls; ///< empty = acceptance five
     std::vector<std::string> loadModels; ///< model files to register
+    std::string environment; ///< fuzz under a realistic environment
     bool list = false;
     u32 schedules = 200;
     u64 seed = 1;
@@ -68,6 +78,7 @@ usage()
         << "usage: sonic_oracle [--net=golden|<zoo model name>]\n"
            "                    [--impls=SONIC,TAILS,...]\n"
            "                    [--load=model.json[,model2.json]]\n"
+           "                    [--env=<environment[@cap]>]\n"
            "                    [--list]\n"
            "                    [--schedules=N] [--seed=S]\n"
            "                    [--max-failures=K] [--threads=T]\n"
@@ -75,7 +86,9 @@ usage()
            "                    [--emit-golden=PATH]\n"
            "                    [--verify-golden=PATH]\n"
            "registered models: "
-        << sonic::dnn::ModelZoo::instance().availableList() << "\n";
+        << sonic::dnn::ModelZoo::instance().availableList()
+        << "\nregistered environments: "
+        << sonic::env::EnvRegistry::instance().availableList() << "\n";
     return 2;
 }
 
@@ -118,6 +131,28 @@ runGoldenFileMode(const Args &args)
     return 1;
 }
 
+/** Parse and validate --env into an EnvRef (empty input passes). */
+env::EnvRef
+resolveEnvironment(const std::string &label)
+{
+    env::EnvRef ref;
+    if (label.empty())
+        return ref;
+    std::string error;
+    if (!env::parseEnvRef(label, &ref, &error))
+        fatal(error);
+    auto &registry = env::EnvRegistry::instance();
+    const auto *meta = registry.meta(ref.env);
+    if (meta == nullptr)
+        fatal("unknown environment '", ref.env,
+              "'; registered environments: ",
+              registry.availableList());
+    if (meta->alwaysOn)
+        fatal("environment '", ref.env,
+              "' never fails; the oracle needs an intermittent one");
+    return ref;
+}
+
 verify::OracleReport
 runLocalImpl(const std::string &impl_name, const Args &args)
 {
@@ -131,16 +166,26 @@ runLocalImpl(const std::string &impl_name, const Args &args)
     workload.input = verify::goldenInput();
     workload.impl = info->id;
 
-    u64 horizon = 0;
-    const auto commits =
-        verify::recordCommitTrace(workload, &horizon);
     verify::ScheduleGenConfig gen;
     gen.seed = args.seed
         ^ (static_cast<u64>(info->id) * 0x9e3779b97f4a7c15ull);
-    gen.opHorizon = horizon;
     gen.maxFailures = args.maxFailures;
-    const auto schedules =
-        verify::mixedSchedules(args.schedules, commits, gen);
+    const env::EnvRef environment =
+        resolveEnvironment(args.environment);
+    std::vector<verify::Schedule> schedules;
+    if (environment.empty()) {
+        // The commit trace (a full instrumented run) only feeds the
+        // synthetic generators; environment schedules skip it.
+        u64 horizon = 0;
+        const auto commits =
+            verify::recordCommitTrace(workload, &horizon);
+        gen.opHorizon = horizon;
+        schedules =
+            verify::mixedSchedules(args.schedules, commits, gen);
+    } else {
+        schedules = verify::environmentSchedules(
+            workload, environment, args.schedules, gen);
+    }
 
     verify::OracleOptions options;
     options.crashConsistent = info->crashConsistent;
@@ -151,7 +196,9 @@ runLocalImpl(const std::string &impl_name, const Args &args)
     verify::Oracle oracle(verify::localRunner(workload), options);
     auto report = oracle.verify(schedules);
     report.impl = info->name;
-    report.workload = "golden";
+    report.workload = environment.empty()
+        ? "golden"
+        : "golden under " + environment.label();
     return report;
 }
 
@@ -169,6 +216,7 @@ runEngineImpl(app::Engine &engine, const dnn::NetRef &net,
     config.schedules = args.schedules;
     config.seed = args.seed;
     config.maxFailures = args.maxFailures;
+    config.environment = resolveEnvironment(args.environment);
     return verify::verifyWithEngine(engine, config);
 }
 
@@ -188,6 +236,8 @@ main(int argc, char **argv)
                 args.impls = splitCsv(value);
             } else if (consumeFlag(arg, "--load", &value)) {
                 args.loadModels = splitCsv(value);
+            } else if (consumeFlag(arg, "--env", &value)) {
+                args.environment = value;
             } else if (arg == "--list") {
                 args.list = true;
             } else if (consumeFlag(arg, "--schedules", &value)) {

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the harvested-energy environment subsystem: the
+ * piecewise-linear harvest model's integrals, environment references
+ * and registry semantics, trace parsing with corruption diagnostics,
+ * seeded determinism (same seed, same supply behavior), and the
+ * lease-protocol equivalence of every registered environment (leased
+ * and per-op-draw devices must brown out on the identical operation).
+ */
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "app/engine.hh"
+#include "arch/device.hh"
+#include "env/environment.hh"
+#include "env/traces.hh"
+
+namespace sonic::env
+{
+namespace
+{
+
+// --- HarvestModel ---------------------------------------------------
+
+TEST(HarvestModel, ConstantRateIntegralsAreExact)
+{
+    const auto model = HarvestModel::constant(0.5e-3);
+    EXPECT_EQ(model.watts(0.0), 0.5e-3);
+    EXPECT_EQ(model.watts(123.456), 0.5e-3);
+    EXPECT_NEAR(model.energyJoules(7.0, 10.0), 5e-3, 1e-12);
+    // Inverse: harvesting 1 mJ at 0.5 mW takes 2 s from any phase.
+    EXPECT_NEAR(model.secondsToHarvest(0.0, 1e-3), 2.0, 1e-9);
+    EXPECT_NEAR(model.secondsToHarvest(941.5, 1e-3), 2.0, 1e-9);
+}
+
+TEST(HarvestModel, PiecewiseRampIntegratesAndInverts)
+{
+    // 0 W at t=0 ramping to 10 mW at t=10, back down by t=20 (wrap).
+    const HarvestModel model({{0.0, 0.0}, {10.0, 10e-3}}, 20.0);
+    EXPECT_NEAR(model.watts(5.0), 5e-3, 1e-15);
+    EXPECT_NEAR(model.watts(15.0), 5e-3, 1e-15);
+    // One period integrates to the triangle area: 1/2 * 20 s * 10 mW.
+    EXPECT_NEAR(model.energyJoulesPerPeriod(), 0.1, 1e-12);
+    EXPECT_NEAR(model.energyJoules(0.0, 20.0), 0.1, 1e-12);
+    EXPECT_NEAR(model.energyJoules(0.0, 40.0), 0.2, 1e-12);
+    // Inverse agrees with the forward integral.
+    const f64 t = model.secondsToHarvest(2.5, 0.03);
+    EXPECT_NEAR(model.energyJoules(2.5, t), 0.03, 1e-9);
+}
+
+TEST(HarvestModel, DarkSpansDelayRecharge)
+{
+    // Solar-like: dark until t=100, then 10 mW until the period ends.
+    const HarvestModel model(
+        {{0.0, 0.0}, {100.0, 0.0}, {100.5, 10e-3}}, 200.0);
+    // Asking for energy at midnight waits out the darkness first.
+    const f64 dead = model.secondsToHarvest(0.0, 1e-3);
+    EXPECT_GT(dead, 100.0);
+    EXPECT_NEAR(model.energyJoules(0.0, dead), 1e-3, 1e-9);
+    // Asking during the lit span is fast.
+    EXPECT_LT(model.secondsToHarvest(110.0, 1e-4), 1.0);
+}
+
+TEST(HarvestModel, InvalidModelsDie)
+{
+    EXPECT_DEATH(HarvestModel({{1.0, 1e-3}}, 10.0), "start at t = 0");
+    EXPECT_DEATH(HarvestModel({{0.0, -1e-3}}, 10.0), "negative");
+    EXPECT_DEATH(HarvestModel({{0.0, 1e-3}, {20.0, 1e-3}}, 10.0),
+                 "beyond the period");
+    // All-dark: could never recharge anything.
+    EXPECT_DEATH(HarvestModel({{0.0, 0.0}}, 10.0), "positive energy");
+}
+
+// --- EnvRef parsing -------------------------------------------------
+
+TEST(EnvRef, ParsesNamesAndCapacitorOverrides)
+{
+    EnvRef ref;
+    std::string error;
+    ASSERT_TRUE(parseEnvRef("solar", &ref, &error));
+    EXPECT_EQ(ref.env, "solar");
+    EXPECT_EQ(ref.capacitanceFarads, 0.0);
+    EXPECT_EQ(ref.label(), "solar");
+
+    ASSERT_TRUE(parseEnvRef("rf-paper@50mF", &ref, &error));
+    EXPECT_EQ(ref.env, "rf-paper");
+    EXPECT_NEAR(ref.capacitanceFarads, 50e-3, 1e-15);
+    EXPECT_EQ(ref.label(), "rf-paper@50mF");
+
+    ASSERT_TRUE(parseEnvRef("x@0.05F", &ref, &error));
+    EXPECT_NEAR(ref.capacitanceFarads, 0.05, 1e-15);
+    ASSERT_TRUE(parseEnvRef("x@220nF", &ref, &error));
+    EXPECT_NEAR(ref.capacitanceFarads, 220e-9, 1e-20);
+
+    EXPECT_FALSE(parseEnvRef("@1mF", &ref, &error));
+    EXPECT_NE(error.find("empty name"), std::string::npos);
+    EXPECT_FALSE(parseEnvRef("solar@", &ref, &error));
+    EXPECT_FALSE(parseEnvRef("solar@12kF", &ref, &error));
+    EXPECT_NE(error.find("unit"), std::string::npos);
+    EXPECT_FALSE(parseEnvRef("solar@-3uF", &ref, &error));
+    EXPECT_NE(error.find("positive"), std::string::npos);
+}
+
+// --- Registry -------------------------------------------------------
+
+TEST(EnvRegistry, BuiltinsAreRegistered)
+{
+    auto &registry = EnvRegistry::instance();
+    for (const char *name :
+         {"continuous", "rf-paper", "rf-bursty", "solar", "duty-cycle",
+          "trace-rf-office", "trace-solar-cloudy"})
+        EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.contains("no-such-env"));
+    EXPECT_EQ(registry.meta("no-such-env"), nullptr);
+    EXPECT_TRUE(registry.meta("continuous")->alwaysOn);
+    EXPECT_FALSE(registry.meta("solar")->alwaysOn);
+}
+
+TEST(EnvRegistry, UnknownEnvironmentDies)
+{
+    EXPECT_DEATH(EnvRegistry::instance().make({"no-such-env", 0.0}, 1),
+                 "registered environments");
+}
+
+TEST(EnvRegistry, CapacitorOverrideScalesTheBuffer)
+{
+    auto &registry = EnvRegistry::instance();
+    auto small = registry.make({"rf-paper", 100e-6}, 7);
+    auto large = registry.make({"rf-paper", 1e-3}, 7);
+    ASSERT_GT(small->capacityNj(), 0.0);
+    EXPECT_NEAR(large->capacityNj() / small->capacityNj(), 10.0,
+                1e-9);
+    auto defaulted = registry.make({"rf-paper", 0.0}, 7);
+    EXPECT_EQ(defaulted->capacityNj(), small->capacityNj());
+}
+
+// --- Traces ---------------------------------------------------------
+
+TEST(Traces, CsvParsesAndNormalizes)
+{
+    HarvestModel model;
+    std::string error;
+    ASSERT_TRUE(parseTraceCsv("# comment\n"
+                              "10,0.001\n"
+                              "\n"
+                              "  20 , 0.002 \n"
+                              "30,0.001\n",
+                              &model, &error))
+        << error;
+    EXPECT_EQ(model.periodSeconds(), 20.0); // normalized to t0 = 0
+    EXPECT_NEAR(model.watts(5.0), 0.0015, 1e-12);
+}
+
+TEST(Traces, CsvCorruptionDiagnostics)
+{
+    HarvestModel model;
+    std::string error;
+
+    EXPECT_FALSE(parseTraceCsv("0 0.001\n1,0.001\n", &model, &error));
+    EXPECT_NE(error.find("no comma"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceCsv("0,abc\n1,0.001\n", &model, &error));
+    EXPECT_NE(error.find("unparsable"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceCsv("0,0.001\n0,0.002\n", &model, &error));
+    EXPECT_NE(error.find("strictly increasing"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceCsv("0,0.001\n1,-0.2\n", &model, &error));
+    EXPECT_NE(error.find("negative power"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceCsv("0,0.001\n", &model, &error));
+    EXPECT_NE(error.find("at least 2 samples"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceCsv("0,0\n5,0\n10,0\n", &model, &error));
+    EXPECT_NE(error.find("no energy"), std::string::npos);
+}
+
+TEST(Traces, JsonParsesAndRejectsCorruption)
+{
+    HarvestModel model;
+    std::string error;
+    ASSERT_TRUE(parseTraceJson(
+        "{\"format\": \"sonic-trace\", \"version\": 1, "
+        "\"points\": [[0, 0.001], [10, 0.002], [20, 0.001]]}",
+        &model, &error))
+        << error;
+    EXPECT_EQ(model.periodSeconds(), 20.0);
+
+    EXPECT_FALSE(parseTraceJson(
+        "{\"format\": \"other\", \"version\": 1, "
+        "\"points\": [[0, 1], [1, 1]]}",
+        &model, &error));
+    EXPECT_NE(error.find("not a sonic-trace"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceJson(
+        "{\"format\": \"sonic-trace\", \"version\": 9, "
+        "\"points\": [[0, 1], [1, 1]]}",
+        &model, &error));
+    EXPECT_NE(error.find("unsupported trace format version 9"),
+              std::string::npos);
+
+    EXPECT_FALSE(parseTraceJson(
+        "{\"format\": \"sonic-trace\", \"version\": 1, "
+        "\"points\": [[0, 1], [1]]}",
+        &model, &error));
+    EXPECT_NE(error.find("[seconds, watts]"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceJson(
+        "{\"format\": \"sonic-trace\", \"version\": 1, "
+        "\"points\": [[0, 1], [1, 1]]} extra",
+        &model, &error));
+    EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceJson("{\"format\": \"sonic-trace\", "
+                                "\"version\": 1}",
+                                &model, &error));
+    EXPECT_NE(error.find("missing \"points\""), std::string::npos);
+}
+
+TEST(Traces, FileRegistrationAndDiagnostics)
+{
+    const std::string path =
+        ::testing::TempDir() + "sonic_env_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "0,0.0005\n60,0.001\n120,0.0005\n";
+    }
+    auto &registry = EnvRegistry::instance();
+    std::string error;
+    if (!registry.contains("test-trace-file"))
+        ASSERT_TRUE(registry.addTraceFile("test-trace-file", path,
+                                          &error))
+            << error;
+    EXPECT_EQ(registry.meta("test-trace-file")->family, "trace");
+    auto psu = registry.make({"test-trace-file", 1e-3}, 3);
+    EXPECT_TRUE(psu->intermittent());
+
+    // Duplicate registration is rejected, not overwritten.
+    EXPECT_FALSE(
+        registry.addTraceFile("test-trace-file", path, &error));
+    EXPECT_NE(error.find("already registered"), std::string::npos);
+
+    // Missing and corrupt files produce diagnostics.
+    EXPECT_FALSE(registry.addTraceFile("test-missing-trace",
+                                       "/no/such/trace.csv", &error));
+    EXPECT_NE(error.find("cannot read"), std::string::npos);
+
+    const std::string bad_path =
+        ::testing::TempDir() + "sonic_env_trace_bad.csv";
+    {
+        std::ofstream out(bad_path);
+        out << "0,0.001\nbogus line\n";
+    }
+    EXPECT_FALSE(registry.addTraceFile("test-bad-trace", bad_path,
+                                       &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+    EXPECT_FALSE(registry.contains("test-bad-trace"));
+}
+
+// --- Determinism and the lease protocol -----------------------------
+
+/** Drive a supply through a fixed mixed charge script on a Device,
+ * returning every observable a schedule comparison needs. */
+struct ScriptProbe
+{
+    std::vector<u32> failureSteps;
+    u64 cycles = 0;
+    f64 nanojoules = 0.0;
+    u64 reboots = 0;
+    f64 deadSeconds = 0.0;
+};
+
+ScriptProbe
+runScript(arch::Device &dev, u32 steps)
+{
+    ScriptProbe out;
+    for (u32 i = 0; i < steps; ++i) {
+        const auto op = static_cast<arch::Op>(i % arch::kNumOps);
+        const u64 count = 1 + (i % 7 == 0 ? i % 23 : 0);
+        try {
+            dev.consume(op, count);
+        } catch (const arch::PowerFailure &) {
+            out.failureSteps.push_back(i);
+            dev.reboot();
+        }
+    }
+    out.cycles = dev.cycles();
+    out.nanojoules = dev.stats().totalNanojoules();
+    out.reboots = dev.rebootCount();
+    out.deadSeconds = dev.deadSeconds();
+    return out;
+}
+
+ScriptProbe
+probeEnvironment(const EnvRef &ref, u64 seed, bool per_op_draw,
+                 u32 steps = 4096)
+{
+    arch::DeviceConfig config;
+    config.perOpPowerDraw = per_op_draw;
+    arch::Device dev(arch::EnergyProfile::msp430fr5994(),
+                     EnvRegistry::instance().make(ref, seed), config);
+    return runScript(dev, steps);
+}
+
+TEST(EnvDeterminism, SameSeedReplaysTheIdenticalSupplyBehavior)
+{
+    for (const auto &name : EnvRegistry::instance().names()) {
+        // Small buffers so the script browns out often.
+        const EnvRef ref{name, 5e-6};
+        const auto a = probeEnvironment(ref, 0xabc, false);
+        const auto b = probeEnvironment(ref, 0xabc, false);
+        EXPECT_EQ(a.failureSteps, b.failureSteps) << name;
+        EXPECT_EQ(a.cycles, b.cycles) << name;
+        EXPECT_EQ(a.nanojoules, b.nanojoules) << name;
+        EXPECT_EQ(a.deadSeconds, b.deadSeconds) << name;
+    }
+}
+
+TEST(EnvDeterminism, SeedsChangeTheDeploymentPhase)
+{
+    // Distinct seeds boot at distinct points of the solar cycle, so
+    // the dead-time pattern differs (failure placement is energy-
+    // deterministic, but recharge timing shifts).
+    const EnvRef ref{"solar", 5e-6};
+    const auto a = probeEnvironment(ref, 1, false);
+    const auto b = probeEnvironment(ref, 2, false);
+    EXPECT_NE(a.deadSeconds, b.deadSeconds);
+}
+
+TEST(EnvLease, EveryRegisteredEnvironmentIsLeaseEquivalent)
+{
+    // The PR 2 contract, extended to the whole registry: a leased
+    // device and a per-op-draw device under the same environment must
+    // brown out on the identical operation with identical totals.
+    for (const auto &name : EnvRegistry::instance().names()) {
+        for (const f64 farads : {3e-6, 20e-6}) {
+            const EnvRef ref{name, farads};
+            const auto leased = probeEnvironment(ref, 0x5eed, false);
+            const auto reference = probeEnvironment(ref, 0x5eed, true);
+            ASSERT_EQ(leased.failureSteps, reference.failureSteps)
+                << name << "@" << farads;
+            EXPECT_EQ(leased.cycles, reference.cycles) << name;
+            EXPECT_EQ(leased.nanojoules, reference.nanojoules)
+                << name;
+            EXPECT_EQ(leased.reboots, reference.reboots) << name;
+            EXPECT_EQ(leased.deadSeconds, reference.deadSeconds)
+                << name;
+        }
+    }
+}
+
+TEST(EnvLease, HarvestSupplyStateSettlesExactly)
+{
+    // Supply-side observables settle to the per-op-draw values too.
+    auto make = [](bool per_op) {
+        arch::DeviceConfig config;
+        config.perOpPowerDraw = per_op;
+        return config;
+    };
+    auto psu_a = EnvRegistry::instance().make({"rf-bursty", 5e-6}, 9);
+    auto psu_b = EnvRegistry::instance().make({"rf-bursty", 5e-6}, 9);
+    auto *raw_a = dynamic_cast<HarvestSupply *>(psu_a.get());
+    auto *raw_b = dynamic_cast<HarvestSupply *>(psu_b.get());
+    ASSERT_NE(raw_a, nullptr);
+    raw_a->setRecordFailures(true);
+    raw_b->setRecordFailures(true);
+    arch::Device dev_a(arch::EnergyProfile::msp430fr5994(),
+                       std::move(psu_a), make(false));
+    arch::Device dev_b(arch::EnergyProfile::msp430fr5994(),
+                       std::move(psu_b), make(true));
+    runScript(dev_a, 4096);
+    runScript(dev_b, 4096);
+    dev_a.power(); // settle
+    dev_b.power();
+    EXPECT_GT(raw_a->failureIndices().size(), 0u);
+    EXPECT_EQ(raw_a->failureIndices(), raw_b->failureIndices());
+    EXPECT_EQ(raw_a->drawsSoFar(), raw_b->drawsSoFar());
+    EXPECT_EQ(raw_a->levelNj(), raw_b->levelNj());
+    EXPECT_EQ(raw_a->harvestedNj(), raw_b->harvestedNj());
+    EXPECT_EQ(raw_a->simSeconds(), raw_b->simSeconds());
+}
+
+TEST(EnvClock, DeviceLifetimeFlushesUptimeIntoTheSupplyClock)
+{
+    // A supply that outlives its Device (the fleet lifetime pattern:
+    // one environment powering a sequence of inferences through
+    // BorrowedSupply views) must see every second of uptime, including
+    // the stretch after the last reboot — otherwise the environment
+    // clock lags and between-inference recharges integrate the
+    // harvest model at a stale simulated time.
+    auto psu = EnvRegistry::instance().make({"duty-cycle", 1e-3}, 11);
+    auto *harvest = dynamic_cast<HarvestSupply *>(psu.get());
+    ASSERT_NE(harvest, nullptr);
+    const f64 phase = harvest->simSeconds();
+
+    f64 live = 0.0, dead = 0.0;
+    {
+        arch::Device dev(arch::EnergyProfile::msp430fr5994(),
+                         std::make_unique<BorrowedSupply>(psu.get()));
+        runScript(dev, 2048);
+        live = dev.liveSeconds();
+        dead = dev.deadSeconds();
+    }
+    // Clock advanced by the uptime plus the recharge dead time —
+    // nothing lost at destruction, with or without reboots (NEAR:
+    // the clock accumulates per-reboot deltas, a telescoped sum).
+    EXPECT_NEAR(harvest->simSeconds(), phase + live + dead,
+                (phase + live + dead) * 1e-12);
+
+    // And a reboot-free lifetime advances it by pure uptime.
+    auto psu3 = EnvRegistry::instance().make({"duty-cycle", 50e-3}, 11);
+    auto *harvest3 = dynamic_cast<HarvestSupply *>(psu3.get());
+    const f64 phase3 = harvest3->simSeconds();
+    f64 live3 = 0.0;
+    {
+        arch::Device dev(arch::EnergyProfile::msp430fr5994(),
+                         std::make_unique<BorrowedSupply>(psu3.get()));
+        dev.consume(arch::Op::FixedMul, 100);
+        live3 = dev.liveSeconds();
+        EXPECT_EQ(dev.rebootCount(), 0u);
+    }
+    EXPECT_DOUBLE_EQ(harvest3->simSeconds(), phase3 + live3);
+}
+
+// --- Sweep integration ----------------------------------------------
+
+TEST(EnvSweep, EnvironmentAxisExpandsAndReseeds)
+{
+    app::SweepPlan plan;
+    plan.nets({"golden"})
+        .impls({kernels::Impl::Sonic})
+        .environmentLabels({"rf-paper@1mF", "solar"});
+    EXPECT_EQ(plan.size(), 2u);
+    const auto specs = plan.expand();
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].environment.label(), "rf-paper@1mF");
+    EXPECT_EQ(specs[1].environment.label(), "solar");
+    EXPECT_NE(specs[0].seed, specs[1].seed);
+
+    // The empty EnvRef keeps pre-axis seeds; a set one reseeds.
+    app::SweepPlan plain;
+    plain.nets({"golden"}).impls({kernels::Impl::Sonic});
+    EXPECT_NE(plain.expand()[0].seed, specs[0].seed);
+    app::SweepPlan defaulted;
+    defaulted.nets({"golden"})
+        .impls({kernels::Impl::Sonic})
+        .environments({{}});
+    EXPECT_EQ(plain.expand()[0].seed, defaulted.expand()[0].seed);
+}
+
+TEST(EnvSweep, UnknownEnvironmentInPlanDies)
+{
+    app::SweepPlan plan;
+    EXPECT_DEATH(plan.environmentLabels({"no-such-env"}),
+                 "registered environments");
+}
+
+TEST(EnvSweep, EngineRunsUnderAnEnvironmentDeterministically)
+{
+    app::SweepPlan plan;
+    plan.nets({"golden"})
+        .impls({kernels::Impl::Sonic, kernels::Impl::Tile8})
+        .environmentLabels(
+            {"trace-rf-office@100uF", "duty-cycle@100uF"});
+    app::Engine serial(app::EngineOptions{1});
+    app::Engine parallel(app::EngineOptions{4});
+    const auto a = serial.run(plan);
+    const auto b = parallel.run(plan);
+    ASSERT_EQ(a.size(), 4u);
+    for (u64 i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].result.completed) << i;
+        EXPECT_GT(a[i].result.reboots, 0u) << i;
+        EXPECT_EQ(a[i].result.reboots, b[i].result.reboots) << i;
+        EXPECT_EQ(a[i].result.logits, b[i].result.logits) << i;
+        EXPECT_EQ(a[i].result.deadSeconds, b[i].result.deadSeconds)
+            << i;
+        EXPECT_EQ(a[i].result.energyJ, b[i].result.energyJ) << i;
+    }
+}
+
+} // namespace
+} // namespace sonic::env

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the fleet simulator: deterministic device assignment,
+ * single-device lifetime telemetry, DNF accounting, the CSV sink, and
+ * the headline contract — the aggregate FleetSummary (and its JSON
+ * rendering) is bit-identical across 1/2/8 worker threads.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.hh"
+
+namespace sonic::fleet
+{
+namespace
+{
+
+/** A fast mixed fleet over the tiny golden workload. */
+FleetPlan
+goldenFleet(u32 devices)
+{
+    FleetPlan plan;
+    plan.devices = devices;
+    plan.nets = {"golden"};
+    plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tile8};
+    plan.environments = {{"rf-paper", 100e-6},
+                         {"trace-rf-office", 50e-6},
+                         {"duty-cycle", 100e-6},
+                         {"continuous", 0.0}};
+    plan.maxInferencesPerDevice = 2;
+    plan.baseSeed = 0xf1ee7;
+    return plan;
+}
+
+TEST(FleetPlan, AssignmentsAreDeterministicAndCoverTheLists)
+{
+    const auto plan = goldenFleet(64);
+    bool saw_second_impl = false, saw_second_env = false;
+    for (u32 d = 0; d < plan.devices; ++d) {
+        const auto a = plan.assignmentFor(d);
+        const auto b = plan.assignmentFor(d);
+        EXPECT_EQ(a.net, b.net);
+        EXPECT_EQ(a.impl, b.impl);
+        EXPECT_EQ(a.environment.label(), b.environment.label());
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.deviceIndex, d);
+        saw_second_impl |= a.impl == kernels::Impl::Tile8;
+        saw_second_env |= a.environment.env == "duty-cycle";
+    }
+    EXPECT_TRUE(saw_second_impl);
+    EXPECT_TRUE(saw_second_env);
+
+    // A different base seed deals a different fleet.
+    auto reseeded = plan;
+    reseeded.baseSeed = 123;
+    bool any_differs = false;
+    for (u32 d = 0; d < plan.devices; ++d)
+        any_differs |=
+            reseeded.assignmentFor(d).seed != plan.assignmentFor(d).seed;
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(FleetPlan, InvalidDistributionsDie)
+{
+    auto plan = goldenFleet(4);
+    plan.nets = {"no-such-model"};
+    EXPECT_DEATH(plan.validate(), "registered models");
+    auto plan2 = goldenFleet(4);
+    plan2.environments = {{"no-such-env", 0.0}};
+    EXPECT_DEATH(plan2.validate(), "registered environments");
+}
+
+TEST(Fleet, DeviceLifetimeProducesConsistentTelemetry)
+{
+    const auto plan = goldenFleet(8);
+    for (u32 d = 0; d < plan.devices; ++d) {
+        const auto t = simulateDevice(plan, d);
+        EXPECT_LE(t.inferencesCompleted,
+                  plan.maxInferencesPerDevice);
+        EXPECT_EQ(t.inferenceSeconds.size(), t.inferencesCompleted);
+        EXPECT_GT(t.liveSeconds, 0.0);
+        EXPECT_GT(t.energyJ, 0.0);
+        EXPECT_GE(t.harvestedJ, 0.0);
+        if (!t.diedNonTerminating) {
+            EXPECT_EQ(t.inferencesCompleted,
+                      plan.maxInferencesPerDevice)
+                << "device " << d
+                << " stopped early without a DNF verdict";
+        }
+        // Rates are self-consistent.
+        if (t.inferencesCompleted > 0)
+            EXPECT_NEAR(t.energyPerInferenceJ() * t.inferencesCompleted,
+                        t.energyJ, 1e-12);
+    }
+}
+
+TEST(Fleet, NonTerminatingKernelsAreAccountedAsDnf)
+{
+    // Base keeps loop state in volatile memory: on a tiny harvested
+    // buffer it can never finish — the fleet must report it as a DNF
+    // device, not hang or crash.
+    FleetPlan plan;
+    plan.devices = 3;
+    plan.nets = {"golden"};
+    plan.impls = {kernels::Impl::Base};
+    plan.environments = {{"rf-paper", 5e-6}};
+    plan.maxInferencesPerDevice = 2;
+    const auto summary = runFleet(plan, FleetOptions{1});
+    EXPECT_EQ(summary.total.devices, 3u);
+    EXPECT_EQ(summary.total.dnfDevices, 3u);
+    EXPECT_EQ(summary.total.inferences, 0u);
+    EXPECT_GT(summary.total.reboots, 0u);
+}
+
+TEST(Fleet, SummaryIsBitIdenticalAcrossThreadCounts)
+{
+    const auto plan = goldenFleet(48);
+    std::string reference_json;
+    std::string reference_csv;
+    for (const u32 threads : {1u, 2u, 8u}) {
+        std::ostringstream csv;
+        FleetCsvSink sink(csv);
+        const auto summary =
+            runFleet(plan, FleetOptions{threads}, {&sink});
+        EXPECT_EQ(summary.devices, plan.devices);
+        EXPECT_GT(summary.total.inferences, 0u);
+        const std::string json = summary.toJson();
+        if (reference_json.empty()) {
+            reference_json = json;
+            reference_csv = csv.str();
+        } else {
+            // Bit-identical aggregate summary and per-device stream.
+            EXPECT_EQ(json, reference_json) << threads;
+            EXPECT_EQ(csv.str(), reference_csv) << threads;
+        }
+    }
+    // The JSON carries every breakdown group.
+    EXPECT_NE(reference_json.find("\"byEnvironment\""),
+              std::string::npos);
+    EXPECT_NE(reference_json.find("\"byImpl\""), std::string::npos);
+    EXPECT_NE(reference_json.find("\"byNet\""), std::string::npos);
+    EXPECT_NE(reference_json.find("\"latencyP95Seconds\""),
+              std::string::npos);
+}
+
+TEST(Fleet, CsvSinkStreamsOneRowPerDeviceInOrder)
+{
+    const auto plan = goldenFleet(6);
+    std::ostringstream csv;
+    FleetCsvSink sink(csv);
+    runFleet(plan, FleetOptions{4}, {&sink});
+
+    std::istringstream lines(csv.str());
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line))
+        rows.push_back(line);
+    ASSERT_EQ(rows.size(), 1u + plan.devices);
+    EXPECT_EQ(rows[0].rfind("device,net,impl,environment", 0), 0u);
+    for (u32 d = 0; d < plan.devices; ++d)
+        EXPECT_EQ(rows[1 + d].rfind(std::to_string(d) + ",", 0), 0u)
+            << rows[1 + d];
+}
+
+TEST(Fleet, ContinuousDevicesNeverRebootAndHarvestWhatTheyUse)
+{
+    FleetPlan plan;
+    plan.devices = 2;
+    plan.nets = {"golden"};
+    plan.impls = {kernels::Impl::Sonic};
+    plan.environments = {{"continuous", 0.0}};
+    plan.maxInferencesPerDevice = 3;
+    const auto summary = runFleet(plan, FleetOptions{1});
+    EXPECT_EQ(summary.total.reboots, 0u);
+    EXPECT_EQ(summary.total.inferences, 2u * 3u);
+    EXPECT_EQ(summary.total.deadSeconds, 0.0);
+    EXPECT_NEAR(summary.total.harvestedJ, summary.total.energyJ,
+                summary.total.energyJ * 1e-9);
+}
+
+} // namespace
+} // namespace sonic::fleet

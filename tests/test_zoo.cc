@@ -87,6 +87,55 @@ TEST(ModelZoo, AddRegistersACustomModelSweepableByName)
     EXPECT_EQ(records[0].spec.net, "test-custom");
 }
 
+TEST(ModelZoo, DatasetBuilderReplacesTheSyntheticDefault)
+{
+    auto &zoo = ModelZoo::instance();
+    // A model shipping its own eval inputs (the dataset plug-in
+    // point): three constant-ramp samples with fixed labels instead
+    // of the synthetic teacher-labelled noise.
+    if (!zoo.contains("test-own-dataset")) {
+        ModelMeta meta;
+        meta.family = "custom";
+        meta.datasetSamples = 64; // ignored by the custom builder
+        zoo.add("test-own-dataset", meta, [] {
+            ModelDef def;
+            def.teacher = deepFcNet("test-own-dataset", 16, 2, 8, 4);
+            def.dataset = [](const NetworkSpec &teacher,
+                             const ModelMeta &) {
+                Dataset data;
+                for (u32 s = 0; s < 3; ++s) {
+                    Sample sample;
+                    sample.input = tensor::FeatureMap(
+                        teacher.input.c, teacher.input.h,
+                        teacher.input.w);
+                    for (u64 i = 0; i < sample.input.data.size(); ++i)
+                        sample.input.data[i] =
+                            0.01 * static_cast<f64>(i + s);
+                    sample.label = s % teacher.numClasses;
+                    data.push_back(std::move(sample));
+                }
+                return data;
+            };
+            return def;
+        });
+    }
+    const auto &entry = zoo.get("test-own-dataset");
+    ASSERT_EQ(entry.dataset().size(), 3u); // not meta.datasetSamples
+    EXPECT_EQ(entry.dataset()[1].label, 1u);
+    EXPECT_EQ(entry.dataset()[0].input.data[2], 0.02);
+
+    // The engine consumes the custom samples like any dataset.
+    app::SweepPlan plan;
+    plan.nets({"test-own-dataset"})
+        .impls({kernels::Impl::Sonic})
+        .samples(3);
+    app::Engine engine(app::EngineOptions{1});
+    const auto records = engine.run(plan);
+    ASSERT_EQ(records.size(), 3u);
+    for (const auto &record : records)
+        EXPECT_TRUE(record.result.completed);
+}
+
 TEST(ModelZoo, SyntheticModelsRunOnEveryPaperKernel)
 {
     app::SweepPlan plan;
