@@ -35,7 +35,8 @@ main()
     const f64 naive_j = records[0].result.energyJ;
     const f64 tails_j = records[1].result.energyJ;
 
-    app::WildlifeParams params;
+    auto params = app::WildlifeParams::fromRadio(
+        arch::EnergyProfile::openChirpRadio());
     params.naiveInferJ = naive_j;
     params.tailsInferJ = tails_j;
 

@@ -1,7 +1,34 @@
 #include "app/wildlife.hh"
 
+#include "pipeline/pipeline.hh"
+
 namespace sonic::app
 {
+
+namespace
+{
+
+/** Energy of one TX attempt carrying `bytes` of payload. */
+f64
+attemptJ(const arch::EnergyProfile &radio, f64 bytes)
+{
+    pipeline::RadioConfig cfg;
+    cfg.enabled = true;
+    cfg.payloadBytes = static_cast<u32>(bytes);
+    return pipeline::attemptEnergyJ(cfg, radio);
+}
+
+} // namespace
+
+WildlifeParams
+WildlifeParams::fromRadio(const arch::EnergyProfile &radio)
+{
+    WildlifeParams params;
+    params.commJ = attemptJ(radio, kWildlifeImageBytes);
+    params.resultCommShrink =
+        params.commJ / attemptJ(radio, kWildlifeResultBytes);
+    return params;
+}
 
 std::vector<WildlifePoint>
 sweepWildlife(const WildlifeParams &params, u32 points,
@@ -49,10 +76,12 @@ sweepWildlife(const WildlifeParams &params, u32 points,
 OffloadComparison
 offloadVsLocal(f64 image_bytes, f64 local_infer_j, f64 harvest_watts)
 {
-    // OpenChirp: an eight-byte packet draws 120 mA for ~800 ms at
-    // ~3.3 V (Sec. 3.1) => ~0.317 J per packet.
-    const f64 packet_j = 0.120 * 0.800 * 3.3;
-    const f64 packets = image_bytes / 8.0;
+    // One eight-byte OpenChirp packet = one radio TX attempt under
+    // the measured profile (Sec. 3.1 quotes ~0.3 J; the profile's
+    // wake + payload + ACK-listen comes to ~0.24 J).
+    const auto radio = arch::EnergyProfile::openChirpRadio();
+    const f64 packet_j = attemptJ(radio, kWildlifeResultBytes);
+    const f64 packets = image_bytes / kWildlifeResultBytes;
     OffloadComparison cmp;
     cmp.offloadSeconds = packets * packet_j / harvest_watts;
     cmp.localSeconds = local_infer_j / harvest_watts;

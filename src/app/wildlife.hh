@@ -12,11 +12,18 @@
 
 #include <vector>
 
+#include "arch/energy_profile.hh"
 #include "genesis/impj.hh"
 #include "util/types.hh"
 
 namespace sonic::app
 {
+
+/** Payload bytes of one 28x28 8-bit image over the uplink. */
+constexpr f64 kWildlifeImageBytes = 784.0;
+
+/** Payload bytes of one filtered inference result. */
+constexpr f64 kWildlifeResultBytes = 8.0;
 
 /** Case-study constants (Sec. 3.2). */
 struct WildlifeParams
@@ -32,6 +39,15 @@ struct WildlifeParams
      * override these with our prototype's measured energies. */
     f64 naiveInferJ = 198e-3;
     f64 tailsInferJ = 26e-3;
+
+    /**
+     * Derive the communication constants from a radio energy profile
+     * (pipeline::attemptEnergyJ over the image and result payloads)
+     * instead of the paper's rounded numbers: commJ is one full-image
+     * TX attempt, resultCommShrink the image/result attempt-energy
+     * ratio (~97x for OpenChirp — the paper rounds to 98x).
+     */
+    static WildlifeParams fromRadio(const arch::EnergyProfile &radio);
 };
 
 /** One row of the Fig. 1 / Fig. 2 accuracy sweep. */
@@ -56,7 +72,9 @@ std::vector<WildlifePoint> sweepWildlife(const WildlifeParams &params,
 /**
  * The Sec. 3.1 communication-vs-local-inference comparison: seconds to
  * get one MNIST-sized reading to the cloud over OpenChirp vs seconds
- * to infer locally, at the given harvest power.
+ * to infer locally, at the given harvest power. The image goes out as
+ * eight-byte packets; each packet's energy is one radio TX attempt
+ * (wake + payload + ACK listen) under the OpenChirp energy profile.
  */
 struct OffloadComparison
 {

@@ -34,6 +34,43 @@ constexpr f64 kSramExtraNj = 0.3;
 constexpr f64 kLeaNjPerMac = 0.5;
 constexpr f64 kDmaNjPerWord = 1.2;
 
+// ---------------------------------------------------------------------
+// Sensor / radio surcharges.
+//
+// The default profile models a short-range on-board radio (nRF24-class)
+// and a 12-bit ADC: every single charged unit stays far below the
+// smallest usable capacitor buffer (~15 uJ at 100 uF), so a pipeline
+// stage always makes forward progress between brown-outs.
+// ---------------------------------------------------------------------
+
+/// ADC sample-and-convert surcharge (reference + conversion).
+constexpr f64 kSenseSampleExtraNj = 20.0;
+/// Oscillator start + PLL settle + preamble before one TX attempt.
+constexpr f64 kRadioWakeExtraNj = 2000.0;
+/// Over-the-air energy per transmitted payload byte.
+constexpr f64 kRadioTxByteExtraNj = 1200.0;
+/// RX window listening for the link-layer acknowledgment.
+constexpr f64 kRadioRxAckExtraNj = 3000.0;
+
+// ---------------------------------------------------------------------
+// OpenChirp LoRa gateway magnitudes (paper Sec. 2 / Sec. 3.1).
+//
+// The paper's wildlife case study communicates through an OpenChirp
+// LoRa network where sending a full 28x28 image costs ~23 J and the
+// energy argument for on-device inference is the 784-byte image vs
+// 8-byte result payload ratio. The TX-byte cost is derived so that a
+// 784-byte image transmission costs exactly kOpenChirpImageJ.
+// ---------------------------------------------------------------------
+
+/// Full 28x28 grayscale image (one byte per pixel) over OpenChirp.
+constexpr f64 kOpenChirpImageJ = 23.0;
+constexpr f64 kOpenChirpImageBytes = 784.0;
+constexpr f64 kOpenChirpTxByteNj =
+    kOpenChirpImageJ * 1e9 / kOpenChirpImageBytes;
+/// LoRa wake/sync and ACK-listen overheads (small vs the payload).
+constexpr f64 kOpenChirpWakeNj = 2.0e6;
+constexpr f64 kOpenChirpRxAckNj = 1.0e6;
+
 f64
 core(u32 cycles)
 {
@@ -67,6 +104,10 @@ opName(Op op)
       case Op::LeaInvoke: return "lea-invoke";
       case Op::LeaMac: return "lea-mac";
       case Op::Nop: return "nop";
+      case Op::SenseSample: return "sense-sample";
+      case Op::RadioWake: return "radio-wake";
+      case Op::RadioTxByte: return "radio-tx-byte";
+      case Op::RadioRxAck: return "radio-rx-ack";
       case Op::NumOps: break;
     }
     return "?";
@@ -113,6 +154,25 @@ EnergyProfile::msp430fr5994()
     p.set(Op::LeaInvoke, 72, core(72));
     p.set(Op::LeaMac, 1, kLeaNjPerMac);
     p.set(Op::Nop, 1, core(1));
+    // Sensing and the short-range on-board radio (pipeline stages).
+    p.set(Op::SenseSample, 6, core(6) + kSenseSampleExtraNj);
+    p.set(Op::RadioWake, 600, core(600) + kRadioWakeExtraNj);
+    p.set(Op::RadioTxByte, 16, core(16) + kRadioTxByteExtraNj);
+    p.set(Op::RadioRxAck, 800, core(800) + kRadioRxAckExtraNj);
+    return p;
+}
+
+EnergyProfile
+EnergyProfile::openChirpRadio()
+{
+    // Same MCU, but the radio ops are re-costed to OpenChirp LoRa
+    // magnitudes: a 784-byte image TX costs kOpenChirpImageJ, so the
+    // paper's image-vs-result communication ratio (~98x, Fig. 1/2)
+    // emerges from payload sizes instead of a hand-coded constant.
+    EnergyProfile p = msp430fr5994();
+    p.set(Op::RadioWake, 600, core(600) + kOpenChirpWakeNj);
+    p.set(Op::RadioTxByte, 16, core(16) + kOpenChirpTxByteNj);
+    p.set(Op::RadioRxAck, 800, core(800) + kOpenChirpRxAckNj);
     return p;
 }
 

@@ -43,6 +43,10 @@ enum class Op : u8
     LeaInvoke,        ///< LEA command setup + start + completion interrupt
     LeaMac,           ///< one LEA multiply-accumulate lane-op
     Nop,              ///< fetch/decode-only instruction (overhead probe)
+    SenseSample,      ///< acquire one sensor sample (ADC conversion)
+    RadioWake,        ///< radio wake + synchronize before one TX attempt
+    RadioTxByte,      ///< transmit one payload byte
+    RadioRxAck,       ///< listen for the link-layer acknowledgment
     NumOps
 };
 

@@ -284,6 +284,7 @@ HarvestSupply::recharge()
     const f64 dead =
         model_.secondsToHarvest(simSeconds_, deficit_nj * 1e-9);
     simSeconds_ += dead;
+    wrapClock();
     harvestedNj_ += deficit_nj;
     levelNj_ = capacityNj_;
     return dead;

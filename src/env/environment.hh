@@ -33,6 +33,7 @@
 #ifndef SONIC_ENV_ENVIRONMENT_HH
 #define SONIC_ENV_ENVIRONMENT_HH
 
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -180,7 +181,25 @@ class HarvestSupply : public arch::PowerSupply
     }
 
     f64 recharge() override;
-    void elapse(f64 live_seconds) override { simSeconds_ += live_seconds; }
+
+    /**
+     * Advance the environment clock by device uptime. The clock wraps
+     * into [0, period): the harvest model is periodic (watts() and
+     * secondsToHarvest() fmod internally, so wrapping is exactly
+     * behavior-preserving), and an unwrapped accumulator loses f64
+     * precision once uptime dwarfs the period — at extreme uptimes
+     * small increments would be absorbed entirely and the phase would
+     * drift. Zero and negative increments are no-ops.
+     */
+    void
+    elapse(f64 live_seconds) override
+    {
+        if (live_seconds <= 0.0)
+            return;
+        simSeconds_ += live_seconds;
+        wrapClock();
+    }
+
     void reset() override;
     bool intermittent() const override { return true; }
     f64 capacityNj() const override { return capacityNj_; }
@@ -208,6 +227,15 @@ class HarvestSupply : public arch::PowerSupply
     /// @}
 
   private:
+    /** Reduce the clock into [0, period) (see elapse()). */
+    void
+    wrapClock()
+    {
+        const f64 period = model_.periodSeconds();
+        if (period > 0.0 && simSeconds_ >= period)
+            simSeconds_ = std::fmod(simSeconds_, period);
+    }
+
     std::string label_;
     HarvestModel model_;
     f64 capacitanceFarads_;

@@ -49,6 +49,16 @@ FleetPlan::validate() const
             fatal("unregistered implementation id in the fleet impl "
                   "distribution");
     }
+    SONIC_ASSERT(!pipelines.empty(),
+                 "empty fleet pipeline distribution");
+    auto &pipes = pipeline::PipelineRegistry::instance();
+    for (const auto &name : pipelines) {
+        if (!pipes.contains(name))
+            fatal("unknown pipeline '", name,
+                  "' in the fleet pipeline distribution; registered "
+                  "pipelines:\n",
+                  pipes.availableList());
+    }
 }
 
 DeviceAssignment
@@ -64,6 +74,10 @@ FleetPlan::assignmentFor(u32 device_index) const
     a.impl = impls[mix64(h ^ 2) % impls.size()];
     a.environment = environments[mix64(h ^ 3) % environments.size()];
     a.seed = mix64(h ^ 4);
+    // h^5 keeps the net/impl/env/seed deals of pre-pipeline plans
+    // byte-identical: a single-pipeline plan is the same fleet as
+    // before, just with a named execution loop.
+    a.pipeline = pipelines[mix64(h ^ 5) % pipelines.size()];
     return a;
 }
 
@@ -78,6 +92,8 @@ simulateDevice(const FleetPlan &plan, u32 device_index)
     const auto &entry = dnn::ModelZoo::instance().get(t.assignment.net);
     const auto &net_spec = entry.compressed();
     const auto &data = entry.dataset();
+    const auto &spec =
+        pipeline::PipelineRegistry::instance().get(t.assignment.pipeline);
     auto supply = env::EnvRegistry::instance().make(
         t.assignment.environment, t.assignment.seed);
 
@@ -87,40 +103,64 @@ simulateDevice(const FleetPlan &plan, u32 device_index)
         if (t.totalSeconds() >= plan.horizonSeconds)
             break;
         if (k > 0) {
-            // Between inferences the device sleeps until the
-            // harvester refills the buffer — the standard
-            // charge-then-burst duty cycle of intermittent systems.
+            // Between rounds the device sleeps until the harvester
+            // refills the buffer — the standard charge-then-burst
+            // duty cycle of intermittent systems.
             t.deadSeconds += supply->recharge();
             if (t.totalSeconds() >= plan.horizonSeconds)
                 break;
         }
 
-        // A fresh Device per inference (single-run kernel semantics),
+        // A fresh Device per round (single-run kernel semantics),
         // powered through a borrowed view of the lifetime's supply so
         // the capacitor level and environment clock persist.
         arch::Device dev(
             app::makeProfile(plan.profile),
             std::make_unique<env::BorrowedSupply>(supply.get()));
         dnn::DeviceNetwork net(dev, net_spec);
-        net.loadInput(dnn::DeviceNetwork::quantizeInput(
-            data[k % data.size()].input));
-        const auto run = kernels::runInference(net, t.assignment.impl);
+        const auto round = pipeline::runRound(
+            net, t.assignment.impl,
+            dnn::DeviceNetwork::quantizeInput(
+                data[k % data.size()].input),
+            spec, t.assignment.seed, k);
         dev.power(); // settle the open lease back into the supply
 
+        // Retry backoff is wall-clock the device spends waiting on
+        // the link, not harvesting: pure dead time in the telemetry
+        // (the environment clock only advances through live time and
+        // recharge, keeping the round-by-round physics unchanged).
         t.liveSeconds += dev.liveSeconds();
-        t.deadSeconds += dev.deadSeconds();
+        t.deadSeconds += dev.deadSeconds() + round.backoffSeconds;
+        t.txBackoffSeconds += round.backoffSeconds;
         t.energyJ += dev.consumedJoules();
-        t.reboots += run.reboots;
-        if (run.nonTerminating) {
+        t.reboots += round.reboots;
+        const auto &stats = dev.stats();
+        t.senseEnergyJ +=
+            stats.opNanojoules(arch::Op::SenseSample) * 1e-9;
+        t.radioEnergyJ +=
+            (stats.opNanojoules(arch::Op::RadioWake) +
+             stats.opNanojoules(arch::Op::RadioTxByte) +
+             stats.opNanojoules(arch::Op::RadioRxAck)) * 1e-9;
+        if (round.nonTerminating) {
             t.diedNonTerminating = true;
             break;
         }
-        if (!run.completed) {
+        if (!round.completed) {
             t.failedIncomplete = true;
             break;
         }
         ++t.inferencesCompleted;
-        t.inferenceSeconds.push_back(dev.totalSeconds());
+        const f64 round_seconds =
+            dev.totalSeconds() + round.backoffSeconds;
+        t.inferenceSeconds.push_back(round_seconds);
+        t.txAttempts += round.txAttempts;
+        t.txRetries += round.txFailedAttempts;
+        if (round.txGaveUp)
+            ++t.txGaveUpRounds;
+        if (round.delivered) {
+            ++t.resultsDelivered;
+            t.deliverySeconds.push_back(round_seconds);
+        }
     }
 
     t.harvestedJ = supply->harvestedNj() * 1e-9;
@@ -132,10 +172,13 @@ simulateDevice(const FleetPlan &plan, u32 device_index)
 void
 FleetCsvSink::begin(u64)
 {
-    os_ << "device,net,impl,environment,seed,status,inferences,"
-           "reboots,liveSeconds,deadSeconds,totalSeconds,energyJ,"
-           "harvestedJ,inferencesPerDay,rebootsPerInference,"
-           "deadFraction,energyPerInferenceJ,meanInferenceSeconds\n";
+    os_ << "device,net,impl,environment,pipeline,seed,status,"
+           "inferences,reboots,liveSeconds,deadSeconds,totalSeconds,"
+           "energyJ,harvestedJ,inferencesPerDay,rebootsPerInference,"
+           "deadFraction,energyPerInferenceJ,meanInferenceSeconds,"
+           "resultsDelivered,txAttempts,txRetries,txGaveUpRounds,"
+           "radioEnergyJ,senseEnergyJ,txBackoffSeconds,"
+           "meanDeliverySeconds\n";
 }
 
 void
@@ -146,6 +189,11 @@ FleetCsvSink::add(const DeviceTelemetry &t)
         mean_latency += s;
     if (!t.inferenceSeconds.empty())
         mean_latency /= static_cast<f64>(t.inferenceSeconds.size());
+    f64 mean_delivery = 0.0;
+    for (f64 s : t.deliverySeconds)
+        mean_delivery += s;
+    if (!t.deliverySeconds.empty())
+        mean_delivery /= static_cast<f64>(t.deliverySeconds.size());
 
     std::ostringstream row;
     row.precision(12);
@@ -154,6 +202,7 @@ FleetCsvSink::add(const DeviceTelemetry &t)
         << csvQuote(std::string(
                kernels::implName(t.assignment.impl)))
         << ',' << csvQuote(t.assignment.environment.label()) << ','
+        << csvQuote(t.assignment.pipeline) << ','
         << t.assignment.seed << ','
         << (t.diedNonTerminating
                 ? "dnf"
@@ -164,7 +213,11 @@ FleetCsvSink::add(const DeviceTelemetry &t)
         << t.totalSeconds() << ',' << t.energyJ << ','
         << t.harvestedJ << ',' << t.inferencesPerDay() << ','
         << t.rebootsPerInference() << ',' << t.deadFraction() << ','
-        << t.energyPerInferenceJ() << ',' << mean_latency << '\n';
+        << t.energyPerInferenceJ() << ',' << mean_latency << ','
+        << t.resultsDelivered << ',' << t.txAttempts << ','
+        << t.txRetries << ',' << t.txGaveUpRounds << ','
+        << t.radioEnergyJ << ',' << t.senseEnergyJ << ','
+        << t.txBackoffSeconds << ',' << mean_delivery << '\n';
     os_ << row.str();
 }
 
@@ -184,6 +237,14 @@ GroupStats::accumulate(const DeviceTelemetry &t)
     deadSeconds += t.deadSeconds;
     energyJ += t.energyJ;
     harvestedJ += t.harvestedJ;
+    resultsDelivered += t.resultsDelivered;
+    if (t.txGaveUpRounds > 0)
+        ++txGaveUpDevices;
+    txAttempts += t.txAttempts;
+    txRetries += t.txRetries;
+    radioEnergyJ += t.radioEnergyJ;
+    senseEnergyJ += t.senseEnergyJ;
+    txBackoffSeconds += t.txBackoffSeconds;
 }
 
 namespace
@@ -213,10 +274,20 @@ emitGroup(std::ostringstream &os, const GroupStats &g)
        << ", \"deadSeconds\": " << g.deadSeconds
        << ", \"energyJ\": " << g.energyJ
        << ", \"harvestedJ\": " << g.harvestedJ
+       << ", \"resultsDelivered\": " << g.resultsDelivered
+       << ", \"txGaveUpDevices\": " << g.txGaveUpDevices
+       << ", \"txAttempts\": " << g.txAttempts
+       << ", \"txRetries\": " << g.txRetries
+       << ", \"radioEnergyJ\": " << g.radioEnergyJ
+       << ", \"senseEnergyJ\": " << g.senseEnergyJ
+       << ", \"txBackoffSeconds\": " << g.txBackoffSeconds
        << ", \"inferencesPerDeviceDay\": " << g.inferencesPerDeviceDay()
        << ", \"rebootsPerInference\": " << g.rebootsPerInference()
        << ", \"deadFraction\": " << g.deadFraction()
        << ", \"energyPerInferenceJ\": " << g.energyPerInferenceJ()
+       << ", \"deliveredPerDeviceDay\": " << g.deliveredPerDeviceDay()
+       << ", \"retriesPerDelivered\": " << g.retriesPerDelivered()
+       << ", \"radioEnergyFraction\": " << g.radioEnergyFraction()
        << "}";
 }
 
@@ -248,11 +319,15 @@ FleetSummary::toJson() const
        << ",\n  \"latencyP50Seconds\": " << latencyP50Seconds
        << ",\n  \"latencyP95Seconds\": " << latencyP95Seconds
        << ",\n  \"latencyP99Seconds\": " << latencyP99Seconds
+       << ",\n  \"deliveryP50Seconds\": " << deliveryP50Seconds
+       << ",\n  \"deliveryP95Seconds\": " << deliveryP95Seconds
+       << ",\n  \"deliveryP99Seconds\": " << deliveryP99Seconds
        << ",\n  \"total\": ";
     emitGroup(os, total);
     emitGroupMap(os, "byEnvironment", byEnvironment);
     emitGroupMap(os, "byImpl", byImpl);
     emitGroupMap(os, "byNet", byNet);
+    emitGroupMap(os, "byPipeline", byPipeline);
     os << "\n}\n";
     return os.str();
 }
@@ -342,6 +417,7 @@ runFleet(const FleetPlan &plan, FleetOptions options,
     summary.horizonSeconds = plan.horizonSeconds;
     summary.baseSeed = plan.baseSeed;
     std::vector<f64> latencies;
+    std::vector<f64> deliveries;
     for (u64 i = 0; i < total; ++i) {
         const DeviceTelemetry &t = *done[i];
         summary.total.accumulate(t);
@@ -351,13 +427,20 @@ runFleet(const FleetPlan &plan, FleetOptions options,
                            kernels::implName(t.assignment.impl))]
             .accumulate(t);
         summary.byNet[t.assignment.net].accumulate(t);
+        summary.byPipeline[t.assignment.pipeline].accumulate(t);
         latencies.insert(latencies.end(), t.inferenceSeconds.begin(),
                          t.inferenceSeconds.end());
+        deliveries.insert(deliveries.end(), t.deliverySeconds.begin(),
+                          t.deliverySeconds.end());
     }
     std::sort(latencies.begin(), latencies.end());
     summary.latencyP50Seconds = nearestRank(latencies, 50.0);
     summary.latencyP95Seconds = nearestRank(latencies, 95.0);
     summary.latencyP99Seconds = nearestRank(latencies, 99.0);
+    std::sort(deliveries.begin(), deliveries.end());
+    summary.deliveryP50Seconds = nearestRank(deliveries, 50.0);
+    summary.deliveryP95Seconds = nearestRank(deliveries, 95.0);
+    summary.deliveryP99Seconds = nearestRank(deliveries, 99.0);
     return summary;
 }
 

@@ -7,7 +7,8 @@
  * telemetry.
  *
  * A FleetPlan is declarative, like a SweepPlan: it names the
- * model/kernel/environment distributions and the fleet size, and every
+ * model/kernel/environment/pipeline distributions and the fleet size,
+ * and every
  * device's assignment and seed derive deterministically from the base
  * seed and the device index alone. Execution fans device lifetimes
  * across a worker pool with work stealing (a shared atomic cursor:
@@ -36,6 +37,7 @@
 
 #include "app/experiment.hh"
 #include "env/environment.hh"
+#include "pipeline/pipeline.hh"
 
 namespace sonic::fleet
 {
@@ -47,7 +49,9 @@ struct DeviceAssignment
     dnn::NetRef net;
     kernels::Impl impl = kernels::Impl::Sonic;
     env::EnvRef environment;
-    /** Per-device seed: environment phase + future stochastic models. */
+    /** Registered pipeline the device runs each round. */
+    std::string pipeline = "infer-only";
+    /** Per-device seed: environment phase + stochastic models (ACK loss). */
     u64 seed = 0;
 };
 
@@ -63,6 +67,7 @@ struct FleetPlan
     std::vector<dnn::NetRef> nets{"MNIST"};
     std::vector<kernels::Impl> impls{kernels::Impl::Sonic};
     std::vector<env::EnvRef> environments{{"rf-paper", 0.0}};
+    std::vector<std::string> pipelines{"infer-only"};
     /// @}
 
     /** Simulated deployment length per device. */
@@ -108,12 +113,26 @@ struct DeviceTelemetry
     u64 reboots = 0;
 
     f64 liveSeconds = 0.0;
-    f64 deadSeconds = 0.0; ///< recharge time, in- and between-inference
+    f64 deadSeconds = 0.0; ///< recharge + TX backoff time
     f64 energyJ = 0.0;
     f64 harvestedJ = 0.0;
 
+    /** @name Pipeline delivery telemetry (zero for infer-only). */
+    /// @{
+    u32 resultsDelivered = 0;  ///< rounds whose result was acknowledged
+    u32 txGaveUpRounds = 0;    ///< rounds that exhausted TX attempts
+    u64 txAttempts = 0;        ///< completed TX attempts, incl. acked
+    u64 txRetries = 0;         ///< completed attempts without an ACK
+    f64 radioEnergyJ = 0.0;    ///< wake + payload + ACK-listen energy
+    f64 senseEnergyJ = 0.0;    ///< sample-acquisition energy
+    f64 txBackoffSeconds = 0.0; ///< retry backoff (inside deadSeconds)
+    /// @}
+
     /** Wall-clock (live + dead) seconds of each completed inference. */
     std::vector<f64> inferenceSeconds;
+
+    /** Sense-to-ACK wall-clock seconds of each delivered result. */
+    std::vector<f64> deliverySeconds;
 
     f64 totalSeconds() const { return liveSeconds + deadSeconds; }
 
@@ -144,6 +163,19 @@ struct DeviceTelemetry
     {
         return inferencesCompleted > 0 ? energyJ / inferencesCompleted
                                        : 0.0;
+    }
+
+    f64
+    resultsDeliveredPerDay() const
+    {
+        const f64 t = totalSeconds();
+        return t > 0.0 ? resultsDelivered * 86400.0 / t : 0.0;
+    }
+
+    f64
+    radioEnergyFraction() const
+    {
+        return energyJ > 0.0 ? radioEnergyJ / energyJ : 0.0;
     }
 };
 
@@ -188,6 +220,14 @@ struct GroupStats
     f64 energyJ = 0.0;
     f64 harvestedJ = 0.0;
 
+    u64 resultsDelivered = 0;
+    u64 txGaveUpDevices = 0; ///< devices with >= 1 given-up round
+    u64 txAttempts = 0;
+    u64 txRetries = 0;
+    f64 radioEnergyJ = 0.0;
+    f64 senseEnergyJ = 0.0;
+    f64 txBackoffSeconds = 0.0;
+
     void accumulate(const DeviceTelemetry &device);
 
     f64
@@ -217,6 +257,27 @@ struct GroupStats
     {
         return inferences > 0 ? energyJ / inferences : 0.0;
     }
+
+    f64
+    deliveredPerDeviceDay() const
+    {
+        const f64 t = liveSeconds + deadSeconds;
+        return t > 0.0 ? resultsDelivered * 86400.0 / t : 0.0;
+    }
+
+    f64
+    retriesPerDelivered() const
+    {
+        return resultsDelivered > 0
+            ? static_cast<f64>(txRetries) / resultsDelivered
+            : static_cast<f64>(txRetries);
+    }
+
+    f64
+    radioEnergyFraction() const
+    {
+        return energyJ > 0.0 ? radioEnergyJ / energyJ : 0.0;
+    }
 };
 
 /** The machine-readable outcome of a fleet run. */
@@ -230,12 +291,18 @@ struct FleetSummary
     std::map<std::string, GroupStats> byEnvironment;
     std::map<std::string, GroupStats> byImpl;
     std::map<std::string, GroupStats> byNet;
+    std::map<std::string, GroupStats> byPipeline;
 
     /** Latency percentiles over every completed inference
      * (nearest-rank on the sorted latency list; 0 when none). */
     f64 latencyP50Seconds = 0.0;
     f64 latencyP95Seconds = 0.0;
     f64 latencyP99Seconds = 0.0;
+
+    /** Sense-to-ACK latency percentiles over delivered results. */
+    f64 deliveryP50Seconds = 0.0;
+    f64 deliveryP95Seconds = 0.0;
+    f64 deliveryP99Seconds = 0.0;
 
     /** Render the deployment report as JSON (the CI artifact). */
     std::string toJson() const;

@@ -96,10 +96,12 @@ scenarios()
         plan.environments = {{"solar", 1e-3},
                              {"trace-solar-cloudy", 1e-3},
                              {"trace-solar-cloudy", 100e-6}};
+        plan.pipelines = {"wildlife"};
         plan.maxInferencesPerDevice = 3;
         out.push_back({"wildlife-day",
-                       "500 solar wildlife cameras, clear vs cloudy "
-                       "traces",
+                       "500 solar wildlife cameras running the full "
+                       "sense-infer-transmit pipeline, clear vs "
+                       "cloudy traces",
                        plan});
     }
     return out;
@@ -113,12 +115,15 @@ usage()
            "                   [--devices=N] [--nets=A,B,...]\n"
            "                   [--impls=SONIC,TAILS,...]\n"
            "                   [--envs=solar@1mF,rf-paper,...]\n"
+           "                   [--pipelines=wildlife,infer-only,...]\n"
            "                   [--horizon=SECONDS]\n"
            "                   [--max-inferences=K] [--threads=T]\n"
            "                   [--seed=S] [--csv=PATH]\n"
            "                   [--summary=PATH]\n"
            "                   [--trace=NAME=FILE] [--allow-zero]\n"
-           "                   [--list-envs] [--list-scenarios]\n";
+           "                   [--require-delivered]\n"
+           "                   [--list-envs] [--list-scenarios]\n"
+           "                   [--list-pipelines]\n";
     return 2;
 }
 
@@ -130,6 +135,7 @@ main(int argc, char **argv)
     fleet::FleetPlan plan;
     fleet::FleetOptions options;
     bool allow_zero = false;
+    bool require_delivered = false;
     std::string csv_path, summary_path;
     std::vector<std::string> trace_args;
     std::string value;
@@ -195,6 +201,11 @@ main(int argc, char **argv)
                     std::cout << scenario.name << " — "
                               << scenario.description << "\n";
                 return 0;
+            } else if (arg == "--list-pipelines") {
+                std::cout
+                    << pipeline::PipelineRegistry::instance()
+                           .availableList();
+                return 0;
             } else if (consumeFlag(arg, "--devices", &value)) {
                 plan.devices = static_cast<u32>(std::stoul(value));
             } else if (consumeFlag(arg, "--nets", &value)) {
@@ -217,6 +228,8 @@ main(int argc, char **argv)
                         fatal(error);
                     plan.environments.push_back(std::move(ref));
                 }
+            } else if (consumeFlag(arg, "--pipelines", &value)) {
+                plan.pipelines = splitCsv(value);
             } else if (consumeFlag(arg, "--horizon", &value)) {
                 plan.horizonSeconds = std::stod(value);
             } else if (consumeFlag(arg, "--max-inferences", &value)) {
@@ -233,6 +246,8 @@ main(int argc, char **argv)
                 summary_path = value;
             } else if (arg == "--allow-zero") {
                 allow_zero = true;
+            } else if (arg == "--require-delivered") {
+                require_delivered = true;
             } else {
                 return usage();
             }
@@ -259,11 +274,17 @@ main(int argc, char **argv)
     // Human-readable deployment report.
     std::cout << "fleet: " << summary.devices << " devices, "
               << summary.total.inferences << " inferences, "
+              << summary.total.resultsDelivered << " delivered, "
               << summary.total.dnfDevices << " DNF devices, "
               << summary.total.reboots << " reboots\n";
     std::cout << "latency p50/p95/p99: " << summary.latencyP50Seconds
               << " / " << summary.latencyP95Seconds << " / "
               << summary.latencyP99Seconds << " s\n";
+    if (summary.total.resultsDelivered > 0)
+        std::cout << "sense->ack p50/p95/p99: "
+                  << summary.deliveryP50Seconds << " / "
+                  << summary.deliveryP95Seconds << " / "
+                  << summary.deliveryP99Seconds << " s\n";
     Table table({"environment", "devices", "dnf", "inf/dev-day",
                  "reboots/inf", "dead frac", "J/inf"});
     for (const auto &[name, g] : summary.byEnvironment) {
@@ -277,6 +298,20 @@ main(int argc, char **argv)
             .cell(g.energyPerInferenceJ(), 6);
     }
     table.print(std::cout);
+    if (summary.total.txAttempts > 0) {
+        Table tx({"pipeline", "devices", "delivered/dev-day",
+                  "retries/delivered", "gave-up devs", "radio frac"});
+        for (const auto &[name, g] : summary.byPipeline) {
+            tx.row()
+                .cell(name)
+                .cell(g.devices)
+                .cell(g.deliveredPerDeviceDay(), 3)
+                .cell(g.retriesPerDelivered(), 2)
+                .cell(g.txGaveUpDevices)
+                .cell(g.radioEnergyFraction(), 4);
+        }
+        tx.print(std::cout);
+    }
 
     if (!summary_path.empty()) {
         std::ofstream out(summary_path);
@@ -292,6 +327,11 @@ main(int argc, char **argv)
     if (summary.total.inferences == 0 && !allow_zero) {
         std::cerr << "fleet completed zero inferences — failing "
                      "(--allow-zero to override)\n";
+        return 1;
+    }
+    if (require_delivered && summary.total.resultsDelivered == 0) {
+        std::cerr << "fleet delivered zero results — failing "
+                     "(--require-delivered)\n";
         return 1;
     }
     return 0;

@@ -1,0 +1,381 @@
+#include "pipeline/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/memory.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace sonic::pipeline
+{
+
+namespace
+{
+
+thread_local TxBoundaryObserver *tTxObserver = nullptr;
+
+void
+notifyBoundary(arch::Device &dev, TxBoundary boundary)
+{
+    if (tTxObserver != nullptr)
+        tTxObserver->onBoundary(dev, boundary);
+}
+
+/**
+ * The per-round FRAM journal. Constructed fresh for each round (a
+ * round is one delivered sample, the natural idempotence unit); every
+ * member is a single word, so each write is all-or-nothing under the
+ * NvVar charge-before-assign contract.
+ */
+struct Journal
+{
+    explicit Journal(arch::Device &dev)
+        : senseIdx(dev, "pipe.senseIdx", 0),
+          inferStarted(dev, "pipe.inferStarted", 0),
+          committed(dev, "pipe.committed", -1),
+          acked(dev, "pipe.acked", 0),
+          attempts(dev, "pipe.attempts", 0)
+    {
+    }
+
+    arch::NvVar<i16> senseIdx;     ///< next un-acquired sense chunk
+    arch::NvVar<i16> inferStarted; ///< inference may have clobbered acts
+    arch::NvVar<i16> committed;    ///< -1, or the class in the TX buffer
+    arch::NvVar<i16> acked;        ///< 1 once the uplink acknowledged
+    arch::NvVar<i16> attempts;     ///< completed un-acknowledged attempts
+};
+
+/** Uncharged digest of the journal, the driver's progress measure. */
+u64
+journalProgress(const Journal &j)
+{
+    u64 h = mix64(static_cast<u64>(static_cast<u16>(j.senseIdx.peek())));
+    h = mix64(h ^ static_cast<u16>(j.inferStarted.peek()));
+    h = mix64(h ^ static_cast<u16>(j.committed.peek()));
+    h = mix64(h ^ static_cast<u16>(j.acked.peek()));
+    h = mix64(h ^ static_cast<u16>(j.attempts.peek()));
+    return h;
+}
+
+/**
+ * Whether attempt `attempt` of round `round_index` is acknowledged — a
+ * pure function of its coordinates, so an attempt interrupted by a
+ * brown-out re-executes with the identical outcome and delivery
+ * accounting matches the continuous reference exactly.
+ */
+bool
+ackArrives(const RadioConfig &radio, u64 seed, u64 round_index,
+           u32 attempt)
+{
+    if (radio.ackLossProbability <= 0.0)
+        return true;
+    if (radio.ackLossProbability >= 1.0)
+        return false;
+    const u64 h =
+        mix64(mix64(seed ^ 0xacced5a1u) ^
+              (round_index * 0x9e3779b97f4a7c15ull) ^ attempt);
+    const f64 u = static_cast<f64>(h >> 11) * 0x1.0p-53;
+    return u >= radio.ackLossProbability;
+}
+
+i16
+argmaxClass(const std::vector<i16> &logits)
+{
+    SONIC_ASSERT(!logits.empty(), "argmax of empty logits");
+    u32 best = 0;
+    for (u32 i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = i;
+    return static_cast<i16>(best);
+}
+
+/**
+ * Acquire the input sample chunk by chunk. Each chunk charges
+ * Op::SenseSample per element, lands in the kernel's input activation
+ * buffer via an all-or-nothing writeRange, and then advances the
+ * journaled cursor — so a brown-out mid-sample resumes at the first
+ * un-acquired chunk instead of restarting the whole sample.
+ */
+void
+senseStage(dnn::DeviceNetwork &net, Journal &j,
+           const std::vector<i16> &input, const SenseConfig &sense,
+           u16 layer)
+{
+    arch::Device &dev = net.dev();
+    arch::ScopedLayer attribution(dev, layer);
+    arch::NvArray<i16> &buf = net.act(net.inputBufferOf(0));
+    const u64 total = input.size();
+    const u64 chunk = std::max<u32>(1, sense.chunkElements);
+    const u64 chunks = (total + chunk - 1) / chunk;
+    for (;;) {
+        const u64 idx = static_cast<u16>(j.senseIdx.read());
+        if (idx >= chunks)
+            return;
+        const u64 base = idx * chunk;
+        const u64 n = std::min(chunk, total - base);
+        dev.consume(arch::Op::SenseSample, n);
+        buf.writeRange(base, n, input.data() + base);
+        j.senseIdx.write(static_cast<i16>(idx + 1));
+    }
+}
+
+/**
+ * Transmit the committed result until acknowledged or out of attempts.
+ * One attempt = wake, chunked payload bytes, ACK listen; only the
+ * journal writes after a completed attempt (acked / attempts) are
+ * delivery-visible, so a brown-out anywhere inside an attempt simply
+ * re-executes it with the same deterministic outcome.
+ */
+void
+transmitStage(arch::Device &dev, Journal &j, const RadioConfig &radio,
+              u64 seed, u64 round_index, RoundOutcome &out, u16 layer)
+{
+    arch::ScopedLayer attribution(dev, layer);
+    for (;;) {
+        if (j.acked.read() != 0)
+            return;
+        const u32 a = static_cast<u16>(j.attempts.read());
+        if (a >= radio.maxAttempts) {
+            out.txGaveUp = true;
+            return;
+        }
+        dev.consume(arch::Op::RadioWake);
+        const u32 chunk = std::max<u32>(1, radio.chunkBytes);
+        for (u32 sent = 0; sent < radio.payloadBytes;) {
+            const u32 n = std::min(chunk, radio.payloadBytes - sent);
+            dev.consume(arch::Op::RadioTxByte, n);
+            sent += n;
+        }
+        dev.consume(arch::Op::RadioRxAck);
+        if (ackArrives(radio, seed, round_index, a)) {
+            notifyBoundary(dev, TxBoundary::AckCommit);
+            j.acked.write(1);
+        } else {
+            notifyBoundary(dev, TxBoundary::AttemptAdvance);
+            j.attempts.write(static_cast<i16>(a + 1));
+            out.backoffSeconds +=
+                radio.backoffSeconds *
+                std::pow(radio.backoffMultiplier, static_cast<f64>(a));
+        }
+    }
+}
+
+} // namespace
+
+TxBoundaryObserver *
+setThreadTxBoundaryObserver(TxBoundaryObserver *obs)
+{
+    TxBoundaryObserver *previous = tTxObserver;
+    tTxObserver = obs;
+    return previous;
+}
+
+f64
+attemptEnergyJ(const RadioConfig &radio, const arch::EnergyProfile &profile)
+{
+    f64 nj = profile.nanojoules(arch::Op::RadioWake) +
+             profile.nanojoules(arch::Op::RadioRxAck) +
+             static_cast<f64>(radio.payloadBytes) *
+                 profile.nanojoules(arch::Op::RadioTxByte);
+    return nj * 1e-9;
+}
+
+RoundOutcome
+runRound(dnn::DeviceNetwork &net, kernels::Impl impl,
+         const std::vector<i16> &input, const PipelineSpec &spec,
+         u64 seed, u64 round_index, const RoundLimits &limits)
+{
+    arch::Device &dev = net.dev();
+    RoundOutcome out;
+
+    // A bare-inference pipeline is exactly the pre-pipeline execution
+    // path: no journal, no extra charged ops.
+    if (spec.inferOnly()) {
+        net.loadInput(input);
+        const auto run = kernels::runInference(net, impl);
+        out.completed = run.completed;
+        out.nonTerminating = run.nonTerminating;
+        out.reboots = run.reboots;
+        out.logits = run.logits;
+        if (run.completed)
+            out.resultClass = argmaxClass(run.logits);
+        return out;
+    }
+
+    const u16 senseLayer = dev.registerLayer("sense");
+    const u16 radioLayer = dev.registerLayer("radio");
+    Journal j(dev);
+
+    u64 fails_since_progress = 0;
+    bool restart_phase_a = false;
+    for (;;) {
+        const u64 progress_before = journalProgress(j);
+        try {
+            if (j.committed.read() < 0) {
+                if (restart_phase_a) {
+                    // A failure struck after inference may have begun
+                    // but before the result committed: the ping-pong
+                    // activation buffers are clobbered, so the only
+                    // correct recovery is to re-sense and re-infer
+                    // (deterministic, hence the same class).
+                    j.senseIdx.write(0);
+                    j.inferStarted.write(0);
+                    restart_phase_a = false;
+                }
+                if (spec.sense.enabled)
+                    senseStage(net, j, input, spec.sense, senseLayer);
+                else
+                    net.loadInput(input);
+                j.inferStarted.write(1);
+                const auto run = kernels::runInference(net, impl);
+                out.reboots += run.reboots;
+                if (!run.completed) {
+                    out.nonTerminating = run.nonTerminating;
+                    return out;
+                }
+                out.logits = run.logits;
+                const i16 cls = argmaxClass(run.logits);
+                notifyBoundary(dev, TxBoundary::ResultCommit);
+                j.committed.write(cls);
+            }
+            out.resultClass = j.committed.read();
+            if (spec.radio.enabled)
+                transmitStage(dev, j, spec.radio, seed, round_index,
+                              out, radioLayer);
+            out.completed = true;
+            out.delivered = j.acked.peek() != 0;
+            out.txFailedAttempts = static_cast<u16>(j.attempts.peek());
+            out.txAttempts =
+                out.txFailedAttempts + (out.delivered ? 1u : 0u);
+            return out;
+        } catch (const arch::PowerFailure &) {
+            dev.reboot();
+            ++out.reboots;
+            if (j.committed.peek() < 0 && j.inferStarted.peek() != 0)
+                restart_phase_a = true;
+            if (journalProgress(j) != progress_before)
+                fails_since_progress = 0;
+            else
+                ++fails_since_progress;
+            if (fails_since_progress > limits.maxFailuresWithoutProgress) {
+                out.nonTerminating = true;
+                return out;
+            }
+        }
+    }
+}
+
+PipelineRegistry &
+PipelineRegistry::instance()
+{
+    static PipelineRegistry registry;
+    return registry;
+}
+
+PipelineRegistry::PipelineRegistry()
+{
+    {
+        PipelineSpec s;
+        s.name = "infer-only";
+        s.description = "bare inference, no sense or radio stages";
+        add(std::move(s));
+    }
+    {
+        PipelineSpec s;
+        s.name = "wildlife";
+        s.description =
+            "sense a full sample, infer, radio the class on a "
+            "lossless link";
+        s.sense.enabled = true;
+        s.radio.enabled = true;
+        s.radio.payloadBytes = 8;
+        s.radio.chunkBytes = 4;
+        s.radio.maxAttempts = 4;
+        add(std::move(s));
+    }
+    {
+        PipelineSpec s;
+        s.name = "sense-infer";
+        s.description = "sense a full sample and infer; result stays local";
+        s.sense.enabled = true;
+        add(std::move(s));
+    }
+    {
+        PipelineSpec s;
+        s.name = "result-tx";
+        s.description = "infer a flashed sample and radio the class";
+        s.radio.enabled = true;
+        s.radio.payloadBytes = 8;
+        s.radio.chunkBytes = 4;
+        s.radio.maxAttempts = 4;
+        add(std::move(s));
+    }
+    {
+        PipelineSpec s;
+        s.name = "lossy-uplink";
+        s.description =
+            "sense + infer + radio on a lossy link (25% ACK loss, "
+            "6 attempts, exponential backoff)";
+        s.sense.enabled = true;
+        s.radio.enabled = true;
+        s.radio.payloadBytes = 8;
+        s.radio.chunkBytes = 4;
+        s.radio.maxAttempts = 6;
+        s.radio.ackLossProbability = 0.25;
+        add(std::move(s));
+    }
+}
+
+void
+PipelineRegistry::add(PipelineSpec spec)
+{
+    SONIC_ASSERT(!spec.name.empty(), "pipeline spec needs a name");
+    if (contains(spec.name))
+        fatal("duplicate pipeline registration: ", spec.name);
+    specs_.push_back(std::move(spec));
+}
+
+bool
+PipelineRegistry::contains(const std::string &name) const
+{
+    for (const auto &s : specs_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+const PipelineSpec &
+PipelineRegistry::get(const std::string &name) const
+{
+    for (const auto &s : specs_)
+        if (s.name == name)
+            return s;
+    fatal("unknown pipeline '", name, "'; registered:\n", availableList());
+}
+
+std::vector<std::string>
+PipelineRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(specs_.size());
+    for (const auto &s : specs_)
+        out.push_back(s.name);
+    return out;
+}
+
+std::string
+PipelineRegistry::availableList() const
+{
+    std::string out;
+    for (const auto &s : specs_) {
+        out += "  ";
+        out += s.name;
+        out += " - ";
+        out += s.description;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace sonic::pipeline

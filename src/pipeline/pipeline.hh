@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Sense-infer-transmit pipelines.
+ *
+ * The paper's motivating deployments (Sec. 2's wildlife camera) never
+ * run inference alone: a device samples a sensor, infers, and radios
+ * the answer off-device. This subsystem makes that whole loop a
+ * first-class, string-registerable workload — a PipelineSpec names
+ * which stages surround the inference kernel and how they are costed:
+ *
+ *  - sense:    acquires the input sample chunk by chunk, charging
+ *    Op::SenseSample per element through the normal lease protocol and
+ *    journaling a chunk cursor in FRAM, so a brown-out mid-sample
+ *    resumes at the next un-acquired chunk;
+ *  - infer:    the existing kernels::runInference (SONIC/TAILS/...),
+ *    untouched;
+ *  - transmit: a radio model with payload-size-proportional draw
+ *    (Op::RadioWake / RadioTxByte / RadioRxAck), a bounded
+ *    retry/backoff policy, and an idempotent two-phase delivery
+ *    boundary in FRAM: "result committed to the TX buffer" and
+ *    "result acknowledged" are each a single-word atomic NvVar write,
+ *    so a reboot mid-transmission either retries or skips — it can
+ *    never double-send or silently drop a result.
+ *
+ * The round driver (runRound) mirrors task::Scheduler::run: it catches
+ * arch::PowerFailure, reboots the device, and resumes from the FRAM
+ * journal. All retry/ack randomness is a pure function of (seed, round,
+ * attempt), so an attempt interrupted by a brown-out re-executes with
+ * the identical outcome and the delivered-results accounting of an
+ * intermittent run is bit-identical to the continuous reference — the
+ * differential property the oracle's TX-boundary schedules verify.
+ */
+
+#ifndef SONIC_PIPELINE_PIPELINE_HH
+#define SONIC_PIPELINE_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/device.hh"
+#include "dnn/device_net.hh"
+#include "kernels/runner.hh"
+
+namespace sonic::pipeline
+{
+
+/** Sense-stage configuration (disabled: input is flashed uncharged). */
+struct SenseConfig
+{
+    bool enabled = false;
+
+    /** Elements acquired per journaled chunk (the restart granule). */
+    u32 chunkElements = 64;
+};
+
+/** Transmit-stage configuration (disabled: the result stays local). */
+struct RadioConfig
+{
+    bool enabled = false;
+
+    /** Bytes of payload per TX attempt (result packets are small). */
+    u32 payloadBytes = 4;
+
+    /** Bytes charged per RadioTxByte consume call. */
+    u32 chunkBytes = 4;
+
+    /** Total TX attempts before the round gives up on delivery. */
+    u32 maxAttempts = 4;
+
+    /** Probability one attempt's acknowledgment is lost. */
+    f64 ackLossProbability = 0.0;
+
+    /** Exponential backoff between attempts (wall-clock accounting). */
+    f64 backoffSeconds = 0.5;
+    f64 backoffMultiplier = 2.0;
+};
+
+/** A named sense-infer-transmit pipeline. */
+struct PipelineSpec
+{
+    std::string name;
+    std::string description;
+    SenseConfig sense;
+    RadioConfig radio;
+
+    /** Pure inference, identical to the pre-pipeline execution path. */
+    bool inferOnly() const { return !sense.enabled && !radio.enabled; }
+};
+
+/**
+ * Energy of one complete TX attempt (wake + chunked payload + ACK
+ * listen) under a profile, in joules. The analytical benches (Fig. 1/2)
+ * use this instead of hand-rolled send-energy constants.
+ */
+f64 attemptEnergyJ(const RadioConfig &radio,
+                   const arch::EnergyProfile &profile);
+
+/**
+ * The pipeline registry: string-keyed specs, mirroring ImplRegistry /
+ * EnvRegistry / ModelZoo. Built-ins registered at static-init time:
+ *
+ *  - "infer-only":   no sense, no radio (the FleetPlan default);
+ *  - "wildlife":     sense + result TX on a lossless link;
+ *  - "sense-infer":  sense only;
+ *  - "result-tx":    result TX only;
+ *  - "lossy-uplink": sense + result TX with 25% ACK loss and retries.
+ */
+class PipelineRegistry
+{
+  public:
+    static PipelineRegistry &instance();
+
+    /** Register a spec; duplicate names are fatal. */
+    void add(PipelineSpec spec);
+
+    bool contains(const std::string &name) const;
+
+    /** Lookup by name; unknown names are fatal. */
+    const PipelineSpec &get(const std::string &name) const;
+
+    /** Registered names, registration order. */
+    std::vector<std::string> names() const;
+
+    /** One-per-line "name - description" list (CLI help). */
+    std::string availableList() const;
+
+  private:
+    PipelineRegistry();
+
+    std::vector<PipelineSpec> specs_;
+};
+
+/** What one pipeline round observed (the fleet/oracle surface). */
+struct RoundOutcome
+{
+    /** The round ran to the end of its stage list. */
+    bool completed = false;
+
+    /** The driver or kernel stopped making progress (DNF). */
+    bool nonTerminating = false;
+
+    /** The result was acknowledged by the uplink. */
+    bool delivered = false;
+
+    /** The radio exhausted maxAttempts without an acknowledgment. */
+    bool txGaveUp = false;
+
+    u64 reboots = 0;
+
+    /** Completed TX attempts, including the acknowledged one. */
+    u32 txAttempts = 0;
+
+    /** Completed TX attempts that ended without an acknowledgment. */
+    u32 txFailedAttempts = 0;
+
+    /** Wall-clock spent in retry backoff (not device live time). */
+    f64 backoffSeconds = 0.0;
+
+    std::vector<i16> logits;
+
+    /** argmax of the logits; -1 until inference commits. */
+    i16 resultClass = -1;
+};
+
+/** Driver knobs (defaults mirror task::SchedulerConfig). */
+struct RoundLimits
+{
+    /** Consecutive driver-level failures without journal progress. */
+    u64 maxFailuresWithoutProgress = 48;
+};
+
+/**
+ * Run one sense-infer-transmit round on a freshly prepared device.
+ * `input` is the quantized Q7.8 sample in device order; `seed` and
+ * `round_index` parameterize the deterministic ACK-loss draw. The
+ * caller owns device/power lifetime; the journal NvVars live only for
+ * the duration of the call. PowerFailure never escapes.
+ */
+RoundOutcome runRound(dnn::DeviceNetwork &net, kernels::Impl impl,
+                      const std::vector<i16> &input,
+                      const PipelineSpec &spec, u64 seed,
+                      u64 round_index, const RoundLimits &limits = {});
+
+/** The delivery boundaries a TX-boundary observer can see. */
+enum class TxBoundary : u8
+{
+    ResultCommit,   ///< just before the committed-class NvVar write
+    AttemptAdvance, ///< just before the failed-attempt-count write
+    AckCommit       ///< just before the acknowledged-flag write
+};
+
+/**
+ * Observer invoked immediately before each delivery-boundary NvVar
+ * write, on the same thread as the run — the pipeline analogue of
+ * task::CommitObserver. The oracle installs a recorder here to aim
+ * commit-targeted schedules at the new atomicity surface.
+ */
+class TxBoundaryObserver
+{
+  public:
+    virtual ~TxBoundaryObserver() = default;
+    virtual void onBoundary(arch::Device &dev, TxBoundary boundary) = 0;
+};
+
+/** Install a thread-local observer; returns the previous one. */
+TxBoundaryObserver *setThreadTxBoundaryObserver(TxBoundaryObserver *obs);
+
+} // namespace sonic::pipeline
+
+#endif // SONIC_PIPELINE_PIPELINE_HH

@@ -168,6 +168,139 @@ recordCommitTrace(const LocalWorkload &workload, u64 *total_draws)
     return std::move(recorder.commits);
 }
 
+// --- Pipeline path --------------------------------------------------
+
+namespace
+{
+
+/** Records the draw index of every delivery boundary on this thread. */
+struct TxBoundaryRecorder : pipeline::TxBoundaryObserver
+{
+    std::vector<u64> boundaries;
+
+    void
+    onBoundary(arch::Device &dev, pipeline::TxBoundary) override
+    {
+        boundaries.push_back(
+            static_cast<arch::SchedulePower &>(dev.power())
+                .drawsSoFar());
+    }
+};
+
+/** RAII install/restore of the thread TX-boundary observer. */
+struct TxObserverGuard
+{
+    explicit TxObserverGuard(pipeline::TxBoundaryObserver *observer)
+        : previous_(pipeline::setThreadTxBoundaryObserver(observer))
+    {
+    }
+
+    ~TxObserverGuard()
+    {
+        pipeline::setThreadTxBoundaryObserver(previous_);
+    }
+
+    TxObserverGuard(const TxObserverGuard &) = delete;
+    TxObserverGuard &operator=(const TxObserverGuard &) = delete;
+
+  private:
+    pipeline::TxBoundaryObserver *previous_;
+};
+
+} // namespace
+
+Observation
+runPipelineSchedule(const PipelineWorkload &workload,
+                    const Schedule &schedule, bool capture_digests)
+{
+    arch::Device dev(app::makeProfile(workload.base.profile),
+                     std::make_unique<arch::SchedulePower>(schedule));
+    Observation o;
+    if (capture_digests) {
+        dev.setRebootHook([&o](arch::Device &d, u64) {
+            o.rebootDigests.push_back(d.nvmDigest());
+        });
+    }
+    dnn::DeviceNetwork net(dev, workload.base.net);
+    const auto round = pipeline::runRound(
+        net, workload.base.impl, workload.base.input, workload.spec,
+        workload.seed, workload.roundIndex);
+    o.completed = round.completed;
+    o.nonTerminating = round.nonTerminating;
+    o.reboots = round.reboots;
+    o.logits = round.logits;
+    o.delivered = round.delivered ? 1 : 0;
+    o.txAttempts = round.txAttempts;
+    o.txRetries = round.txFailedAttempts;
+    o.cycles = dev.cycles();
+    o.opInstances = sumOpInstances(dev);
+    o.fired = static_cast<const arch::SchedulePower &>(dev.power())
+                  .firedCount();
+    if (capture_digests)
+        o.finalNvmDigest = dev.nvmDigest();
+    return o;
+}
+
+RunScheduleFn
+pipelineRunner(const PipelineWorkload &workload, bool capture_digests)
+{
+    return [workload, capture_digests](const Schedule &schedule) {
+        return runPipelineSchedule(workload, schedule,
+                                   capture_digests);
+    };
+}
+
+std::vector<u64>
+recordTxBoundaryTrace(const PipelineWorkload &workload,
+                      u64 *total_draws)
+{
+    arch::Device dev(app::makeProfile(workload.base.profile),
+                     std::make_unique<arch::SchedulePower>(Schedule{}));
+    dnn::DeviceNetwork net(dev, workload.base.net);
+    TxBoundaryRecorder recorder;
+    TxObserverGuard guard(&recorder);
+    const auto round = pipeline::runRound(
+        net, workload.base.impl, workload.base.input, workload.spec,
+        workload.seed, workload.roundIndex);
+    SONIC_ASSERT(round.completed,
+                 "TX-boundary reference round must complete");
+    if (total_draws != nullptr) {
+        *total_draws =
+            static_cast<const arch::SchedulePower &>(dev.power())
+                .drawsSoFar();
+    }
+    return std::move(recorder.boundaries);
+}
+
+OracleReport
+verifyPipelineLocal(const PipelineWorkload &workload, u32 schedules,
+                    u64 seed, u32 max_failures)
+{
+    const auto *info =
+        kernels::ImplRegistry::instance().find(workload.base.impl);
+    SONIC_ASSERT(info != nullptr, "unregistered Impl");
+
+    ScheduleGenConfig gen;
+    gen.seed = seed;
+    gen.maxFailures = max_failures;
+    const auto boundaries =
+        recordTxBoundaryTrace(workload, &gen.opHorizon);
+    const auto battery =
+        mixedSchedules(schedules, boundaries, gen);
+
+    OracleOptions options;
+    options.crashConsistent = info->crashConsistent;
+    options.checkFinalNvmDigest =
+        info->crashConsistent
+        && workload.base.impl != kernels::Impl::Tails;
+    options.checkDelivery = true;
+    Oracle oracle(pipelineRunner(workload), options);
+    OracleReport rep = oracle.verify(battery);
+    rep.impl = info->name;
+    rep.workload = "pipeline:" + workload.spec.name;
+    return rep;
+}
+
 std::vector<u64>
 recordEnvironmentFailures(const LocalWorkload &workload,
                           const env::EnvRef &ref, u64 seed)
@@ -302,6 +435,24 @@ Oracle::judge(const Schedule &schedule, const Observation &observed)
     }
     if (observed.logits != ref.logits)
         return "logits diverge from the continuous reference";
+    if (options_.checkDelivery) {
+        if (observed.delivered != ref.delivered) {
+            return observed.delivered < ref.delivered
+                ? "delivery accounting diverges: result lost "
+                  "(continuous reference delivered it)"
+                : "delivery accounting diverges: result duplicated "
+                  "(delivered more than the continuous reference)";
+        }
+        if (observed.txAttempts != ref.txAttempts
+            || observed.txRetries != ref.txRetries) {
+            return "TX attempt accounting diverges: "
+                + std::to_string(observed.txAttempts) + " attempts / "
+                + std::to_string(observed.txRetries)
+                + " retries vs continuous "
+                + std::to_string(ref.txAttempts) + " / "
+                + std::to_string(ref.txRetries);
+        }
+    }
     if (options_.checkFinalNvmDigest && observed.finalNvmDigest != 0
         && ref.finalNvmDigest != 0
         && observed.finalNvmDigest != ref.finalNvmDigest)
@@ -324,6 +475,10 @@ Oracle::judgeReplay(const Observation &first, const Observation &second)
         return "replay diverges: op/cycle totals";
     if (first.logits != second.logits)
         return "replay diverges: logits";
+    if (first.delivered != second.delivered
+        || first.txAttempts != second.txAttempts
+        || first.txRetries != second.txRetries)
+        return "replay diverges: delivery accounting";
     if (first.finalNvmDigest != second.finalNvmDigest
         || first.rebootDigests != second.rebootDigests)
         return "replay diverges: NVM digest chain";
@@ -417,6 +572,18 @@ Oracle::report(const std::vector<Schedule> &schedules,
         } else if (!schedule.empty()) {
             const Observation replay = run_(schedule);
             verdict = judgeReplay(o, replay);
+            // Even without crash consistency, delivery accounting is
+            // downstream of completion and a pure function of (seed,
+            // round, attempt) — it must match the continuous
+            // reference exactly for every kernel.
+            if (!verdict && options_.checkDelivery) {
+                const Observation &ref = reference();
+                if (o.delivered != ref.delivered
+                    || o.txAttempts != ref.txAttempts
+                    || o.txRetries != ref.txRetries)
+                    verdict = "delivery accounting diverges from the "
+                              "continuous reference";
+            }
         }
         if (!verdict)
             continue;

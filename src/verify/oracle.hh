@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "app/engine.hh"
+#include "pipeline/pipeline.hh"
 #include "verify/schedule.hh"
 
 namespace sonic::verify
@@ -53,6 +54,13 @@ struct Observation
     std::vector<i16> logits;
     u64 finalNvmDigest = 0;
     std::vector<u64> rebootDigests; ///< FRAM digest at each reboot
+
+    /** @name Pipeline delivery accounting (pipeline runs only). */
+    /// @{
+    u64 delivered = 0;  ///< 1 iff the result was acknowledged
+    u64 txAttempts = 0; ///< completed TX attempts, incl. the acked one
+    u64 txRetries = 0;  ///< completed attempts without an ACK
+    /// @}
 };
 
 /** Runs one schedule and observes it (the oracle's probe). */
@@ -112,6 +120,42 @@ environmentSchedules(const LocalWorkload &workload,
                      const env::EnvRef &ref, u32 count,
                      const ScheduleGenConfig &config);
 
+/** @name Pipeline verification (the sense-infer-transmit surface) */
+/// @{
+
+/** A full pipeline round as an oracle workload. */
+struct PipelineWorkload
+{
+    LocalWorkload base;
+    pipeline::PipelineSpec spec;
+    u64 seed = 0x909e57;
+    u64 roundIndex = 0;
+};
+
+/**
+ * Execute one schedule run of a pipeline round: the Observation
+ * additionally carries the delivery accounting (delivered /
+ * txAttempts / txRetries), which the judge holds exactly equal to the
+ * continuous reference — zero lost and zero duplicated deliveries.
+ */
+Observation runPipelineSchedule(const PipelineWorkload &workload,
+                                const Schedule &schedule,
+                                bool capture_digests = true);
+
+/** A RunScheduleFn over a pipeline workload. */
+RunScheduleFn pipelineRunner(const PipelineWorkload &workload,
+                             bool capture_digests = true);
+
+/**
+ * Record the draw coordinates of every delivery boundary (result
+ * commit, attempt advance, ACK commit) in a continuous pipeline round
+ * — the aim points for TX-boundary commit-targeted schedules.
+ * total_draws (if non-null) receives the run's draw-call count.
+ */
+std::vector<u64> recordTxBoundaryTrace(const PipelineWorkload &workload,
+                                       u64 *total_draws = nullptr);
+/// @} (verifyPipelineLocal is declared below, after OracleReport)
+
 /** Oracle judgment configuration. */
 struct OracleOptions
 {
@@ -129,6 +173,13 @@ struct OracleOptions
      * the power system.
      */
     bool checkFinalNvmDigest = false;
+
+    /**
+     * Hold the delivery accounting (delivered / txAttempts /
+     * txRetries) exactly equal to the continuous reference — the
+     * no-lost-no-duplicated-deliveries property of pipeline runs.
+     */
+    bool checkDelivery = false;
 
     bool shrink = true;       ///< ddmin-shrink every divergent schedule
     u32 maxShrinkRuns = 256;  ///< probe budget per shrink
@@ -155,6 +206,16 @@ struct OracleReport
 
     bool ok() const { return divergences.empty(); }
 };
+
+/**
+ * Verify one pipeline x kernel coordinate on the local path with the
+ * mixed battery (uniform / bursty / TX-boundary-targeted) plus
+ * delivery-accounting judgment. crashConsistent and the final-digest
+ * rule come from the implementation registry, as for kernels.
+ */
+OracleReport verifyPipelineLocal(const PipelineWorkload &workload,
+                                 u32 schedules, u64 seed,
+                                 u32 max_failures = 8);
 
 /**
  * The oracle proper: judges observations against the continuous

@@ -18,6 +18,15 @@
  *     sonic_oracle --env=trace-rf-office --schedules=250
  *     sonic_oracle --net=HAR --env=solar@1mF --impls=SONIC,TAILS
  *
+ * --pipelines=<all|name,...> fuzzes the sense-infer-transmit delivery
+ * surface instead: each named pipeline crossed with every kernel under
+ * a mixed battery that includes TX-boundary commit-targeted schedules,
+ * with delivery accounting (no lost or duplicated results) held
+ * exactly to the continuous reference:
+ *
+ *     sonic_oracle --pipelines=all --schedules=250
+ *     sonic_oracle --pipelines=wildlife --impls=SONIC
+ *
  * --net=golden (default) uses the built-in platform-stable workload
  * and runs sequentially; any other registered model-zoo name (--list
  * prints them; model files register via --load) fans schedules across
@@ -45,6 +54,7 @@
 #include "env/environment.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "verify/oracle.hh"
 #include "verify/workload.hh"
 
@@ -61,6 +71,7 @@ struct Args
     std::vector<std::string> impls; ///< empty = acceptance five
     std::vector<std::string> loadModels; ///< model files to register
     std::string environment; ///< fuzz under a realistic environment
+    std::vector<std::string> pipelines; ///< pipeline-surface fuzz mode
     bool list = false;
     u32 schedules = 200;
     u64 seed = 1;
@@ -79,6 +90,7 @@ usage()
            "                    [--impls=SONIC,TAILS,...]\n"
            "                    [--load=model.json[,model2.json]]\n"
            "                    [--env=<environment[@cap]>]\n"
+           "                    [--pipelines=all|wildlife,...]\n"
            "                    [--list]\n"
            "                    [--schedules=N] [--seed=S]\n"
            "                    [--max-failures=K] [--threads=T]\n"
@@ -202,6 +214,33 @@ runLocalImpl(const std::string &impl_name, const Args &args)
     return report;
 }
 
+/**
+ * Fuzz the pipeline delivery surface: one pipeline x kernel coordinate
+ * on the golden workload under the mixed uniform / bursty /
+ * TX-boundary-targeted battery, with delivery accounting held exactly
+ * to the continuous reference.
+ */
+verify::OracleReport
+runPipelineImpl(const std::string &pipeline_name,
+                const std::string &impl_name, const Args &args)
+{
+    const auto *info =
+        kernels::ImplRegistry::instance().find(impl_name);
+    if (info == nullptr)
+        fatal("unknown implementation '", impl_name, "'");
+    verify::PipelineWorkload workload;
+    workload.base.net = verify::goldenNet();
+    workload.base.input = verify::goldenInput();
+    workload.base.impl = info->id;
+    workload.spec =
+        pipeline::PipelineRegistry::instance().get(pipeline_name);
+    const u64 seed = args.seed
+        ^ (static_cast<u64>(info->id) * 0x9e3779b97f4a7c15ull)
+        ^ fnv1a(pipeline_name);
+    return verify::verifyPipelineLocal(workload, args.schedules, seed,
+                                       args.maxFailures);
+}
+
 verify::OracleReport
 runEngineImpl(app::Engine &engine, const dnn::NetRef &net,
               const std::string &impl_name, const Args &args)
@@ -238,6 +277,10 @@ main(int argc, char **argv)
                 args.loadModels = splitCsv(value);
             } else if (consumeFlag(arg, "--env", &value)) {
                 args.environment = value;
+            } else if (consumeFlag(arg, "--pipelines", &value)) {
+                args.pipelines = value == "all"
+                    ? pipeline::PipelineRegistry::instance().names()
+                    : splitCsv(value);
             } else if (arg == "--list") {
                 args.list = true;
             } else if (consumeFlag(arg, "--schedules", &value)) {
@@ -303,11 +346,20 @@ main(int argc, char **argv)
 
     app::Engine engine(app::EngineOptions{args.threads});
     std::vector<verify::OracleReport> reports;
+    if (!args.pipelines.empty()) {
+        // Pipeline-surface mode: every requested pipeline crossed with
+        // every requested kernel, sequential local path.
+        for (const auto &name : args.pipelines)
+            for (const auto &impl : impls)
+                reports.push_back(runPipelineImpl(name, impl, args));
+    } else {
+        for (const auto &impl : impls)
+            reports.push_back(
+                use_engine ? runEngineImpl(engine, args.net, impl, args)
+                           : runLocalImpl(impl, args));
+    }
     u64 divergent = 0;
-    for (const auto &impl : impls) {
-        auto report = use_engine
-            ? runEngineImpl(engine, args.net, impl, args)
-            : runLocalImpl(impl, args);
+    for (const auto &report : reports) {
         divergent += report.divergences.size();
         std::cout << report.impl << " on " << report.workload << ": "
                   << report.schedulesRun << " schedules, "
@@ -327,7 +379,6 @@ main(int argc, char **argv)
                 std::cout << ' ' << idx;
             std::cout << "\n";
         }
-        reports.push_back(std::move(report));
     }
 
     if (divergent > 0 && !args.artifact.empty()) {

@@ -8,6 +8,7 @@
  * and per-op-draw devices must brown out on the identical operation).
  */
 
+#include <cmath>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -404,9 +405,13 @@ TEST(EnvClock, DeviceLifetimeFlushesUptimeIntoTheSupplyClock)
         dead = dev.deadSeconds();
     }
     // Clock advanced by the uptime plus the recharge dead time —
-    // nothing lost at destruction, with or without reboots (NEAR:
-    // the clock accumulates per-reboot deltas, a telescoped sum).
-    EXPECT_NEAR(harvest->simSeconds(), phase + live + dead,
+    // nothing lost at destruction, with or without reboots. The clock
+    // wraps into [0, period) (the model is periodic), so compare
+    // modulo the period (NEAR: the clock accumulates per-reboot
+    // deltas, a telescoped sum).
+    const f64 period = harvest->model().periodSeconds();
+    EXPECT_NEAR(harvest->simSeconds(),
+                std::fmod(phase + live + dead, period),
                 (phase + live + dead) * 1e-12);
 
     // And a reboot-free lifetime advances it by pure uptime.
@@ -421,7 +426,78 @@ TEST(EnvClock, DeviceLifetimeFlushesUptimeIntoTheSupplyClock)
         live3 = dev.liveSeconds();
         EXPECT_EQ(dev.rebootCount(), 0u);
     }
-    EXPECT_DOUBLE_EQ(harvest3->simSeconds(), phase3 + live3);
+    EXPECT_DOUBLE_EQ(
+        harvest3->simSeconds(),
+        std::fmod(phase3 + live3, harvest3->model().periodSeconds()));
+}
+
+TEST(EnvClock, ZeroAndNegativeElapseAreNoOps)
+{
+    auto psu = EnvRegistry::instance().make({"solar", 1e-3}, 3);
+    auto *harvest = dynamic_cast<HarvestSupply *>(psu.get());
+    ASSERT_NE(harvest, nullptr);
+    const f64 before = harvest->simSeconds();
+    harvest->elapse(0.0);
+    EXPECT_EQ(harvest->simSeconds(), before);
+    harvest->elapse(-5.0);
+    EXPECT_EQ(harvest->simSeconds(), before);
+}
+
+TEST(EnvClock, PhaseWrapsExactlyAtHugeUptime)
+{
+    // The absorption bug the wrap fixes: an unwrapped f64 accumulator
+    // at ~1e17 s absorbs a 1 s increment entirely (1e17 + 1.0 == 1e17
+    // in f64), freezing the phase. With wrapping the clock stays in
+    // [0, period) where 1 s increments are exactly representable.
+    auto psu = EnvRegistry::instance().make({"duty-cycle", 1e-3}, 5);
+    auto *harvest = dynamic_cast<HarvestSupply *>(psu.get());
+    ASSERT_NE(harvest, nullptr);
+    const f64 period = harvest->model().periodSeconds();
+    ASSERT_GT(period, 0.0);
+    const f64 phase = harvest->simSeconds();
+
+    // Whole periods are identity on the wrapped clock...
+    harvest->elapse(1e6 * period);
+    EXPECT_NEAR(harvest->simSeconds(), phase, period * 1e-9);
+    // ...and a fractional remainder lands at the same phase as the
+    // short elapse alone would.
+    harvest->elapse(17.0 * period + 0.25 * period);
+    EXPECT_NEAR(harvest->simSeconds(),
+                std::fmod(phase + 0.25 * period, period), period * 1e-9);
+    EXPECT_LT(harvest->simSeconds(), period);
+
+    // The frozen-phase failure mode: after an enormous uptime the
+    // clock still registers a small increment instead of absorbing it.
+    // (The huge elapse itself rounds once at ulp(1e9 * period) — the
+    // wrap's guarantee is that subsequent small increments land from
+    // a small base, not that a single giant addition is exact.)
+    harvest->elapse(1e9 * period);
+    const f64 p1 = harvest->simSeconds();
+    EXPECT_LT(p1, period);
+    harvest->elapse(0.125 * period);
+    EXPECT_NEAR(harvest->simSeconds(),
+                std::fmod(p1 + 0.125 * period, period), period * 1e-9);
+}
+
+TEST(EnvClock, TimeInvariantSuppliesIgnoreElapse)
+{
+    // elapse() is a PowerSupply-wide notification; supplies with no
+    // environment clock must accept it silently at any magnitude.
+    arch::ContinuousPower continuous;
+    continuous.elapse(0.0);
+    continuous.elapse(1e18);
+    EXPECT_FALSE(continuous.intermittent());
+
+    arch::CapacitorPower cap(100e-6, 0.5e-3);
+    const f64 level = cap.levelNj();
+    cap.elapse(0.0);
+    cap.elapse(1e18);
+    EXPECT_EQ(cap.levelNj(), level);
+
+    arch::SchedulePower sched({3, 5});
+    sched.elapse(1e18);
+    EXPECT_EQ(sched.drawsSoFar(), 0u);
+    EXPECT_TRUE(sched.draw(1.0));
 }
 
 // --- Sweep integration ----------------------------------------------

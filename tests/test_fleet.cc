@@ -6,6 +6,8 @@
  * rendering) is bit-identical across 1/2/8 worker threads.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -31,6 +33,15 @@ goldenFleet(u32 devices)
                          {"continuous", 0.0}};
     plan.maxInferencesPerDevice = 2;
     plan.baseSeed = 0xf1ee7;
+    return plan;
+}
+
+/** goldenFleet with the pipeline axis exercised. */
+FleetPlan
+pipelineFleet(u32 devices)
+{
+    auto plan = goldenFleet(devices);
+    plan.pipelines = {"wildlife", "infer-only", "lossy-uplink"};
     return plan;
 }
 
@@ -178,6 +189,150 @@ TEST(Fleet, ContinuousDevicesNeverRebootAndHarvestWhatTheyUse)
     EXPECT_EQ(summary.total.deadSeconds, 0.0);
     EXPECT_NEAR(summary.total.harvestedJ, summary.total.energyJ,
                 summary.total.energyJ * 1e-9);
+}
+
+TEST(FleetPlan, PipelineAxisIsDealtAndValidated)
+{
+    const auto plan = pipelineFleet(64);
+    bool saw_wildlife = false, saw_infer_only = false;
+    for (u32 d = 0; d < plan.devices; ++d) {
+        const auto a = plan.assignmentFor(d);
+        EXPECT_EQ(a.pipeline, plan.assignmentFor(d).pipeline);
+        saw_wildlife |= a.pipeline == "wildlife";
+        saw_infer_only |= a.pipeline == "infer-only";
+    }
+    EXPECT_TRUE(saw_wildlife);
+    EXPECT_TRUE(saw_infer_only);
+
+    auto bad = pipelineFleet(4);
+    bad.pipelines = {"no-such-pipeline"};
+    EXPECT_DEATH(bad.validate(), "registered pipelines");
+
+    // The pipeline axis rides on an independent hash lane: adding it
+    // did not reshuffle the pre-pipeline assignment of any device.
+    const auto legacy = goldenFleet(64);
+    for (u32 d = 0; d < legacy.devices; ++d) {
+        const auto a = legacy.assignmentFor(d);
+        const auto b = pipelineFleet(64).assignmentFor(d);
+        EXPECT_EQ(a.net, b.net);
+        EXPECT_EQ(a.impl, b.impl);
+        EXPECT_EQ(a.environment.label(), b.environment.label());
+        EXPECT_EQ(a.seed, b.seed);
+    }
+}
+
+TEST(Fleet, PipelineDevicesDeliverAndAccountRadioEnergy)
+{
+    FleetPlan plan;
+    plan.devices = 6;
+    plan.nets = {"golden"};
+    plan.impls = {kernels::Impl::Sonic};
+    plan.environments = {{"continuous", 0.0}};
+    plan.pipelines = {"wildlife"};
+    plan.maxInferencesPerDevice = 2;
+    const auto summary = runFleet(plan, FleetOptions{1});
+    // Lossless link + continuous power: every inference delivers on
+    // the first attempt.
+    EXPECT_EQ(summary.total.inferences, 6u * 2u);
+    EXPECT_EQ(summary.total.resultsDelivered, 6u * 2u);
+    EXPECT_EQ(summary.total.txAttempts, 6u * 2u);
+    EXPECT_EQ(summary.total.txRetries, 0u);
+    EXPECT_EQ(summary.total.txGaveUpDevices, 0u);
+    EXPECT_GT(summary.total.radioEnergyJ, 0.0);
+    EXPECT_GT(summary.total.senseEnergyJ, 0.0);
+    EXPECT_LT(summary.total.radioEnergyJ + summary.total.senseEnergyJ,
+              summary.total.energyJ);
+    EXPECT_GT(summary.deliveryP50Seconds, 0.0);
+    EXPECT_LE(summary.deliveryP50Seconds, summary.deliveryP99Seconds);
+}
+
+/**
+ * Satellite invariant: every breakdown axis partitions the fleet, so
+ * each by-group map must sum exactly to the fleet totals — integer
+ * counters bit-exactly, f64 accumulations to reassociation tolerance —
+ * under every thread count.
+ */
+TEST(Fleet, GroupBreakdownsSumToFleetTotals)
+{
+    const auto plan = pipelineFleet(48);
+    for (const u32 threads : {1u, 2u, 8u}) {
+        const auto summary = runFleet(plan, FleetOptions{threads});
+        ASSERT_GT(summary.total.resultsDelivered, 0u);
+        const std::map<std::string, GroupStats> *groups[] = {
+            &summary.byEnvironment, &summary.byImpl, &summary.byNet,
+            &summary.byPipeline};
+        for (const auto *by : groups) {
+            GroupStats sum;
+            for (const auto &[name, g] : *by) {
+                EXPECT_FALSE(name.empty());
+                EXPECT_GT(g.devices, 0u);
+                sum.devices += g.devices;
+                sum.dnfDevices += g.dnfDevices;
+                sum.failedDevices += g.failedDevices;
+                sum.inferences += g.inferences;
+                sum.reboots += g.reboots;
+                sum.liveSeconds += g.liveSeconds;
+                sum.deadSeconds += g.deadSeconds;
+                sum.energyJ += g.energyJ;
+                sum.harvestedJ += g.harvestedJ;
+                sum.resultsDelivered += g.resultsDelivered;
+                sum.txGaveUpDevices += g.txGaveUpDevices;
+                sum.txAttempts += g.txAttempts;
+                sum.txRetries += g.txRetries;
+                sum.radioEnergyJ += g.radioEnergyJ;
+                sum.senseEnergyJ += g.senseEnergyJ;
+                sum.txBackoffSeconds += g.txBackoffSeconds;
+            }
+            EXPECT_EQ(sum.devices, summary.total.devices);
+            EXPECT_EQ(sum.dnfDevices, summary.total.dnfDevices);
+            EXPECT_EQ(sum.failedDevices, summary.total.failedDevices);
+            EXPECT_EQ(sum.inferences, summary.total.inferences);
+            EXPECT_EQ(sum.reboots, summary.total.reboots);
+            EXPECT_EQ(sum.resultsDelivered,
+                      summary.total.resultsDelivered);
+            EXPECT_EQ(sum.txGaveUpDevices,
+                      summary.total.txGaveUpDevices);
+            EXPECT_EQ(sum.txAttempts, summary.total.txAttempts);
+            EXPECT_EQ(sum.txRetries, summary.total.txRetries);
+            const auto near = [](f64 a, f64 b) {
+                EXPECT_NEAR(a, b,
+                            std::max(std::abs(b), 1.0) * 1e-9);
+            };
+            near(sum.liveSeconds, summary.total.liveSeconds);
+            near(sum.deadSeconds, summary.total.deadSeconds);
+            near(sum.energyJ, summary.total.energyJ);
+            near(sum.harvestedJ, summary.total.harvestedJ);
+            near(sum.radioEnergyJ, summary.total.radioEnergyJ);
+            near(sum.senseEnergyJ, summary.total.senseEnergyJ);
+            near(sum.txBackoffSeconds, summary.total.txBackoffSeconds);
+        }
+    }
+}
+
+TEST(Fleet, PipelineSummaryIsBitIdenticalAcrossThreadCounts)
+{
+    const auto plan = pipelineFleet(48);
+    std::string reference_json;
+    std::string reference_csv;
+    for (const u32 threads : {1u, 2u, 8u}) {
+        std::ostringstream csv;
+        FleetCsvSink sink(csv);
+        const auto summary =
+            runFleet(plan, FleetOptions{threads}, {&sink});
+        EXPECT_GT(summary.total.resultsDelivered, 0u);
+        const std::string json = summary.toJson();
+        if (reference_json.empty()) {
+            reference_json = json;
+            reference_csv = csv.str();
+        } else {
+            EXPECT_EQ(json, reference_json) << threads;
+            EXPECT_EQ(csv.str(), reference_csv) << threads;
+        }
+    }
+    EXPECT_NE(reference_json.find("\"byPipeline\""), std::string::npos);
+    EXPECT_NE(reference_json.find("\"deliveryP95Seconds\""),
+              std::string::npos);
+    EXPECT_NE(reference_csv.find(",wildlife,"), std::string::npos);
 }
 
 } // namespace
