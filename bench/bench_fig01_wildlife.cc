@@ -20,6 +20,7 @@
 
 #include "app/wildlife.hh"
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 #include "fleet/fleet.hh"
 
 using namespace sonic;
@@ -27,12 +28,6 @@ using namespace sonic::bench;
 
 namespace
 {
-
-struct JsonField
-{
-    std::string key;
-    f64 value;
-};
 
 /** The --emit-json harness (see file header). */
 int
@@ -79,23 +74,8 @@ emitJson(const std::string &path)
     fields.push_back({"delivery_p99_seconds",
                       summary.deliveryP99Seconds});
 
-    std::FILE *out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    if (!writeFlatJson(path, "fleet_wildlife_day", fields))
         return 1;
-    }
-    std::fprintf(out, "{\n  \"bench\": \"fleet_wildlife_day\",\n");
-    for (u64 i = 0; i < fields.size(); ++i) {
-        std::fprintf(out, "  \"%s\": %.6g%s\n", fields[i].key.c_str(),
-                     fields[i].value,
-                     i + 1 < fields.size() ? "," : "");
-    }
-    std::fprintf(out, "}\n");
-    std::fclose(out);
-
-    for (const auto &f : fields)
-        std::printf("%-36s %.4g\n", f.key.c_str(), f.value);
-    std::printf("wrote %s\n", path.c_str());
     return summary.total.resultsDelivered > 0 ? 0 : 1;
 }
 

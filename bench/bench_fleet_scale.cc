@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fleet-scale throughput bench: the mixed-1k acceptance scenario swept
+ * across fleet sizes, timing runFleet end-to-end. This is the harness
+ * behind the "million devices in minutes" claim — round-trace
+ * memoization collapses the fleet to its distinct round coordinates,
+ * so devices/sec climbs with fleet size instead of staying flat.
+ *
+ * `--emit-json[=PATH]` writes BENCH_fleet_scale.json: wall seconds,
+ * devices/sec and cache hit rate per fleet size (flat JSON, fields
+ * suffixed with the size). `--sizes=A,B,...` overrides the default
+ * 1k/10k/100k/1M sweep. Without --emit-json the sweep still runs and
+ * prints, it just writes nothing.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_json.hh"
+#include "fleet/fleet.hh"
+
+using namespace sonic;
+using namespace sonic::bench;
+
+namespace
+{
+
+const fleet::FleetPlan &
+mixedPlan()
+{
+    for (const auto &scenario : fleet::namedScenarios()) {
+        if (scenario.name == "mixed-1k")
+            return scenario.plan;
+    }
+    std::fprintf(stderr, "mixed-1k scenario missing\n");
+    std::exit(2);
+}
+
+int
+run(const std::vector<u64> &sizes, const std::string &json_path)
+{
+    std::vector<JsonField> fields;
+    bool any_hits_at_scale = false;
+    for (const u64 devices : sizes) {
+        fleet::FleetPlan plan = mixedPlan();
+        plan.devices = devices;
+        fleet::FleetOptions options;
+        options.threads = 0;     // all cores
+        options.verifyCache = false; // measure the production path
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto summary = fleet::runFleet(plan, options);
+        const auto t1 = std::chrono::steady_clock::now();
+        const f64 wall = std::chrono::duration<f64>(t1 - t0).count();
+        const f64 rate =
+            wall > 0.0 ? static_cast<f64>(devices) / wall : 0.0;
+        const f64 hit_rate = summary.cache.hitRate();
+        if (devices >= 100000 && summary.cache.roundHits > 0)
+            any_hits_at_scale = true;
+
+        const std::string tag = std::to_string(devices);
+        fields.push_back({"wall_seconds_" + tag, wall});
+        fields.push_back({"devices_per_sec_" + tag, rate});
+        fields.push_back({"cache_hit_rate_" + tag, hit_rate});
+        std::printf("%8llu devices: %8.2f s  %10.0f dev/s  "
+                    "hit rate %.4f  (%llu hits / %llu lookups, "
+                    "%llu uncached rounds)\n",
+                    static_cast<unsigned long long>(devices), wall,
+                    rate, hit_rate,
+                    static_cast<unsigned long long>(
+                        summary.cache.roundHits
+                        + summary.cache.lifetimeHits),
+                    static_cast<unsigned long long>(
+                        summary.cache.lookups()),
+                    static_cast<unsigned long long>(
+                        summary.cache.uncachedRounds));
+        std::fflush(stdout);
+    }
+
+    if (!json_path.empty()
+        && !writeFlatJson(json_path, "fleet_scale", fields))
+        return 1;
+    // A fleet of 100k+ mixed-1k devices has far fewer distinct round
+    // coordinates than rounds; zero hits there means memoization broke.
+    for (const u64 devices : sizes)
+        if (devices >= 100000 && !any_hits_at_scale)
+            return 1;
+    return 0;
+}
+
+std::vector<u64>
+parseSizes(const char *arg)
+{
+    std::vector<u64> sizes;
+    const char *p = arg;
+    while (*p != '\0') {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(p, &end, 10);
+        if (end == p || v == 0) {
+            std::fprintf(stderr, "bad --sizes value '%s'\n", arg);
+            std::exit(2);
+        }
+        sizes.push_back(v);
+        p = *end == ',' ? end + 1 : end;
+    }
+    if (sizes.empty()) {
+        std::fprintf(stderr, "empty --sizes\n");
+        std::exit(2);
+    }
+    return sizes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<u64> sizes = {1000, 10000, 100000, 1000000};
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--emit-json") == 0)
+            json_path = "BENCH_fleet_scale.json";
+        else if (std::strncmp(argv[i], "--emit-json=", 12) == 0)
+            json_path = argv[i] + 12;
+        else if (std::strncmp(argv[i], "--sizes=", 8) == 0)
+            sizes = parseSizes(argv[i] + 8);
+        else {
+            std::fprintf(stderr,
+                         "unknown flag %s (try --emit-json[=PATH] "
+                         "--sizes=1000,10000,...)\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    return run(sizes, json_path);
+}

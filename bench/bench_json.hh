@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared flat-JSON emitter for the CI benchmark harnesses. Every
+ * BENCH_*.json artifact is one object: a "bench" name plus numeric
+ * fields, written with %.6g so the files diff cleanly run-to-run, and
+ * echoed to stdout for the CI log.
+ */
+
+#ifndef SONIC_BENCH_BENCH_JSON_HH
+#define SONIC_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sonic::bench
+{
+
+struct JsonField
+{
+    std::string key;
+    f64 value;
+};
+
+/**
+ * Write `{"bench": <name>, <fields...>}` to `path` and echo the fields
+ * to stdout. Returns false (with a message on stderr) if the file
+ * cannot be opened.
+ */
+inline bool
+writeFlatJson(const std::string &path, const std::string &bench_name,
+              const std::vector<JsonField> &fields)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n", bench_name.c_str());
+    for (u64 i = 0; i < fields.size(); ++i) {
+        std::fprintf(out, "  \"%s\": %.6g%s\n", fields[i].key.c_str(),
+                     fields[i].value,
+                     i + 1 < fields.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+
+    for (const auto &f : fields)
+        std::printf("%-36s %.4g\n", f.key.c_str(), f.value);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace sonic::bench
+
+#endif // SONIC_BENCH_BENCH_JSON_HH

@@ -224,6 +224,21 @@ class HarvestSupply : public arch::PowerSupply
     {
         return failureIndices_;
     }
+
+    /**
+     * Round-replay hook for the fleet round cache
+     * (src/fleet/round_cache.hh). A memoized round replays a device's
+     * kernel trace arithmetically instead of re-running the simulator,
+     * but the supply's clock walk must stay real: the replayer calls
+     * elapse() with the recorded uptime deltas, forces the level a
+     * brown-out would have left (0 before each recharge(), the
+     * recorded end-of-round level after the last elapse), and lets
+     * recharge() integrate the harvest model from the true simulated
+     * time. Level, clock and harvested-energy evolution are then
+     * bit-identical to the un-memoized run. Not for use outside
+     * replay: it bypasses the draw/settle accounting.
+     */
+    void setLevelNjForReplay(f64 nj) { levelNj_ = nj; }
     /// @}
 
   private:

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <typeinfo>
 
 #include "dnn/device_net.hh"
+#include "fleet/round_cache.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -70,21 +73,111 @@ FleetPlan::assignmentFor(u32 device_index) const
     const u64 h = mix64(mix64(baseSeed) ^ (0xf1ee7u + device_index));
     DeviceAssignment a;
     a.deviceIndex = device_index;
-    a.net = nets[mix64(h ^ 1) % nets.size()];
-    a.impl = impls[mix64(h ^ 2) % impls.size()];
-    a.environment = environments[mix64(h ^ 3) % environments.size()];
+    a.netIndex = static_cast<u32>(mix64(h ^ 1) % nets.size());
+    a.net = nets[a.netIndex];
+    a.implIndex = static_cast<u32>(mix64(h ^ 2) % impls.size());
+    a.impl = impls[a.implIndex];
+    a.envIndex = static_cast<u32>(mix64(h ^ 3) % environments.size());
+    a.environment = environments[a.envIndex];
     a.seed = mix64(h ^ 4);
     // h^5 keeps the net/impl/env/seed deals of pre-pipeline plans
     // byte-identical: a single-pipeline plan is the same fleet as
     // before, just with a named execution loop.
-    a.pipeline = pipelines[mix64(h ^ 5) % pipelines.size()];
+    a.pipelineIndex = static_cast<u32>(mix64(h ^ 5) % pipelines.size());
+    a.pipeline = pipelines[a.pipelineIndex];
     return a;
 }
 
 // --- Device lifetime ------------------------------------------------
 
+namespace
+{
+
+/** Execution context threaded through the memoizing device loop; all
+ * pointers may be null (plain unmemoized simulation). */
+struct SimContext
+{
+    RoundCache *roundCache = nullptr;
+    LifetimeCache *lifetimeCache = nullptr;
+    std::atomic<u64> *uncachedRounds = nullptr;
+    bool verify = false;
+};
+
+/** A real round's full result: the clock-independent trace plus the
+ * clock-dependent dead time it observed. */
+struct RoundRun
+{
+    RoundTrace trace;
+    f64 deadSeconds = 0.0;
+};
+
+void
+verifyTracesMatch(const RoundTrace &cached, const RoundTrace &fresh,
+                  const DeviceAssignment &a, u32 round_index)
+{
+    const auto die = [&](const char *field) {
+        fatal("fleet round-cache divergence on '", field, "': device ",
+              a.deviceIndex, " (", a.net, " / ",
+              kernels::implName(a.impl), " / ",
+              a.environment.label(), " / ", a.pipeline, "), round ",
+              round_index,
+              " — the memoized trace does not match re-execution");
+    };
+    if (cached.nvmDigest != fresh.nvmDigest)
+        die("nvmDigest");
+    if (cached.logitsDigest != fresh.logitsDigest)
+        die("logitsDigest");
+    if (cached.liveSeconds != fresh.liveSeconds)
+        die("liveSeconds");
+    if (cached.energyJ != fresh.energyJ)
+        die("energyJ");
+    if (cached.senseEnergyJ != fresh.senseEnergyJ)
+        die("senseEnergyJ");
+    if (cached.radioEnergyJ != fresh.radioEnergyJ)
+        die("radioEnergyJ");
+    if (cached.backoffSeconds != fresh.backoffSeconds)
+        die("backoffSeconds");
+    if (cached.endLevelNj != fresh.endLevelNj)
+        die("endLevelNj");
+    if (cached.reboots != fresh.reboots)
+        die("reboots");
+    if (cached.txAttempts != fresh.txAttempts
+        || cached.txFailedAttempts != fresh.txFailedAttempts)
+        die("txAccounting");
+    if (cached.completed != fresh.completed
+        || cached.nonTerminating != fresh.nonTerminating
+        || cached.delivered != fresh.delivered
+        || cached.txGaveUp != fresh.txGaveUp)
+        die("flags");
+    if (cached.liveDeltas != fresh.liveDeltas)
+        die("liveDeltas");
+}
+
+void
+verifyLifetimesMatch(const DeviceTelemetry &cached,
+                     const DeviceTelemetry &fresh)
+{
+    const bool same = cached.inferencesCompleted
+            == fresh.inferencesCompleted
+        && cached.diedNonTerminating == fresh.diedNonTerminating
+        && cached.failedIncomplete == fresh.failedIncomplete
+        && cached.reboots == fresh.reboots
+        && cached.liveSeconds == fresh.liveSeconds
+        && cached.deadSeconds == fresh.deadSeconds
+        && cached.energyJ == fresh.energyJ
+        && cached.harvestedJ == fresh.harvestedJ
+        && cached.resultsDelivered == fresh.resultsDelivered
+        && cached.inferenceSeconds == fresh.inferenceSeconds
+        && cached.deliverySeconds == fresh.deliverySeconds;
+    if (!same)
+        fatal("fleet lifetime-cache divergence: device ",
+              fresh.assignment.deviceIndex,
+              " does not replay its memoized always-on lifetime");
+}
+
 DeviceTelemetry
-simulateDevice(const FleetPlan &plan, u32 device_index)
+simulateDeviceImpl(const FleetPlan &plan, u32 device_index,
+                   const SimContext &ctx)
 {
     DeviceTelemetry t;
     t.assignment = plan.assignmentFor(device_index);
@@ -97,73 +190,263 @@ simulateDevice(const FleetPlan &plan, u32 device_index)
     auto supply = env::EnvRegistry::instance().make(
         t.assignment.environment, t.assignment.seed);
 
-    for (u32 k = 0; plan.maxInferencesPerDevice == 0
-         || k < plan.maxInferencesPerDevice;
-         ++k) {
-        if (t.totalSeconds() >= plan.horizonSeconds)
-            break;
-        if (k > 0) {
-            // Between rounds the device sleeps until the harvester
-            // refills the buffer — the standard charge-then-burst
-            // duty cycle of intermittent systems.
-            t.deadSeconds += supply->recharge();
-            if (t.totalSeconds() >= plan.horizonSeconds)
-                break;
-        }
+    // Memoization eligibility. Sharing across devices is sound only
+    // when the round outcome cannot see the seed (ackInvariant) and
+    // the supply's semantics are the exact ones the replay reproduces
+    // — hence the typeid checks, which exclude user-registered
+    // subclasses with unknown behavior.
+    const bool ack_invariant = pipeline::ackInvariant(spec);
+    auto *harvest = dynamic_cast<env::HarvestSupply *>(supply.get());
+    const bool round_cacheable = ctx.roundCache != nullptr
+        && harvest != nullptr
+        && typeid(*supply) == typeid(env::HarvestSupply)
+        && ack_invariant;
 
-        // A fresh Device per round (single-run kernel semantics),
-        // powered through a borrowed view of the lifetime's supply so
-        // the capacitor level and environment clock persist.
-        arch::Device dev(
-            app::makeProfile(plan.profile),
-            std::make_unique<env::BorrowedSupply>(supply.get()));
-        dnn::DeviceNetwork net(dev, net_spec);
-        const auto round = pipeline::runRound(
-            net, t.assignment.impl,
-            dnn::DeviceNetwork::quantizeInput(
-                data[k % data.size()].input),
-            spec, t.assignment.seed, k);
-        dev.power(); // settle the open lease back into the supply
-
-        // Retry backoff is wall-clock the device spends waiting on
-        // the link, not harvesting: pure dead time in the telemetry
-        // (the environment clock only advances through live time and
-        // recharge, keeping the round-by-round physics unchanged).
-        t.liveSeconds += dev.liveSeconds();
-        t.deadSeconds += dev.deadSeconds() + round.backoffSeconds;
-        t.txBackoffSeconds += round.backoffSeconds;
-        t.energyJ += dev.consumedJoules();
-        t.reboots += round.reboots;
-        const auto &stats = dev.stats();
-        t.senseEnergyJ +=
-            stats.opNanojoules(arch::Op::SenseSample) * 1e-9;
-        t.radioEnergyJ +=
-            (stats.opNanojoules(arch::Op::RadioWake) +
-             stats.opNanojoules(arch::Op::RadioTxByte) +
-             stats.opNanojoules(arch::Op::RadioRxAck)) * 1e-9;
-        if (round.nonTerminating) {
-            t.diedNonTerminating = true;
-            break;
-        }
-        if (!round.completed) {
-            t.failedIncomplete = true;
-            break;
-        }
-        ++t.inferencesCompleted;
-        const f64 round_seconds =
-            dev.totalSeconds() + round.backoffSeconds;
-        t.inferenceSeconds.push_back(round_seconds);
-        t.txAttempts += round.txAttempts;
-        t.txRetries += round.txFailedAttempts;
-        if (round.txGaveUp)
-            ++t.txGaveUpRounds;
-        if (round.delivered) {
-            ++t.resultsDelivered;
-            t.deliverySeconds.push_back(round_seconds);
+    // Always-on supplies never reboot and never consult a clock: the
+    // whole lifetime is one cache entry.
+    const bool lifetime_cacheable = ctx.lifetimeCache != nullptr
+        && typeid(*supply) == typeid(arch::ContinuousPower)
+        && ack_invariant;
+    const LifetimeCache::Key life_key{
+        t.assignment.netIndex, t.assignment.implIndex,
+        t.assignment.envIndex, t.assignment.pipelineIndex};
+    DeviceTelemetry memoized_lifetime;
+    bool lifetime_hit = false;
+    if (lifetime_cacheable
+        && ctx.lifetimeCache->find(life_key, &memoized_lifetime)) {
+        ctx.lifetimeCache->countHit();
+        lifetime_hit = true;
+        if (!ctx.verify) {
+            memoized_lifetime.assignment = t.assignment;
+            return memoized_lifetime;
         }
     }
 
+    // One real (un-memoized) round against the lifetime supply,
+    // recording the elapse walk so the trace can be replayed.
+    const auto run_real_round = [&](u32 k, bool want_digest) {
+        RoundRun run;
+        {
+            arch::Device dev(
+                app::makeProfile(plan.profile),
+                std::make_unique<RecordingSupply>(
+                    supply.get(), &run.trace.liveDeltas));
+            dnn::DeviceNetwork net(dev, net_spec);
+            const auto round = pipeline::runRound(
+                net, t.assignment.impl,
+                dnn::DeviceNetwork::quantizeInput(
+                    data[k % data.size()].input),
+                spec, t.assignment.seed, k);
+            dev.power(); // settle the open lease back into the supply
+            run.trace.liveSeconds = dev.liveSeconds();
+            run.deadSeconds = dev.deadSeconds();
+            run.trace.energyJ = dev.consumedJoules();
+            const auto &stats = dev.stats();
+            run.trace.senseEnergyJ =
+                stats.opNanojoules(arch::Op::SenseSample) * 1e-9;
+            run.trace.radioEnergyJ =
+                (stats.opNanojoules(arch::Op::RadioWake) +
+                 stats.opNanojoules(arch::Op::RadioTxByte) +
+                 stats.opNanojoules(arch::Op::RadioRxAck)) * 1e-9;
+            run.trace.backoffSeconds = round.backoffSeconds;
+            run.trace.reboots = round.reboots;
+            run.trace.txAttempts = round.txAttempts;
+            run.trace.txFailedAttempts = round.txFailedAttempts;
+            run.trace.completed = round.completed;
+            run.trace.nonTerminating = round.nonTerminating;
+            run.trace.delivered = round.delivered;
+            run.trace.txGaveUp = round.txGaveUp;
+            run.trace.logitsDigest = round.logitsDigest();
+            if (want_digest)
+                run.trace.nvmDigest = dev.nvmDigest();
+        } // ~Device flushes the final elapse into liveDeltas
+        run.trace.endLevelNj =
+            harvest != nullptr ? harvest->levelNj() : 0.0;
+        return run;
+    };
+
+    // Accrue one round (memoized or real) into the telemetry with the
+    // exact operation sequence the pre-cache loop performed; false
+    // means the lifetime ended (DNF or incomplete round).
+    const auto accrue_round = [&t](const RoundTrace &tr,
+                                   f64 round_dead) {
+        t.liveSeconds += tr.liveSeconds;
+        t.deadSeconds += round_dead + tr.backoffSeconds;
+        t.txBackoffSeconds += tr.backoffSeconds;
+        t.energyJ += tr.energyJ;
+        t.reboots += tr.reboots;
+        t.senseEnergyJ += tr.senseEnergyJ;
+        t.radioEnergyJ += tr.radioEnergyJ;
+        if (tr.nonTerminating) {
+            t.diedNonTerminating = true;
+            return false;
+        }
+        if (!tr.completed) {
+            t.failedIncomplete = true;
+            return false;
+        }
+        ++t.inferencesCompleted;
+        const f64 round_seconds =
+            (tr.liveSeconds + round_dead) + tr.backoffSeconds;
+        t.inferenceSeconds.push_back(round_seconds);
+        t.inferenceSecondsSum += round_seconds;
+        t.txAttempts += tr.txAttempts;
+        t.txRetries += tr.txFailedAttempts;
+        if (tr.txGaveUp)
+            ++t.txGaveUpRounds;
+        if (tr.delivered) {
+            ++t.resultsDelivered;
+            t.deliverySeconds.push_back(round_seconds);
+            t.deliverySecondsSum += round_seconds;
+        }
+        return true;
+    };
+
+    for (u32 k = 0; plan.maxInferencesPerDevice == 0
+         || k < plan.maxInferencesPerDevice;
+         ++k) {
+        // Sleep until the harvester refills the buffer — the standard
+        // charge-then-burst duty cycle. For the first round this is a
+        // no-op (the device boots fully charged; a full buffer
+        // recharges in exactly zero seconds), which puts round 0
+        // through the identical horizon gate as every later round.
+        // Dead time that would overshoot the deployment window is
+        // clipped at the horizon, so telemetry never reports more
+        // simulated time than the plan deployed.
+        const f64 recharge_dead = supply->recharge();
+        const f64 remaining = plan.horizonSeconds - t.totalSeconds();
+        if (recharge_dead >= remaining) {
+            t.deadSeconds += std::max(remaining, 0.0);
+            break;
+        }
+        t.deadSeconds += recharge_dead;
+
+        bool round_done = false;
+        bool keep_going = true;
+        RoundKey key;
+        if (round_cacheable) {
+            key.netIndex = t.assignment.netIndex;
+            key.implIndex = t.assignment.implIndex;
+            key.pipelineIndex = t.assignment.pipelineIndex;
+            key.inputIndex = static_cast<u32>(k % data.size());
+            key.capacityNjBits =
+                std::bit_cast<u64>(harvest->capacityNj());
+            if (const RoundTrace *hit = ctx.roundCache->find(key)) {
+                ctx.roundCache->countHit();
+                if (ctx.verify) {
+                    // Paranoid mode: re-run the round for real and
+                    // cross-check the whole trace (including the NVM
+                    // digest) against the memoized entry.
+                    RoundRun fresh = run_real_round(k, true);
+                    verifyTracesMatch(*hit, fresh.trace, t.assignment,
+                                      k);
+                    keep_going =
+                        accrue_round(fresh.trace, fresh.deadSeconds);
+                } else {
+                    const f64 round_dead =
+                        replayRound(*harvest, *hit);
+                    keep_going = accrue_round(*hit, round_dead);
+                }
+                round_done = true;
+            }
+        }
+        if (!round_done) {
+            RoundRun fresh = run_real_round(k, round_cacheable);
+            if (round_cacheable) {
+                ctx.roundCache->countMiss();
+            } else if (!lifetime_cacheable
+                       && ctx.uncachedRounds != nullptr
+                       && (ctx.roundCache != nullptr
+                           || ctx.lifetimeCache != nullptr)) {
+                ctx.uncachedRounds->fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            keep_going = accrue_round(fresh.trace, fresh.deadSeconds);
+            if (round_cacheable)
+                ctx.roundCache->insert(key, std::move(fresh.trace));
+        }
+        if (!keep_going)
+            break;
+    }
+
     t.harvestedJ = supply->harvestedNj() * 1e-9;
+
+    if (lifetime_cacheable) {
+        if (lifetime_hit) {
+            verifyLifetimesMatch(memoized_lifetime, t);
+        } else {
+            ctx.lifetimeCache->countMiss();
+            ctx.lifetimeCache->insert(life_key, t);
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+DeviceTelemetry
+simulateDevice(const FleetPlan &plan, u32 device_index)
+{
+    return simulateDeviceImpl(plan, device_index, SimContext{});
+}
+
+// --- FleetColumns ---------------------------------------------------
+
+FleetColumns::FleetColumns(u64 devices)
+    : inferencesCompleted(devices), status(devices), reboots(devices),
+      liveSeconds(devices), deadSeconds(devices), energyJ(devices),
+      harvestedJ(devices), resultsDelivered(devices),
+      txGaveUpRounds(devices), txAttempts(devices), txRetries(devices),
+      radioEnergyJ(devices), senseEnergyJ(devices),
+      txBackoffSeconds(devices), inferenceSecondsSum(devices),
+      deliverySecondsSum(devices)
+{
+}
+
+void
+FleetColumns::store(u64 i, const DeviceTelemetry &t)
+{
+    inferencesCompleted[i] = t.inferencesCompleted;
+    status[i] = static_cast<u8>((t.diedNonTerminating ? 1u : 0u)
+                                | (t.failedIncomplete ? 2u : 0u));
+    reboots[i] = t.reboots;
+    liveSeconds[i] = t.liveSeconds;
+    deadSeconds[i] = t.deadSeconds;
+    energyJ[i] = t.energyJ;
+    harvestedJ[i] = t.harvestedJ;
+    resultsDelivered[i] = t.resultsDelivered;
+    txGaveUpRounds[i] = t.txGaveUpRounds;
+    txAttempts[i] = t.txAttempts;
+    txRetries[i] = t.txRetries;
+    radioEnergyJ[i] = t.radioEnergyJ;
+    senseEnergyJ[i] = t.senseEnergyJ;
+    txBackoffSeconds[i] = t.txBackoffSeconds;
+    inferenceSecondsSum[i] = t.inferenceSecondsSum;
+    deliverySecondsSum[i] = t.deliverySecondsSum;
+}
+
+DeviceTelemetry
+FleetColumns::materialize(const FleetPlan &plan, u64 i) const
+{
+    DeviceTelemetry t;
+    t.assignment = plan.assignmentFor(static_cast<u32>(i));
+    t.inferencesCompleted = inferencesCompleted[i];
+    t.diedNonTerminating = (status[i] & 1u) != 0;
+    t.failedIncomplete = (status[i] & 2u) != 0;
+    t.reboots = reboots[i];
+    t.liveSeconds = liveSeconds[i];
+    t.deadSeconds = deadSeconds[i];
+    t.energyJ = energyJ[i];
+    t.harvestedJ = harvestedJ[i];
+    t.resultsDelivered = resultsDelivered[i];
+    t.txGaveUpRounds = txGaveUpRounds[i];
+    t.txAttempts = txAttempts[i];
+    t.txRetries = txRetries[i];
+    t.radioEnergyJ = radioEnergyJ[i];
+    t.senseEnergyJ = senseEnergyJ[i];
+    t.txBackoffSeconds = txBackoffSeconds[i];
+    t.inferenceSecondsSum = inferenceSecondsSum[i];
+    t.deliverySecondsSum = deliverySecondsSum[i];
     return t;
 }
 
@@ -184,17 +467,6 @@ FleetCsvSink::begin(u64)
 void
 FleetCsvSink::add(const DeviceTelemetry &t)
 {
-    f64 mean_latency = 0.0;
-    for (f64 s : t.inferenceSeconds)
-        mean_latency += s;
-    if (!t.inferenceSeconds.empty())
-        mean_latency /= static_cast<f64>(t.inferenceSeconds.size());
-    f64 mean_delivery = 0.0;
-    for (f64 s : t.deliverySeconds)
-        mean_delivery += s;
-    if (!t.deliverySeconds.empty())
-        mean_delivery /= static_cast<f64>(t.deliverySeconds.size());
-
     std::ostringstream row;
     row.precision(12);
     row << t.assignment.deviceIndex << ','
@@ -213,11 +485,13 @@ FleetCsvSink::add(const DeviceTelemetry &t)
         << t.totalSeconds() << ',' << t.energyJ << ','
         << t.harvestedJ << ',' << t.inferencesPerDay() << ','
         << t.rebootsPerInference() << ',' << t.deadFraction() << ','
-        << t.energyPerInferenceJ() << ',' << mean_latency << ','
+        << t.energyPerInferenceJ() << ','
+        << t.meanInferenceSeconds() << ','
         << t.resultsDelivered << ',' << t.txAttempts << ','
         << t.txRetries << ',' << t.txGaveUpRounds << ','
         << t.radioEnergyJ << ',' << t.senseEnergyJ << ','
-        << t.txBackoffSeconds << ',' << mean_delivery << '\n';
+        << t.txBackoffSeconds << ',' << t.meanDeliverySeconds()
+        << '\n';
     os_ << row.str();
 }
 
@@ -311,6 +585,8 @@ emitGroupMap(std::ostringstream &os, const char *key,
 std::string
 FleetSummary::toJson() const
 {
+    // Note: `cache` is deliberately not emitted — the artifact must be
+    // byte-identical between memoized and --no-cache runs.
     std::ostringstream os;
     os.precision(17);
     os << "{\n  \"devices\": " << devices
@@ -361,14 +637,44 @@ runFleet(const FleetPlan &plan, FleetOptions options,
     for (auto *sink : live_sinks)
         sink->begin(total);
 
-    std::vector<std::unique_ptr<DeviceTelemetry>> done(total);
+    FleetColumns columns(total);
+
+    RoundCache round_cache;
+    LifetimeCache lifetime_cache;
+    std::atomic<u64> uncached_rounds{0};
+    SimContext ctx;
+    if (options.useCache) {
+        ctx.roundCache = &round_cache;
+        ctx.lifetimeCache = &lifetime_cache;
+    }
+    ctx.uncachedRounds = &uncached_rounds;
+    ctx.verify = options.verifyCache;
+
+    // Worker-local latency buffers, merged and sorted after the join:
+    // the percentile inputs form the same multiset under every
+    // schedule, and sorting a multiset of finite f64s is a pure
+    // function of its contents — so percentiles stay bit-identical
+    // across thread counts without a serialized collection pass.
+    std::vector<std::vector<f64>> worker_latencies(workers);
+    std::vector<std::vector<f64>> worker_deliveries(workers);
 
     if (workers <= 1) {
         for (u64 i = 0; i < total; ++i) {
-            done[i] = std::make_unique<DeviceTelemetry>(
-                simulateDevice(plan, static_cast<u32>(i)));
-            for (auto *sink : live_sinks)
-                sink->add(*done[i]);
+            const DeviceTelemetry t =
+                simulateDeviceImpl(plan, static_cast<u32>(i), ctx);
+            columns.store(i, t);
+            worker_latencies[0].insert(worker_latencies[0].end(),
+                                       t.inferenceSeconds.begin(),
+                                       t.inferenceSeconds.end());
+            worker_deliveries[0].insert(worker_deliveries[0].end(),
+                                        t.deliverySeconds.begin(),
+                                        t.deliverySeconds.end());
+            if (!live_sinks.empty()) {
+                const DeviceTelemetry view =
+                    columns.materialize(plan, i);
+                for (auto *sink : live_sinks)
+                    sink->add(view);
+            }
         }
     } else {
         // Work stealing over device lifetimes: the shared cursor hands
@@ -377,21 +683,35 @@ runFleet(const FleetPlan &plan, FleetOptions options,
         // the night next to a bench device) still load-balances.
         std::atomic<u64> next{0};
         std::mutex emitMutex;
+        std::vector<u8> ready(total, 0);
         u64 emitted = 0;
 
-        auto workerLoop = [&]() {
+        auto workerLoop = [&](u32 w) {
             for (;;) {
                 const u64 i = next.fetch_add(1);
                 if (i >= total)
                     return;
-                auto telemetry = std::make_unique<DeviceTelemetry>(
-                    simulateDevice(plan, static_cast<u32>(i)));
+                const DeviceTelemetry t =
+                    simulateDeviceImpl(plan, static_cast<u32>(i), ctx);
+                columns.store(i, t);
+                worker_latencies[w].insert(
+                    worker_latencies[w].end(),
+                    t.inferenceSeconds.begin(),
+                    t.inferenceSeconds.end());
+                worker_deliveries[w].insert(
+                    worker_deliveries[w].end(),
+                    t.deliverySeconds.begin(),
+                    t.deliverySeconds.end());
 
                 std::lock_guard<std::mutex> lock(emitMutex);
-                done[i] = std::move(telemetry);
-                while (emitted < total && done[emitted]) {
-                    for (auto *sink : live_sinks)
-                        sink->add(*done[emitted]);
+                ready[i] = 1;
+                while (emitted < total && ready[emitted]) {
+                    if (!live_sinks.empty()) {
+                        const DeviceTelemetry view =
+                            columns.materialize(plan, emitted);
+                        for (auto *sink : live_sinks)
+                            sink->add(view);
+                    }
                     ++emitted;
                 }
             }
@@ -400,7 +720,7 @@ runFleet(const FleetPlan &plan, FleetOptions options,
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (u32 w = 0; w < workers; ++w)
-            pool.emplace_back(workerLoop);
+            pool.emplace_back(workerLoop, w);
         for (auto &t : pool)
             t.join();
         SONIC_ASSERT(emitted == total, "fleet lost devices");
@@ -409,17 +729,15 @@ runFleet(const FleetPlan &plan, FleetOptions options,
     for (auto *sink : live_sinks)
         sink->end();
 
-    // Sequential reduction in device-index order: the summary is a
-    // pure function of the per-device telemetry, so it is bit-identical
-    // for every thread count.
+    // Sequential columnar reduction in device-index order: the summary
+    // is a pure function of the per-device telemetry, so it is
+    // bit-identical for every thread count.
     FleetSummary summary;
     summary.devices = plan.devices;
     summary.horizonSeconds = plan.horizonSeconds;
     summary.baseSeed = plan.baseSeed;
-    std::vector<f64> latencies;
-    std::vector<f64> deliveries;
     for (u64 i = 0; i < total; ++i) {
-        const DeviceTelemetry &t = *done[i];
+        const DeviceTelemetry t = columns.materialize(plan, i);
         summary.total.accumulate(t);
         summary.byEnvironment[t.assignment.environment.label()]
             .accumulate(t);
@@ -428,10 +746,16 @@ runFleet(const FleetPlan &plan, FleetOptions options,
             .accumulate(t);
         summary.byNet[t.assignment.net].accumulate(t);
         summary.byPipeline[t.assignment.pipeline].accumulate(t);
-        latencies.insert(latencies.end(), t.inferenceSeconds.begin(),
-                         t.inferenceSeconds.end());
-        deliveries.insert(deliveries.end(), t.deliverySeconds.begin(),
-                          t.deliverySeconds.end());
+    }
+
+    std::vector<f64> latencies;
+    std::vector<f64> deliveries;
+    for (u32 w = 0; w < workers; ++w) {
+        latencies.insert(latencies.end(), worker_latencies[w].begin(),
+                         worker_latencies[w].end());
+        deliveries.insert(deliveries.end(),
+                          worker_deliveries[w].begin(),
+                          worker_deliveries[w].end());
     }
     std::sort(latencies.begin(), latencies.end());
     summary.latencyP50Seconds = nearestRank(latencies, 50.0);
@@ -441,7 +765,86 @@ runFleet(const FleetPlan &plan, FleetOptions options,
     summary.deliveryP50Seconds = nearestRank(deliveries, 50.0);
     summary.deliveryP95Seconds = nearestRank(deliveries, 95.0);
     summary.deliveryP99Seconds = nearestRank(deliveries, 99.0);
+
+    summary.cache.roundHits = round_cache.hits();
+    summary.cache.roundMisses = round_cache.misses();
+    summary.cache.lifetimeHits = lifetime_cache.hits();
+    summary.cache.lifetimeMisses = lifetime_cache.misses();
+    summary.cache.uncachedRounds =
+        uncached_rounds.load(std::memory_order_relaxed);
     return summary;
+}
+
+// --- Named scenarios ------------------------------------------------
+
+const std::vector<FleetScenario> &
+namedScenarios()
+{
+    static const std::vector<FleetScenario> scenarios = [] {
+        std::vector<FleetScenario> out;
+        {
+            // The CI smoke fleet: small, seconds to run, but mixed
+            // enough to cross every kernel with both trace
+            // environments.
+            FleetPlan plan;
+            plan.devices = 200;
+            plan.nets = {"MNIST", "HAR", "OkG"};
+            plan.impls.assign(std::begin(kernels::kAllImpls),
+                              std::end(kernels::kAllImpls));
+            plan.environments = {{"trace-rf-office", 1e-3},
+                                 {"trace-solar-cloudy", 1e-3},
+                                 {"rf-paper", 100e-6},
+                                 {"duty-cycle", 1e-3},
+                                 {"continuous", 0.0}};
+            plan.maxInferencesPerDevice = 2;
+            out.push_back({"smoke-200",
+                           "200 devices, all kernels, trace + "
+                           "synthetic environments (CI smoke)",
+                           plan});
+        }
+        {
+            // The acceptance fleet: the paper's three workloads on
+            // SONIC/TAILS under mixed solar + RF power. Scales to a
+            // million devices with --devices thanks to round-trace
+            // memoization.
+            FleetPlan plan;
+            plan.devices = 1000;
+            plan.nets = {"MNIST", "HAR", "OkG"};
+            plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails};
+            plan.environments = {{"solar", 1e-3},
+                                 {"solar", 100e-6},
+                                 {"rf-paper", 1e-3},
+                                 {"rf-paper", 100e-6},
+                                 {"rf-bursty", 1e-3}};
+            plan.maxInferencesPerDevice = 2;
+            out.push_back({"mixed-1k",
+                           "1,000 devices, MNIST/HAR/OkG x "
+                           "SONIC/TAILS, solar + RF mixed power",
+                           plan});
+        }
+        {
+            // A day of wildlife cameras: the paper's motivating
+            // deployment at fleet scale, solar-powered with
+            // cloudy-trace variants.
+            FleetPlan plan;
+            plan.devices = 500;
+            plan.nets = {"MNIST"};
+            plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails,
+                          kernels::Impl::Tile8};
+            plan.environments = {{"solar", 1e-3},
+                                 {"trace-solar-cloudy", 1e-3},
+                                 {"trace-solar-cloudy", 100e-6}};
+            plan.pipelines = {"wildlife"};
+            plan.maxInferencesPerDevice = 3;
+            out.push_back({"wildlife-day",
+                           "500 solar wildlife cameras running the "
+                           "full sense-infer-transmit pipeline, clear "
+                           "vs cloudy traces",
+                           plan});
+        }
+        return out;
+    }();
+    return scenarios;
 }
 
 } // namespace sonic::fleet

@@ -53,6 +53,15 @@ struct DeviceAssignment
     std::string pipeline = "infer-only";
     /** Per-device seed: environment phase + stochastic models (ACK loss). */
     u64 seed = 0;
+
+    /** @name Positions in the plan's distribution lists (the compact
+     * coordinates the round cache keys on). */
+    /// @{
+    u32 netIndex = 0;
+    u32 implIndex = 0;
+    u32 envIndex = 0;
+    u32 pipelineIndex = 0;
+    /// @}
 };
 
 /** Declarative fleet description. */
@@ -128,13 +137,42 @@ struct DeviceTelemetry
     f64 txBackoffSeconds = 0.0; ///< retry backoff (inside deadSeconds)
     /// @}
 
-    /** Wall-clock (live + dead) seconds of each completed inference. */
+    /**
+     * Wall-clock (live + dead) seconds of each completed inference.
+     * Populated by simulateDevice; telemetry materialized from
+     * FleetColumns (what runFleet hands to sinks) carries only the
+     * running sums below — at a million devices the per-round lists
+     * live in the worker-local percentile buffers instead.
+     */
     std::vector<f64> inferenceSeconds;
 
-    /** Sense-to-ACK wall-clock seconds of each delivered result. */
+    /** Sense-to-ACK wall-clock seconds of each delivered result
+     * (same materialization caveat as inferenceSeconds). */
     std::vector<f64> deliverySeconds;
 
+    /** Running sums of the two lists (always populated; accumulated
+     * in round order, so sum/count is bit-identical to the mean a
+     * sequential pass over the lists would compute). */
+    f64 inferenceSecondsSum = 0.0;
+    f64 deliverySecondsSum = 0.0;
+
     f64 totalSeconds() const { return liveSeconds + deadSeconds; }
+
+    f64
+    meanInferenceSeconds() const
+    {
+        return inferencesCompleted > 0
+            ? inferenceSecondsSum / inferencesCompleted
+            : 0.0;
+    }
+
+    f64
+    meanDeliverySeconds() const
+    {
+        return resultsDelivered > 0
+            ? deliverySecondsSum / resultsDelivered
+            : 0.0;
+    }
 
     f64
     inferencesPerDay() const
@@ -180,9 +218,55 @@ struct DeviceTelemetry
 };
 
 /**
+ * Struct-of-arrays per-device telemetry: one column per scalar field,
+ * indexed by device. The worker pool writes each completing device's
+ * row at its own index (disjoint writes, no sharing), so a fleet of a
+ * million devices streams through the pool cache-linearly instead of
+ * chasing a million heap-allocated telemetry objects, and the summary
+ * reduction is a columnar pass. DeviceTelemetry remains the row view:
+ * materialize() rebuilds one (assignment recomputed from the plan,
+ * latency lists elided — see DeviceTelemetry::inferenceSeconds).
+ */
+class FleetColumns
+{
+  public:
+    explicit FleetColumns(u64 devices);
+
+    u64 size() const { return inferencesCompleted.size(); }
+
+    /** Write device i's scalar telemetry into the columns. */
+    void store(u64 i, const DeviceTelemetry &t);
+
+    /** Rebuild the row view of device i. */
+    DeviceTelemetry materialize(const FleetPlan &plan, u64 i) const;
+
+    /** @name Columns (public: the reduction reads them directly). */
+    /// @{
+    std::vector<u32> inferencesCompleted;
+    std::vector<u8> status; ///< bit 0: DNF, bit 1: failed-incomplete
+    std::vector<u64> reboots;
+    std::vector<f64> liveSeconds;
+    std::vector<f64> deadSeconds;
+    std::vector<f64> energyJ;
+    std::vector<f64> harvestedJ;
+    std::vector<u32> resultsDelivered;
+    std::vector<u32> txGaveUpRounds;
+    std::vector<u64> txAttempts;
+    std::vector<u64> txRetries;
+    std::vector<f64> radioEnergyJ;
+    std::vector<f64> senseEnergyJ;
+    std::vector<f64> txBackoffSeconds;
+    std::vector<f64> inferenceSecondsSum;
+    std::vector<f64> deliverySecondsSum;
+    /// @}
+};
+
+/**
  * Receives per-device telemetry in device-index order as lifetimes
  * complete (out-of-order completions are held back, as in the sweep
- * engine). Methods are never called concurrently.
+ * engine). Methods are never called concurrently. Telemetry delivered
+ * by runFleet is materialized from FleetColumns: every scalar field
+ * and sum is populated, the per-round latency lists are not.
  */
 class FleetSink
 {
@@ -304,6 +388,38 @@ struct FleetSummary
     f64 deliveryP95Seconds = 0.0;
     f64 deliveryP99Seconds = 0.0;
 
+    /**
+     * Memoization counters. Diagnostics only, and deliberately NOT
+     * part of toJson(): the summary artifact must stay byte-identical
+     * between memoized and --no-cache runs (the CI soundness gate).
+     */
+    struct CacheStats
+    {
+        u64 roundHits = 0;
+        u64 roundMisses = 0;
+        u64 lifetimeHits = 0;
+        u64 lifetimeMisses = 0;
+        u64 uncachedRounds = 0; ///< ack-variant or foreign-supply rounds
+
+        u64
+        lookups() const
+        {
+            return roundHits + roundMisses + lifetimeHits
+                 + lifetimeMisses;
+        }
+
+        f64
+        hitRate() const
+        {
+            const u64 n = lookups();
+            return n > 0
+                ? static_cast<f64>(roundHits + lifetimeHits)
+                      / static_cast<f64>(n)
+                : 0.0;
+        }
+    };
+    CacheStats cache;
+
     /** Render the deployment report as JSON (the CI artifact). */
     std::string toJson() const;
 };
@@ -313,17 +429,52 @@ struct FleetOptions
 {
     /** Worker threads; 0 = hardware concurrency. */
     u32 threads = 0;
+
+    /** Memoize round traces / always-on lifetimes (sonic_fleet
+     * --no-cache clears this for A/B verification). */
+    bool useCache = true;
+
+    /**
+     * Re-run every cache hit and cross-check the full trace — energy,
+     * timing, TX accounting, logits digest and the PR 3 NVM digest —
+     * against the memoized entry, dying on any mismatch. Defaults on
+     * in debug builds; costs a full simulation per hit.
+     */
+#ifndef NDEBUG
+    bool verifyCache = true;
+#else
+    bool verifyCache = false;
+#endif
+};
+
+/** A named, ready-to-run deployment (sonic_fleet --scenario=...). */
+struct FleetScenario
+{
+    std::string name;
+    std::string description;
+    FleetPlan plan;
 };
 
 /**
- * Simulate one device lifetime on the calling thread (exposed for
- * tests; runFleet fans this across the pool).
+ * The built-in scenarios — smoke-200 (CI smoke), mixed-1k (the
+ * acceptance fleet; scale it with --devices), wildlife-day (the
+ * paper's motivating deployment) — shared by the sonic_fleet CLI and
+ * the bench_fleet_scale harness.
+ */
+const std::vector<FleetScenario> &namedScenarios();
+
+/**
+ * Simulate one device lifetime on the calling thread, unmemoized
+ * (exposed for tests; runFleet fans the memoizing equivalent across
+ * the pool — see src/fleet/round_cache.hh for why the two are
+ * bit-identical).
  */
 DeviceTelemetry simulateDevice(const FleetPlan &plan, u32 device_index);
 
 /**
  * Run the whole fleet. Telemetry streams to the sinks in device-index
- * order; the returned summary is bit-identical for every thread count.
+ * order; the returned summary is bit-identical for every thread count
+ * and for memoized vs unmemoized execution (FleetOptions::useCache).
  */
 FleetSummary runFleet(const FleetPlan &plan, FleetOptions options = {},
                       const std::vector<FleetSink *> &sinks = {});

@@ -37,76 +37,6 @@ using namespace sonic;
 using cli::consumeFlag;
 using cli::splitCsv;
 
-struct Scenario
-{
-    const char *name;
-    const char *description;
-    fleet::FleetPlan plan;
-};
-
-std::vector<Scenario>
-scenarios()
-{
-    std::vector<Scenario> out;
-    {
-        // The CI smoke fleet: small, seconds to run, but mixed enough
-        // to cross every kernel with both trace environments.
-        fleet::FleetPlan plan;
-        plan.devices = 200;
-        plan.nets = {"MNIST", "HAR", "OkG"};
-        plan.impls.assign(std::begin(kernels::kAllImpls),
-                          std::end(kernels::kAllImpls));
-        plan.environments = {{"trace-rf-office", 1e-3},
-                             {"trace-solar-cloudy", 1e-3},
-                             {"rf-paper", 100e-6},
-                             {"duty-cycle", 1e-3},
-                             {"continuous", 0.0}};
-        plan.maxInferencesPerDevice = 2;
-        out.push_back({"smoke-200",
-                       "200 devices, all kernels, trace + synthetic "
-                       "environments (CI smoke)",
-                       plan});
-    }
-    {
-        // The acceptance fleet: 1,000 devices of the paper's three
-        // workloads on SONIC/TAILS under mixed solar + RF power.
-        fleet::FleetPlan plan;
-        plan.devices = 1000;
-        plan.nets = {"MNIST", "HAR", "OkG"};
-        plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails};
-        plan.environments = {{"solar", 1e-3},
-                             {"solar", 100e-6},
-                             {"rf-paper", 1e-3},
-                             {"rf-paper", 100e-6},
-                             {"rf-bursty", 1e-3}};
-        plan.maxInferencesPerDevice = 2;
-        out.push_back({"mixed-1k",
-                       "1,000 devices, MNIST/HAR/OkG x SONIC/TAILS, "
-                       "solar + RF mixed power",
-                       plan});
-    }
-    {
-        // A day of wildlife cameras: the paper's motivating deployment
-        // at fleet scale, solar-powered with cloudy-trace variants.
-        fleet::FleetPlan plan;
-        plan.devices = 500;
-        plan.nets = {"MNIST"};
-        plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails,
-                      kernels::Impl::Tile8};
-        plan.environments = {{"solar", 1e-3},
-                             {"trace-solar-cloudy", 1e-3},
-                             {"trace-solar-cloudy", 100e-6}};
-        plan.pipelines = {"wildlife"};
-        plan.maxInferencesPerDevice = 3;
-        out.push_back({"wildlife-day",
-                       "500 solar wildlife cameras running the full "
-                       "sense-infer-transmit pipeline, clear vs "
-                       "cloudy traces",
-                       plan});
-    }
-    return out;
-}
-
 int
 usage()
 {
@@ -136,6 +66,7 @@ main(int argc, char **argv)
     fleet::FleetOptions options;
     bool allow_zero = false;
     bool require_delivered = false;
+    bool require_cache_hits = false;
     std::string csv_path, summary_path;
     std::vector<std::string> trace_args;
     std::string value;
@@ -149,7 +80,8 @@ main(int argc, char **argv)
                 trace_args.push_back(value);
             } else if (consumeFlag(arg, "--scenario", &value)) {
                 bool found = false;
-                for (const auto &scenario : scenarios()) {
+                for (const auto &scenario :
+                     fleet::namedScenarios()) {
                     if (scenario.name == value) {
                         plan = scenario.plan;
                         found = true;
@@ -197,7 +129,7 @@ main(int argc, char **argv)
                 }
                 return 0;
             } else if (arg == "--list-scenarios") {
-                for (const auto &scenario : scenarios())
+                for (const auto &scenario : fleet::namedScenarios())
                     std::cout << scenario.name << " — "
                               << scenario.description << "\n";
                 return 0;
@@ -244,6 +176,10 @@ main(int argc, char **argv)
                 csv_path = value;
             } else if (consumeFlag(arg, "--summary", &value)) {
                 summary_path = value;
+            } else if (arg == "--no-cache") {
+                options.useCache = false;
+            } else if (arg == "--require-cache-hits") {
+                require_cache_hits = true;
             } else if (arg == "--allow-zero") {
                 allow_zero = true;
             } else if (arg == "--require-delivered") {
@@ -271,7 +207,9 @@ main(int argc, char **argv)
     const auto summary =
         fleet::runFleet(plan, options, {csv_sink});
 
-    // Human-readable deployment report.
+    // Human-readable deployment report. Cache telemetry goes to
+    // stdout only — the JSON artifact must stay byte-identical between
+    // memoized and --no-cache runs.
     std::cout << "fleet: " << summary.devices << " devices, "
               << summary.total.inferences << " inferences, "
               << summary.total.resultsDelivered << " delivered, "
@@ -324,6 +262,23 @@ main(int argc, char **argv)
                   << "\n";
     }
 
+    if (options.useCache) {
+        std::cout << "round cache: " << summary.cache.roundHits
+                  << " hits / " << summary.cache.lookups()
+                  << " lookups (hit rate " << summary.cache.hitRate()
+                  << "), " << summary.cache.lifetimeHits
+                  << " lifetime hits, " << summary.cache.uncachedRounds
+                  << " uncached rounds\n";
+    }
+
+    if (require_cache_hits
+        && (summary.cache.lookups() == 0
+            || summary.cache.roundHits + summary.cache.lifetimeHits
+                   == 0)) {
+        std::cerr << "fleet ran without cache hits — failing "
+                     "(--require-cache-hits)\n";
+        return 1;
+    }
     if (summary.total.inferences == 0 && !allow_zero) {
         std::cerr << "fleet completed zero inferences — failing "
                      "(--allow-zero to override)\n";

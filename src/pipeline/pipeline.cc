@@ -163,6 +163,24 @@ transmitStage(arch::Device &dev, Journal &j, const RadioConfig &radio,
 
 } // namespace
 
+u64
+RoundOutcome::logitsDigest() const
+{
+    // FNV-1a over the element count and the raw i16 values: the flat
+    // scalar the fleet round cache stores and cross-checks.
+    u64 h = 0xcbf29ce484222325ull;
+    const auto fold = [&h](u64 v) {
+        for (u32 byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    };
+    fold(logits.size());
+    for (const i16 v : logits)
+        fold(static_cast<u64>(static_cast<u16>(v)));
+    return h;
+}
+
 TxBoundaryObserver *
 setThreadTxBoundaryObserver(TxBoundaryObserver *obs)
 {

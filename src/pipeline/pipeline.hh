@@ -130,7 +130,15 @@ class PipelineRegistry
     std::vector<PipelineSpec> specs_;
 };
 
-/** What one pipeline round observed (the fleet/oracle surface). */
+/**
+ * What one pipeline round observed (the fleet/oracle surface).
+ *
+ * The struct is cache-serializable: every field is either a scalar or
+ * reducible to one through logitsDigest(), so the fleet round cache
+ * (src/fleet/round_cache.hh) can store an outcome as a flat
+ * clock-independent trace and replay it for every device that shares
+ * the same (net, impl, pipeline, capacitor, input) coordinate.
+ */
 struct RoundOutcome
 {
     /** The round ran to the end of its stage list. */
@@ -160,7 +168,28 @@ struct RoundOutcome
 
     /** argmax of the logits; -1 until inference commits. */
     i16 resultClass = -1;
+
+    /**
+     * FNV-1a digest of the logits (and their count): the scalar stand-
+     * in the round cache stores and cross-checks instead of the vector.
+     */
+    u64 logitsDigest() const;
 };
+
+/**
+ * True when the round outcome cannot depend on (seed, round index):
+ * the radio is off, or the ACK-loss draw is degenerate (p <= 0 always
+ * acknowledges, p >= 1 never does). This is the soundness gate for
+ * sharing one memoized round trace across devices with different
+ * seeds — a genuinely lossy link re-randomizes per round and must run
+ * unmemoized.
+ */
+inline bool
+ackInvariant(const PipelineSpec &spec)
+{
+    return !spec.radio.enabled || spec.radio.ackLossProbability <= 0.0
+        || spec.radio.ackLossProbability >= 1.0;
+}
 
 /** Driver knobs (defaults mirror task::SchedulerConfig). */
 struct RoundLimits

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "fleet/fleet.hh"
+#include "fleet/round_cache.hh"
 
 namespace sonic::fleet
 {
@@ -333,6 +334,183 @@ TEST(Fleet, PipelineSummaryIsBitIdenticalAcrossThreadCounts)
     EXPECT_NE(reference_json.find("\"deliveryP95Seconds\""),
               std::string::npos);
     EXPECT_NE(reference_csv.find(",wildlife,"), std::string::npos);
+}
+
+/** Look up a named scenario's plan, shrunk for test runtime. */
+FleetPlan
+scenarioPlan(const std::string &name, u32 devices)
+{
+    for (const auto &scenario : namedScenarios()) {
+        if (scenario.name == name) {
+            auto plan = scenario.plan;
+            plan.devices = devices;
+            return plan;
+        }
+    }
+    ADD_FAILURE() << "missing scenario " << name;
+    return FleetPlan{};
+}
+
+/**
+ * The tentpole contract: round-trace memoization changes nothing about
+ * the telemetry. Memoized and unmemoized fleets produce byte-identical
+ * summary JSON and per-device CSV at every thread count, on both
+ * acceptance scenarios.
+ */
+TEST(Fleet, MemoizedFleetsMatchUnmemoizedBitExactly)
+{
+    for (const char *name : {"mixed-1k", "wildlife-day"}) {
+        const auto plan =
+            scenarioPlan(name, name[0] == 'm' ? 32u : 24u);
+        std::string reference_json, reference_csv;
+        for (const bool cached : {false, true}) {
+            for (const u32 threads : {1u, 2u, 8u}) {
+                FleetOptions options;
+                options.threads = threads;
+                options.useCache = cached;
+                // Exercise the production replay path, not the
+                // debug re-execution cross-check.
+                options.verifyCache = false;
+                std::ostringstream csv;
+                FleetCsvSink sink(csv);
+                const auto summary = runFleet(plan, options, {&sink});
+                EXPECT_GT(summary.total.inferences, 0u);
+                EXPECT_EQ(cached, summary.cache.lookups() > 0) << name;
+                const std::string json = summary.toJson();
+                if (reference_json.empty()) {
+                    reference_json = json;
+                    reference_csv = csv.str();
+                } else {
+                    EXPECT_EQ(json, reference_json)
+                        << name << " cached=" << cached
+                        << " threads=" << threads;
+                    EXPECT_EQ(csv.str(), reference_csv)
+                        << name << " cached=" << cached
+                        << " threads=" << threads;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Every RoundKey field must participate in lookup identity: mutating
+ * any one coordinate misses while the original still hits. (Keys are
+ * equality-compared in full, so this holds even on hash collisions.)
+ */
+TEST(RoundCache, EveryKeyFieldAffectsLookup)
+{
+    RoundCache cache;
+    RoundKey key;
+    key.netIndex = 1;
+    key.implIndex = 2;
+    key.pipelineIndex = 3;
+    key.inputIndex = 4;
+    key.capacityNjBits = 0x3f50624dd2f1a9fcull; // 0.001 as f64 bits
+    RoundTrace trace;
+    trace.liveSeconds = 1.5;
+    trace.liveDeltas = {0.5, 1.0};
+    trace.reboots = 1;
+    ASSERT_NE(cache.insert(key, trace), nullptr);
+    ASSERT_NE(cache.find(key), nullptr);
+    EXPECT_EQ(cache.find(key)->liveSeconds, 1.5);
+
+    const auto expectMiss = [&cache, &key](auto mutate) {
+        RoundKey probe = key;
+        mutate(probe);
+        EXPECT_EQ(cache.find(probe), nullptr);
+        EXPECT_NE(cache.find(key), nullptr); // original unaffected
+    };
+    expectMiss([](RoundKey &k) { k.netIndex ^= 1; });
+    expectMiss([](RoundKey &k) { k.implIndex ^= 1; });
+    expectMiss([](RoundKey &k) { k.pipelineIndex ^= 1; });
+    expectMiss([](RoundKey &k) { k.inputIndex ^= 1; });
+    expectMiss([](RoundKey &k) { k.capacityNjBits ^= 1; });
+}
+
+/**
+ * The verification mode (always on in debug builds): every cache hit
+ * re-executes the round and bitwise-compares the full trace including
+ * the NVM digest. A verified run must still reproduce the unmemoized
+ * summary exactly, and must actually have verified something.
+ */
+TEST(Fleet, CacheVerificationCrossChecksEveryHit)
+{
+    const auto plan = goldenFleet(24);
+    FleetOptions verified;
+    verified.threads = 2;
+    verified.useCache = true;
+    verified.verifyCache = true;
+    const auto checked = runFleet(plan, verified);
+    EXPECT_GT(checked.cache.roundHits, 0u);
+
+    FleetOptions plain;
+    plain.threads = 1;
+    plain.useCache = false;
+    const auto reference = runFleet(plan, plain);
+    EXPECT_EQ(checked.toJson(), reference.toJson());
+}
+
+/**
+ * Satellite fix: the horizon gate is uniform across rounds. Round 0
+ * always runs (a fully-charged buffer recharges in zero seconds), and
+ * a between-round recharge that would overshoot the horizon is clipped
+ * at it instead of accruing the full refill time.
+ */
+TEST(Fleet, HorizonClipsBetweenRoundRecharges)
+{
+    FleetPlan plan;
+    plan.nets = {"golden"};
+    plan.impls = {kernels::Impl::Sonic};
+    plan.environments = {{"rf-paper", 100e-6}};
+    plan.devices = 1;
+    plan.maxInferencesPerDevice = 1;
+    const auto one_round = simulateDevice(plan, 0);
+    ASSERT_EQ(one_round.inferencesCompleted, 1u);
+    const f64 round_seconds = one_round.totalSeconds();
+    ASSERT_GT(round_seconds, 0.0);
+
+    // Horizon lands inside the recharge before round 1: the device
+    // sleeps only up to the horizon, bit-for-bit.
+    auto clipped = plan;
+    clipped.maxInferencesPerDevice = 0;
+    clipped.horizonSeconds = round_seconds * 1.25;
+    const auto t = simulateDevice(clipped, 0);
+    EXPECT_EQ(t.inferencesCompleted, 1u);
+    EXPECT_NEAR(t.totalSeconds(), clipped.horizonSeconds,
+                clipped.horizonSeconds * 1e-12);
+
+    // Horizon shorter than the first round: round 0 still runs in
+    // full (its pre-round recharge is the zero-second no-op), so the
+    // lifetime is exactly that one round.
+    auto tiny = plan;
+    tiny.maxInferencesPerDevice = 0;
+    tiny.horizonSeconds = round_seconds * 0.5;
+    const auto t0 = simulateDevice(tiny, 0);
+    EXPECT_EQ(t0.inferencesCompleted, 1u);
+    EXPECT_EQ(t0.totalSeconds(), round_seconds);
+}
+
+/**
+ * Cache telemetry is reported on the summary struct but deliberately
+ * kept out of the JSON artifact, which must stay byte-identical
+ * between memoized and --no-cache runs.
+ */
+TEST(Fleet, CacheStatsAreReportedButNotSerialized)
+{
+    const auto plan = goldenFleet(32);
+    FleetOptions options;
+    options.threads = 1;
+    options.verifyCache = false;
+    const auto summary = runFleet(plan, options);
+    EXPECT_GT(summary.cache.lookups(), 0u);
+    EXPECT_GT(summary.cache.roundHits, 0u);
+    EXPECT_GT(summary.cache.lifetimeHits, 0u); // continuous devices
+    EXPECT_GT(summary.cache.hitRate(), 0.0);
+    EXPECT_LE(summary.cache.hitRate(), 1.0);
+    const std::string json = summary.toJson();
+    EXPECT_EQ(json.find("roundHits"), std::string::npos);
+    EXPECT_EQ(json.find("hitRate"), std::string::npos);
 }
 
 } // namespace
