@@ -8,6 +8,7 @@
 
 #include "arch/memory.hh"
 #include "dnn/device_net.hh"
+#include "util/fmt.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -43,8 +44,10 @@ void
 CsvSink::add(const SweepRecord &record)
 {
     const auto &r = record.result;
+    // f64 fields go through fmtF64 (shortest round-trip digits): a
+    // fixed precision(12) dropped mantissa bits, so CSV could never be
+    // a lossless artifact. See util/fmt.hh.
     std::ostringstream row;
-    row.precision(12);
     row << record.planIndex << ',' << csvQuote(record.spec.net) << ','
         << csvQuote(std::string(kernels::implName(record.spec.impl)))
         << ',' << powerName(record.spec.power) << ','
@@ -53,9 +56,10 @@ CsvSink::add(const SweepRecord &record)
         << record.spec.sampleIndex << ',' << record.spec.seed << ','
         << (r.completed ? "ok" : (r.nonTerminating ? "dnf" : "fail"))
         << ',' << r.reboots << ',' << r.tasksExecuted << ','
-        << r.liveSeconds << ',' << r.deadSeconds << ','
-        << r.totalSeconds << ',' << r.energyJ << ',' << r.harvestedJ
-        << ',' << r.predictedClass << ',' << r.tailsTileWords << ','
+        << fmtF64(r.liveSeconds) << ',' << fmtF64(r.deadSeconds) << ','
+        << fmtF64(r.totalSeconds) << ',' << fmtF64(r.energyJ) << ','
+        << fmtF64(r.harvestedJ) << ',' << r.predictedClass << ','
+        << r.tailsTileWords << ','
         << record.spec.failureSchedule.size() << ','
         << r.scheduleFired << '\n';
     os_ << row.str();

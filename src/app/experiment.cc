@@ -17,6 +17,18 @@ powerName(PowerKind kind)
     return "?";
 }
 
+bool
+powerFromName(const std::string &name, PowerKind *out)
+{
+    for (const PowerKind kind : kAllPower) {
+        if (name == powerName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 const char *
 profileName(ProfileVariant variant)
 {
@@ -26,6 +38,18 @@ profileName(ProfileVariant variant)
       case ProfileVariant::NoDma: return "no-dma";
     }
     return "?";
+}
+
+bool
+profileFromName(const std::string &name, ProfileVariant *out)
+{
+    for (const ProfileVariant variant : kAllProfiles) {
+        if (name == profileName(variant)) {
+            *out = variant;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::unique_ptr<arch::PowerSupply>

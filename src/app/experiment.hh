@@ -42,6 +42,9 @@ inline constexpr PowerKind kAllPower[] = {
 
 const char *powerName(PowerKind kind);
 
+/** Inverse of powerName (telemetry decode); false if unknown. */
+bool powerFromName(const std::string &name, PowerKind *out);
+
 /** Harvester income of the RF setup (Powercast at 1 m, Sec. 8). */
 constexpr f64 kHarvestWatts = 0.5e-3;
 
@@ -58,6 +61,9 @@ inline constexpr ProfileVariant kAllProfiles[] = {
     ProfileVariant::NoDma};
 
 const char *profileName(ProfileVariant variant);
+
+/** Inverse of profileName (telemetry decode); false if unknown. */
+bool profileFromName(const std::string &name, ProfileVariant *out);
 
 /** One experiment specification. */
 struct RunSpec

@@ -1,6 +1,7 @@
 #include "env/traces.hh"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -28,7 +29,21 @@ samplesToModel(const std::vector<HarvestModel::Point> &samples,
         return false;
     }
     for (u64 i = 0; i < samples.size(); ++i) {
-        if (samples[i].watts < 0.0) {
+        // Finiteness first, and with !(x >= 0) instead of (x < 0):
+        // std::stod happily parses "nan" and "inf", and NaN compares
+        // false against everything — `watts < 0.0` waved NaN straight
+        // through, and +inf passed outright.
+        if (!std::isfinite(samples[i].seconds)) {
+            *error = "trace sample " + std::to_string(i)
+                   + " has a non-finite timestamp";
+            return false;
+        }
+        if (!std::isfinite(samples[i].watts)) {
+            *error = "trace sample " + std::to_string(i)
+                   + " has non-finite power";
+            return false;
+        }
+        if (!(samples[i].watts >= 0.0)) {
             *error = "trace sample " + std::to_string(i)
                    + " has negative power";
             return false;
@@ -131,6 +146,19 @@ parseTraceCsv(const std::string &text, HarvestModel *out,
         } catch (const std::exception &) {
             err = "trace line " + std::to_string(line_no)
                 + ": unparsable number";
+            return false;
+        }
+        // Catch nan/inf here, where the line number is still known —
+        // samplesToModel re-checks (for the JSON path) but can only
+        // name the sample index.
+        if (!std::isfinite(p.seconds)) {
+            err = "trace line " + std::to_string(line_no)
+                + ": non-finite timestamp";
+            return false;
+        }
+        if (!std::isfinite(p.watts)) {
+            err = "trace line " + std::to_string(line_no)
+                + ": non-finite power value";
             return false;
         }
         samples.push_back(p);

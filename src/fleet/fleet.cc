@@ -11,6 +11,7 @@
 
 #include "dnn/device_net.hh"
 #include "fleet/round_cache.hh"
+#include "util/fmt.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -467,8 +468,10 @@ FleetCsvSink::begin(u64)
 void
 FleetCsvSink::add(const DeviceTelemetry &t)
 {
+    // f64 fields go through fmtF64 (shortest round-trip digits, see
+    // util/fmt.hh): derived rates included, so recomputing them from
+    // bit-exact stored fields reproduces the row byte-for-byte.
     std::ostringstream row;
-    row.precision(12);
     row << t.assignment.deviceIndex << ','
         << csvQuote(t.assignment.net) << ','
         << csvQuote(std::string(
@@ -481,18 +484,77 @@ FleetCsvSink::add(const DeviceTelemetry &t)
                 : (t.failedIncomplete ? "fail" : "ok"))
         << ','
         << t.inferencesCompleted << ',' << t.reboots << ','
-        << t.liveSeconds << ',' << t.deadSeconds << ','
-        << t.totalSeconds() << ',' << t.energyJ << ','
-        << t.harvestedJ << ',' << t.inferencesPerDay() << ','
-        << t.rebootsPerInference() << ',' << t.deadFraction() << ','
-        << t.energyPerInferenceJ() << ','
-        << t.meanInferenceSeconds() << ','
+        << fmtF64(t.liveSeconds) << ',' << fmtF64(t.deadSeconds)
+        << ',' << fmtF64(t.totalSeconds()) << ','
+        << fmtF64(t.energyJ) << ',' << fmtF64(t.harvestedJ) << ','
+        << fmtF64(t.inferencesPerDay()) << ','
+        << fmtF64(t.rebootsPerInference()) << ','
+        << fmtF64(t.deadFraction()) << ','
+        << fmtF64(t.energyPerInferenceJ()) << ','
+        << fmtF64(t.meanInferenceSeconds()) << ','
         << t.resultsDelivered << ',' << t.txAttempts << ','
         << t.txRetries << ',' << t.txGaveUpRounds << ','
-        << t.radioEnergyJ << ',' << t.senseEnergyJ << ','
-        << t.txBackoffSeconds << ',' << t.meanDeliverySeconds()
-        << '\n';
+        << fmtF64(t.radioEnergyJ) << ',' << fmtF64(t.senseEnergyJ)
+        << ',' << fmtF64(t.txBackoffSeconds) << ','
+        << fmtF64(t.meanDeliverySeconds()) << '\n';
     os_ << row.str();
+}
+
+void
+FleetJsonSink::begin(u64)
+{
+    os_ << "[";
+    first_ = true;
+}
+
+void
+FleetJsonSink::add(const DeviceTelemetry &t)
+{
+    std::ostringstream obj;
+    obj.precision(17);
+    obj << (first_ ? "\n" : ",\n");
+    first_ = false;
+    obj << "  {\"device\": " << t.assignment.deviceIndex
+        << ", \"net\": \"" << jsonEscape(t.assignment.net)
+        << "\", \"impl\": \""
+        << jsonEscape(std::string(
+               kernels::implName(t.assignment.impl)))
+        << "\", \"environment\": \""
+        << jsonEscape(t.assignment.environment.label())
+        << "\", \"pipeline\": \"" << jsonEscape(t.assignment.pipeline)
+        << "\", \"seed\": " << t.assignment.seed
+        << ", \"status\": \""
+        << (t.diedNonTerminating
+                ? "dnf"
+                : (t.failedIncomplete ? "fail" : "ok"))
+        << "\", \"inferences\": " << t.inferencesCompleted
+        << ", \"reboots\": " << t.reboots
+        << ", \"liveSeconds\": " << t.liveSeconds
+        << ", \"deadSeconds\": " << t.deadSeconds
+        << ", \"totalSeconds\": " << t.totalSeconds()
+        << ", \"energyJ\": " << t.energyJ
+        << ", \"harvestedJ\": " << t.harvestedJ
+        << ", \"inferencesPerDay\": " << t.inferencesPerDay()
+        << ", \"rebootsPerInference\": " << t.rebootsPerInference()
+        << ", \"deadFraction\": " << t.deadFraction()
+        << ", \"energyPerInferenceJ\": " << t.energyPerInferenceJ()
+        << ", \"meanInferenceSeconds\": " << t.meanInferenceSeconds()
+        << ", \"resultsDelivered\": " << t.resultsDelivered
+        << ", \"txAttempts\": " << t.txAttempts
+        << ", \"txRetries\": " << t.txRetries
+        << ", \"txGaveUpRounds\": " << t.txGaveUpRounds
+        << ", \"radioEnergyJ\": " << t.radioEnergyJ
+        << ", \"senseEnergyJ\": " << t.senseEnergyJ
+        << ", \"txBackoffSeconds\": " << t.txBackoffSeconds
+        << ", \"meanDeliverySeconds\": " << t.meanDeliverySeconds()
+        << "}";
+    os_ << obj.str();
+}
+
+void
+FleetJsonSink::end()
+{
+    os_ << "\n]\n";
 }
 
 // --- Aggregation ----------------------------------------------------

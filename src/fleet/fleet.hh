@@ -291,6 +291,22 @@ class FleetCsvSink : public FleetSink
     std::ostream &os_;
 };
 
+/** Streams a JSON array with one object per device (the same stored
+ * and derived fields as the CSV rows, at round-trip precision). */
+class FleetJsonSink : public FleetSink
+{
+  public:
+    explicit FleetJsonSink(std::ostream &os) : os_(os) {}
+
+    void begin(u64 totalDevices) override;
+    void add(const DeviceTelemetry &device) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+};
+
 /** One aggregation bucket (the whole fleet, or a breakdown group). */
 struct GroupStats
 {

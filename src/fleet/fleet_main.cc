@@ -21,11 +21,13 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "fleet/fleet.hh"
+#include "telemetry/sonicz.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -49,6 +51,7 @@ usage()
            "                   [--horizon=SECONDS]\n"
            "                   [--max-inferences=K] [--threads=T]\n"
            "                   [--seed=S] [--csv=PATH]\n"
+           "                   [--json=PATH] [--sonicz=PATH]\n"
            "                   [--summary=PATH]\n"
            "                   [--trace=NAME=FILE] [--allow-zero]\n"
            "                   [--require-delivered]\n"
@@ -67,7 +70,7 @@ main(int argc, char **argv)
     bool allow_zero = false;
     bool require_delivered = false;
     bool require_cache_hits = false;
-    std::string csv_path, summary_path;
+    std::string csv_path, json_path, sonicz_path, summary_path;
     std::vector<std::string> trace_args;
     std::string value;
 
@@ -174,6 +177,10 @@ main(int argc, char **argv)
                 plan.baseSeed = std::stoull(value);
             } else if (consumeFlag(arg, "--csv", &value)) {
                 csv_path = value;
+            } else if (consumeFlag(arg, "--json", &value)) {
+                json_path = value;
+            } else if (consumeFlag(arg, "--sonicz", &value)) {
+                sonicz_path = value;
             } else if (consumeFlag(arg, "--summary", &value)) {
                 summary_path = value;
             } else if (arg == "--no-cache") {
@@ -192,20 +199,41 @@ main(int argc, char **argv)
         return usage();
     }
 
+    std::vector<fleet::FleetSink *> sinks;
     std::ofstream csv_file;
-    fleet::FleetCsvSink *csv_sink = nullptr;
-    fleet::FleetCsvSink csv_sink_storage(csv_file);
+    fleet::FleetCsvSink csv_sink(csv_file);
     if (!csv_path.empty()) {
         csv_file.open(csv_path);
         if (!csv_file) {
             std::cerr << "cannot write " << csv_path << "\n";
             return 2;
         }
-        csv_sink = &csv_sink_storage;
+        sinks.push_back(&csv_sink);
+    }
+    std::ofstream json_file;
+    fleet::FleetJsonSink json_sink(json_file);
+    if (!json_path.empty()) {
+        json_file.open(json_path);
+        if (!json_file) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 2;
+        }
+        sinks.push_back(&json_sink);
+    }
+    std::ofstream sonicz_file;
+    std::unique_ptr<telemetry::SoniczFleetSink> sonicz_sink;
+    if (!sonicz_path.empty()) {
+        sonicz_file.open(sonicz_path, std::ios::binary);
+        if (!sonicz_file) {
+            std::cerr << "cannot write " << sonicz_path << "\n";
+            return 2;
+        }
+        sonicz_sink =
+            std::make_unique<telemetry::SoniczFleetSink>(sonicz_file);
+        sinks.push_back(sonicz_sink.get());
     }
 
-    const auto summary =
-        fleet::runFleet(plan, options, {csv_sink});
+    const auto summary = fleet::runFleet(plan, options, sinks);
 
     // Human-readable deployment report. Cache telemetry goes to
     // stdout only — the JSON artifact must stay byte-identical between

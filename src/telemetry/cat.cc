@@ -1,0 +1,192 @@
+#include "telemetry/cat.hh"
+
+#include <memory>
+#include <ostream>
+
+namespace sonic::telemetry
+{
+
+bool
+parseIndexRange(const std::string &text, u64 *lo, u64 *hi)
+{
+    const auto parse_u64 = [](const std::string &s, u64 *out) {
+        if (s.empty())
+            return false;
+        u64 v = 0;
+        for (const char ch : s) {
+            if (ch < '0' || ch > '9')
+                return false;
+            if (v > (~0ull - (ch - '0')) / 10)
+                return false; // overflow
+            v = v * 10 + static_cast<u64>(ch - '0');
+        }
+        *out = v;
+        return true;
+    };
+    const auto dots = text.find("..");
+    if (dots == std::string::npos) {
+        if (!parse_u64(text, lo))
+            return false;
+        *hi = *lo;
+        return true;
+    }
+    return parse_u64(text.substr(0, dots), lo)
+        && parse_u64(text.substr(dots + 2), hi) && *lo <= *hi;
+}
+
+namespace
+{
+
+bool
+passes(const CatOptions &o, const std::string &env_label,
+       const std::string &env_name, const std::string &impl,
+       const std::string &net, const std::string &pipeline,
+       const std::string &status, u64 index)
+{
+    if (!o.env.empty() && o.env != env_label && o.env != env_name)
+        return false;
+    if (!o.impl.empty() && o.impl != impl)
+        return false;
+    if (!o.net.empty() && o.net != net)
+        return false;
+    if (!o.pipeline.empty() && o.pipeline != pipeline)
+        return false;
+    if (!o.status.empty() && o.status != status)
+        return false;
+    if (o.hasRange && (index < o.rangeLo || index > o.rangeHi))
+        return false;
+    return true;
+}
+
+std::string
+sweepStatus(const app::ExperimentResult &r)
+{
+    return r.completed ? "ok" : (r.nonTerminating ? "dnf" : "fail");
+}
+
+std::string
+fleetStatus(const fleet::DeviceTelemetry &t)
+{
+    return t.diedNonTerminating
+        ? "dnf"
+        : (t.failedIncomplete ? "fail" : "ok");
+}
+
+} // namespace
+
+bool
+catSonicz(std::istream &in, std::ostream &out,
+          const CatOptions &options, std::string *error)
+{
+    // One sink per (schema, format); the schema is known only once the
+    // header is read, so both pairs are constructed lazily on the
+    // first row. begin() is header/prologue emission — the sinks
+    // ignore the row-count argument, so filtering costs nothing.
+    std::unique_ptr<app::ResultSink> sweep_sink;
+    std::unique_ptr<fleet::FleetSink> fleet_sink;
+    bool schema_checked = false;
+    std::string schema_error;
+
+    const auto ensure_sweep = [&]() -> app::ResultSink & {
+        if (!sweep_sink) {
+            if (options.format == CatOptions::Format::Json)
+                sweep_sink = std::make_unique<app::JsonSink>(out);
+            else
+                sweep_sink = std::make_unique<app::CsvSink>(out);
+            sweep_sink->begin(0);
+        }
+        return *sweep_sink;
+    };
+    const auto ensure_fleet = [&]() -> fleet::FleetSink & {
+        if (!fleet_sink) {
+            if (options.format == CatOptions::Format::Json)
+                fleet_sink =
+                    std::make_unique<fleet::FleetJsonSink>(out);
+            else
+                fleet_sink =
+                    std::make_unique<fleet::FleetCsvSink>(out);
+            fleet_sink->begin(0);
+        }
+        return *fleet_sink;
+    };
+
+    const auto on_sweep = [&](const app::SweepRecord &record) {
+        if (!schema_checked) {
+            schema_checked = true;
+            if (!options.pipeline.empty())
+                schema_error = "--pipeline filters fleet telemetry; "
+                               "this is a sweep file";
+        }
+        if (!schema_error.empty())
+            return;
+        const auto &spec = record.spec;
+        if (!passes(options, spec.environment.label(),
+                    spec.environment.env,
+                    std::string(kernels::implName(spec.impl)),
+                    spec.net, /*pipeline=*/"",
+                    sweepStatus(record.result), record.planIndex))
+            return;
+        ensure_sweep().add(record);
+    };
+    const auto on_fleet = [&](const fleet::DeviceTelemetry &t) {
+        schema_checked = true;
+        const auto &a = t.assignment;
+        if (!passes(options, a.environment.label(), a.environment.env,
+                    std::string(kernels::implName(a.impl)), a.net,
+                    a.pipeline, fleetStatus(t), a.deviceIndex))
+            return;
+        ensure_fleet().add(t);
+    };
+
+    SoniczInfo info;
+    if (!readSonicz(in, on_sweep, on_fleet, &info, error))
+        return false;
+    if (info.kind == SchemaKind::Sweep && !options.pipeline.empty()) {
+        // Also reached when every block was empty of rows.
+        if (error != nullptr)
+            *error = "sonic_cat: --pipeline filters fleet telemetry; "
+                     "this is a sweep file";
+        return false;
+    }
+    if (!schema_error.empty()) {
+        if (error != nullptr)
+            *error = "sonic_cat: " + schema_error;
+        return false;
+    }
+
+    // An empty selection still gets the schema-correct prologue
+    // (header line / empty array), exactly like a direct run with no
+    // rows.
+    if (info.kind == SchemaKind::Sweep) {
+        ensure_sweep().end();
+    } else {
+        ensure_fleet().end();
+    }
+    return true;
+}
+
+bool
+soniczInfo(std::istream &in, std::ostream &out, std::string *error)
+{
+    SoniczInfo info;
+    if (!readSonicz(in, nullptr, nullptr, &info, error))
+        return false;
+    const f64 ratio = info.fileBytes > 0
+        ? static_cast<f64>(info.rawBytes)
+              / static_cast<f64>(info.fileBytes)
+        : 0.0;
+    out << "schema:  "
+        << (info.kind == SchemaKind::Sweep ? "sweep" : "fleet")
+        << " (version " << info.version << ")\n"
+        << "rows:    " << info.rows << "\n"
+        << "blocks:  " << info.blocks << "\n"
+        << "file:    " << info.fileBytes << " bytes\n"
+        << "columns: " << info.rawBytes << " bytes raw, "
+        << info.storedBytes << " bytes stored\n"
+        << "ratio:   " << (static_cast<u64>(ratio * 100.0 + 0.5)
+                           / 100.0)
+        << "x raw/file\n";
+    return true;
+}
+
+} // namespace sonic::telemetry

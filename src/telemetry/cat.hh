@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The sonic_cat core: decompress a .sonicz telemetry file, optionally
+ * subset it, and re-emit CSV or JSON. Re-emission goes through the
+ * SAME sink classes the live tools use (app::CsvSink/JsonSink,
+ * fleet::FleetCsvSink/FleetJsonSink), so an unfiltered cat of a
+ * .sonicz file is byte-identical to the CSV/JSON a direct run writes —
+ * losslessness is by construction, not by a parallel formatter kept in
+ * sync by hand.
+ */
+
+#ifndef SONIC_TELEMETRY_CAT_HH
+#define SONIC_TELEMETRY_CAT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/sonicz.hh"
+
+namespace sonic::telemetry
+{
+
+/** What sonic_cat re-emits and which rows survive. */
+struct CatOptions
+{
+    enum class Format : u8
+    {
+        Csv,
+        Json
+    };
+    Format format = Format::Csv;
+
+    /** @name Row filters (empty = pass). String filters match the
+     * column value exactly; env also matches the EnvRef label, so both
+     * `--env=solar` and `--env=solar/100uF` work. */
+    /// @{
+    std::string env;
+    std::string impl;
+    std::string net;
+    std::string pipeline; ///< fleet files only (error on sweep files)
+    std::string status;   ///< ok | dnf | fail
+    /// @}
+
+    /** Inclusive index range (--devices=A..B): the device index for
+     * fleet telemetry, the plan index for sweep records. */
+    bool hasRange = false;
+    u64 rangeLo = 0;
+    u64 rangeHi = 0;
+};
+
+/**
+ * Parse "A..B" (or a bare "A", meaning A..A) into [lo, hi]. Returns
+ * false on malformed input or lo > hi.
+ */
+bool parseIndexRange(const std::string &text, u64 *lo, u64 *hi);
+
+/**
+ * Stream `in` (.sonicz) to `out` as CSV or JSON, keeping only rows
+ * that pass every filter. Returns false with a diagnostic in *error on
+ * malformed input or on filters that cannot apply to the file's schema
+ * (--pipeline against a sweep file).
+ */
+bool catSonicz(std::istream &in, std::ostream &out,
+               const CatOptions &options, std::string *error);
+
+/**
+ * Validate `in` and print a human-readable summary (--info): schema,
+ * rows, blocks, file size, and the raw/stored compression ratio.
+ */
+bool soniczInfo(std::istream &in, std::ostream &out,
+                std::string *error);
+
+} // namespace sonic::telemetry
+
+#endif // SONIC_TELEMETRY_CAT_HH

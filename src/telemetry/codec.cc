@@ -1,0 +1,244 @@
+#include "telemetry/codec.hh"
+
+#include <cstring>
+
+namespace sonic::telemetry
+{
+
+void
+putVarint(Bytes &out, u64 value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<u8>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<u8>(value));
+}
+
+bool
+getVarint(const Bytes &bytes, u64 *pos, u64 *value)
+{
+    u64 result = 0;
+    u32 shift = 0;
+    while (*pos < bytes.size()) {
+        const u8 byte = bytes[(*pos)++];
+        if (shift == 63 && (byte & 0x7e) != 0)
+            return false; // would overflow 64 bits
+        if (shift > 63)
+            return false;
+        result |= static_cast<u64>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            *value = result;
+            return true;
+        }
+        shift += 7;
+    }
+    return false; // truncated
+}
+
+u64
+fnv1aBytes(const u8 *data, u64 size)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (u64 i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// --- LZ -------------------------------------------------------------
+//
+// Token stream (LZ4-flavored): each sequence is
+//   [token: hi nibble = literal count, lo nibble = match length - 4]
+//   [0xff continuation bytes while a nibble saturates at 15]
+//   [literal bytes]
+//   [2-byte little-endian match offset, 1..65535 back]  (if a match)
+//   [match-length continuation bytes]
+// The final sequence carries literals only (its match nibble is 0 and
+// no offset follows). Greedy parse over a head-table + chain-table
+// match finder on 4-byte prefixes.
+
+namespace
+{
+
+constexpr u32 kMinMatch = 4;
+constexpr u32 kMaxOffset = 65535;
+constexpr u32 kHashBits = 15;
+constexpr u32 kMaxChain = 32;
+
+inline u32
+hash4(const u8 *p)
+{
+    u32 v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void
+putLength(Bytes &out, u64 extra)
+{
+    // Continuation bytes after a saturated nibble (value 15): each
+    // 0xff adds 255, the closing byte adds its own value.
+    while (extra >= 255) {
+        out.push_back(0xff);
+        extra -= 255;
+    }
+    out.push_back(static_cast<u8>(extra));
+}
+
+void
+emitSequence(Bytes &out, const u8 *literals, u64 literal_count,
+             u32 offset, u64 match_len)
+{
+    const bool has_match = match_len >= kMinMatch;
+    const u64 match_extra = has_match ? match_len - kMinMatch : 0;
+    const u8 lit_nibble =
+        static_cast<u8>(literal_count >= 15 ? 15 : literal_count);
+    const u8 match_nibble =
+        static_cast<u8>(has_match ? (match_extra >= 15 ? 15
+                                                       : match_extra)
+                                  : 0);
+    out.push_back(static_cast<u8>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15)
+        putLength(out, literal_count - 15);
+    out.insert(out.end(), literals, literals + literal_count);
+    if (has_match) {
+        out.push_back(static_cast<u8>(offset & 0xff));
+        out.push_back(static_cast<u8>(offset >> 8));
+        if (match_nibble == 15)
+            putLength(out, match_extra - 15);
+    }
+}
+
+} // namespace
+
+Bytes
+lzCompress(const Bytes &input)
+{
+    Bytes out;
+    const u64 n = input.size();
+    out.reserve(n / 2 + 16);
+    if (n == 0) {
+        emitSequence(out, nullptr, 0, 0, 0);
+        return out;
+    }
+
+    std::vector<i64> head(1u << kHashBits, -1);
+    std::vector<i64> chain(n, -1);
+    const u8 *data = input.data();
+
+    u64 anchor = 0; // first unemitted literal
+    u64 i = 0;
+    while (i + kMinMatch <= n) {
+        // Find the longest match for position i among recent
+        // occurrences of its 4-byte prefix.
+        u64 best_len = 0;
+        u32 best_off = 0;
+        const u32 h = hash4(data + i);
+        i64 cand = head[h];
+        u32 tries = kMaxChain;
+        while (cand >= 0 && tries-- > 0) {
+            const u64 off = i - static_cast<u64>(cand);
+            if (off > kMaxOffset)
+                break; // chain only gets older from here
+            u64 len = 0;
+            const u64 limit = n - i;
+            while (len < limit
+                   && data[cand + static_cast<i64>(len)]
+                          == data[i + len])
+                ++len;
+            if (len > best_len) {
+                best_len = len;
+                best_off = static_cast<u32>(off);
+            }
+            cand = chain[static_cast<u64>(cand)];
+        }
+
+        if (best_len >= kMinMatch) {
+            emitSequence(out, data + anchor, i - anchor, best_off,
+                         best_len);
+            // Index the matched region (bounded so pathological inputs
+            // stay linear-ish; skipped positions just match a bit
+            // worse later).
+            const u64 end = i + best_len;
+            const u64 index_to =
+                end - kMinMatch < i + 256 ? end - kMinMatch + 1
+                                          : i + 256;
+            for (u64 j = i; j < index_to && j + kMinMatch <= n; ++j) {
+                const u32 hj = hash4(data + j);
+                chain[j] = head[hj];
+                head[hj] = static_cast<i64>(j);
+            }
+            i = end;
+            anchor = i;
+        } else {
+            chain[i] = head[h];
+            head[h] = static_cast<i64>(i);
+            ++i;
+        }
+    }
+    // Closing literal-only sequence (possibly empty).
+    emitSequence(out, data + anchor, n - anchor, 0, 0);
+    return out;
+}
+
+bool
+lzDecompress(const Bytes &input, u64 rawSize, Bytes *out)
+{
+    out->clear();
+    out->reserve(rawSize);
+    u64 pos = 0;
+    const u64 n = input.size();
+
+    const auto read_length = [&](u64 base, u64 *len) {
+        *len = base;
+        if (base != 15)
+            return true;
+        for (;;) {
+            if (pos >= n)
+                return false;
+            const u8 b = input[pos++];
+            *len += b;
+            if (b != 0xff)
+                return true;
+        }
+    };
+
+    while (pos < n) {
+        const u8 token = input[pos++];
+        u64 literal_count = 0;
+        if (!read_length(token >> 4, &literal_count))
+            return false;
+        if (pos + literal_count > n)
+            return false;
+        if (out->size() + literal_count > rawSize)
+            return false;
+        out->insert(out->end(), input.begin() + static_cast<i64>(pos),
+                    input.begin() + static_cast<i64>(pos + literal_count));
+        pos += literal_count;
+        if (pos == n)
+            break; // final, literal-only sequence
+        if (pos + 2 > n)
+            return false;
+        const u32 offset = static_cast<u32>(input[pos])
+                         | (static_cast<u32>(input[pos + 1]) << 8);
+        pos += 2;
+        if (offset == 0 || offset > out->size())
+            return false;
+        u64 match_len = 0;
+        if (!read_length(token & 0x0f, &match_len))
+            return false;
+        match_len += kMinMatch;
+        if (out->size() + match_len > rawSize)
+            return false;
+        // Byte-by-byte: overlapping copies (offset < length) replicate
+        // the most recent bytes, which is the RLE case LZ relies on.
+        u64 src = out->size() - offset;
+        for (u64 k = 0; k < match_len; ++k)
+            out->push_back((*out)[src + k]);
+    }
+    return out->size() == rawSize;
+}
+
+} // namespace sonic::telemetry

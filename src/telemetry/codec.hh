@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Byte-level primitives of the .sonicz telemetry container
+ * (src/telemetry/sonicz.hh): LEB128 varints, zigzag signed mapping,
+ * FNV-1a block checksums, and a small in-tree LZ (greedy hash-chain
+ * matching over a 64 KiB window with an LZ4-style token stream —
+ * no external compression dependency, decode is a straight memcpy
+ * loop).
+ *
+ * Everything here is deterministic byte-in/byte-out: the same input
+ * always compresses to the same bytes on every platform, so .sonicz
+ * artifacts can be cmp'd across runs like every other artifact in
+ * this repo.
+ */
+
+#ifndef SONIC_TELEMETRY_CODEC_HH
+#define SONIC_TELEMETRY_CODEC_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sonic::telemetry
+{
+
+/** Growable byte buffer the encoders append into. */
+using Bytes = std::vector<u8>;
+
+/** Append a LEB128 varint (7 bits per byte, high bit = continue). */
+void putVarint(Bytes &out, u64 value);
+
+/**
+ * Read a LEB128 varint at *pos, advancing it. Returns false (leaving
+ * *pos unspecified) on truncation or on an overlong encoding that
+ * does not fit 64 bits.
+ */
+bool getVarint(const Bytes &bytes, u64 *pos, u64 *value);
+
+/** Zigzag-map a signed delta so small magnitudes stay small. */
+inline u64
+zigzag(i64 v)
+{
+    return (static_cast<u64>(v) << 1)
+         ^ static_cast<u64>(v >> 63);
+}
+
+/** Inverse of zigzag(). */
+inline i64
+unzigzag(u64 v)
+{
+    return static_cast<i64>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** FNV-1a over a byte range (the per-chunk checksum). */
+u64 fnv1aBytes(const u8 *data, u64 size);
+
+/**
+ * Compress `input` with the in-tree LZ. The output is self-delimiting
+ * given the original size (stored by the container, not here). The
+ * worst case expands by ~1/255 + a few bytes; callers keep the raw
+ * bytes instead when compression does not win (codec byte in the
+ * chunk header).
+ */
+Bytes lzCompress(const Bytes &input);
+
+/**
+ * Decompress an lzCompress() stream into exactly rawSize bytes.
+ * Returns false on any malformed input (bad offset, overrun,
+ * truncation, size mismatch) — corrupted blocks must never crash or
+ * silently produce wrong rows.
+ */
+bool lzDecompress(const Bytes &input, u64 rawSize, Bytes *out);
+
+} // namespace sonic::telemetry
+
+#endif // SONIC_TELEMETRY_CODEC_HH

@@ -1,0 +1,978 @@
+#include "telemetry/sonicz.hh"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace sonic::telemetry
+{
+
+// --- Schemas --------------------------------------------------------
+//
+// Column order is part of the format: readers materialize rows by
+// walking these lists with per-column cursors. List fields are a
+// length column followed by flattened value columns; every row
+// appends to every column of its schema exactly once per scalar and
+// length-many times per list column.
+
+namespace
+{
+
+// clang-format off
+const std::vector<ColumnSpec> kSweepColumns = {
+    {"planIndex", ColType::Int},
+    {"net", ColType::Str},
+    {"impl", ColType::Str},
+    {"power", ColType::Str},
+    {"env", ColType::Str},
+    {"envCapFarads", ColType::F64},
+    {"profile", ColType::Str},
+    {"sample", ColType::Int},
+    {"seed", ColType::Int},
+    {"status", ColType::Str},
+    {"reboots", ColType::Int},
+    {"tasksExecuted", ColType::Int},
+    {"liveSeconds", ColType::F64},
+    {"deadSeconds", ColType::F64},
+    {"totalSeconds", ColType::F64},
+    {"energyJ", ColType::F64},
+    {"harvestedJ", ColType::F64},
+    {"predictedClass", ColType::Int},
+    {"tailsTileWords", ColType::Int},
+    {"opInstances", ColType::Int},
+    {"captureNvmDigests", ColType::Int},
+    {"scheduleLen", ColType::Int},
+    {"scheduleIndex", ColType::Int},
+    {"scheduleFired", ColType::Int},
+    {"finalNvmDigest", ColType::Int},
+    {"rebootDigestLen", ColType::Int},
+    {"rebootDigest", ColType::Int},
+    {"layerLen", ColType::Int},
+    {"layerName", ColType::Str},
+    {"layerKernelSeconds", ColType::F64},
+    {"layerControlSeconds", ColType::F64},
+    {"layerEnergyJ", ColType::F64},
+    {"opLen", ColType::Int},
+    {"opName", ColType::Str},
+    {"opEnergyJ", ColType::F64},
+    {"logitLen", ColType::Int},
+    {"logit", ColType::Int},
+};
+
+const std::vector<ColumnSpec> kFleetColumns = {
+    {"device", ColType::Int},
+    {"net", ColType::Str},
+    {"impl", ColType::Str},
+    {"env", ColType::Str},
+    {"envCapFarads", ColType::F64},
+    {"pipeline", ColType::Str},
+    {"seed", ColType::Int},
+    {"status", ColType::Str},
+    {"inferences", ColType::Int},
+    {"reboots", ColType::Int},
+    {"liveSeconds", ColType::F64},
+    {"deadSeconds", ColType::F64},
+    {"energyJ", ColType::F64},
+    {"harvestedJ", ColType::F64},
+    {"resultsDelivered", ColType::Int},
+    {"txGaveUpRounds", ColType::Int},
+    {"txAttempts", ColType::Int},
+    {"txRetries", ColType::Int},
+    {"radioEnergyJ", ColType::F64},
+    {"senseEnergyJ", ColType::F64},
+    {"txBackoffSeconds", ColType::F64},
+    {"inferenceSecondsSum", ColType::F64},
+    {"deliverySecondsSum", ColType::F64},
+};
+// clang-format on
+
+constexpr u8 kBlockMarker = 0x42;  // 'B'
+constexpr u8 kFooterMarker = 0x45; // 'E'
+constexpr u8 kCodecRaw = 0;
+constexpr u8 kCodecLz = 1;
+constexpr char kMagic[4] = {'S', 'N', 'C', 'Z'};
+
+void
+putU64Le(Bytes &out, u64 value)
+{
+    for (u32 i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+bool
+getU64Le(const Bytes &bytes, u64 *pos, u64 *value)
+{
+    if (*pos + 8 > bytes.size())
+        return false;
+    u64 v = 0;
+    for (u32 i = 0; i < 8; ++i)
+        v |= static_cast<u64>(bytes[*pos + i]) << (8 * i);
+    *pos += 8;
+    *value = v;
+    return true;
+}
+
+} // namespace
+
+const std::vector<ColumnSpec> &
+schemaColumns(SchemaKind kind)
+{
+    return kind == SchemaKind::Sweep ? kSweepColumns : kFleetColumns;
+}
+
+// --- Writer ---------------------------------------------------------
+
+SoniczWriter::SoniczWriter(std::ostream &os, SchemaKind kind)
+    : os_(os), kind_(kind)
+{
+    const auto &specs = schemaColumns(kind);
+    columns_.resize(specs.size());
+    for (u64 c = 0; c < specs.size(); ++c)
+        columns_[c].type = specs[c].type;
+
+    Bytes header;
+    header.insert(header.end(), kMagic, kMagic + 4);
+    header.push_back(static_cast<u8>(kSoniczVersion));
+    header.push_back(static_cast<u8>(kind));
+    putVarint(header, specs.size());
+    for (const auto &spec : specs) {
+        const std::string name = spec.name;
+        putVarint(header, name.size());
+        header.insert(header.end(), name.begin(), name.end());
+        header.push_back(static_cast<u8>(spec.type));
+    }
+    os_.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+}
+
+void
+SoniczWriter::putStr(u32 col, const std::string &value)
+{
+    SONIC_ASSERT(columns_[col].type == ColType::Str,
+                 "sonicz: string cell into a non-string column");
+    columns_[col].strs.push_back(value);
+}
+
+void
+SoniczWriter::putInt(u32 col, u64 value)
+{
+    SONIC_ASSERT(columns_[col].type == ColType::Int,
+                 "sonicz: int cell into a non-int column");
+    columns_[col].ints.push_back(value);
+}
+
+void
+SoniczWriter::putF64(u32 col, f64 value)
+{
+    SONIC_ASSERT(columns_[col].type == ColType::F64,
+                 "sonicz: f64 cell into a non-f64 column");
+    columns_[col].f64s.push_back(value);
+}
+
+void
+SoniczWriter::endRow()
+{
+    ++rowsInBlock_;
+    ++totalRows_;
+    if (rowsInBlock_ >= kRowsPerBlock)
+        flushBlock();
+}
+
+namespace
+{
+
+Bytes
+encodeIntColumn(const std::vector<u64> &values)
+{
+    Bytes raw;
+    putVarint(raw, values.size());
+    u64 prev = 0;
+    for (const u64 v : values) {
+        // Wrapping delta from the previous value, zigzagged: device
+        // indices become 1s, constant columns 0s, and arbitrary u64s
+        // (seeds, digests) still fit 10 varint bytes.
+        putVarint(raw, zigzag(static_cast<i64>(v - prev)));
+        prev = v;
+    }
+    return raw;
+}
+
+Bytes
+encodeF64Column(const std::vector<f64> &values)
+{
+    Bytes raw;
+    raw.reserve(values.size() * 8);
+    for (const f64 v : values)
+        putU64Le(raw, std::bit_cast<u64>(v));
+    return raw;
+}
+
+Bytes
+encodeStrColumn(const std::vector<std::string> &values)
+{
+    // Per-block dictionary in first-use order + code stream.
+    std::unordered_map<std::string, u64> codes;
+    std::vector<const std::string *> dict;
+    Bytes code_stream;
+    putVarint(code_stream, values.size());
+    for (const auto &v : values) {
+        auto [it, inserted] = codes.try_emplace(v, dict.size());
+        if (inserted)
+            dict.push_back(&it->first);
+        putVarint(code_stream, it->second);
+    }
+    Bytes raw;
+    putVarint(raw, dict.size());
+    for (const auto *entry : dict) {
+        putVarint(raw, entry->size());
+        raw.insert(raw.end(), entry->begin(), entry->end());
+    }
+    raw.insert(raw.end(), code_stream.begin(), code_stream.end());
+    return raw;
+}
+
+} // namespace
+
+void
+SoniczWriter::flushBlock()
+{
+    if (rowsInBlock_ == 0)
+        return;
+    Bytes block;
+    block.push_back(kBlockMarker);
+    putVarint(block, rowsInBlock_);
+    putVarint(block, columns_.size());
+    for (u64 c = 0; c < columns_.size(); ++c) {
+        auto &col = columns_[c];
+        Bytes raw;
+        switch (col.type) {
+          case ColType::Str: raw = encodeStrColumn(col.strs); break;
+          case ColType::Int: raw = encodeIntColumn(col.ints); break;
+          case ColType::F64: raw = encodeF64Column(col.f64s); break;
+        }
+        Bytes packed = lzCompress(raw);
+        const bool use_lz = packed.size() < raw.size();
+        const Bytes &payload = use_lz ? packed : raw;
+
+        putVarint(block, c);
+        block.push_back(use_lz ? kCodecLz : kCodecRaw);
+        putVarint(block, raw.size());
+        putVarint(block, payload.size());
+        const u64 checksum = fnv1aBytes(payload.data(),
+                                        payload.size());
+        putU64Le(block, checksum);
+        block.insert(block.end(), payload.begin(), payload.end());
+
+        // Chain every chunk checksum into the footer digest.
+        Bytes sum_bytes;
+        putU64Le(sum_bytes, checksum);
+        for (const u8 b : sum_bytes) {
+            chunkDigest_ ^= b;
+            chunkDigest_ *= 0x100000001b3ull;
+        }
+
+        col.strs.clear();
+        col.ints.clear();
+        col.f64s.clear();
+    }
+    os_.write(reinterpret_cast<const char *>(block.data()),
+              static_cast<std::streamsize>(block.size()));
+    rowsInBlock_ = 0;
+}
+
+void
+SoniczWriter::finish()
+{
+    if (finished_)
+        return;
+    flushBlock();
+    Bytes footer;
+    footer.push_back(kFooterMarker);
+    putVarint(footer, totalRows_);
+    putU64Le(footer, chunkDigest_);
+    os_.write(reinterpret_cast<const char *>(footer.data()),
+              static_cast<std::streamsize>(footer.size()));
+    os_.flush();
+    finished_ = true;
+}
+
+// --- Row appenders --------------------------------------------------
+
+void
+appendSweepRow(SoniczWriter &w, const app::SweepRecord &record)
+{
+    const auto &spec = record.spec;
+    const auto &r = record.result;
+    u32 c = 0;
+    w.putInt(c++, record.planIndex);
+    w.putStr(c++, spec.net);
+    w.putStr(c++, std::string(kernels::implName(spec.impl)));
+    w.putStr(c++, app::powerName(spec.power));
+    w.putStr(c++, spec.environment.env);
+    w.putF64(c++, spec.environment.capacitanceFarads);
+    w.putStr(c++, app::profileName(spec.profile));
+    w.putInt(c++, spec.sampleIndex);
+    w.putInt(c++, spec.seed);
+    w.putStr(c++, r.completed ? "ok"
+                              : (r.nonTerminating ? "dnf" : "fail"));
+    w.putInt(c++, r.reboots);
+    w.putInt(c++, r.tasksExecuted);
+    w.putF64(c++, r.liveSeconds);
+    w.putF64(c++, r.deadSeconds);
+    w.putF64(c++, r.totalSeconds);
+    w.putF64(c++, r.energyJ);
+    w.putF64(c++, r.harvestedJ);
+    w.putInt(c++, r.predictedClass);
+    w.putInt(c++, r.tailsTileWords);
+    w.putInt(c++, r.opInstances);
+    w.putInt(c++, spec.captureNvmDigests ? 1 : 0);
+    w.putInt(c++, spec.failureSchedule.size());
+    for (const u64 idx : spec.failureSchedule)
+        w.putInt(c, idx);
+    ++c;
+    w.putInt(c++, r.scheduleFired);
+    w.putInt(c++, r.finalNvmDigest);
+    w.putInt(c++, r.rebootDigests.size());
+    for (const u64 digest : r.rebootDigests)
+        w.putInt(c, digest);
+    ++c;
+    w.putInt(c++, r.layers.size());
+    for (const auto &layer : r.layers) {
+        w.putStr(c, layer.name);
+        w.putF64(c + 1, layer.kernelSeconds);
+        w.putF64(c + 2, layer.controlSeconds);
+        w.putF64(c + 3, layer.energyJ);
+    }
+    c += 4;
+    w.putInt(c++, r.energyByOp.size());
+    for (const auto &[op, joules] : r.energyByOp) {
+        w.putStr(c, op);
+        w.putF64(c + 1, joules);
+    }
+    c += 2;
+    w.putInt(c++, r.logits.size());
+    for (const i16 logit : r.logits)
+        w.putInt(c, static_cast<u64>(static_cast<i64>(logit)));
+    ++c;
+    SONIC_ASSERT(c == kSweepColumns.size(),
+                 "sweep schema column walk out of sync");
+    w.endRow();
+}
+
+void
+appendFleetRow(SoniczWriter &w, const fleet::DeviceTelemetry &t)
+{
+    const auto &a = t.assignment;
+    u32 c = 0;
+    w.putInt(c++, a.deviceIndex);
+    w.putStr(c++, a.net);
+    w.putStr(c++, std::string(kernels::implName(a.impl)));
+    w.putStr(c++, a.environment.env);
+    w.putF64(c++, a.environment.capacitanceFarads);
+    w.putStr(c++, a.pipeline);
+    w.putInt(c++, a.seed);
+    w.putStr(c++, t.diedNonTerminating
+                 ? "dnf"
+                 : (t.failedIncomplete ? "fail" : "ok"));
+    w.putInt(c++, t.inferencesCompleted);
+    w.putInt(c++, t.reboots);
+    w.putF64(c++, t.liveSeconds);
+    w.putF64(c++, t.deadSeconds);
+    w.putF64(c++, t.energyJ);
+    w.putF64(c++, t.harvestedJ);
+    w.putInt(c++, t.resultsDelivered);
+    w.putInt(c++, t.txGaveUpRounds);
+    w.putInt(c++, t.txAttempts);
+    w.putInt(c++, t.txRetries);
+    w.putF64(c++, t.radioEnergyJ);
+    w.putF64(c++, t.senseEnergyJ);
+    w.putF64(c++, t.txBackoffSeconds);
+    w.putF64(c++, t.inferenceSecondsSum);
+    w.putF64(c++, t.deliverySecondsSum);
+    SONIC_ASSERT(c == kFleetColumns.size(),
+                 "fleet schema column walk out of sync");
+    w.endRow();
+}
+
+// --- Reader ---------------------------------------------------------
+
+namespace
+{
+
+/** Decoded column values of one block plus the read cursor. */
+struct DecodedColumn
+{
+    ColType type = ColType::Int;
+    std::vector<std::string> strs;
+    std::vector<u64> ints;
+    std::vector<f64> f64s;
+    u64 cursor = 0;
+
+    u64
+    size() const
+    {
+        switch (type) {
+          case ColType::Str: return strs.size();
+          case ColType::Int: return ints.size();
+          case ColType::F64: return f64s.size();
+        }
+        return 0;
+    }
+};
+
+/** Reader state shared by the block loop and the row materializers. */
+struct BlockReader
+{
+    std::vector<DecodedColumn> columns;
+    std::string error;
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error.empty())
+            error = message;
+        return false;
+    }
+
+    bool
+    takeStr(u32 col, std::string *out)
+    {
+        auto &c = columns[col];
+        if (c.cursor >= c.strs.size())
+            return fail("string column exhausted mid-row");
+        *out = c.strs[c.cursor++];
+        return true;
+    }
+
+    bool
+    takeInt(u32 col, u64 *out)
+    {
+        auto &c = columns[col];
+        if (c.cursor >= c.ints.size())
+            return fail("int column exhausted mid-row");
+        *out = c.ints[c.cursor++];
+        return true;
+    }
+
+    bool
+    takeF64(u32 col, f64 *out)
+    {
+        auto &c = columns[col];
+        if (c.cursor >= c.f64s.size())
+            return fail("f64 column exhausted mid-row");
+        *out = c.f64s[c.cursor++];
+        return true;
+    }
+};
+
+bool
+decodeIntColumn(const Bytes &raw, std::vector<u64> *out)
+{
+    u64 pos = 0;
+    u64 count = 0;
+    if (!getVarint(raw, &pos, &count))
+        return false;
+    if (count > raw.size()) // each value is >= 1 byte
+        return false;
+    out->reserve(count);
+    u64 prev = 0;
+    for (u64 i = 0; i < count; ++i) {
+        u64 z = 0;
+        if (!getVarint(raw, &pos, &z))
+            return false;
+        prev += static_cast<u64>(unzigzag(z));
+        out->push_back(prev);
+    }
+    return pos == raw.size();
+}
+
+bool
+decodeF64Column(const Bytes &raw, std::vector<f64> *out)
+{
+    if (raw.size() % 8 != 0)
+        return false;
+    u64 pos = 0;
+    out->reserve(raw.size() / 8);
+    while (pos < raw.size()) {
+        u64 bits = 0;
+        if (!getU64Le(raw, &pos, &bits))
+            return false;
+        out->push_back(std::bit_cast<f64>(bits));
+    }
+    return true;
+}
+
+bool
+decodeStrColumn(const Bytes &raw, std::vector<std::string> *out)
+{
+    u64 pos = 0;
+    u64 dict_size = 0;
+    if (!getVarint(raw, &pos, &dict_size))
+        return false;
+    if (dict_size > raw.size())
+        return false;
+    std::vector<std::string> dict;
+    dict.reserve(dict_size);
+    for (u64 i = 0; i < dict_size; ++i) {
+        u64 len = 0;
+        if (!getVarint(raw, &pos, &len))
+            return false;
+        if (pos + len > raw.size())
+            return false;
+        dict.emplace_back(
+            reinterpret_cast<const char *>(raw.data() + pos),
+            len);
+        pos += len;
+    }
+    u64 count = 0;
+    if (!getVarint(raw, &pos, &count))
+        return false;
+    if (count > raw.size())
+        return false;
+    out->reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        u64 code = 0;
+        if (!getVarint(raw, &pos, &code))
+            return false;
+        if (code >= dict.size())
+            return false;
+        out->push_back(dict[code]);
+    }
+    return pos == raw.size();
+}
+
+bool
+materializeSweepRow(BlockReader &b, app::SweepRecord *out)
+{
+    auto &record = *out;
+    auto &spec = record.spec;
+    auto &r = record.result;
+    record = app::SweepRecord{};
+    u32 c = 0;
+    u64 v = 0;
+    std::string s;
+
+    if (!b.takeInt(c++, &v))
+        return false;
+    record.planIndex = static_cast<u32>(v);
+    if (!b.takeStr(c++, &spec.net))
+        return false;
+    if (!b.takeStr(c++, &s))
+        return false;
+    const auto *impl_info = kernels::ImplRegistry::instance().find(s);
+    if (impl_info == nullptr)
+        return b.fail("unknown implementation '" + s
+                      + "' in the impl column (not registered in "
+                        "this build)");
+    spec.impl = impl_info->id;
+    if (!b.takeStr(c++, &s))
+        return false;
+    if (!app::powerFromName(s, &spec.power))
+        return b.fail("unknown power kind '" + s + "'");
+    if (!b.takeStr(c++, &spec.environment.env))
+        return false;
+    if (!b.takeF64(c++, &spec.environment.capacitanceFarads))
+        return false;
+    if (!b.takeStr(c++, &s))
+        return false;
+    if (!app::profileFromName(s, &spec.profile))
+        return b.fail("unknown profile '" + s + "'");
+    if (!b.takeInt(c++, &v))
+        return false;
+    spec.sampleIndex = static_cast<u32>(v);
+    if (!b.takeInt(c++, &spec.seed))
+        return false;
+    if (!b.takeStr(c++, &s))
+        return false;
+    if (s == "ok") {
+        r.completed = true;
+    } else if (s == "dnf") {
+        r.nonTerminating = true;
+    } else if (s != "fail") {
+        return b.fail("unknown status '" + s + "'");
+    }
+    if (!b.takeInt(c++, &r.reboots))
+        return false;
+    if (!b.takeInt(c++, &r.tasksExecuted))
+        return false;
+    if (!b.takeF64(c++, &r.liveSeconds))
+        return false;
+    if (!b.takeF64(c++, &r.deadSeconds))
+        return false;
+    if (!b.takeF64(c++, &r.totalSeconds))
+        return false;
+    if (!b.takeF64(c++, &r.energyJ))
+        return false;
+    if (!b.takeF64(c++, &r.harvestedJ))
+        return false;
+    if (!b.takeInt(c++, &v))
+        return false;
+    r.predictedClass = static_cast<u32>(v);
+    if (!b.takeInt(c++, &v))
+        return false;
+    r.tailsTileWords = static_cast<u32>(v);
+    if (!b.takeInt(c++, &r.opInstances))
+        return false;
+    if (!b.takeInt(c++, &v))
+        return false;
+    spec.captureNvmDigests = v != 0;
+
+    u64 len = 0;
+    if (!b.takeInt(c++, &len))
+        return false;
+    spec.failureSchedule.resize(len);
+    for (u64 i = 0; i < len; ++i)
+        if (!b.takeInt(c, &spec.failureSchedule[i]))
+            return false;
+    ++c;
+    if (!b.takeInt(c++, &r.scheduleFired))
+        return false;
+    if (!b.takeInt(c++, &r.finalNvmDigest))
+        return false;
+    if (!b.takeInt(c++, &len))
+        return false;
+    r.rebootDigests.resize(len);
+    for (u64 i = 0; i < len; ++i)
+        if (!b.takeInt(c, &r.rebootDigests[i]))
+            return false;
+    ++c;
+    if (!b.takeInt(c++, &len))
+        return false;
+    r.layers.resize(len);
+    for (u64 i = 0; i < len; ++i) {
+        if (!b.takeStr(c, &r.layers[i].name)
+            || !b.takeF64(c + 1, &r.layers[i].kernelSeconds)
+            || !b.takeF64(c + 2, &r.layers[i].controlSeconds)
+            || !b.takeF64(c + 3, &r.layers[i].energyJ))
+            return false;
+    }
+    c += 4;
+    if (!b.takeInt(c++, &len))
+        return false;
+    for (u64 i = 0; i < len; ++i) {
+        f64 joules = 0.0;
+        if (!b.takeStr(c, &s) || !b.takeF64(c + 1, &joules))
+            return false;
+        r.energyByOp[s] = joules;
+    }
+    c += 2;
+    if (!b.takeInt(c++, &len))
+        return false;
+    r.logits.resize(len);
+    for (u64 i = 0; i < len; ++i) {
+        if (!b.takeInt(c, &v))
+            return false;
+        r.logits[i] = static_cast<i16>(static_cast<i64>(v));
+    }
+    ++c;
+    return true;
+}
+
+bool
+materializeFleetRow(BlockReader &b, fleet::DeviceTelemetry *out)
+{
+    auto &t = *out;
+    t = fleet::DeviceTelemetry{};
+    auto &a = t.assignment;
+    u32 c = 0;
+    u64 v = 0;
+    std::string s;
+
+    if (!b.takeInt(c++, &v))
+        return false;
+    a.deviceIndex = static_cast<u32>(v);
+    if (!b.takeStr(c++, &a.net))
+        return false;
+    if (!b.takeStr(c++, &s))
+        return false;
+    const auto *impl_info = kernels::ImplRegistry::instance().find(s);
+    if (impl_info == nullptr)
+        return b.fail("unknown implementation '" + s
+                      + "' in the impl column (not registered in "
+                        "this build)");
+    a.impl = impl_info->id;
+    if (!b.takeStr(c++, &a.environment.env))
+        return false;
+    if (!b.takeF64(c++, &a.environment.capacitanceFarads))
+        return false;
+    if (!b.takeStr(c++, &a.pipeline))
+        return false;
+    if (!b.takeInt(c++, &a.seed))
+        return false;
+    if (!b.takeStr(c++, &s))
+        return false;
+    if (s == "dnf") {
+        t.diedNonTerminating = true;
+    } else if (s == "fail") {
+        t.failedIncomplete = true;
+    } else if (s != "ok") {
+        return b.fail("unknown status '" + s + "'");
+    }
+    if (!b.takeInt(c++, &v))
+        return false;
+    t.inferencesCompleted = static_cast<u32>(v);
+    if (!b.takeInt(c++, &t.reboots))
+        return false;
+    if (!b.takeF64(c++, &t.liveSeconds))
+        return false;
+    if (!b.takeF64(c++, &t.deadSeconds))
+        return false;
+    if (!b.takeF64(c++, &t.energyJ))
+        return false;
+    if (!b.takeF64(c++, &t.harvestedJ))
+        return false;
+    if (!b.takeInt(c++, &v))
+        return false;
+    t.resultsDelivered = static_cast<u32>(v);
+    if (!b.takeInt(c++, &v))
+        return false;
+    t.txGaveUpRounds = static_cast<u32>(v);
+    if (!b.takeInt(c++, &t.txAttempts))
+        return false;
+    if (!b.takeInt(c++, &t.txRetries))
+        return false;
+    if (!b.takeF64(c++, &t.radioEnergyJ))
+        return false;
+    if (!b.takeF64(c++, &t.senseEnergyJ))
+        return false;
+    if (!b.takeF64(c++, &t.txBackoffSeconds))
+        return false;
+    if (!b.takeF64(c++, &t.inferenceSecondsSum))
+        return false;
+    if (!b.takeF64(c++, &t.deliverySecondsSum))
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+readSonicz(std::istream &in,
+           const std::function<void(const app::SweepRecord &)> &onSweep,
+           const std::function<void(const fleet::DeviceTelemetry &)>
+               &onFleet,
+           SoniczInfo *info, std::string *error)
+{
+    std::string scratch;
+    std::string &err = error != nullptr ? *error : scratch;
+    const auto fail = [&err](const std::string &message) {
+        err = "sonicz: " + message;
+        return false;
+    };
+
+    Bytes bytes;
+    {
+        char buf[1 << 16];
+        while (in.read(buf, sizeof buf) || in.gcount() > 0)
+            bytes.insert(bytes.end(), buf, buf + in.gcount());
+    }
+
+    u64 pos = 0;
+    if (bytes.size() < 6 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return fail("not a .sonicz file (bad magic)");
+    pos = 4;
+    const u8 version = bytes[pos++];
+    if (version != kSoniczVersion)
+        return fail("unsupported format version "
+                    + std::to_string(version)
+                    + " (this build reads version "
+                    + std::to_string(kSoniczVersion) + ")");
+    const u8 kind_byte = bytes[pos++];
+    if (kind_byte != static_cast<u8>(SchemaKind::Sweep)
+        && kind_byte != static_cast<u8>(SchemaKind::Fleet))
+        return fail("unknown schema kind "
+                    + std::to_string(kind_byte));
+    const SchemaKind kind = static_cast<SchemaKind>(kind_byte);
+    const auto &specs = schemaColumns(kind);
+
+    u64 column_count = 0;
+    if (!getVarint(bytes, &pos, &column_count))
+        return fail("truncated header");
+    if (column_count != specs.size())
+        return fail("schema declares " + std::to_string(column_count)
+                    + " columns, this build expects "
+                    + std::to_string(specs.size()));
+    for (u64 c = 0; c < column_count; ++c) {
+        u64 name_len = 0;
+        if (!getVarint(bytes, &pos, &name_len)
+            || pos + name_len + 1 > bytes.size())
+            return fail("truncated header");
+        const std::string name(
+            reinterpret_cast<const char *>(bytes.data() + pos),
+            name_len);
+        pos += name_len;
+        const u8 type = bytes[pos++];
+        if (name != specs[c].name
+            || type != static_cast<u8>(specs[c].type))
+            return fail("column " + std::to_string(c) + " is '" + name
+                        + "', this build expects '" + specs[c].name
+                        + "'");
+    }
+
+    SoniczInfo local_info;
+    SoniczInfo &out_info = info != nullptr ? *info : local_info;
+    out_info = SoniczInfo{};
+    out_info.kind = kind;
+    out_info.version = version;
+    out_info.fileBytes = bytes.size();
+
+    u64 chunk_digest = 0xcbf29ce484222325ull;
+    app::SweepRecord sweep_row;
+    fleet::DeviceTelemetry fleet_row;
+
+    for (;;) {
+        if (pos >= bytes.size())
+            return fail("truncated file (missing footer — the writer "
+                        "did not finish())");
+        const u8 marker = bytes[pos++];
+        if (marker == kFooterMarker) {
+            u64 declared_rows = 0;
+            u64 declared_digest = 0;
+            if (!getVarint(bytes, &pos, &declared_rows)
+                || !getU64Le(bytes, &pos, &declared_digest))
+                return fail("truncated footer");
+            if (declared_rows != out_info.rows)
+                return fail("footer declares "
+                            + std::to_string(declared_rows)
+                            + " rows but the blocks held "
+                            + std::to_string(out_info.rows));
+            if (declared_digest != chunk_digest)
+                return fail("footer digest mismatch (blocks were "
+                            "corrupted or reordered)");
+            if (pos != bytes.size())
+                return fail("trailing garbage after the footer");
+            return true;
+        }
+        if (marker != kBlockMarker)
+            return fail("unknown block marker at byte "
+                        + std::to_string(pos - 1));
+
+        const u64 block_index = out_info.blocks;
+        u64 row_count = 0;
+        u64 chunk_count = 0;
+        if (!getVarint(bytes, &pos, &row_count)
+            || !getVarint(bytes, &pos, &chunk_count))
+            return fail("truncated block header");
+        if (chunk_count != specs.size())
+            return fail("block " + std::to_string(block_index)
+                        + " has " + std::to_string(chunk_count)
+                        + " chunks, expected "
+                        + std::to_string(specs.size()));
+
+        BlockReader block;
+        block.columns.resize(specs.size());
+        for (u64 k = 0; k < chunk_count; ++k) {
+            u64 col = 0;
+            if (!getVarint(bytes, &pos, &col))
+                return fail("truncated chunk header");
+            if (col >= specs.size())
+                return fail("chunk names column "
+                            + std::to_string(col)
+                            + " which the schema does not have");
+            if (pos >= bytes.size())
+                return fail("truncated chunk header");
+            const u8 codec = bytes[pos++];
+            u64 raw_size = 0, stored_size = 0, checksum = 0;
+            if (!getVarint(bytes, &pos, &raw_size)
+                || !getVarint(bytes, &pos, &stored_size)
+                || !getU64Le(bytes, &pos, &checksum))
+                return fail("truncated chunk header");
+            if (pos + stored_size > bytes.size())
+                return fail("truncated chunk payload (block "
+                            + std::to_string(block_index)
+                            + ", column '" + specs[col].name + "')");
+            const u8 *payload = bytes.data() + pos;
+            pos += stored_size;
+
+            if (fnv1aBytes(payload, stored_size) != checksum)
+                return fail("checksum mismatch in block "
+                            + std::to_string(block_index)
+                            + ", column '" + specs[col].name
+                            + "' (corrupted payload)");
+            Bytes sum_bytes;
+            putU64Le(sum_bytes, checksum);
+            for (const u8 b : sum_bytes) {
+                chunk_digest ^= b;
+                chunk_digest *= 0x100000001b3ull;
+            }
+            out_info.rawBytes += raw_size;
+            out_info.storedBytes += stored_size;
+
+            Bytes raw;
+            if (codec == kCodecRaw) {
+                if (stored_size != raw_size)
+                    return fail("raw chunk size mismatch (block "
+                                + std::to_string(block_index)
+                                + ", column '" + specs[col].name
+                                + "')");
+                raw.assign(payload, payload + stored_size);
+            } else if (codec == kCodecLz) {
+                Bytes stored(payload, payload + stored_size);
+                if (!lzDecompress(stored, raw_size, &raw))
+                    return fail("LZ decode failed in block "
+                                + std::to_string(block_index)
+                                + ", column '" + specs[col].name
+                                + "'");
+            } else {
+                return fail("unknown codec "
+                            + std::to_string(codec));
+            }
+
+            auto &decoded = block.columns[col];
+            decoded.type = specs[col].type;
+            bool ok = false;
+            switch (decoded.type) {
+              case ColType::Str:
+                ok = decodeStrColumn(raw, &decoded.strs);
+                break;
+              case ColType::Int:
+                ok = decodeIntColumn(raw, &decoded.ints);
+                break;
+              case ColType::F64:
+                ok = decodeF64Column(raw, &decoded.f64s);
+                break;
+            }
+            if (!ok)
+                return fail("column decode failed in block "
+                            + std::to_string(block_index)
+                            + ", column '" + specs[col].name + "'");
+        }
+
+        for (u64 row = 0; row < row_count; ++row) {
+            bool ok;
+            if (kind == SchemaKind::Sweep) {
+                ok = materializeSweepRow(block, &sweep_row);
+                if (ok && onSweep)
+                    onSweep(sweep_row);
+            } else {
+                ok = materializeFleetRow(block, &fleet_row);
+                if (ok && onFleet)
+                    onFleet(fleet_row);
+            }
+            if (!ok)
+                return fail(
+                    (block.error.empty() ? "row materialization failed"
+                                         : block.error)
+                    + " (block " + std::to_string(block_index)
+                    + ", row " + std::to_string(row) + ")");
+        }
+        for (u64 c = 0; c < block.columns.size(); ++c) {
+            if (block.columns[c].cursor != block.columns[c].size())
+                return fail("column '" + std::string(specs[c].name)
+                            + "' holds "
+                            + std::to_string(block.columns[c].size())
+                            + " values but the rows consumed "
+                            + std::to_string(block.columns[c].cursor)
+                            + " (block " + std::to_string(block_index)
+                            + ")");
+        }
+        out_info.rows += row_count;
+        ++out_info.blocks;
+    }
+}
+
+} // namespace sonic::telemetry

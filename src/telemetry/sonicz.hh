@@ -1,0 +1,208 @@
+/**
+ * @file
+ * .sonicz — the lossless columnar telemetry container for sweep
+ * records and fleet device telemetry (the genozip seg/piz idea applied
+ * to this repo's rows: split records into per-field contexts, encode
+ * each column with the codec that fits it, compress per block, verify
+ * per-chunk checksums on read).
+ *
+ * Layout (all integers LEB128 varints unless sized):
+ *
+ *   header:  "SNCZ" magic, u8 version, u8 schema kind,
+ *            column count, then per column: name, type byte
+ *   block:   'B', row count, chunk count, then per column chunk:
+ *            column index, codec byte (raw | lz), raw size,
+ *            stored size, u64 FNV-1a checksum of the stored bytes,
+ *            payload
+ *   footer:  'E', total row count, u64 digest chaining every chunk
+ *            checksum (truncation cannot look like clean EOF)
+ *
+ * Column contexts:
+ *  - Str:  per-block dictionary in first-use order + code stream
+ *          (net/impl/environment/pipeline/status names repeat
+ *          constantly across a fleet - dictionary coding collapses
+ *          them before LZ even runs)
+ *  - Int:  zigzag(delta) varints (device indices become streams of
+ *          1s, constant columns become streams of 0s)
+ *  - F64:  raw little-endian bit patterns ("lossless" means the bit
+ *          pattern, not a decimal rendering)
+ * Every chunk is then LZ-compressed (telemetry/codec.hh) when that
+ * wins, or stored raw when it does not.
+ *
+ * The schemas store exactly the fields the direct CSV/JSON sinks
+ * print (derived rates are recomputed from bit-exact stored fields),
+ * so sonic_cat re-emission through those same sink classes is
+ * byte-identical to a direct run. Versioned like the model format
+ * (dnn/model_io.hh): readers reject unknown versions and schema kinds
+ * with a diagnostic instead of guessing.
+ */
+
+#ifndef SONIC_TELEMETRY_SONICZ_HH
+#define SONIC_TELEMETRY_SONICZ_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/engine.hh"
+#include "fleet/fleet.hh"
+#include "telemetry/codec.hh"
+
+namespace sonic::telemetry
+{
+
+/** Container format version this build writes and reads. */
+constexpr u32 kSoniczVersion = 1;
+
+/** What one .sonicz file holds (one schema per file). */
+enum class SchemaKind : u8
+{
+    Sweep = 1, ///< app::SweepRecord rows (the engine's CSV/JSON sinks)
+    Fleet = 2  ///< fleet::DeviceTelemetry rows (the fleet CSV sink)
+};
+
+/** Column value classes (the three context encoders). */
+enum class ColType : u8
+{
+    Str = 0,
+    Int = 1,
+    F64 = 2
+};
+
+/** One schema column: a name (for --info and diagnostics) + type. */
+struct ColumnSpec
+{
+    const char *name;
+    ColType type;
+};
+
+/** The fixed column list of a schema kind. */
+const std::vector<ColumnSpec> &schemaColumns(SchemaKind kind);
+
+/**
+ * Streaming .sonicz writer. Cells are appended column-wise per row
+ * (every column exactly once per scalar, list columns length-first),
+ * rows are closed with endRow(), and blocks of kRowsPerBlock rows are
+ * encoded + flushed as they fill. finish() flushes the tail block and
+ * the footer; a file without its footer is rejected by the reader as
+ * truncated.
+ */
+class SoniczWriter
+{
+  public:
+    static constexpr u32 kRowsPerBlock = 4096;
+
+    SoniczWriter(std::ostream &os, SchemaKind kind);
+
+    void putStr(u32 col, const std::string &value);
+    void putInt(u32 col, u64 value);
+    void putF64(u32 col, f64 value);
+    void endRow();
+    void finish();
+
+    u64 rowsWritten() const { return totalRows_; }
+
+  private:
+    struct Column
+    {
+        ColType type;
+        std::vector<std::string> strs;
+        std::vector<u64> ints;
+        std::vector<f64> f64s;
+    };
+
+    void flushBlock();
+
+    std::ostream &os_;
+    SchemaKind kind_;
+    std::vector<Column> columns_;
+    u32 rowsInBlock_ = 0;
+    u64 totalRows_ = 0;
+    u64 chunkDigest_ = 0xcbf29ce484222325ull;
+    bool finished_ = false;
+};
+
+/** Append one sweep record as a .sonicz row. */
+void appendSweepRow(SoniczWriter &writer,
+                    const app::SweepRecord &record);
+
+/** Append one fleet telemetry row (the runFleet-materialized view:
+ * scalar fields and sums; per-round latency lists are not part of the
+ * streamed telemetry — see fleet::FleetColumns). */
+void appendFleetRow(SoniczWriter &writer,
+                    const fleet::DeviceTelemetry &device);
+
+/** Reader-side file facts (sonic_cat --info). */
+struct SoniczInfo
+{
+    SchemaKind kind = SchemaKind::Sweep;
+    u32 version = 0;
+    u64 rows = 0;
+    u64 blocks = 0;
+    u64 fileBytes = 0;
+    /** Sum of raw (uncompressed) chunk bytes, for the ratio line. */
+    u64 rawBytes = 0;
+    /** Sum of stored (compressed) chunk bytes. */
+    u64 storedBytes = 0;
+};
+
+/**
+ * Read a .sonicz stream, invoking the schema-matching callback once
+ * per row in file order. Either callback may be null (rows of that
+ * schema are still validated and counted). Returns false with a
+ * diagnostic on any malformed input: bad magic, unsupported version
+ * or schema kind, per-chunk checksum mismatch, codec errors,
+ * truncation, or column/row accounting that does not add up.
+ */
+bool readSonicz(std::istream &in,
+                const std::function<void(const app::SweepRecord &)>
+                    &onSweep,
+                const std::function<void(const fleet::DeviceTelemetry &)>
+                    &onFleet,
+                SoniczInfo *info, std::string *error);
+
+/** Engine sink writing sweep records as .sonicz (open the stream in
+ * binary mode). */
+class SoniczSweepSink : public app::ResultSink
+{
+  public:
+    explicit SoniczSweepSink(std::ostream &os)
+        : writer_(os, SchemaKind::Sweep)
+    {
+    }
+
+    void add(const app::SweepRecord &record) override
+    {
+        appendSweepRow(writer_, record);
+    }
+
+    void end() override { writer_.finish(); }
+
+  private:
+    SoniczWriter writer_;
+};
+
+/** Fleet sink writing device telemetry as .sonicz. */
+class SoniczFleetSink : public fleet::FleetSink
+{
+  public:
+    explicit SoniczFleetSink(std::ostream &os)
+        : writer_(os, SchemaKind::Fleet)
+    {
+    }
+
+    void add(const fleet::DeviceTelemetry &device) override
+    {
+        appendFleetRow(writer_, device);
+    }
+
+    void end() override { writer_.finish(); }
+
+  private:
+    SoniczWriter writer_;
+};
+
+} // namespace sonic::telemetry
+
+#endif // SONIC_TELEMETRY_SONICZ_HH

@@ -178,6 +178,49 @@ TEST(Traces, CsvCorruptionDiagnostics)
     EXPECT_NE(error.find("no energy"), std::string::npos);
 }
 
+TEST(Traces, NonFiniteSamplesAreRejectedWithLineNumbers)
+{
+    HarvestModel model;
+    std::string error;
+
+    // std::stod happily parses "nan" and "inf", and `watts < 0.0` is
+    // false for NaN — both used to slip through validation and poison
+    // every downstream energy integral.
+    EXPECT_FALSE(
+        parseTraceCsv("0,0.001\n1,nan\n", &model, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("non-finite power"), std::string::npos);
+
+    EXPECT_FALSE(
+        parseTraceCsv("0,0.001\n1,inf\n", &model, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("non-finite power"), std::string::npos);
+
+    EXPECT_FALSE(
+        parseTraceCsv("0,0.001\n1,-inf\n", &model, &error));
+    EXPECT_NE(error.find("non-finite power"), std::string::npos);
+
+    EXPECT_FALSE(
+        parseTraceCsv("nan,0.001\n1,0.001\n", &model, &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("non-finite timestamp"), std::string::npos);
+
+    // A power that overflows f64 ("1e999" -> inf) cannot sneak
+    // through either parser: std::stod signals out-of-range.
+    EXPECT_FALSE(
+        parseTraceCsv("0,0.001\n1,1e999\n", &model, &error));
+    EXPECT_FALSE(parseTraceJson(
+        "{\"format\": \"sonic-trace\", \"version\": 1, "
+        "\"points\": [[0, 0.001], [1, 1e999]]}",
+        &model, &error));
+
+    // The shared sample validator (the JSON path's line of defense
+    // for programmatically-built samples) names the offending sample.
+    EXPECT_FALSE(
+        parseTraceCsv("0,0.001\n1, nan\n2,0.001\n", &model, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 TEST(Traces, JsonParsesAndRejectsCorruption)
 {
     HarvestModel model;

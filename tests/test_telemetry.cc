@@ -1,0 +1,643 @@
+/**
+ * @file
+ * The .sonicz telemetry container: codec primitives (varints, zigzag,
+ * the in-tree LZ), randomized lossless round trips for both schemas,
+ * sonic_cat subset semantics, and corruption/truncation rejection.
+ *
+ * The headline property is byte-identity: re-emitting a .sonicz file
+ * through telemetry::catSonicz must reproduce the direct
+ * CsvSink/JsonSink/FleetCsvSink/FleetJsonSink output byte for byte,
+ * including awkward strings (commas, quotes, newlines) and f64 bit
+ * patterns a fixed decimal precision would destroy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <sstream>
+
+#include "telemetry/cat.hh"
+#include "telemetry/codec.hh"
+#include "telemetry/sonicz.hh"
+
+namespace sonic
+{
+namespace
+{
+
+using telemetry::Bytes;
+
+// --- Corpus generators ----------------------------------------------
+
+/** Awkward-but-legal telemetry strings: CSV quoting and JSON escaping
+ * must survive the round trip. */
+const char *const kAwkwardNames[] = {
+    "MNIST",
+    "HAR",
+    "OkG",
+    "net,with,commas",
+    "net \"quoted\"",
+    "net\nnewline",
+    "  padded  ",
+};
+
+f64
+randomF64(std::mt19937_64 &rng)
+{
+    switch (rng() % 8) {
+      case 0: return 0.0;
+      case 1: return -0.0;
+      case 2: return 1e300 * (rng() % 2 ? 1.0 : -1.0);
+      case 3: return 5e-324; // smallest denormal
+      case 4: return 0.1;
+      case 5: return 1.0 / 3.0;
+      case 6: return static_cast<f64>(rng() % 100000);
+      default: {
+        // Random finite bit pattern.
+        for (;;) {
+            const f64 v = std::bit_cast<f64>(rng());
+            if (std::isfinite(v))
+                return v;
+        }
+      }
+    }
+}
+
+app::SweepRecord
+randomSweepRecord(std::mt19937_64 &rng, u32 index)
+{
+    const auto impls = kernels::ImplRegistry::instance().all();
+    app::SweepRecord record;
+    record.planIndex = index;
+    auto &spec = record.spec;
+    spec.net = kAwkwardNames[rng() % std::size(kAwkwardNames)];
+    spec.impl = impls[rng() % impls.size()];
+    spec.power = app::kAllPower[rng() % std::size(app::kAllPower)];
+    spec.profile =
+        app::kAllProfiles[rng() % std::size(app::kAllProfiles)];
+    spec.sampleIndex = static_cast<u32>(rng() % 16);
+    spec.seed = rng();
+    if (rng() % 3 == 0) {
+        spec.environment.env =
+            kAwkwardNames[rng() % std::size(kAwkwardNames)];
+        spec.environment.capacitanceFarads = randomF64(rng);
+    }
+    if (rng() % 4 == 0) {
+        const u64 len = rng() % 5;
+        for (u64 i = 0; i < len; ++i)
+            spec.failureSchedule.push_back(rng() % 1000);
+    }
+    spec.captureNvmDigests = rng() % 2 == 0;
+
+    auto &r = record.result;
+    // The status triple has three legal states; the sinks and the
+    // .sonicz status column encode exactly those.
+    switch (rng() % 3) {
+      case 0: r.completed = true; break;
+      case 1: r.nonTerminating = true; break;
+      default: break; // "fail"
+    }
+    r.reboots = rng() % 100000;
+    r.tasksExecuted = rng();
+    r.liveSeconds = randomF64(rng);
+    r.deadSeconds = randomF64(rng);
+    r.totalSeconds = randomF64(rng);
+    r.energyJ = randomF64(rng);
+    r.harvestedJ = randomF64(rng);
+    r.predictedClass = static_cast<u32>(rng() % 10);
+    r.tailsTileWords = static_cast<u32>(rng() % 4096);
+    r.scheduleFired = rng() % 16;
+    r.opInstances = rng() % 1000000;
+    r.finalNvmDigest = rng();
+    const u64 digests = rng() % 4;
+    for (u64 i = 0; i < digests; ++i)
+        r.rebootDigests.push_back(rng());
+    const u64 layers = rng() % 4;
+    for (u64 i = 0; i < layers; ++i)
+        r.layers.push_back(
+            {kAwkwardNames[rng() % std::size(kAwkwardNames)],
+             randomF64(rng), randomF64(rng), randomF64(rng)});
+    const u64 ops = rng() % 4;
+    for (u64 i = 0; i < ops; ++i)
+        r.energyByOp[kAwkwardNames[rng() % std::size(kAwkwardNames)]] =
+            randomF64(rng);
+    const u64 logits = rng() % 6;
+    for (u64 i = 0; i < logits; ++i)
+        r.logits.push_back(static_cast<i16>(rng()));
+    return record;
+}
+
+fleet::DeviceTelemetry
+randomFleetTelemetry(std::mt19937_64 &rng, u32 index)
+{
+    const auto impls = kernels::ImplRegistry::instance().all();
+    fleet::DeviceTelemetry t;
+    auto &a = t.assignment;
+    a.deviceIndex = index;
+    a.net = kAwkwardNames[rng() % std::size(kAwkwardNames)];
+    a.impl = impls[rng() % impls.size()];
+    a.environment.env =
+        kAwkwardNames[rng() % std::size(kAwkwardNames)];
+    a.environment.capacitanceFarads =
+        rng() % 2 ? randomF64(rng) : 0.0;
+    a.pipeline = rng() % 2 ? "infer-only" : "wildlife";
+    a.seed = rng();
+    switch (rng() % 3) {
+      case 0: t.diedNonTerminating = true; break;
+      case 1: t.failedIncomplete = true; break;
+      default: break; // "ok"
+    }
+    t.inferencesCompleted = static_cast<u32>(rng() % 100);
+    t.reboots = rng() % 1000000;
+    t.liveSeconds = randomF64(rng);
+    t.deadSeconds = randomF64(rng);
+    t.energyJ = randomF64(rng);
+    t.harvestedJ = randomF64(rng);
+    t.resultsDelivered = static_cast<u32>(rng() % 50);
+    t.txGaveUpRounds = static_cast<u32>(rng() % 5);
+    t.txAttempts = rng() % 500;
+    t.txRetries = rng() % 100;
+    t.radioEnergyJ = randomF64(rng);
+    t.senseEnergyJ = randomF64(rng);
+    t.txBackoffSeconds = randomF64(rng);
+    t.inferenceSecondsSum = randomF64(rng);
+    t.deliverySecondsSum = randomF64(rng);
+    return t;
+}
+
+std::string
+directSweepOutput(const std::vector<app::SweepRecord> &records,
+                  bool json)
+{
+    std::ostringstream os;
+    app::CsvSink csv(os);
+    app::JsonSink js(os);
+    app::ResultSink &sink =
+        json ? static_cast<app::ResultSink &>(js) : csv;
+    sink.begin(records.size());
+    for (const auto &record : records)
+        sink.add(record);
+    sink.end();
+    return os.str();
+}
+
+std::string
+directFleetOutput(const std::vector<fleet::DeviceTelemetry> &rows,
+                  bool json)
+{
+    std::ostringstream os;
+    fleet::FleetCsvSink csv(os);
+    fleet::FleetJsonSink js(os);
+    fleet::FleetSink &sink =
+        json ? static_cast<fleet::FleetSink &>(js) : csv;
+    sink.begin(rows.size());
+    for (const auto &row : rows)
+        sink.add(row);
+    sink.end();
+    return os.str();
+}
+
+std::string
+packSweep(const std::vector<app::SweepRecord> &records)
+{
+    std::ostringstream os;
+    telemetry::SoniczSweepSink sink(os);
+    sink.begin(records.size());
+    for (const auto &record : records)
+        sink.add(record);
+    sink.end();
+    return os.str();
+}
+
+std::string
+packFleet(const std::vector<fleet::DeviceTelemetry> &rows)
+{
+    std::ostringstream os;
+    telemetry::SoniczFleetSink sink(os);
+    sink.begin(rows.size());
+    for (const auto &row : rows)
+        sink.add(row);
+    sink.end();
+    return os.str();
+}
+
+std::string
+catToString(const std::string &packed,
+            const telemetry::CatOptions &options)
+{
+    std::istringstream in(packed);
+    std::ostringstream out;
+    std::string error;
+    EXPECT_TRUE(telemetry::catSonicz(in, out, options, &error))
+        << error;
+    return out.str();
+}
+
+// --- Codec primitives -----------------------------------------------
+
+TEST(TelemetryCodec, VarintRoundTrip)
+{
+    std::mt19937_64 rng(0x5eed);
+    std::vector<u64> values = {0, 1, 127, 128, 16383, 16384,
+                               ~0ull, ~0ull - 1, 1ull << 63};
+    for (u32 i = 0; i < 200; ++i)
+        values.push_back(rng() >> (rng() % 64));
+    Bytes buffer;
+    for (const u64 v : values)
+        telemetry::putVarint(buffer, v);
+    u64 pos = 0;
+    for (const u64 expected : values) {
+        u64 got = 0;
+        ASSERT_TRUE(telemetry::getVarint(buffer, &pos, &got));
+        EXPECT_EQ(got, expected);
+    }
+    EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(TelemetryCodec, VarintRejectsTruncationAndOverflow)
+{
+    u64 pos = 0, value = 0;
+    const Bytes truncated = {0x80, 0x80};
+    EXPECT_FALSE(telemetry::getVarint(truncated, &pos, &value));
+
+    // 10 bytes whose final byte carries bits beyond 2^64.
+    Bytes overlong(9, 0x80);
+    overlong.push_back(0x02);
+    pos = 0;
+    EXPECT_FALSE(telemetry::getVarint(overlong, &pos, &value));
+
+    // ~0ull itself round-trips (final byte 0x01).
+    Bytes max_ok;
+    telemetry::putVarint(max_ok, ~0ull);
+    pos = 0;
+    ASSERT_TRUE(telemetry::getVarint(max_ok, &pos, &value));
+    EXPECT_EQ(value, ~0ull);
+}
+
+TEST(TelemetryCodec, ZigzagRoundTrip)
+{
+    const i64 values[] = {0, 1, -1, 2, -2, i64{1} << 62,
+                          -(i64{1} << 62), INT64_MAX, INT64_MIN};
+    for (const i64 v : values)
+        EXPECT_EQ(telemetry::unzigzag(telemetry::zigzag(v)), v);
+    EXPECT_EQ(telemetry::zigzag(0), 0u);
+    EXPECT_EQ(telemetry::zigzag(-1), 1u);
+    EXPECT_EQ(telemetry::zigzag(1), 2u);
+}
+
+TEST(TelemetryCodec, LzRoundTrips)
+{
+    std::mt19937_64 rng(0xc0dec);
+    std::vector<Bytes> inputs;
+    inputs.push_back({});                    // empty
+    inputs.push_back(Bytes(10000, 0x42));    // pure RLE
+    Bytes random_bytes(10000);
+    for (auto &b : random_bytes)
+        b = static_cast<u8>(rng());          // incompressible
+    inputs.push_back(random_bytes);
+    Bytes structured;                        // repeating record shape
+    for (u32 i = 0; i < 2000; ++i) {
+        structured.push_back(static_cast<u8>(i % 7));
+        structured.insert(structured.end(),
+                          {'s', 'o', 'l', 'a', 'r', ','});
+    }
+    inputs.push_back(structured);
+    Bytes short_input = {1, 2, 3};           // below min match
+    inputs.push_back(short_input);
+
+    for (const auto &input : inputs) {
+        const Bytes packed = telemetry::lzCompress(input);
+        Bytes restored;
+        ASSERT_TRUE(
+            telemetry::lzDecompress(packed, input.size(), &restored));
+        EXPECT_EQ(restored, input);
+    }
+
+    // Repetitive input must actually compress.
+    EXPECT_LT(telemetry::lzCompress(Bytes(10000, 0x42)).size(), 200u);
+}
+
+TEST(TelemetryCodec, LzRejectsMalformedStreams)
+{
+    Bytes input(4096);
+    for (u64 i = 0; i < input.size(); ++i)
+        input[i] = static_cast<u8>(i % 31);
+    const Bytes packed = telemetry::lzCompress(input);
+    Bytes out;
+
+    // Wrong raw size (both directions).
+    EXPECT_FALSE(
+        telemetry::lzDecompress(packed, input.size() - 1, &out));
+    EXPECT_FALSE(
+        telemetry::lzDecompress(packed, input.size() + 1, &out));
+
+    // Truncations must never crash and never yield wrong bytes. (One
+    // prefix CAN succeed: cutting exactly before the redundant final
+    // empty-literal token still decodes to the full input. Container-
+    // level truncation is caught by the chunk checksums regardless —
+    // see Sonicz.EveryTruncationIsRejected.)
+    for (u64 cut = 0; cut < packed.size(); ++cut) {
+        const Bytes prefix(packed.begin(),
+                           packed.begin() + static_cast<i64>(cut));
+        if (telemetry::lzDecompress(prefix, input.size(), &out))
+            EXPECT_EQ(out, input) << "prefix " << cut;
+    }
+
+    // A zero offset is never legal.
+    const Bytes zero_offset = {0x14, 'a', 0x00, 0x00};
+    EXPECT_FALSE(telemetry::lzDecompress(zero_offset, 100, &out));
+    // An offset pointing before the start of the output is not either.
+    const Bytes far_offset = {0x14, 'a', 0x09, 0x00};
+    EXPECT_FALSE(telemetry::lzDecompress(far_offset, 100, &out));
+}
+
+// --- Lossless round trips -------------------------------------------
+
+TEST(Sonicz, SweepRoundTripIsByteIdentical)
+{
+    std::mt19937_64 rng(0x51ee9);
+    std::vector<app::SweepRecord> records;
+    for (u32 i = 0; i < 300; ++i)
+        records.push_back(randomSweepRecord(rng, i));
+
+    const std::string packed = packSweep(records);
+    telemetry::CatOptions options;
+    EXPECT_EQ(catToString(packed, options),
+              directSweepOutput(records, /*json=*/false));
+    options.format = telemetry::CatOptions::Format::Json;
+    EXPECT_EQ(catToString(packed, options),
+              directSweepOutput(records, /*json=*/true));
+}
+
+TEST(Sonicz, FleetRoundTripIsByteIdenticalAcrossBlocks)
+{
+    std::mt19937_64 rng(0xf1ee7);
+    std::vector<fleet::DeviceTelemetry> rows;
+    // > kRowsPerBlock so the round trip crosses a block boundary.
+    const u32 count = telemetry::SoniczWriter::kRowsPerBlock + 1000;
+    for (u32 i = 0; i < count; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+
+    const std::string packed = packFleet(rows);
+    telemetry::CatOptions options;
+    EXPECT_EQ(catToString(packed, options),
+              directFleetOutput(rows, /*json=*/false));
+    options.format = telemetry::CatOptions::Format::Json;
+    EXPECT_EQ(catToString(packed, options),
+              directFleetOutput(rows, /*json=*/true));
+
+    std::istringstream in(packed);
+    telemetry::SoniczInfo info;
+    std::string error;
+    ASSERT_TRUE(
+        telemetry::readSonicz(in, nullptr, nullptr, &info, &error))
+        << error;
+    EXPECT_EQ(info.kind, telemetry::SchemaKind::Fleet);
+    EXPECT_EQ(info.rows, count);
+    EXPECT_EQ(info.blocks, 2u);
+}
+
+TEST(Sonicz, FieldsSurviveBitExactly)
+{
+    std::mt19937_64 rng(0xb17);
+    std::vector<app::SweepRecord> records;
+    for (u32 i = 0; i < 50; ++i)
+        records.push_back(randomSweepRecord(rng, i));
+    const std::string packed = packSweep(records);
+
+    std::vector<app::SweepRecord> restored;
+    std::istringstream in(packed);
+    std::string error;
+    ASSERT_TRUE(telemetry::readSonicz(
+        in,
+        [&](const app::SweepRecord &r) { restored.push_back(r); },
+        nullptr, nullptr, &error))
+        << error;
+    ASSERT_EQ(restored.size(), records.size());
+    for (u64 i = 0; i < records.size(); ++i) {
+        const auto &a = records[i];
+        const auto &b = restored[i];
+        EXPECT_EQ(a.planIndex, b.planIndex);
+        EXPECT_EQ(a.spec.net, b.spec.net);
+        EXPECT_EQ(a.spec.impl, b.spec.impl);
+        EXPECT_EQ(a.spec.power, b.spec.power);
+        EXPECT_EQ(a.spec.profile, b.spec.profile);
+        EXPECT_EQ(a.spec.environment.env, b.spec.environment.env);
+        // f64 equality must be on the bit pattern: -0.0 == 0.0 would
+        // wave a lossy encoder through.
+        EXPECT_EQ(
+            std::bit_cast<u64>(a.spec.environment.capacitanceFarads),
+            std::bit_cast<u64>(b.spec.environment.capacitanceFarads));
+        EXPECT_EQ(a.spec.seed, b.spec.seed);
+        EXPECT_EQ(a.spec.failureSchedule, b.spec.failureSchedule);
+        EXPECT_EQ(a.spec.captureNvmDigests, b.spec.captureNvmDigests);
+        EXPECT_EQ(a.result.completed, b.result.completed);
+        EXPECT_EQ(a.result.nonTerminating, b.result.nonTerminating);
+        EXPECT_EQ(std::bit_cast<u64>(a.result.liveSeconds),
+                  std::bit_cast<u64>(b.result.liveSeconds));
+        EXPECT_EQ(std::bit_cast<u64>(a.result.energyJ),
+                  std::bit_cast<u64>(b.result.energyJ));
+        EXPECT_EQ(a.result.rebootDigests, b.result.rebootDigests);
+        EXPECT_EQ(a.result.energyByOp, b.result.energyByOp);
+        EXPECT_EQ(a.result.logits, b.result.logits);
+        ASSERT_EQ(a.result.layers.size(), b.result.layers.size());
+        for (u64 l = 0; l < a.result.layers.size(); ++l) {
+            EXPECT_EQ(a.result.layers[l].name,
+                      b.result.layers[l].name);
+            EXPECT_EQ(
+                std::bit_cast<u64>(a.result.layers[l].kernelSeconds),
+                std::bit_cast<u64>(b.result.layers[l].kernelSeconds));
+        }
+    }
+}
+
+// --- Subset flags ---------------------------------------------------
+
+TEST(SonicCat, SubsetFlagsMatchPostHocFiltering)
+{
+    std::mt19937_64 rng(0xf117e4);
+    std::vector<fleet::DeviceTelemetry> rows;
+    for (u32 i = 0; i < 400; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+    const std::string packed = packFleet(rows);
+
+    const auto expect_filtered =
+        [&](const telemetry::CatOptions &options,
+            const std::function<bool(const fleet::DeviceTelemetry &)>
+                &keep) {
+            std::vector<fleet::DeviceTelemetry> kept;
+            for (const auto &row : rows)
+                if (keep(row))
+                    kept.push_back(row);
+            EXPECT_EQ(
+                catToString(packed, options),
+                directFleetOutput(
+                    kept,
+                    options.format
+                        == telemetry::CatOptions::Format::Json));
+        };
+
+    telemetry::CatOptions by_impl;
+    by_impl.impl = "SONIC";
+    expect_filtered(by_impl, [](const fleet::DeviceTelemetry &t) {
+        return kernels::implName(t.assignment.impl) == "SONIC";
+    });
+
+    // --env matches the bare environment name even when the row's
+    // label carries a capacitor suffix.
+    telemetry::CatOptions by_env;
+    by_env.env = "MNIST"; // corpus reuses awkward names as env names
+    expect_filtered(by_env, [](const fleet::DeviceTelemetry &t) {
+        return t.assignment.environment.env == "MNIST";
+    });
+
+    telemetry::CatOptions by_status;
+    by_status.status = "dnf";
+    by_status.format = telemetry::CatOptions::Format::Json;
+    expect_filtered(by_status, [](const fleet::DeviceTelemetry &t) {
+        return t.diedNonTerminating;
+    });
+
+    telemetry::CatOptions by_range;
+    by_range.hasRange = true;
+    by_range.rangeLo = 100;
+    by_range.rangeHi = 199;
+    expect_filtered(by_range, [](const fleet::DeviceTelemetry &t) {
+        return t.assignment.deviceIndex >= 100
+            && t.assignment.deviceIndex <= 199;
+    });
+
+    // Conjunction of filters.
+    telemetry::CatOptions both;
+    both.impl = "SONIC";
+    both.status = "ok";
+    both.hasRange = true;
+    both.rangeLo = 0;
+    both.rangeHi = 250;
+    expect_filtered(both, [](const fleet::DeviceTelemetry &t) {
+        return kernels::implName(t.assignment.impl) == "SONIC"
+            && !t.diedNonTerminating && !t.failedIncomplete
+            && t.assignment.deviceIndex <= 250;
+    });
+
+    // A filter that matches nothing still yields the schema-correct
+    // empty artifact.
+    telemetry::CatOptions none;
+    none.net = "no-such-net";
+    expect_filtered(none,
+                    [](const fleet::DeviceTelemetry &) { return false; });
+}
+
+TEST(SonicCat, ParseIndexRange)
+{
+    u64 lo = 99, hi = 99;
+    EXPECT_TRUE(telemetry::parseIndexRange("3..7", &lo, &hi));
+    EXPECT_EQ(lo, 3u);
+    EXPECT_EQ(hi, 7u);
+    EXPECT_TRUE(telemetry::parseIndexRange("12", &lo, &hi));
+    EXPECT_EQ(lo, 12u);
+    EXPECT_EQ(hi, 12u);
+    EXPECT_FALSE(telemetry::parseIndexRange("7..3", &lo, &hi));
+    EXPECT_FALSE(telemetry::parseIndexRange("", &lo, &hi));
+    EXPECT_FALSE(telemetry::parseIndexRange("a..b", &lo, &hi));
+    EXPECT_FALSE(telemetry::parseIndexRange("3..", &lo, &hi));
+    EXPECT_FALSE(
+        telemetry::parseIndexRange("99999999999999999999", &lo, &hi));
+}
+
+TEST(SonicCat, PipelineFilterOnSweepFileIsAnError)
+{
+    std::mt19937_64 rng(0x9e);
+    std::vector<app::SweepRecord> records;
+    for (u32 i = 0; i < 5; ++i)
+        records.push_back(randomSweepRecord(rng, i));
+    const std::string packed = packSweep(records);
+
+    telemetry::CatOptions options;
+    options.pipeline = "wildlife";
+    std::istringstream in(packed);
+    std::ostringstream out;
+    std::string error;
+    EXPECT_FALSE(telemetry::catSonicz(in, out, options, &error));
+    EXPECT_NE(error.find("sweep file"), std::string::npos);
+}
+
+// --- Corruption and truncation --------------------------------------
+
+TEST(Sonicz, EveryTruncationIsRejected)
+{
+    std::mt19937_64 rng(0x7e4c);
+    std::vector<fleet::DeviceTelemetry> rows;
+    for (u32 i = 0; i < 6; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+    const std::string packed = packFleet(rows);
+
+    for (u64 cut = 0; cut < packed.size(); ++cut) {
+        std::istringstream in(packed.substr(0, cut));
+        std::string error;
+        EXPECT_FALSE(
+            telemetry::readSonicz(in, nullptr, nullptr, nullptr,
+                                  &error))
+            << "prefix of " << cut << " bytes was accepted";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Sonicz, EverySingleByteCorruptionIsRejected)
+{
+    // FNV-1a chunk checksums, the schema header check, the chained
+    // footer digest, and strict row/column accounting must between
+    // them catch a flip of ANY byte in the file. (XOR-then-multiply
+    // steps are bijections of the hash state, so a byte change with
+    // unchanged length always changes a chunk checksum; structural
+    // bytes are caught by the header/footer validation instead.)
+    std::mt19937_64 rng(0xbadb17);
+    std::vector<fleet::DeviceTelemetry> rows;
+    for (u32 i = 0; i < 4; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+    const std::string packed = packFleet(rows);
+
+    for (u64 i = 0; i < packed.size(); ++i) {
+        std::string mutated = packed;
+        mutated[i] = static_cast<char>(mutated[i] ^ 0x5a);
+        std::istringstream in(mutated);
+        std::string error;
+        EXPECT_FALSE(
+            telemetry::readSonicz(in, nullptr, nullptr, nullptr,
+                                  &error))
+            << "flip at byte " << i << " was accepted";
+    }
+
+    // Trailing garbage after the footer is also corruption.
+    std::istringstream in(packed + "x");
+    std::string error;
+    EXPECT_FALSE(
+        telemetry::readSonicz(in, nullptr, nullptr, nullptr, &error));
+    EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+}
+
+TEST(Sonicz, RejectsForeignMagicAndVersions)
+{
+    std::string error;
+    std::istringstream not_sonicz("planIndex,net,impl\n0,MNIST,SONIC");
+    EXPECT_FALSE(telemetry::readSonicz(not_sonicz, nullptr, nullptr,
+                                       nullptr, &error));
+    EXPECT_NE(error.find("bad magic"), std::string::npos);
+
+    std::mt19937_64 rng(0x11);
+    const std::string packed =
+        packFleet({randomFleetTelemetry(rng, 0)});
+    std::string future = packed;
+    future[4] = 99; // version byte
+    std::istringstream in(future);
+    EXPECT_FALSE(
+        telemetry::readSonicz(in, nullptr, nullptr, nullptr, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+} // namespace
+} // namespace sonic
