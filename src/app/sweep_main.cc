@@ -7,21 +7,30 @@
  *                 --csv=sweep.csv
  *     sonic_sweep --envs=solar@1mF,rf-paper --sonicz=sweep.sonicz
  *     sonic_sweep --power=Continuous,50mF --json=sweep.json
+ *     sonic_sweep --from-plan=plan.json --csv=planned.csv
  *
  * The axes mirror app::SweepPlan: nets x impls x (power | envs) x
  * profiles x samples, expanded in the documented order. Any
  * combination of output sinks may be given; each receives the same
  * records in plan order, so sonic_cat over the .sonicz output is
  * byte-identical to the CSV/JSON written directly.
+ *
+ * --from-plan seeds the grid from a sonic_plan artifact: the axes
+ * become the distinct models, kernels, and environments the plan's
+ * choices actually use (see plan::Plan::toSweepPlan), so per-run
+ * telemetry for a planned deployment is one flag away. Later axis
+ * flags still override.
  */
 
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "app/engine.hh"
+#include "plan/plan.hh"
 #include "telemetry/sonicz.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -43,6 +52,7 @@ usage()
            "                   [--profiles=standard,no-lea,...]\n"
            "                   [--samples=N] [--seed=S]\n"
            "                   [--threads=T] [--digests]\n"
+           "                   [--from-plan=PLAN.json]\n"
            "                   [--csv=PATH] [--json=PATH]\n"
            "                   [--sonicz=PATH]\n";
     return 2;
@@ -57,10 +67,35 @@ main(int argc, char **argv)
     app::EngineOptions engine_options;
     std::string csv_path, json_path, sonicz_path, value;
 
+    // --from-plan resolves first so explicit axis flags override the
+    // plan's axes, whatever the flag order was.
+    std::vector<std::string> args(argv + 1, argv + argc);
     try {
-        for (const std::string arg :
-             std::vector<std::string>(argv + 1, argv + argc)) {
-            if (consumeFlag(arg, "--nets", &value)) {
+        for (const auto &arg : args) {
+            if (!consumeFlag(arg, "--from-plan", &value))
+                continue;
+            std::ifstream in(value);
+            if (!in) {
+                std::cerr << "cannot read " << value << "\n";
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            plan::Plan deployment;
+            std::string error;
+            if (!plan::Plan::fromJson(text.str(), &deployment,
+                                      &error)) {
+                std::cerr << "bad plan " << value << ": " << error
+                          << "\n";
+                return 2;
+            }
+            plan = deployment.toSweepPlan();
+        }
+
+        for (const auto &arg : args) {
+            if (consumeFlag(arg, "--from-plan", &value)) {
+                continue; // handled above
+            } else if (consumeFlag(arg, "--nets", &value)) {
                 std::vector<dnn::NetRef> nets;
                 for (const auto &name : splitCsv(value))
                     nets.push_back(name);

@@ -22,6 +22,14 @@ namespace sonic::fleet
 
 // --- FleetPlan ------------------------------------------------------
 
+std::string
+FleetPlan::coordinateKey(const std::string &envLabel,
+                         const std::string &net,
+                         const std::string &pipeline)
+{
+    return envLabel + "/" + net + "/" + pipeline;
+}
+
 void
 FleetPlan::validate() const
 {
@@ -63,6 +71,36 @@ FleetPlan::validate() const
                   "pipelines:\n",
                   pipes.availableList());
     }
+
+    if (implByCoordinate.empty())
+        return;
+    // A planned assignment must name a kernel from `impls` for EVERY
+    // coordinate a device can land on — a partial plan would silently
+    // fall back to hash-dealt kernels for the holes.
+    u64 covered = 0;
+    for (const auto &env : environments) {
+        for (const auto &net : nets) {
+            for (const auto &pipe : pipelines) {
+                const auto key = coordinateKey(env.label(), net, pipe);
+                const auto it = implByCoordinate.find(key);
+                if (it == implByCoordinate.end())
+                    fatal("planned assignment covers no coordinate '",
+                          key, "' (the plan must assign a kernel to "
+                          "every environment x net x pipeline cell)");
+                if (std::find(impls.begin(), impls.end(), it->second)
+                    == impls.end())
+                    fatal("planned assignment at '", key,
+                          "' names a kernel outside the plan's impl "
+                          "distribution");
+                ++covered;
+            }
+        }
+    }
+    if (covered != implByCoordinate.size())
+        fatal("planned assignment has ",
+              implByCoordinate.size() - covered,
+              " coordinate(s) no device can land on (stale plan for "
+              "a different scenario?)");
 }
 
 DeviceAssignment
@@ -86,6 +124,26 @@ FleetPlan::assignmentFor(u32 device_index) const
     // before, just with a named execution loop.
     a.pipelineIndex = static_cast<u32>(mix64(h ^ 5) % pipelines.size());
     a.pipeline = pipelines[a.pipelineIndex];
+
+    // A planned assignment overrides ONLY the kernel deal: the impl
+    // lane (h^2) is independent of the env/net/pipeline/seed lanes, so
+    // the devices landing on each coordinate — and their seeds — are
+    // identical to the hash-dealt fleet's. That is the separability
+    // the planner's beats-every-baseline guarantee rests on.
+    if (!implByCoordinate.empty()) {
+        const auto it = implByCoordinate.find(coordinateKey(
+            a.environment.label(), a.net, a.pipeline));
+        SONIC_ASSERT(it != implByCoordinate.end(),
+                     "planned assignment misses a coordinate "
+                     "(validate() was skipped?)");
+        const auto impl_pos =
+            std::find(impls.begin(), impls.end(), it->second);
+        SONIC_ASSERT(impl_pos != impls.end(),
+                     "planned kernel outside the impl distribution");
+        a.implIndex =
+            static_cast<u32>(impl_pos - impls.begin());
+        a.impl = *impl_pos;
+    }
     return a;
 }
 
@@ -562,25 +620,47 @@ FleetJsonSink::end()
 void
 GroupStats::accumulate(const DeviceTelemetry &t)
 {
+    accumulateRow({
+        .dnf = t.diedNonTerminating,
+        .failed = t.failedIncomplete,
+        .inferences = t.inferencesCompleted,
+        .reboots = t.reboots,
+        .liveSeconds = t.liveSeconds,
+        .deadSeconds = t.deadSeconds,
+        .energyJ = t.energyJ,
+        .harvestedJ = t.harvestedJ,
+        .resultsDelivered = t.resultsDelivered,
+        .txGaveUpRounds = t.txGaveUpRounds,
+        .txAttempts = t.txAttempts,
+        .txRetries = t.txRetries,
+        .radioEnergyJ = t.radioEnergyJ,
+        .senseEnergyJ = t.senseEnergyJ,
+        .txBackoffSeconds = t.txBackoffSeconds,
+    });
+}
+
+void
+GroupStats::accumulateRow(const TelemetryRow &row)
+{
     ++devices;
-    if (t.diedNonTerminating)
+    if (row.dnf)
         ++dnfDevices;
-    if (t.failedIncomplete)
+    if (row.failed)
         ++failedDevices;
-    inferences += t.inferencesCompleted;
-    reboots += t.reboots;
-    liveSeconds += t.liveSeconds;
-    deadSeconds += t.deadSeconds;
-    energyJ += t.energyJ;
-    harvestedJ += t.harvestedJ;
-    resultsDelivered += t.resultsDelivered;
-    if (t.txGaveUpRounds > 0)
+    inferences += row.inferences;
+    reboots += row.reboots;
+    liveSeconds += row.liveSeconds;
+    deadSeconds += row.deadSeconds;
+    energyJ += row.energyJ;
+    harvestedJ += row.harvestedJ;
+    resultsDelivered += row.resultsDelivered;
+    if (row.txGaveUpRounds > 0)
         ++txGaveUpDevices;
-    txAttempts += t.txAttempts;
-    txRetries += t.txRetries;
-    radioEnergyJ += t.radioEnergyJ;
-    senseEnergyJ += t.senseEnergyJ;
-    txBackoffSeconds += t.txBackoffSeconds;
+    txAttempts += row.txAttempts;
+    txRetries += row.txRetries;
+    radioEnergyJ += row.radioEnergyJ;
+    senseEnergyJ += row.senseEnergyJ;
+    txBackoffSeconds += row.txBackoffSeconds;
 }
 
 namespace

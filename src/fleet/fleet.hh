@@ -94,9 +94,31 @@ struct FleetPlan
     u64 baseSeed = 0x5eed;
 
     /**
+     * Planned kernel assignment (sonic_plan output): maps a coordinate
+     * key — coordinateKey(envLabel, net, pipeline) — to the kernel
+     * every device landing on that coordinate runs. Empty = the
+     * default hash-dealt uniform draw over `impls` (byte-identical to
+     * pre-planner fleets). When non-empty it must cover the FULL
+     * environments x nets x pipelines cross product (validate()
+     * enforces this) and only name kernels present in `impls`, so the
+     * round-cache coordinates stay dense.
+     *
+     * The env/net/pipeline/seed deals are untouched: a plan only
+     * overrides WHICH kernel a device runs, so planned and hash-dealt
+     * fleets are device-for-device comparable.
+     */
+    std::map<std::string, kernels::Impl> implByCoordinate;
+
+    /** The implByCoordinate key of one coordinate. */
+    static std::string coordinateKey(const std::string &envLabel,
+                                     const std::string &net,
+                                     const std::string &pipeline);
+
+    /**
      * Validate the distributions (registered model/environment names,
-     * non-empty axes, positive fleet size). Fatal on configuration
-     * errors, naming the registered alternatives.
+     * non-empty axes, positive fleet size) and, when a planned
+     * assignment is present, its coordinate coverage. Fatal on
+     * configuration errors, naming the registered alternatives.
      */
     void validate() const;
 
@@ -307,6 +329,32 @@ class FleetJsonSink : public FleetSink
     bool first_ = true;
 };
 
+/**
+ * The scalar fields one telemetry row contributes to an aggregation
+ * bucket — the single field-mapping point shared by
+ * GroupStats::accumulate() (row objects from runFleet) and the
+ * columnar .sonicz fold (telemetry::aggregate), so the two cannot
+ * drift apart field-by-field.
+ */
+struct TelemetryRow
+{
+    bool dnf = false;
+    bool failed = false;
+    u32 inferences = 0;
+    u64 reboots = 0;
+    f64 liveSeconds = 0.0;
+    f64 deadSeconds = 0.0;
+    f64 energyJ = 0.0;
+    f64 harvestedJ = 0.0;
+    u32 resultsDelivered = 0;
+    u32 txGaveUpRounds = 0;
+    u64 txAttempts = 0;
+    u64 txRetries = 0;
+    f64 radioEnergyJ = 0.0;
+    f64 senseEnergyJ = 0.0;
+    f64 txBackoffSeconds = 0.0;
+};
+
 /** One aggregation bucket (the whole fleet, or a breakdown group). */
 struct GroupStats
 {
@@ -329,6 +377,7 @@ struct GroupStats
     f64 txBackoffSeconds = 0.0;
 
     void accumulate(const DeviceTelemetry &device);
+    void accumulateRow(const TelemetryRow &row);
 
     f64
     inferencesPerDeviceDay() const

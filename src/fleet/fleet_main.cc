@@ -11,6 +11,13 @@
  *                 --envs=solar@1mF,rf-paper@100uF --csv=fleet.csv
  *     sonic_fleet --trace=my-site=site_power.csv --envs=my-site@1mF \
  *                 --devices=50
+ *     sonic_fleet --from-plan=plan.json --summary=planned.json
+ *
+ * --from-plan replays a sonic_plan artifact: the plan carries its own
+ * scenario (axes, seed, horizon) plus the per-coordinate kernel
+ * assignment, so the planned deployment rebuilds exactly — no
+ * matching flags required. Axis overrides that keep the coordinate
+ * set intact (e.g. --devices, --threads) still apply afterwards.
  *
  * --list-envs and --list-scenarios enumerate the registered
  * environments and the named scenarios. The process exits 1 when the
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "fleet/fleet.hh"
+#include "plan/plan.hh"
 #include "telemetry/sonicz.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -53,6 +61,7 @@ usage()
            "                   [--seed=S] [--csv=PATH]\n"
            "                   [--json=PATH] [--sonicz=PATH]\n"
            "                   [--summary=PATH]\n"
+           "                   [--from-plan=PLAN.json]\n"
            "                   [--trace=NAME=FILE] [--allow-zero]\n"
            "                   [--require-delivered]\n"
            "                   [--list-envs] [--list-scenarios]\n"
@@ -74,13 +83,32 @@ main(int argc, char **argv)
     std::vector<std::string> trace_args;
     std::string value;
 
-    // Two passes: traces must register and --scenario must resolve
-    // before axis overrides apply, whatever the flag order was.
+    // Two passes: traces must register and --scenario/--from-plan
+    // must resolve before axis overrides apply, whatever the flag
+    // order was.
     std::vector<std::string> args(argv + 1, argv + argc);
     try {
         for (const auto &arg : args) {
             if (consumeFlag(arg, "--trace", &value)) {
                 trace_args.push_back(value);
+            } else if (consumeFlag(arg, "--from-plan", &value)) {
+                std::ifstream in(value);
+                if (!in) {
+                    std::cerr << "cannot read " << value << "\n";
+                    return 2;
+                }
+                std::ostringstream text;
+                text << in.rdbuf();
+                sonic::plan::Plan deployment;
+                std::string error;
+                if (!sonic::plan::Plan::fromJson(text.str(),
+                                                 &deployment,
+                                                 &error)) {
+                    std::cerr << "bad plan " << value << ": "
+                              << error << "\n";
+                    return 2;
+                }
+                plan = deployment.toFleetPlan();
             } else if (consumeFlag(arg, "--scenario", &value)) {
                 bool found = false;
                 for (const auto &scenario :
@@ -117,7 +145,8 @@ main(int argc, char **argv)
 
         for (const auto &arg : args) {
             if (consumeFlag(arg, "--trace", &value)
-                || consumeFlag(arg, "--scenario", &value)) {
+                || consumeFlag(arg, "--scenario", &value)
+                || consumeFlag(arg, "--from-plan", &value)) {
                 continue; // handled above
             } else if (arg == "--list-envs") {
                 auto &registry = env::EnvRegistry::instance();

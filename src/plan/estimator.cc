@@ -1,0 +1,84 @@
+#include "plan/estimator.hh"
+
+#include <istream>
+
+#include "env/environment.hh"
+#include "kernels/runner.hh"
+#include "telemetry/sonicz.hh"
+
+namespace sonic::plan
+{
+
+namespace
+{
+
+void
+fold(CellAccum *cell, f64 objective_value, u64 inferences,
+     u64 delivered, bool dnf)
+{
+    ++cell->devices;
+    cell->inferences += inferences;
+    cell->delivered += delivered;
+    if (dnf)
+        ++cell->dnfDevices;
+    cell->objectiveSum += objective_value;
+}
+
+} // namespace
+
+bool
+PlanModel::ingestSonicz(std::istream &in, std::string *error)
+{
+    namespace fc = telemetry::fleetcol;
+    const auto on_block = [&](const telemetry::FleetBlockView &v) {
+        for (u64 r = 0; r < v.rows(); ++r) {
+            const u64 inferences = v.intAt(fc::kInferences, r);
+            const u64 delivered =
+                v.intAt(fc::kResultsDelivered, r);
+            const f64 total_seconds = v.f64At(fc::kLiveSeconds, r)
+                + v.f64At(fc::kDeadSeconds, r);
+            const f64 value = objectiveValue(
+                objective_, inferences, delivered, total_seconds,
+                v.f64At(fc::kEnergyJ, r));
+            const env::EnvRef env_ref{v.str(fc::kEnv, r),
+                                      v.f64At(fc::kEnvCap, r)};
+            auto &cell =
+                cells_[fleet::FleetPlan::coordinateKey(
+                           env_ref.label(), v.str(fc::kNet, r),
+                           v.str(fc::kPipeline, r))]
+                      [v.str(fc::kImpl, r)];
+            fold(&cell.telemetry, value, inferences, delivered,
+                 v.str(fc::kStatus, r) == "dnf");
+            ++rowsIngested_;
+        }
+    };
+    return telemetry::readFleetBlocks(in, on_block, nullptr, error);
+}
+
+void
+PlanModel::addProbe(const fleet::DeviceTelemetry &t)
+{
+    const auto &a = t.assignment;
+    auto &cell = cells_[fleet::FleetPlan::coordinateKey(
+                            a.environment.label(), a.net, a.pipeline)]
+                       [std::string(kernels::implName(a.impl))];
+    fold(&cell.probe, objectiveValue(objective_, t),
+         t.inferencesCompleted, t.resultsDelivered,
+         t.diedNonTerminating);
+    ++probeDevices_;
+}
+
+const CellEstimate *
+PlanModel::cell(const std::string &coordinateKey,
+                const std::string &impl) const
+{
+    const auto coord_it = cells_.find(coordinateKey);
+    if (coord_it == cells_.end())
+        return nullptr;
+    const auto impl_it = coord_it->second.find(impl);
+    if (impl_it == coord_it->second.end())
+        return nullptr;
+    return &impl_it->second;
+}
+
+} // namespace sonic::plan

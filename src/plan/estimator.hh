@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The planner's estimate table: per-cell — one cell per (environment,
+ * model, pipeline) coordinate x candidate kernel — accumulators of
+ * per-device objective values, filled from two sources that are kept
+ * separate on purpose:
+ *
+ *  - ingested telemetry (.sonicz fleet files, folded block-by-block
+ *    through telemetry::readFleetBlocks without materializing rows):
+ *    the hash-dealt fleet splits each coordinate's devices across the
+ *    candidate kernels, so each cell sees a disjoint SAMPLE of the
+ *    coordinate's population;
+ *  - probe runs (planner.cc): uniform single-kernel fleets over the
+ *    scenario's own device deals, so every candidate kernel is
+ *    measured on the SAME devices and seeds — a paired comparison
+ *    with no cross-kernel sampling noise.
+ *
+ * Scoring prefers probe data when a cell has any (paired beats
+ * sampled); ingested telemetry both provides the no-simulation
+ * decision path (sonic_plan --no-probe) and seeds cell coverage
+ * accounting.
+ */
+
+#ifndef SONIC_PLAN_ESTIMATOR_HH
+#define SONIC_PLAN_ESTIMATOR_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "fleet/fleet.hh"
+#include "plan/plan.hh"
+
+namespace sonic::plan
+{
+
+/** One source's accumulator over a cell's devices. */
+struct CellAccum
+{
+    u64 devices = 0;
+    u64 inferences = 0;
+    u64 delivered = 0;
+    u64 dnfDevices = 0;
+    f64 objectiveSum = 0.0; ///< Σ per-device objectiveValue()
+
+    /** Mean per-device objective value (higher = better). */
+    f64
+    score() const
+    {
+        return devices > 0
+            ? objectiveSum / static_cast<f64>(devices)
+            : 0.0;
+    }
+};
+
+/** A cell's evidence from both sources. */
+struct CellEstimate
+{
+    CellAccum telemetry;
+    CellAccum probe;
+
+    /** The accumulator the decision scores: probe data when present
+     * (paired, scenario seeds), ingested telemetry otherwise. */
+    const CellAccum &
+    preferred() const
+    {
+        return probe.devices > 0 ? probe : telemetry;
+    }
+
+    bool hasData() const { return preferred().devices > 0; }
+};
+
+/**
+ * The estimate table. Cells are created on first touch and keyed by
+ * (coordinate key, kernel name); the fold is sequential and in row /
+ * device order, so the table — and every decision made from it — is
+ * deterministic for a given input regardless of thread counts
+ * anywhere upstream.
+ */
+class PlanModel
+{
+  public:
+    explicit PlanModel(Objective objective) : objective_(objective) {}
+
+    Objective objective() const { return objective_; }
+
+    /**
+     * Fold a fleet .sonicz stream into the telemetry accumulators,
+     * block-by-block (no row materialization). Returns false with a
+     * diagnostic on malformed input or on a sweep-schema file.
+     */
+    bool ingestSonicz(std::istream &in, std::string *error);
+
+    /** Fold one probe device (planner probe runs). */
+    void addProbe(const fleet::DeviceTelemetry &device);
+
+    /** The cell for (coordinate, kernel), or null when untouched. */
+    const CellEstimate *cell(const std::string &coordinateKey,
+                             const std::string &impl) const;
+
+    /** Rows folded by ingestSonicz across all calls. */
+    u64 rowsIngested() const { return rowsIngested_; }
+
+    /** Devices folded by addProbe across all calls. */
+    u64 probeDevices() const { return probeDevices_; }
+
+  private:
+    Objective objective_;
+    /** coordinate key -> kernel name -> estimate. */
+    std::map<std::string, std::map<std::string, CellEstimate>> cells_;
+    u64 rowsIngested_ = 0;
+    u64 probeDevices_ = 0;
+};
+
+} // namespace sonic::plan
+
+#endif // SONIC_PLAN_ESTIMATOR_HH

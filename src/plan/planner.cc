@@ -1,0 +1,291 @@
+#include "plan/planner.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "env/environment.hh"
+#include "kernels/runner.hh"
+#include "util/logging.hh"
+
+namespace sonic::plan
+{
+
+namespace
+{
+
+/** Accumulates the fleet mean of per-device objective values in
+ * device-index order (runFleet delivers telemetry ordered, so the sum
+ * is bit-identical for every thread count). */
+class ObjectiveMeanSink : public fleet::FleetSink
+{
+  public:
+    explicit ObjectiveMeanSink(Objective objective)
+        : objective_(objective)
+    {
+    }
+
+    void
+    add(const fleet::DeviceTelemetry &t) override
+    {
+        sum_ += objectiveValue(objective_, t);
+        ++devices_;
+    }
+
+    f64
+    mean() const
+    {
+        return devices_ > 0 ? sum_ / static_cast<f64>(devices_)
+                            : 0.0;
+    }
+
+  private:
+    Objective objective_;
+    f64 sum_ = 0.0;
+    u64 devices_ = 0;
+};
+
+/** Feeds probe telemetry into the model as it streams. */
+class ProbeSink : public fleet::FleetSink
+{
+  public:
+    explicit ProbeSink(PlanModel *model) : model_(model) {}
+
+    void
+    add(const fleet::DeviceTelemetry &t) override
+    {
+        model_->addProbe(t);
+    }
+
+  private:
+    PlanModel *model_;
+};
+
+/** The scenario's coordinates in envLabels x nets x pipelines order
+ * (the order choices are emitted in). */
+struct CoordinateList
+{
+    std::vector<std::string> keys;
+    std::vector<std::array<std::string, 3>> parts; ///< env/net/pipe
+};
+
+CoordinateList
+coordinatesOf(const fleet::FleetPlan &plan)
+{
+    CoordinateList coords;
+    for (const auto &env : plan.environments) {
+        const std::string label = env.label();
+        for (const auto &net : plan.nets) {
+            for (const auto &pipe : plan.pipelines) {
+                coords.keys.push_back(
+                    fleet::FleetPlan::coordinateKey(label, net,
+                                                    pipe));
+                coords.parts.push_back({label, net, pipe});
+            }
+        }
+    }
+    return coords;
+}
+
+} // namespace
+
+bool
+decide(const Scenario &scenario, PlanModel *model,
+       const PlannerOptions &options, Plan *out, DecideInfo *info,
+       std::string *error)
+{
+    const fleet::FleetPlan &fleet_plan = scenario.plan;
+    fleet_plan.validate();
+    SONIC_ASSERT(fleet_plan.implByCoordinate.empty(),
+                 "the planning scenario must be hash-dealt (planning "
+                 "an already-planned fleet is circular)");
+    SONIC_ASSERT(model->objective() == options.objective,
+                 "model and planner objectives disagree");
+
+    const CoordinateList coords = coordinatesOf(fleet_plan);
+    std::vector<std::string> impl_names;
+    for (const auto impl : fleet_plan.impls)
+        impl_names.emplace_back(kernels::implName(impl));
+
+    DecideInfo local_info;
+    DecideInfo &out_info = info != nullptr ? *info : local_info;
+    out_info = DecideInfo{};
+
+    // Probe pass: one paired uniform fleet per kernel that still has
+    // an under-covered cell. Probe devices are a prefix of the
+    // scenario's own population (same deals, same seeds — the impl
+    // lane is independent of the rest), so every probed kernel is
+    // measured on identical devices.
+    if (options.probe) {
+        const u32 probe_devices = std::min(
+            options.probeDevices == 0 ? fleet_plan.devices
+                                      : options.probeDevices,
+            fleet_plan.devices);
+        for (u64 i = 0; i < impl_names.size(); ++i) {
+            bool under_covered = false;
+            for (const auto &key : coords.keys) {
+                const auto *cell = model->cell(key, impl_names[i]);
+                if (cell == nullptr
+                    || cell->preferred().devices
+                           < options.minCellDevices) {
+                    under_covered = true;
+                    break;
+                }
+            }
+            if (!under_covered)
+                continue;
+            fleet::FleetPlan probe = fleet_plan;
+            probe.devices = probe_devices;
+            probe.impls = {fleet_plan.impls[i]};
+            ProbeSink sink(model);
+            fleet::runFleet(probe, options.fleet, {&sink});
+            ++out_info.probeFleets;
+            out_info.probeDevices += probe_devices;
+        }
+    }
+
+    // Greedy per-coordinate argmax, candidate order, strict
+    // improvement: ties keep the earliest kernel in the scenario's
+    // impl list. Separability (see the header) makes this the global
+    // optimum, not a heuristic.
+    Plan plan;
+    plan.objective = options.objective;
+    plan.scenario = scenario.name;
+    plan.devices = fleet_plan.devices;
+    plan.horizonSeconds = fleet_plan.horizonSeconds;
+    plan.maxInferencesPerDevice = fleet_plan.maxInferencesPerDevice;
+    plan.profile = app::profileName(fleet_plan.profile);
+    plan.baseSeed = fleet_plan.baseSeed;
+    plan.nets.assign(fleet_plan.nets.begin(), fleet_plan.nets.end());
+    plan.impls = impl_names;
+    for (const auto &env : fleet_plan.environments)
+        plan.envLabels.push_back(env.label());
+    plan.pipelines = fleet_plan.pipelines;
+
+    std::vector<u64> chosen(coords.keys.size(), 0);
+    for (u64 c = 0; c < coords.keys.size(); ++c) {
+        bool have = false;
+        u64 best = 0;
+        f64 best_score = 0.0;
+        for (u64 i = 0; i < impl_names.size(); ++i) {
+            const auto *cell =
+                model->cell(coords.keys[c], impl_names[i]);
+            if (cell == nullptr || !cell->hasData())
+                continue;
+            const f64 score = cell->preferred().score();
+            if (!have || score > best_score) {
+                have = true;
+                best = i;
+                best_score = score;
+            }
+        }
+        if (!have) {
+            if (error != nullptr)
+                *error = "planner: no data for coordinate '"
+                       + coords.keys[c]
+                       + "' under any candidate kernel (ingest "
+                         "telemetry that visits it, or enable "
+                         "probes)";
+            return false;
+        }
+        chosen[c] = best;
+        const auto *cell =
+            model->cell(coords.keys[c], impl_names[best]);
+        PlanChoice choice;
+        choice.envLabel = coords.parts[c][0];
+        choice.net = coords.parts[c][1];
+        choice.pipeline = coords.parts[c][2];
+        choice.impl = impl_names[best];
+        choice.score = best_score;
+        choice.devicesObserved = cell->preferred().devices;
+        choice.probed = cell->probe.devices > 0;
+        plan.choices.push_back(std::move(choice));
+    }
+
+    // Exhaustive fallback on small grids: enumerate every assignment
+    // lexicographically and keep the first strict maximum of the
+    // summed scores. Separability says it must agree with greedy —
+    // this is the cross-check that the search is the optimum, kept
+    // cheap by the impls^coordinates bound.
+    f64 total_assignments = 1.0;
+    for (u64 c = 0; c < coords.keys.size(); ++c) {
+        total_assignments *=
+            static_cast<f64>(impl_names.size());
+        if (total_assignments
+            > static_cast<f64>(options.exhaustiveLimit))
+            break;
+    }
+    if (total_assignments
+        <= static_cast<f64>(options.exhaustiveLimit)) {
+        std::vector<u64> odometer(coords.keys.size(), 0);
+        std::vector<u64> best_assignment;
+        f64 best_total = 0.0;
+        bool have_best = false;
+        for (;;) {
+            f64 total = 0.0;
+            bool feasible = true;
+            for (u64 c = 0; c < coords.keys.size(); ++c) {
+                const auto *cell = model->cell(
+                    coords.keys[c], impl_names[odometer[c]]);
+                if (cell == nullptr || !cell->hasData()) {
+                    feasible = false;
+                    break;
+                }
+                total += cell->preferred().score();
+            }
+            if (feasible && (!have_best || total > best_total)) {
+                have_best = true;
+                best_total = total;
+                best_assignment = odometer;
+            }
+            u64 c = coords.keys.size();
+            while (c > 0) {
+                --c;
+                if (++odometer[c] < impl_names.size())
+                    break;
+                odometer[c] = 0;
+                if (c == 0) {
+                    c = ~0ull;
+                    break;
+                }
+            }
+            if (c == ~0ull || coords.keys.empty())
+                break;
+        }
+        SONIC_ASSERT(have_best && best_assignment == chosen,
+                     "exhaustive enumeration disagrees with the "
+                     "greedy per-coordinate argmax — the objective "
+                     "stopped being separable");
+        out_info.exhaustiveChecked = true;
+    }
+
+    *out = std::move(plan);
+    return true;
+}
+
+ConfirmResult
+confirm(const Plan &plan, const fleet::FleetOptions &options)
+{
+    ConfirmResult result;
+
+    ObjectiveMeanSink plan_sink(plan.objective);
+    const auto summary =
+        fleet::runFleet(plan.toFleetPlan(), options, {&plan_sink});
+    result.planObjective = plan_sink.mean();
+    result.planSummaryJson = summary.toJson();
+
+    result.planWins = true;
+    for (const auto &impl : plan.impls) {
+        ObjectiveMeanSink baseline_sink(plan.objective);
+        fleet::runFleet(plan.toBaselineFleetPlan(impl), options,
+                        {&baseline_sink});
+        BaselineResult baseline;
+        baseline.impl = impl;
+        baseline.objective = baseline_sink.mean();
+        if (result.planObjective < baseline.objective)
+            result.planWins = false;
+        result.baselines.push_back(std::move(baseline));
+    }
+    return result;
+}
+
+} // namespace sonic::plan

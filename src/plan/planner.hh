@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The decision layer: probe scheduling, the per-coordinate assignment
+ * search, and the confirming run.
+ *
+ * Why per-coordinate argmax is the whole search: every objective is
+ * the fleet MEAN of a per-device value (plan::objectiveValue), the
+ * hash-dealt assignment draws each device's kernel from a lane
+ * independent of its environment/model/pipeline/seed lanes, and a
+ * planned fleet overrides only that kernel lane. So the objective
+ * decomposes into one independent term per (environment, model,
+ * pipeline) coordinate, the greedy per-coordinate argmax IS the global
+ * optimum, and an exhaustive enumeration can only agree — decide()
+ * cross-checks exactly that on small grids.
+ *
+ * Probes are paired: one uniform single-kernel fleet per candidate
+ * kernel, over the scenario's own device deals and seeds (a prefix of
+ * the population when capped). Every kernel is measured on the same
+ * devices, so cross-kernel comparisons carry no sampling noise; with
+ * an uncapped probe (--probe-devices=0 → the full scenario), the cell
+ * estimates are the exact per-coordinate populations and the decided
+ * plan provably ties-or-beats every uniform baseline on the
+ * confirming run.
+ */
+
+#ifndef SONIC_PLAN_PLANNER_HH
+#define SONIC_PLAN_PLANNER_HH
+
+#include <string>
+#include <vector>
+
+#include "plan/estimator.hh"
+#include "plan/plan.hh"
+
+namespace sonic::plan
+{
+
+/** What to plan for: a fleet (axes, size, seed, horizon) and its
+ * optional scenario name (recorded in the artifact). */
+struct Scenario
+{
+    std::string name;
+    fleet::FleetPlan plan;
+};
+
+struct PlannerOptions
+{
+    Objective objective = Objective::DeliveredPerDay;
+
+    /** Run probe fleets for kernels whose cells are under-covered
+     * (false = decide from ingested telemetry alone). */
+    bool probe = true;
+
+    /** Devices per probe fleet; 0 = the full scenario population
+     * (exact cell values, provable confirmation). Capped at the
+     * scenario's device count either way. */
+    u32 probeDevices = 256;
+
+    /** A (coordinate, kernel) cell with fewer devices than this is
+     * under-covered and triggers a probe of that kernel. */
+    u64 minCellDevices = 8;
+
+    /** Cross-check greedy against exhaustive enumeration when
+     * impls^coordinates does not exceed this. */
+    u64 exhaustiveLimit = 4096;
+
+    /** Execution options for probe and confirming fleets. */
+    fleet::FleetOptions fleet;
+};
+
+/** decide() outcome facts (the plan itself is the artifact). */
+struct DecideInfo
+{
+    u64 probeFleets = 0;    ///< uniform probe runs executed
+    u64 probeDevices = 0;   ///< devices simulated across them
+    bool exhaustiveChecked = false;
+};
+
+/**
+ * Probe (optionally) and decide: fill under-covered cells via paired
+ * uniform probe fleets, then pick each coordinate's kernel by strict
+ * score improvement in candidate order (ties keep the earliest
+ * kernel in the scenario's impl list, so the plan is deterministic).
+ * Returns false with a diagnostic when some coordinate has no data
+ * for any candidate (e.g. --no-probe with telemetry that never
+ * visited it).
+ */
+bool decide(const Scenario &scenario, PlanModel *model,
+            const PlannerOptions &options, Plan *out,
+            DecideInfo *info, std::string *error);
+
+/** One uniform single-kernel baseline's confirming result. */
+struct BaselineResult
+{
+    std::string impl;
+    f64 objective = 0.0; ///< fleet mean per-device objective value
+};
+
+/** The confirming run's outcome. */
+struct ConfirmResult
+{
+    /** Fleet mean per-device objective value of the planned fleet. */
+    f64 planObjective = 0.0;
+    /** The planned fleet's FleetSummary::toJson() artifact
+     * (byte-identical across thread counts, like runFleet itself). */
+    std::string planSummaryJson;
+    std::vector<BaselineResult> baselines;
+    /** planObjective >= every baseline objective (objectives are
+     * oriented so higher is always better). */
+    bool planWins = false;
+};
+
+/**
+ * Run the planned fleet and every uniform single-kernel baseline,
+ * scoring each by the plan's objective. The deployment the plan
+ * promised, measured — not estimated.
+ */
+ConfirmResult confirm(const Plan &plan,
+                      const fleet::FleetOptions &options);
+
+} // namespace sonic::plan
+
+#endif // SONIC_PLAN_PLANNER_HH

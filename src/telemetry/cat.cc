@@ -3,6 +3,8 @@
 #include <memory>
 #include <ostream>
 
+#include "telemetry/aggregate.hh"
+
 namespace sonic::telemetry
 {
 
@@ -138,8 +140,17 @@ catSonicz(std::istream &in, std::ostream &out,
         ensure_fleet().add(t);
     };
 
+    // The index range doubles as a block-pruning hint: indexed files
+    // skip blocks whose [min, max] misses it entirely, and passes()
+    // keeps the exact row-level cut on the blocks that overlap.
+    RowRange range;
+    if (options.hasRange) {
+        range.lo = options.rangeLo;
+        range.hi = options.rangeHi;
+    }
     SoniczInfo info;
-    if (!readSonicz(in, on_sweep, on_fleet, &info, error))
+    if (!readSonicz(in, on_sweep, on_fleet, &info, error,
+                    options.hasRange ? &range : nullptr))
         return false;
     if (info.kind == SchemaKind::Sweep && !options.pipeline.empty()) {
         // Also reached when every block was empty of rows.
@@ -180,12 +191,40 @@ soniczInfo(std::istream &in, std::ostream &out, std::string *error)
         << " (version " << info.version << ")\n"
         << "rows:    " << info.rows << "\n"
         << "blocks:  " << info.blocks << "\n"
+        << "index:   "
+        << (info.hasIndex ? "yes" : "no (version 1, scan only)")
+        << "\n"
         << "file:    " << info.fileBytes << " bytes\n"
         << "columns: " << info.rawBytes << " bytes raw, "
         << info.storedBytes << " bytes stored\n"
         << "ratio:   " << (static_cast<u64>(ratio * 100.0 + 0.5)
                            / 100.0)
         << "x raw/file\n";
+    return true;
+}
+
+bool
+soniczSummary(std::istream &in, std::ostream &out,
+              const CatOptions &options, std::string *error)
+{
+    if (!options.env.empty() || !options.impl.empty()
+        || !options.net.empty() || !options.pipeline.empty()
+        || !options.status.empty()) {
+        if (error != nullptr)
+            *error = "sonic_cat: --summary aggregates whole groups; "
+                     "row filters other than --devices do not apply";
+        return false;
+    }
+    RowRange range;
+    if (options.hasRange) {
+        range.lo = options.rangeLo;
+        range.hi = options.rangeHi;
+    }
+    fleet::FleetSummary summary;
+    if (!aggregate(in, &summary, error, nullptr,
+                   options.hasRange ? &range : nullptr))
+        return false;
+    out << summary.toJson();
     return true;
 }
 

@@ -70,6 +70,17 @@ bool catSonicz(std::istream &in, std::ostream &out,
 bool soniczInfo(std::istream &in, std::ostream &out,
                 std::string *error);
 
+/**
+ * Fold a FLEET .sonicz file into summary JSON (--summary): the
+ * fleet::FleetSummary group stats computed block-by-block via
+ * telemetry::aggregate, without materializing any rows. `options`
+ * contributes only the index range (--devices=A..B restricts the
+ * fold; index-missed blocks are skipped undecoded); the string row
+ * filters do not apply and must be empty. Errors on sweep files.
+ */
+bool soniczSummary(std::istream &in, std::ostream &out,
+                   const CatOptions &options, std::string *error);
+
 } // namespace sonic::telemetry
 
 #endif // SONIC_TELEMETRY_CAT_HH

@@ -8,6 +8,7 @@
  *     sonic_cat fleet.sonicz --devices=100..199 --status=dnf
  *     sonic_cat sweep.sonicz --net=MNIST            # range = planIndex
  *     sonic_cat fleet.sonicz --info                 # validate + stats
+ *     sonic_cat fleet.sonicz --summary              # FleetSummary JSON
  *
  * Re-emission goes through the exact sink classes the live tools use,
  * so an unfiltered cat is byte-identical to the CSV/JSON a direct run
@@ -37,7 +38,8 @@ usage()
         << "usage: sonic_cat FILE.sonicz [--format=csv|json]\n"
            "                 [--env=NAME] [--impl=NAME] [--net=NAME]\n"
            "                 [--pipeline=NAME] [--status=ok|dnf|fail]\n"
-           "                 [--devices=A..B] [--out=PATH] [--info]\n";
+           "                 [--devices=A..B] [--out=PATH] [--info]\n"
+           "                 [--summary]\n";
     return 2;
 }
 
@@ -49,6 +51,7 @@ main(int argc, char **argv)
     telemetry::CatOptions options;
     std::string input_path, out_path, value;
     bool info_only = false;
+    bool summary_only = false;
 
     for (const std::string arg :
          std::vector<std::string>(argv + 1, argv + argc)) {
@@ -85,6 +88,8 @@ main(int argc, char **argv)
             out_path = value;
         } else if (arg == "--info") {
             info_only = true;
+        } else if (arg == "--summary") {
+            summary_only = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else if (input_path.empty()) {
@@ -120,6 +125,14 @@ main(int argc, char **argv)
         }
     }
     std::ostream &out = out_path.empty() ? std::cout : out_file;
+
+    if (summary_only) {
+        if (!telemetry::soniczSummary(in, out, options, &error)) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        return 0;
+    }
 
     if (!telemetry::catSonicz(in, out, options, &error)) {
         std::cerr << error << "\n";

@@ -37,9 +37,9 @@ getVarint(const Bytes &bytes, u64 *pos, u64 *value)
 }
 
 u64
-fnv1aBytes(const u8 *data, u64 size)
+fnv1aBytes(const u8 *data, u64 size, u64 seed)
 {
-    u64 h = 0xcbf29ce484222325ull;
+    u64 h = seed;
     for (u64 i = 0; i < size; ++i) {
         h ^= data[i];
         h *= 0x100000001b3ull;

@@ -52,8 +52,10 @@ unzigzag(u64 v)
     return static_cast<i64>((v >> 1) ^ (~(v & 1) + 1));
 }
 
-/** FNV-1a over a byte range (the per-chunk checksum). */
-u64 fnv1aBytes(const u8 *data, u64 size);
+/** FNV-1a over a byte range (the per-chunk checksum). Pass a prior
+ * result as `seed` to continue the hash over a second range. */
+u64 fnv1aBytes(const u8 *data, u64 size,
+               u64 seed = 0xcbf29ce484222325ull);
 
 /**
  * Compress `input` with the in-tree LZ. The output is self-delimiting

@@ -1,5 +1,6 @@
 #include "telemetry/sonicz.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <istream>
@@ -13,11 +14,13 @@ namespace sonic::telemetry
 
 // --- Schemas --------------------------------------------------------
 //
-// Column order is part of the format: readers materialize rows by
-// walking these lists with per-column cursors. List fields are a
-// length column followed by flattened value columns; every row
-// appends to every column of its schema exactly once per scalar and
-// length-many times per list column.
+// Column order is part of the writer's layout, but NOT of the read
+// contract: since version 2, readers resolve columns by name, so a
+// column list may grow at the end (or even reorder) without breaking
+// old readers — they skip chunks of columns they do not know.
+// List fields are a length column followed by flattened value columns;
+// every row appends to every column of its schema exactly once per
+// scalar and length-many times per list column.
 
 namespace
 {
@@ -91,10 +94,12 @@ const std::vector<ColumnSpec> kFleetColumns = {
 // clang-format on
 
 constexpr u8 kBlockMarker = 0x42;  // 'B'
+constexpr u8 kIndexMarker = 0x49;  // 'I'
 constexpr u8 kFooterMarker = 0x45; // 'E'
 constexpr u8 kCodecRaw = 0;
 constexpr u8 kCodecLz = 1;
 constexpr char kMagic[4] = {'S', 'N', 'C', 'Z'};
+constexpr u64 kDigestBasis = 0xcbf29ce484222325ull;
 
 void
 putU64Le(Bytes &out, u64 value)
@@ -116,20 +121,41 @@ getU64Le(const Bytes &bytes, u64 *pos, u64 *value)
     return true;
 }
 
+/** Fold 8 checksum bytes into a running FNV-1a digest. */
+void
+chainDigest(u64 *digest, u64 checksum)
+{
+    Bytes sum_bytes;
+    putU64Le(sum_bytes, checksum);
+    for (const u8 b : sum_bytes) {
+        *digest ^= b;
+        *digest *= 0x100000001b3ull;
+    }
+}
+
 } // namespace
 
 const std::vector<ColumnSpec> &
 schemaColumns(SchemaKind kind)
 {
+    SONIC_ASSERT(kFleetColumns.size() == fleetcol::kColumnCount,
+                 "fleetcol enum out of sync with kFleetColumns");
     return kind == SchemaKind::Sweep ? kSweepColumns : kFleetColumns;
 }
 
 // --- Writer ---------------------------------------------------------
 
-SoniczWriter::SoniczWriter(std::ostream &os, SchemaKind kind)
+SoniczWriter::SoniczWriter(std::ostream &os, SchemaKind kind,
+                           const std::vector<ColumnSpec> &extraColumns)
     : os_(os), kind_(kind)
 {
-    const auto &specs = schemaColumns(kind);
+    const auto &base = schemaColumns(kind);
+    std::vector<ColumnSpec> specs = base;
+    specs.insert(specs.end(), extraColumns.begin(),
+                 extraColumns.end());
+    SONIC_ASSERT(specs[0].type == ColType::Int,
+                 "sonicz column 0 must be the Int id column (it feeds "
+                 "the block index)");
     columns_.resize(specs.size());
     for (u64 c = 0; c < specs.size(); ++c)
         columns_[c].type = specs[c].type;
@@ -147,6 +173,12 @@ SoniczWriter::SoniczWriter(std::ostream &os, SchemaKind kind)
     }
     os_.write(reinterpret_cast<const char *>(header.data()),
               static_cast<std::streamsize>(header.size()));
+    bytesWritten_ = header.size();
+    // The header leads the footer digest chain: without this, a name
+    // byte of a column the reader does not know would be malleable
+    // (an unknown name flipped is still unknown).
+    chainDigest(&chunkDigest_,
+                fnv1aBytes(header.data(), header.size()));
 }
 
 void
@@ -242,6 +274,19 @@ SoniczWriter::flushBlock()
 {
     if (rowsInBlock_ == 0)
         return;
+
+    IndexEntry entry;
+    entry.offset = bytesWritten_;
+    entry.rows = rowsInBlock_;
+    // Column 0 is the scalar Int id column in both schemas, so it has
+    // exactly one value per row of this block.
+    SONIC_ASSERT(columns_[0].ints.size() == rowsInBlock_,
+                 "sonicz: id column out of sync with the row count");
+    const auto [lo, hi] = std::minmax_element(
+        columns_[0].ints.begin(), columns_[0].ints.end());
+    entry.idMin = *lo;
+    entry.idMax = *hi;
+
     Bytes block;
     block.push_back(kBlockMarker);
     putVarint(block, rowsInBlock_);
@@ -258,22 +303,24 @@ SoniczWriter::flushBlock()
         const bool use_lz = packed.size() < raw.size();
         const Bytes &payload = use_lz ? packed : raw;
 
+        // The checksum covers the chunk header (column index, codec,
+        // sizes) as well as the payload: a reader that SKIPS this
+        // chunk (unknown column) never validates the header fields
+        // any other way. Version 1 checksummed the payload alone.
+        const u64 chunk_start = block.size();
         putVarint(block, c);
         block.push_back(use_lz ? kCodecLz : kCodecRaw);
         putVarint(block, raw.size());
         putVarint(block, payload.size());
-        const u64 checksum = fnv1aBytes(payload.data(),
-                                        payload.size());
+        u64 checksum = fnv1aBytes(block.data() + chunk_start,
+                                  block.size() - chunk_start);
+        checksum = fnv1aBytes(payload.data(), payload.size(),
+                              checksum);
         putU64Le(block, checksum);
         block.insert(block.end(), payload.begin(), payload.end());
 
         // Chain every chunk checksum into the footer digest.
-        Bytes sum_bytes;
-        putU64Le(sum_bytes, checksum);
-        for (const u8 b : sum_bytes) {
-            chunkDigest_ ^= b;
-            chunkDigest_ *= 0x100000001b3ull;
-        }
+        chainDigest(&chunkDigest_, checksum);
 
         col.strs.clear();
         col.ints.clear();
@@ -281,6 +328,9 @@ SoniczWriter::flushBlock()
     }
     os_.write(reinterpret_cast<const char *>(block.data()),
               static_cast<std::streamsize>(block.size()));
+    bytesWritten_ += block.size();
+    entry.digestAfter = chunkDigest_;
+    index_.push_back(entry);
     rowsInBlock_ = 0;
 }
 
@@ -290,12 +340,39 @@ SoniczWriter::finish()
     if (finished_)
         return;
     flushBlock();
+
+    // Block index: per-block offsets, row counts, column-0 ranges and
+    // digest states, self-checksummed so a skipping reader can trust
+    // the entries it navigates by.
+    const u64 index_offset = bytesWritten_;
+    Bytes index;
+    index.push_back(kIndexMarker);
+    putVarint(index, index_.size());
+    for (const auto &entry : index_) {
+        putVarint(index, entry.offset);
+        putVarint(index, entry.rows);
+        putVarint(index, entry.idMin);
+        putVarint(index, entry.idMax);
+        putU64Le(index, entry.digestAfter);
+    }
+    const u64 index_checksum =
+        fnv1aBytes(index.data() + 1, index.size() - 1);
+    putU64Le(index, index_checksum);
+    chainDigest(&chunkDigest_, index_checksum);
+    os_.write(reinterpret_cast<const char *>(index.data()),
+              static_cast<std::streamsize>(index.size()));
+    bytesWritten_ += index.size();
+
     Bytes footer;
     footer.push_back(kFooterMarker);
     putVarint(footer, totalRows_);
     putU64Le(footer, chunkDigest_);
+    // The file's final 8 bytes locate the index, so readers seek to it
+    // directly instead of scanning the blocks to find it.
+    putU64Le(footer, index_offset);
     os_.write(reinterpret_cast<const char *>(footer.data()),
               static_cast<std::streamsize>(footer.size()));
+    bytesWritten_ += footer.size();
     os_.flush();
     finished_ = true;
 }
@@ -364,7 +441,7 @@ appendSweepRow(SoniczWriter &w, const app::SweepRecord &record)
 }
 
 void
-appendFleetRow(SoniczWriter &w, const fleet::DeviceTelemetry &t)
+appendFleetCells(SoniczWriter &w, const fleet::DeviceTelemetry &t)
 {
     const auto &a = t.assignment;
     u32 c = 0;
@@ -395,6 +472,12 @@ appendFleetRow(SoniczWriter &w, const fleet::DeviceTelemetry &t)
     w.putF64(c++, t.deliverySecondsSum);
     SONIC_ASSERT(c == kFleetColumns.size(),
                  "fleet schema column walk out of sync");
+}
+
+void
+appendFleetRow(SoniczWriter &w, const fleet::DeviceTelemetry &t)
+{
+    appendFleetCells(w, t);
     w.endRow();
 }
 
@@ -748,14 +831,76 @@ materializeFleetRow(BlockReader &b, fleet::DeviceTelemetry *out)
     return true;
 }
 
+/** One column as the file declares it, resolved against this build's
+ * schema by name (kUnknownCol = a column this build does not know). */
+constexpr u64 kUnknownCol = ~0ull;
+
+struct FileColumn
+{
+    std::string name;
+    ColType type = ColType::Int;
+    u64 buildCol = kUnknownCol;
+};
+
+/** A version-2 index entry as read back. */
+struct IndexEntry
+{
+    u64 offset = 0;
+    u64 rows = 0;
+    u64 idMin = 0;
+    u64 idMax = 0;
+    u64 digestAfter = 0;
+};
+
 } // namespace
 
+/** Grants sonicz.cc's reader access to FleetBlockView's internals
+ * without exposing DecodedColumn in the public header. */
+struct FleetBlockViewAccess
+{
+    template <typename Columns>
+    static void
+    fill(FleetBlockView *view, const Columns &columns, u64 rows)
+    {
+        view->rows_ = rows;
+        view->strCols_.assign(columns.size(), nullptr);
+        view->intCols_.assign(columns.size(), nullptr);
+        view->f64Cols_.assign(columns.size(), nullptr);
+        for (u64 c = 0; c < columns.size(); ++c) {
+            switch (columns[c].type) {
+              case ColType::Str:
+                view->strCols_[c] = &columns[c].strs;
+                break;
+              case ColType::Int:
+                view->intCols_[c] = &columns[c].ints;
+                break;
+              case ColType::F64:
+                view->f64Cols_[c] = &columns[c].f64s;
+                break;
+            }
+        }
+    }
+};
+
+namespace
+{
+
+/**
+ * The shared reader core: row callbacks, the columnar fleet-block
+ * callback, or both. Handles version 1 (full scan, exact layout) and
+ * version 2 (by-name column resolution, unknown-column skipping,
+ * index-guided block pruning under a RowRange).
+ */
 bool
-readSonicz(std::istream &in,
-           const std::function<void(const app::SweepRecord &)> &onSweep,
-           const std::function<void(const fleet::DeviceTelemetry &)>
-               &onFleet,
-           SoniczInfo *info, std::string *error)
+readSoniczImpl(std::istream &in,
+               const std::function<void(const app::SweepRecord &)>
+                   &onSweep,
+               const std::function<void(const fleet::DeviceTelemetry &)>
+                   &onFleet,
+               const std::function<void(const FleetBlockView &)>
+                   &onFleetBlock,
+               SoniczInfo *info, std::string *error,
+               const RowRange *range)
 {
     std::string scratch;
     std::string &err = error != nullptr ? *error : scratch;
@@ -776,11 +921,13 @@ readSonicz(std::istream &in,
         return fail("not a .sonicz file (bad magic)");
     pos = 4;
     const u8 version = bytes[pos++];
-    if (version != kSoniczVersion)
+    if (version < kOldestReadableSoniczVersion
+        || version > kSoniczVersion)
         return fail("unsupported format version "
                     + std::to_string(version)
-                    + " (this build reads version "
-                    + std::to_string(kSoniczVersion) + ")");
+                    + " (this build reads versions "
+                    + std::to_string(kOldestReadableSoniczVersion)
+                    + ".." + std::to_string(kSoniczVersion) + ")");
     const u8 kind_byte = bytes[pos++];
     if (kind_byte != static_cast<u8>(SchemaKind::Sweep)
         && kind_byte != static_cast<u8>(SchemaKind::Fleet))
@@ -788,30 +935,55 @@ readSonicz(std::istream &in,
                     + std::to_string(kind_byte));
     const SchemaKind kind = static_cast<SchemaKind>(kind_byte);
     const auto &specs = schemaColumns(kind);
+    if (onFleetBlock && kind != SchemaKind::Fleet)
+        return fail("columnar block reads apply to fleet telemetry; "
+                    "this is a sweep file");
 
+    // Resolve the file's columns against this build's schema by NAME:
+    // unknown columns (a newer writer's additions) are tolerated and
+    // skipped; a missing or type-changed build column is an error.
     u64 column_count = 0;
     if (!getVarint(bytes, &pos, &column_count))
         return fail("truncated header");
-    if (column_count != specs.size())
-        return fail("schema declares " + std::to_string(column_count)
-                    + " columns, this build expects "
-                    + std::to_string(specs.size()));
+    if (column_count > bytes.size())
+        return fail("truncated header");
+    std::vector<FileColumn> file_cols(column_count);
+    std::vector<u64> build_to_file(specs.size(), kUnknownCol);
     for (u64 c = 0; c < column_count; ++c) {
         u64 name_len = 0;
         if (!getVarint(bytes, &pos, &name_len)
             || pos + name_len + 1 > bytes.size())
             return fail("truncated header");
-        const std::string name(
+        auto &fc = file_cols[c];
+        fc.name.assign(
             reinterpret_cast<const char *>(bytes.data() + pos),
             name_len);
         pos += name_len;
         const u8 type = bytes[pos++];
-        if (name != specs[c].name
-            || type != static_cast<u8>(specs[c].type))
-            return fail("column " + std::to_string(c) + " is '" + name
-                        + "', this build expects '" + specs[c].name
-                        + "'");
+        if (type > static_cast<u8>(ColType::F64))
+            return fail("column '" + fc.name
+                        + "' has unknown type "
+                        + std::to_string(type));
+        fc.type = static_cast<ColType>(type);
+        for (u64 b = 0; b < specs.size(); ++b) {
+            if (fc.name != specs[b].name)
+                continue;
+            if (build_to_file[b] != kUnknownCol)
+                return fail("duplicate column '" + fc.name + "'");
+            if (fc.type != specs[b].type)
+                return fail("column '" + fc.name
+                            + "' changed type; this build cannot "
+                              "read it");
+            fc.buildCol = b;
+            build_to_file[b] = c;
+            break;
+        }
     }
+    for (u64 b = 0; b < specs.size(); ++b)
+        if (build_to_file[b] == kUnknownCol)
+            return fail("missing column '"
+                        + std::string(specs[b].name)
+                        + "' (this build needs it)");
 
     SoniczInfo local_info;
     SoniczInfo &out_info = info != nullptr ? *info : local_info;
@@ -819,111 +991,174 @@ readSonicz(std::istream &in,
     out_info.kind = kind;
     out_info.version = version;
     out_info.fileBytes = bytes.size();
+    out_info.hasIndex = version >= 2;
 
-    u64 chunk_digest = 0xcbf29ce484222325ull;
+    // Version >= 2: locate and validate the block index up front (the
+    // file's final 8 bytes point at it), so the block walk below can
+    // navigate by it.
+    std::vector<IndexEntry> index;
+    u64 index_offset = 0;
+    u64 index_checksum = 0;
+    u64 footer_pos = 0;
+    const u64 header_end = pos;
+    if (version >= 2) {
+        if (bytes.size() < header_end + 8)
+            return fail("truncated file (no index trailer)");
+        u64 tail_pos = bytes.size() - 8;
+        u64 declared_offset = 0;
+        {
+            u64 p = tail_pos;
+            getU64Le(bytes, &p, &declared_offset);
+        }
+        if (declared_offset < header_end || declared_offset >= tail_pos
+            || bytes[declared_offset] != kIndexMarker)
+            return fail("bad index offset trailer (truncated or "
+                        "corrupted file)");
+        index_offset = declared_offset;
+        u64 p = index_offset + 1;
+        u64 entry_count = 0;
+        if (!getVarint(bytes, &p, &entry_count))
+            return fail("truncated index");
+        if (entry_count > bytes.size())
+            return fail("truncated index");
+        index.resize(entry_count);
+        u64 prev_offset = 0;
+        for (u64 i = 0; i < entry_count; ++i) {
+            auto &e = index[i];
+            if (!getVarint(bytes, &p, &e.offset)
+                || !getVarint(bytes, &p, &e.rows)
+                || !getVarint(bytes, &p, &e.idMin)
+                || !getVarint(bytes, &p, &e.idMax)
+                || !getU64Le(bytes, &p, &e.digestAfter))
+                return fail("truncated index");
+            if (e.idMin > e.idMax
+                || (i == 0 ? e.offset != header_end
+                           : e.offset <= prev_offset)
+                || e.offset >= index_offset)
+                return fail("index entry " + std::to_string(i)
+                            + " is inconsistent");
+            prev_offset = e.offset;
+        }
+        if (p > bytes.size() - 8)
+            return fail("truncated index");
+        index_checksum = fnv1aBytes(bytes.data() + index_offset + 1,
+                                    p - (index_offset + 1));
+        u64 declared_checksum = 0;
+        if (!getU64Le(bytes, &p, &declared_checksum))
+            return fail("truncated index");
+        if (declared_checksum != index_checksum)
+            return fail("index checksum mismatch (corrupted index)");
+        footer_pos = p;
+    }
+
+    u64 chunk_digest = kDigestBasis;
+    // Version >= 2 chains the header checksum first, covering column
+    // names the resolution loop above could not miss on its own
+    // (unknown-column names in particular).
+    if (version >= 2)
+        chainDigest(&chunk_digest,
+                    fnv1aBytes(bytes.data(), header_end));
     app::SweepRecord sweep_row;
     fleet::DeviceTelemetry fleet_row;
 
-    for (;;) {
-        if (pos >= bytes.size())
-            return fail("truncated file (missing footer — the writer "
-                        "did not finish())");
-        const u8 marker = bytes[pos++];
-        if (marker == kFooterMarker) {
-            u64 declared_rows = 0;
-            u64 declared_digest = 0;
-            if (!getVarint(bytes, &pos, &declared_rows)
-                || !getU64Le(bytes, &pos, &declared_digest))
-                return fail("truncated footer");
-            if (declared_rows != out_info.rows)
-                return fail("footer declares "
-                            + std::to_string(declared_rows)
-                            + " rows but the blocks held "
-                            + std::to_string(out_info.rows));
-            if (declared_digest != chunk_digest)
-                return fail("footer digest mismatch (blocks were "
-                            "corrupted or reordered)");
-            if (pos != bytes.size())
-                return fail("trailing garbage after the footer");
-            return true;
-        }
-        if (marker != kBlockMarker)
-            return fail("unknown block marker at byte "
-                        + std::to_string(pos - 1));
-
+    // Decode the block at *cursor (which must point at its marker),
+    // dispatch its rows or its columnar view, and advance the cursor.
+    const auto read_block = [&](u64 *cursor) -> bool {
+        u64 bpos = *cursor;
         const u64 block_index = out_info.blocks;
+        if (bpos >= bytes.size() || bytes[bpos] != kBlockMarker)
+            return fail("unknown block marker at byte "
+                        + std::to_string(bpos));
+        ++bpos;
         u64 row_count = 0;
         u64 chunk_count = 0;
-        if (!getVarint(bytes, &pos, &row_count)
-            || !getVarint(bytes, &pos, &chunk_count))
+        if (!getVarint(bytes, &bpos, &row_count)
+            || !getVarint(bytes, &bpos, &chunk_count))
             return fail("truncated block header");
-        if (chunk_count != specs.size())
+        if (chunk_count != file_cols.size())
             return fail("block " + std::to_string(block_index)
                         + " has " + std::to_string(chunk_count)
                         + " chunks, expected "
-                        + std::to_string(specs.size()));
+                        + std::to_string(file_cols.size()));
 
         BlockReader block;
         block.columns.resize(specs.size());
         for (u64 k = 0; k < chunk_count; ++k) {
+            const u64 chunk_start = bpos;
             u64 col = 0;
-            if (!getVarint(bytes, &pos, &col))
+            if (!getVarint(bytes, &bpos, &col))
                 return fail("truncated chunk header");
-            if (col >= specs.size())
+            if (col >= file_cols.size())
                 return fail("chunk names column "
                             + std::to_string(col)
-                            + " which the schema does not have");
-            if (pos >= bytes.size())
+                            + " which the file header does not "
+                              "declare");
+            const auto &fc = file_cols[col];
+            if (bpos >= bytes.size())
                 return fail("truncated chunk header");
-            const u8 codec = bytes[pos++];
+            const u8 codec = bytes[bpos++];
             u64 raw_size = 0, stored_size = 0, checksum = 0;
-            if (!getVarint(bytes, &pos, &raw_size)
-                || !getVarint(bytes, &pos, &stored_size)
-                || !getU64Le(bytes, &pos, &checksum))
+            if (!getVarint(bytes, &bpos, &raw_size)
+                || !getVarint(bytes, &bpos, &stored_size))
                 return fail("truncated chunk header");
-            if (pos + stored_size > bytes.size())
+            const u64 checksum_pos = bpos;
+            if (!getU64Le(bytes, &bpos, &checksum))
+                return fail("truncated chunk header");
+            if (bpos + stored_size > bytes.size())
                 return fail("truncated chunk payload (block "
                             + std::to_string(block_index)
-                            + ", column '" + specs[col].name + "')");
-            const u8 *payload = bytes.data() + pos;
-            pos += stored_size;
+                            + ", column '" + fc.name + "')");
+            const u8 *payload = bytes.data() + bpos;
+            bpos += stored_size;
 
-            if (fnv1aBytes(payload, stored_size) != checksum)
+            // Version >= 2 checksums the chunk header bytes too; a
+            // skipped (unknown-column) chunk has no other validation
+            // of its codec and size fields. Version 1 covered the
+            // payload alone.
+            u64 computed;
+            if (version >= 2) {
+                computed = fnv1aBytes(bytes.data() + chunk_start,
+                                      checksum_pos - chunk_start);
+                computed =
+                    fnv1aBytes(payload, stored_size, computed);
+            } else {
+                computed = fnv1aBytes(payload, stored_size);
+            }
+            if (computed != checksum)
                 return fail("checksum mismatch in block "
                             + std::to_string(block_index)
-                            + ", column '" + specs[col].name
+                            + ", column '" + fc.name
                             + "' (corrupted payload)");
-            Bytes sum_bytes;
-            putU64Le(sum_bytes, checksum);
-            for (const u8 b : sum_bytes) {
-                chunk_digest ^= b;
-                chunk_digest *= 0x100000001b3ull;
-            }
+            chainDigest(&chunk_digest, checksum);
             out_info.rawBytes += raw_size;
             out_info.storedBytes += stored_size;
+
+            // A column this build does not know: its chunk is
+            // checksum-verified and digest-chained above, then
+            // skipped — that IS the schema-evolution contract.
+            if (fc.buildCol == kUnknownCol)
+                continue;
 
             Bytes raw;
             if (codec == kCodecRaw) {
                 if (stored_size != raw_size)
                     return fail("raw chunk size mismatch (block "
                                 + std::to_string(block_index)
-                                + ", column '" + specs[col].name
-                                + "')");
+                                + ", column '" + fc.name + "')");
                 raw.assign(payload, payload + stored_size);
             } else if (codec == kCodecLz) {
                 Bytes stored(payload, payload + stored_size);
                 if (!lzDecompress(stored, raw_size, &raw))
                     return fail("LZ decode failed in block "
                                 + std::to_string(block_index)
-                                + ", column '" + specs[col].name
-                                + "'");
+                                + ", column '" + fc.name + "'");
             } else {
                 return fail("unknown codec "
                             + std::to_string(codec));
             }
 
-            auto &decoded = block.columns[col];
-            decoded.type = specs[col].type;
+            auto &decoded = block.columns[fc.buildCol];
+            decoded.type = fc.type;
             bool ok = false;
             switch (decoded.type) {
               case ColType::Str:
@@ -939,40 +1174,170 @@ readSonicz(std::istream &in,
             if (!ok)
                 return fail("column decode failed in block "
                             + std::to_string(block_index)
-                            + ", column '" + specs[col].name + "'");
+                            + ", column '" + fc.name + "'");
         }
 
-        for (u64 row = 0; row < row_count; ++row) {
-            bool ok;
-            if (kind == SchemaKind::Sweep) {
-                ok = materializeSweepRow(block, &sweep_row);
-                if (ok && onSweep)
-                    onSweep(sweep_row);
-            } else {
-                ok = materializeFleetRow(block, &fleet_row);
-                if (ok && onFleet)
-                    onFleet(fleet_row);
-            }
-            if (!ok)
-                return fail(
-                    (block.error.empty() ? "row materialization failed"
-                                         : block.error)
-                    + " (block " + std::to_string(block_index)
-                    + ", row " + std::to_string(row) + ")");
+        if (onFleetBlock) {
+            // The fleet schema is all-scalar: every column must hold
+            // exactly one value per row before the columnar view is
+            // handed out.
+            for (u64 c = 0; c < block.columns.size(); ++c)
+                if (block.columns[c].size() != row_count)
+                    return fail("column '"
+                                + std::string(specs[c].name)
+                                + "' holds "
+                                + std::to_string(
+                                      block.columns[c].size())
+                                + " values for "
+                                + std::to_string(row_count)
+                                + " rows (block "
+                                + std::to_string(block_index) + ")");
+            FleetBlockView view;
+            FleetBlockViewAccess::fill(&view, block.columns,
+                                       row_count);
+            onFleetBlock(view);
         }
-        for (u64 c = 0; c < block.columns.size(); ++c) {
-            if (block.columns[c].cursor != block.columns[c].size())
-                return fail("column '" + std::string(specs[c].name)
-                            + "' holds "
-                            + std::to_string(block.columns[c].size())
-                            + " values but the rows consumed "
-                            + std::to_string(block.columns[c].cursor)
-                            + " (block " + std::to_string(block_index)
-                            + ")");
+        if (onSweep || onFleet || !onFleetBlock) {
+            for (u64 row = 0; row < row_count; ++row) {
+                bool ok;
+                if (kind == SchemaKind::Sweep) {
+                    ok = materializeSweepRow(block, &sweep_row);
+                    if (ok && onSweep)
+                        onSweep(sweep_row);
+                } else {
+                    ok = materializeFleetRow(block, &fleet_row);
+                    if (ok && onFleet)
+                        onFleet(fleet_row);
+                }
+                if (!ok)
+                    return fail((block.error.empty()
+                                     ? "row materialization failed"
+                                     : block.error)
+                                + " (block "
+                                + std::to_string(block_index)
+                                + ", row " + std::to_string(row)
+                                + ")");
+            }
+            for (u64 c = 0; c < block.columns.size(); ++c) {
+                if (block.columns[c].cursor
+                    != block.columns[c].size())
+                    return fail(
+                        "column '" + std::string(specs[c].name)
+                        + "' holds "
+                        + std::to_string(block.columns[c].size())
+                        + " values but the rows consumed "
+                        + std::to_string(block.columns[c].cursor)
+                        + " (block " + std::to_string(block_index)
+                        + ")");
+            }
         }
         out_info.rows += row_count;
         ++out_info.blocks;
+        *cursor = bpos;
+        (void)row_count;
+        return true;
+    };
+
+    if (version >= 2) {
+        // Index-guided walk: every block's observed position, row
+        // count and digest state must match its index entry; blocks
+        // outside the row range are skipped undecoded by trusting the
+        // (checksummed) entry instead.
+        for (u64 i = 0; i < index.size(); ++i) {
+            const auto &e = index[i];
+            if (pos != e.offset)
+                return fail("index entry " + std::to_string(i)
+                            + " points at byte "
+                            + std::to_string(e.offset)
+                            + " but the blocks end at "
+                            + std::to_string(pos));
+            const bool prune = range != nullptr
+                && (e.idMax < range->lo || e.idMin > range->hi);
+            if (prune) {
+                pos = i + 1 < index.size() ? index[i + 1].offset
+                                           : index_offset;
+                chunk_digest = e.digestAfter;
+                out_info.rows += e.rows;
+                ++out_info.blocks;
+                ++out_info.blocksSkipped;
+                continue;
+            }
+            const u64 rows_before = out_info.rows;
+            if (!read_block(&pos))
+                return false;
+            if (out_info.rows - rows_before != e.rows)
+                return fail("index entry " + std::to_string(i)
+                            + " declares " + std::to_string(e.rows)
+                            + " rows but the block held "
+                            + std::to_string(out_info.rows
+                                             - rows_before));
+            if (chunk_digest != e.digestAfter)
+                return fail("index digest mismatch after block "
+                            + std::to_string(i)
+                            + " (corrupted index or blocks)");
+        }
+        if (pos != index_offset)
+            return fail("blocks do not end at the index (corrupted "
+                        "file)");
+        chainDigest(&chunk_digest, index_checksum);
+        pos = footer_pos;
+    } else {
+        for (;;) {
+            if (pos >= bytes.size())
+                return fail("truncated file (missing footer — the "
+                            "writer did not finish())");
+            if (bytes[pos] == kFooterMarker)
+                break;
+            if (!read_block(&pos))
+                return false;
+        }
     }
+
+    if (pos >= bytes.size() || bytes[pos] != kFooterMarker)
+        return fail("truncated file (missing footer — the writer "
+                    "did not finish())");
+    ++pos;
+    u64 declared_rows = 0;
+    u64 declared_digest = 0;
+    if (!getVarint(bytes, &pos, &declared_rows)
+        || !getU64Le(bytes, &pos, &declared_digest))
+        return fail("truncated footer");
+    if (declared_rows != out_info.rows)
+        return fail("footer declares " + std::to_string(declared_rows)
+                    + " rows but the blocks held "
+                    + std::to_string(out_info.rows));
+    if (declared_digest != chunk_digest)
+        return fail("footer digest mismatch (blocks were corrupted "
+                    "or reordered)");
+    if (version >= 2)
+        pos += 8; // the index offset trailer, validated up front
+    if (pos != bytes.size())
+        return fail("trailing garbage after the footer");
+    return true;
+}
+
+} // namespace
+
+bool
+readSonicz(std::istream &in,
+           const std::function<void(const app::SweepRecord &)> &onSweep,
+           const std::function<void(const fleet::DeviceTelemetry &)>
+               &onFleet,
+           SoniczInfo *info, std::string *error, const RowRange *range)
+{
+    return readSoniczImpl(in, onSweep, onFleet, nullptr, info, error,
+                          range);
+}
+
+bool
+readFleetBlocks(std::istream &in,
+                const std::function<void(const FleetBlockView &)>
+                    &onBlock,
+                SoniczInfo *info, std::string *error,
+                const RowRange *range)
+{
+    return readSoniczImpl(in, nullptr, nullptr, onBlock, info, error,
+                          range);
 }
 
 } // namespace sonic::telemetry

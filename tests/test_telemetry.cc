@@ -16,10 +16,12 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <random>
 #include <sstream>
 
+#include "telemetry/aggregate.hh"
 #include "telemetry/cat.hh"
 #include "telemetry/codec.hh"
 #include "telemetry/sonicz.hh"
@@ -612,12 +614,283 @@ TEST(Sonicz, EverySingleByteCorruptionIsRejected)
             << "flip at byte " << i << " was accepted";
     }
 
-    // Trailing garbage after the footer is also corruption.
+    // Trailing garbage after the footer is also corruption: appended
+    // bytes shift the index-offset trailer off its position.
     std::istringstream in(packed + "x");
     std::string error;
     EXPECT_FALSE(
         telemetry::readSonicz(in, nullptr, nullptr, nullptr, &error));
-    EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+    EXPECT_FALSE(error.empty());
+}
+
+// --- Schema evolution and the block index ---------------------------
+
+#ifdef SONIC_GOLDEN_DIR
+/** The checked-in version-1 file (no block index, written before the
+ * format grew one) must keep reading byte-for-byte — the oldest
+ * telemetry a deployment archived is the telemetry the planner will
+ * one day be asked to ingest. */
+TEST(Sonicz, ReadsVersion1GoldenFixtureByteForByte)
+{
+    std::ifstream sonicz(SONIC_GOLDEN_DIR "/fleet_v1.sonicz",
+                         std::ios::binary);
+    ASSERT_TRUE(sonicz) << "missing golden fixture";
+    std::ostringstream packed_os;
+    packed_os << sonicz.rdbuf();
+    const std::string packed = packed_os.str();
+
+    std::ifstream csv(SONIC_GOLDEN_DIR "/fleet_v1.csv",
+                      std::ios::binary);
+    ASSERT_TRUE(csv) << "missing golden CSV";
+    std::ostringstream golden_os;
+    golden_os << csv.rdbuf();
+    const std::string golden = golden_os.str();
+
+    telemetry::CatOptions options;
+    EXPECT_EQ(catToString(packed, options), golden);
+
+    std::istringstream in(packed);
+    telemetry::SoniczInfo info;
+    std::string error;
+    ASSERT_TRUE(
+        telemetry::readSonicz(in, nullptr, nullptr, &info, &error))
+        << error;
+    EXPECT_EQ(info.version, 1u);
+    EXPECT_FALSE(info.hasIndex);
+    EXPECT_EQ(info.blocksSkipped, 0u);
+
+    // A device range on a version-1 file falls back to the full scan
+    // but still filters: compare against filtering the golden CSV by
+    // its leading device-index field.
+    telemetry::CatOptions ranged;
+    ranged.hasRange = true;
+    ranged.rangeLo = 10;
+    ranged.rangeHi = 25;
+    std::string expected;
+    std::istringstream lines(golden);
+    std::string line;
+    bool header = true;
+    while (std::getline(lines, line)) {
+        if (header) {
+            expected += line + "\n";
+            header = false;
+            continue;
+        }
+        const u64 device = std::stoull(line);
+        if (device >= ranged.rangeLo && device <= ranged.rangeHi)
+            expected += line + "\n";
+    }
+    EXPECT_EQ(catToString(packed, ranged), expected);
+}
+#endif
+
+TEST(Sonicz, UnknownTrailingColumnsAreTolerated)
+{
+    // Write the file a FUTURE build with a wider fleet schema would
+    // write; today's reader must deliver the columns it knows and skip
+    // the rest (resolution is by name, not position).
+    std::mt19937_64 rng(0xfadd);
+    std::vector<fleet::DeviceTelemetry> rows;
+    for (u32 i = 0; i < 300; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+
+    const std::vector<telemetry::ColumnSpec> extra = {
+        {"future_metric", telemetry::ColType::F64},
+        {"future_tag", telemetry::ColType::Str},
+    };
+    std::ostringstream os;
+    telemetry::SoniczWriter writer(os, telemetry::SchemaKind::Fleet,
+                                   extra);
+    const u32 base = telemetry::fleetcol::kColumnCount;
+    for (const auto &row : rows) {
+        telemetry::appendFleetCells(writer, row);
+        writer.putF64(base, randomF64(rng));
+        writer.putStr(base + 1, "vNext");
+        writer.endRow();
+    }
+    writer.finish();
+    const std::string packed = os.str();
+
+    telemetry::CatOptions options;
+    EXPECT_EQ(catToString(packed, options),
+              directFleetOutput(rows, /*json=*/false));
+
+    // The skipped columns stay under the integrity umbrella: flipping
+    // any byte of the file — unknown-column payloads included — is
+    // still rejected.
+    std::ostringstream small_os;
+    telemetry::SoniczWriter small(small_os,
+                                  telemetry::SchemaKind::Fleet, extra);
+    for (u32 i = 0; i < 4; ++i) {
+        telemetry::appendFleetCells(small, rows[i]);
+        small.putF64(base, randomF64(rng));
+        small.putStr(base + 1, "vNext");
+        small.endRow();
+    }
+    small.finish();
+    const std::string small_packed = small_os.str();
+    for (u64 i = 0; i < small_packed.size(); ++i) {
+        std::string mutated = small_packed;
+        mutated[i] = static_cast<char>(mutated[i] ^ 0x5a);
+        std::istringstream in(mutated);
+        std::string error;
+        EXPECT_FALSE(telemetry::readSonicz(in, nullptr, nullptr,
+                                           nullptr, &error))
+            << "flip at byte " << i << " was accepted";
+    }
+}
+
+TEST(Sonicz, IndexPruningMatchesFullScanAndSkipsBlocks)
+{
+    std::mt19937_64 rng(0x1d5);
+    std::vector<fleet::DeviceTelemetry> rows;
+    const u32 per_block = telemetry::SoniczWriter::kRowsPerBlock;
+    const u32 count = per_block * 2 + 500; // three blocks
+    for (u32 i = 0; i < count; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+    const std::string packed = packFleet(rows);
+
+    // A range inside the last block must skip the first two blocks
+    // undecoded yet deliver exactly the rows a full scan filters to.
+    telemetry::CatOptions ranged;
+    ranged.hasRange = true;
+    ranged.rangeLo = per_block * 2 + 100;
+    ranged.rangeHi = per_block * 2 + 200;
+    std::vector<fleet::DeviceTelemetry> kept;
+    for (const auto &row : rows)
+        if (row.assignment.deviceIndex >= ranged.rangeLo
+            && row.assignment.deviceIndex <= ranged.rangeHi)
+            kept.push_back(row);
+    EXPECT_EQ(catToString(packed, ranged),
+              directFleetOutput(kept, /*json=*/false));
+
+    std::istringstream in(packed);
+    telemetry::SoniczInfo info;
+    std::string error;
+    const telemetry::RowRange range{ranged.rangeLo, ranged.rangeHi};
+    ASSERT_TRUE(telemetry::readSonicz(in, nullptr, nullptr, &info,
+                                      &error, &range))
+        << error;
+    EXPECT_TRUE(info.hasIndex);
+    EXPECT_EQ(info.blocksSkipped, 2u);
+    EXPECT_EQ(info.rows, count); // skipped rows still counted
+
+    // Without a range every block is decoded (and checksum-verified).
+    std::istringstream full(packed);
+    ASSERT_TRUE(telemetry::readSonicz(full, nullptr, nullptr, &info,
+                                      &error))
+        << error;
+    EXPECT_EQ(info.blocksSkipped, 0u);
+    EXPECT_EQ(info.blocks, 3u);
+}
+
+// --- Streaming aggregation ------------------------------------------
+
+void
+expectGroupStatsEqual(const fleet::GroupStats &a,
+                      const fleet::GroupStats &b)
+{
+    EXPECT_EQ(a.devices, b.devices);
+    EXPECT_EQ(a.dnfDevices, b.dnfDevices);
+    EXPECT_EQ(a.failedDevices, b.failedDevices);
+    EXPECT_EQ(a.inferences, b.inferences);
+    EXPECT_EQ(a.reboots, b.reboots);
+    // Bit-exact: the fold visits rows in the same device order the
+    // summary reduction did, so the f64 sums must be identical.
+    EXPECT_EQ(std::bit_cast<u64>(a.liveSeconds),
+              std::bit_cast<u64>(b.liveSeconds));
+    EXPECT_EQ(std::bit_cast<u64>(a.deadSeconds),
+              std::bit_cast<u64>(b.deadSeconds));
+    EXPECT_EQ(std::bit_cast<u64>(a.energyJ),
+              std::bit_cast<u64>(b.energyJ));
+    EXPECT_EQ(std::bit_cast<u64>(a.harvestedJ),
+              std::bit_cast<u64>(b.harvestedJ));
+    EXPECT_EQ(a.resultsDelivered, b.resultsDelivered);
+    EXPECT_EQ(a.txGaveUpDevices, b.txGaveUpDevices);
+    EXPECT_EQ(a.txAttempts, b.txAttempts);
+    EXPECT_EQ(a.txRetries, b.txRetries);
+    EXPECT_EQ(std::bit_cast<u64>(a.radioEnergyJ),
+              std::bit_cast<u64>(b.radioEnergyJ));
+    EXPECT_EQ(std::bit_cast<u64>(a.senseEnergyJ),
+              std::bit_cast<u64>(b.senseEnergyJ));
+    EXPECT_EQ(std::bit_cast<u64>(a.txBackoffSeconds),
+              std::bit_cast<u64>(b.txBackoffSeconds));
+}
+
+TEST(TelemetryAggregate, MatchesRunFleetGroupStats)
+{
+    fleet::FleetPlan plan;
+    plan.devices = 30;
+    plan.nets = {"MNIST", "HAR"};
+    plan.impls = {kernels::Impl::Sonic, kernels::Impl::Tails};
+    plan.environments = {{"solar", 1e-3}, {"rf-paper", 100e-6}};
+    plan.pipelines = {"wildlife", "infer-only"};
+    plan.maxInferencesPerDevice = 1;
+
+    std::ostringstream os;
+    telemetry::SoniczFleetSink sink(os);
+    const auto summary = fleet::runFleet(plan, {}, {&sink});
+
+    std::istringstream in(os.str());
+    fleet::FleetSummary folded;
+    std::string error;
+    ASSERT_TRUE(telemetry::aggregate(in, &folded, &error)) << error;
+
+    EXPECT_EQ(folded.devices, summary.devices);
+    expectGroupStatsEqual(folded.total, summary.total);
+    const auto expect_groups =
+        [](const std::map<std::string, fleet::GroupStats> &got,
+           const std::map<std::string, fleet::GroupStats> &want) {
+            ASSERT_EQ(got.size(), want.size());
+            for (const auto &[name, stats] : want) {
+                const auto it = got.find(name);
+                ASSERT_NE(it, got.end()) << "missing group " << name;
+                expectGroupStatsEqual(it->second, stats);
+            }
+        };
+    expect_groups(folded.byEnvironment, summary.byEnvironment);
+    expect_groups(folded.byImpl, summary.byImpl);
+    expect_groups(folded.byNet, summary.byNet);
+    expect_groups(folded.byPipeline, summary.byPipeline);
+
+    // Telemetry does not carry the horizon, the seed, or per-round
+    // latencies; the fold leaves them zero rather than guessing.
+    EXPECT_EQ(folded.horizonSeconds, 0.0);
+    EXPECT_EQ(folded.baseSeed, 0u);
+    EXPECT_EQ(folded.latencyP50Seconds, 0.0);
+
+    // soniczSummary is the same fold behind the --summary flag.
+    std::istringstream again(os.str());
+    std::ostringstream text;
+    telemetry::CatOptions options;
+    ASSERT_TRUE(
+        telemetry::soniczSummary(again, text, options, &error))
+        << error;
+    EXPECT_EQ(text.str(), folded.toJson());
+}
+
+TEST(SonicCat, SummaryRejectsStringFiltersAndSweepFiles)
+{
+    std::mt19937_64 rng(0x5f);
+    const std::string fleet_packed =
+        packFleet({randomFleetTelemetry(rng, 0)});
+
+    telemetry::CatOptions with_filter;
+    with_filter.impl = "SONIC";
+    std::istringstream in(fleet_packed);
+    std::ostringstream out;
+    std::string error;
+    EXPECT_FALSE(
+        telemetry::soniczSummary(in, out, with_filter, &error));
+    EXPECT_FALSE(error.empty());
+
+    const std::string sweep_packed =
+        packSweep({randomSweepRecord(rng, 0)});
+    std::istringstream sweep_in(sweep_packed);
+    error.clear();
+    EXPECT_FALSE(
+        telemetry::soniczSummary(sweep_in, out, {}, &error));
+    EXPECT_FALSE(error.empty());
 }
 
 TEST(Sonicz, RejectsForeignMagicAndVersions)
