@@ -9,6 +9,7 @@
 #include "arch/memory.hh"
 #include "dnn/device_net.hh"
 #include "util/fmt.hh"
+#include "util/progress.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -295,12 +296,17 @@ Engine::run(const SweepPlan &plan,
     const u32 workers = static_cast<u32>(
         std::min<u64>(threadCount(), total ? total : 1));
 
+    std::atomic<u64> specs_done{0};
+    util::ProgressMeter progress("sweep", "coordinates", total,
+                                 &specs_done, options_.progress);
+
     if (workers <= 1) {
         for (u64 i = 0; i < total; ++i) {
             SweepRecord record;
             record.planIndex = static_cast<u32>(i);
             record.spec = specs[i];
             record.result = runOne(specs[i]);
+            specs_done.fetch_add(1, std::memory_order_relaxed);
             for (auto *sink : allSinks)
                 sink->add(record);
         }
@@ -319,6 +325,7 @@ Engine::run(const SweepPlan &plan,
                 record->planIndex = static_cast<u32>(i);
                 record->spec = specs[i];
                 record->result = runOne(specs[i]);
+                specs_done.fetch_add(1, std::memory_order_relaxed);
 
                 // Publish, then flush the contiguous finished prefix
                 // in plan order so sinks see a deterministic stream.

@@ -103,6 +103,10 @@ struct EngineOptions
 {
     /** Worker threads for sweeps; 0 = hardware concurrency. */
     u32 threads = 0;
+
+    /** Heartbeat coordinates/s + ETA line on stderr while the sweep
+     * runs (sonic_sweep --progress). */
+    bool progress = false;
 };
 
 /**

@@ -52,6 +52,7 @@ usage()
            "                   [--profiles=standard,no-lea,...]\n"
            "                   [--samples=N] [--seed=S]\n"
            "                   [--threads=T] [--digests]\n"
+           "                   [--progress]\n"
            "                   [--from-plan=PLAN.json]\n"
            "                   [--csv=PATH] [--json=PATH]\n"
            "                   [--sonicz=PATH]\n";
@@ -131,6 +132,8 @@ main(int argc, char **argv)
             } else if (consumeFlag(arg, "--threads", &value)) {
                 engine_options.threads =
                     static_cast<u32>(std::stoul(value));
+            } else if (arg == "--progress") {
+                engine_options.progress = true;
             } else if (arg == "--digests") {
                 plan.captureNvmDigests(true);
             } else if (consumeFlag(arg, "--csv", &value)) {
@@ -174,8 +177,10 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << sonicz_path << "\n";
             return 2;
         }
-        sonicz_sink =
-            std::make_unique<telemetry::SoniczSweepSink>(sonicz_file);
+        // Parallel block encoding: byte-identical to serial, so the
+        // sweep worker count is a safe default.
+        sonicz_sink = std::make_unique<telemetry::SoniczSweepSink>(
+            sonicz_file, engine_options.threads);
         sinks.push_back(sonicz_sink.get());
     }
 

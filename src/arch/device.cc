@@ -45,6 +45,8 @@ Device::consumeSlow(f64 nj)
     settleLease();
     if (!power_->draw(nj)) {
         ++rebootPending_;
+        if (probe_ != nullptr)
+            probe_->onPowerFailure(*this);
         throw PowerFailure();
     }
     if (leaseEnabled_) {
@@ -53,6 +55,8 @@ Device::consumeSlow(f64 nj)
         leaseOps_ = lease.ops;
         grantedOps_ = lease.ops;
         leaseOutstanding_ = true;
+        if (probe_ != nullptr)
+            probe_->onLeaseGrant(*this, leaseNj_, leaseOps_);
     }
 }
 
@@ -64,6 +68,8 @@ Device::settleLease() const
     if (!leaseOutstanding_)
         return;
     power_->settle(leaseNj_, leaseUsedNj_, grantedOps_ - leaseOps_);
+    if (probe_ != nullptr)
+        probe_->onLeaseSettle(*this, leaseUsedNj_);
     leaseOutstanding_ = false;
     leaseOps_ = 0;
     grantedOps_ = 0;
@@ -180,11 +186,16 @@ Device::reboot()
     const f64 live = liveSeconds();
     power_->elapse(live - liveSecondsNotified_);
     liveSecondsNotified_ = live;
-    deadSeconds_ += power_->recharge();
+    const f64 dead = power_->recharge();
+    deadSeconds_ += dead;
+    if (probe_ != nullptr)
+        probe_->onRecharge(*this, dead);
     for (auto *v : volatiles_)
         v->onReboot(rebootCount_);
     if (rebootHook_)
         rebootHook_(*this, rebootCount_);
+    if (probe_ != nullptr)
+        probe_->onReboot(*this, rebootCount_);
 }
 
 } // namespace sonic::arch

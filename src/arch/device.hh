@@ -20,6 +20,7 @@
 #include "arch/nvm_digest.hh"
 #include "arch/op.hh"
 #include "arch/power.hh"
+#include "arch/probe.hh"
 #include "arch/stats.hh"
 #include "util/types.hh"
 
@@ -115,6 +116,8 @@ class Device
     void
     setLayer(u16 layer)
     {
+        if (probe_ != nullptr && layer != layer_)
+            probe_->onLayer(*this, layer);
         layer_ = layer;
         bucket_ = &stats_.bucketRef(layer_, part_);
     }
@@ -122,6 +125,8 @@ class Device
     void
     setPart(Part part)
     {
+        if (probe_ != nullptr && part != part_)
+            probe_->onPart(*this, part);
         part_ = part;
         bucket_ = &stats_.bucketRef(layer_, part_);
     }
@@ -185,6 +190,19 @@ class Device
      */
     using RebootHook = std::function<void(Device &, u64 reboot_index)>;
     void setRebootHook(RebootHook hook) { rebootHook_ = std::move(hook); }
+    /// @}
+
+    /** @name Event tracing (src/trace) */
+    /// @{
+
+    /**
+     * Install/clear the trace probe (non-owning; the caller keeps it
+     * alive for the Device's lifetime or until cleared). Null — the
+     * default — keeps every call site on its single-branch fast path;
+     * consume() itself never checks the probe at all.
+     */
+    void setProbe(TraceProbe *probe) { probe_ = probe; }
+    TraceProbe *probe() const { return probe_; }
     /// @}
 
     /**
@@ -283,6 +301,7 @@ class Device
     std::vector<VolatileResettable *> volatiles_;
     std::vector<const NvmDigestible *> nonVolatiles_;
     RebootHook rebootHook_;
+    TraceProbe *probe_ = nullptr;
 };
 
 /** RAII: set the device's attribution layer, restoring on scope exit. */

@@ -11,7 +11,9 @@
 
 #include "dnn/device_net.hh"
 #include "fleet/round_cache.hh"
+#include "trace/trace.hh"
 #include "util/fmt.hh"
+#include "util/progress.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -160,6 +162,9 @@ struct SimContext
     LifetimeCache *lifetimeCache = nullptr;
     std::atomic<u64> *uncachedRounds = nullptr;
     bool verify = false;
+    /** Event recorder when this device is trace-sampled; forces fully
+     * unmemoized execution so cache state is untouched. */
+    trace::TraceRecorder *recorder = nullptr;
 };
 
 /** A real round's full result: the clock-independent trace plus the
@@ -256,14 +261,20 @@ simulateDeviceImpl(const FleetPlan &plan, u32 device_index,
     // subclasses with unknown behavior.
     const bool ack_invariant = pipeline::ackInvariant(spec);
     auto *harvest = dynamic_cast<env::HarvestSupply *>(supply.get());
-    const bool round_cacheable = ctx.roundCache != nullptr
+    // Traced devices run every round for real: replaying a memoized
+    // round would produce telemetry but no events, and inserting their
+    // rounds would be redundant — so sampling leaves the caches
+    // exactly as an untraced run would populate them.
+    const bool round_cacheable = ctx.recorder == nullptr
+        && ctx.roundCache != nullptr
         && harvest != nullptr
         && typeid(*supply) == typeid(env::HarvestSupply)
         && ack_invariant;
 
     // Always-on supplies never reboot and never consult a clock: the
     // whole lifetime is one cache entry.
-    const bool lifetime_cacheable = ctx.lifetimeCache != nullptr
+    const bool lifetime_cacheable = ctx.recorder == nullptr
+        && ctx.lifetimeCache != nullptr
         && typeid(*supply) == typeid(arch::ContinuousPower)
         && ack_invariant;
     const LifetimeCache::Key life_key{
@@ -290,6 +301,13 @@ simulateDeviceImpl(const FleetPlan &plan, u32 device_index,
                 app::makeProfile(plan.profile),
                 std::make_unique<RecordingSupply>(
                     supply.get(), &run.trace.liveDeltas));
+            if (ctx.recorder != nullptr) {
+                // Each round gets a fresh Device whose clocks restart
+                // at zero; the base offsets lift its stamps onto the
+                // lifetime timeline accrued so far.
+                ctx.recorder->setBase(t.totalSeconds(), t.energyJ);
+                dev.setProbe(ctx.recorder);
+            }
             dnn::DeviceNetwork net(dev, net_spec);
             const auto round = pipeline::runRound(
                 net, t.assignment.impl,
@@ -376,9 +394,19 @@ simulateDeviceImpl(const FleetPlan &plan, u32 device_index,
         const f64 remaining = plan.horizonSeconds - t.totalSeconds();
         if (recharge_dead >= remaining) {
             t.deadSeconds += std::max(remaining, 0.0);
+            // The horizon-clipped final sleep happens outside any
+            // Device, so the recorder takes it directly.
+            if (ctx.recorder != nullptr)
+                ctx.recorder->record(trace::TraceEventKind::Recharge,
+                                     0, t.totalSeconds(), t.energyJ,
+                                     std::max(remaining, 0.0));
             break;
         }
         t.deadSeconds += recharge_dead;
+        if (ctx.recorder != nullptr && recharge_dead > 0.0)
+            ctx.recorder->record(trace::TraceEventKind::Recharge, 0,
+                                 t.totalSeconds(), t.energyJ,
+                                 recharge_dead);
 
         bool round_done = false;
         bool keep_going = true;
@@ -414,6 +442,7 @@ simulateDeviceImpl(const FleetPlan &plan, u32 device_index,
             if (round_cacheable) {
                 ctx.roundCache->countMiss();
             } else if (!lifetime_cacheable
+                       && ctx.recorder == nullptr
                        && ctx.uncachedRounds != nullptr
                        && (ctx.roundCache != nullptr
                            || ctx.lifetimeCache != nullptr)) {
@@ -792,6 +821,23 @@ runFleet(const FleetPlan &plan, FleetOptions options,
     ctx.uncachedRounds = &uncached_rounds;
     ctx.verify = options.verifyCache;
 
+    // Trace sampling: device i is traced iff i % traceEvery == 0, a
+    // pure function of the index, so the sampled set (and the bytes
+    // the collector later writes, in device order) is identical for
+    // every thread count.
+    const bool tracing =
+        options.traces != nullptr && plan.traceEvery > 0;
+    const auto context_for = [&](u64 i) {
+        SimContext dev_ctx = ctx;
+        if (tracing && i % plan.traceEvery == 0)
+            dev_ctx.recorder = options.traces->recorderFor(i);
+        return dev_ctx;
+    };
+
+    std::atomic<u64> devices_done{0};
+    util::ProgressMeter progress("fleet", "devices", total,
+                                 &devices_done, options.progress);
+
     // Worker-local latency buffers, merged and sorted after the join:
     // the percentile inputs form the same multiset under every
     // schedule, and sorting a multiset of finite f64s is a pure
@@ -802,8 +848,9 @@ runFleet(const FleetPlan &plan, FleetOptions options,
 
     if (workers <= 1) {
         for (u64 i = 0; i < total; ++i) {
-            const DeviceTelemetry t =
-                simulateDeviceImpl(plan, static_cast<u32>(i), ctx);
+            const DeviceTelemetry t = simulateDeviceImpl(
+                plan, static_cast<u32>(i), context_for(i));
+            devices_done.fetch_add(1, std::memory_order_relaxed);
             columns.store(i, t);
             worker_latencies[0].insert(worker_latencies[0].end(),
                                        t.inferenceSeconds.begin(),
@@ -833,8 +880,9 @@ runFleet(const FleetPlan &plan, FleetOptions options,
                 const u64 i = next.fetch_add(1);
                 if (i >= total)
                     return;
-                const DeviceTelemetry t =
-                    simulateDeviceImpl(plan, static_cast<u32>(i), ctx);
+                const DeviceTelemetry t = simulateDeviceImpl(
+                    plan, static_cast<u32>(i), context_for(i));
+                devices_done.fetch_add(1, std::memory_order_relaxed);
                 columns.store(i, t);
                 worker_latencies[w].insert(
                     worker_latencies[w].end(),

@@ -39,6 +39,11 @@
 #include "env/environment.hh"
 #include "pipeline/pipeline.hh"
 
+namespace sonic::trace
+{
+class TraceCollector; // src/trace/trace.hh; fleet.cc sees the full type
+}
+
 namespace sonic::fleet
 {
 
@@ -92,6 +97,18 @@ struct FleetPlan
 
     app::ProfileVariant profile = app::ProfileVariant::Standard;
     u64 baseSeed = 0x5eed;
+
+    /**
+     * Trace 1-in-N devices (0 = tracing off). Device i is sampled iff
+     * `traceEvery > 0 && i % traceEvery == 0`, a pure function of the
+     * index — independent of thread count, like assignmentFor. Sampled
+     * devices run fully unmemoized (they neither read nor write the
+     * round/lifetime caches) so cache contents and the telemetry of
+     * every other device are untouched by sampling; their own
+     * telemetry is bit-identical too, by the cache soundness
+     * invariant. Takes effect only when FleetOptions::traces is set.
+     */
+    u32 traceEvery = 0;
 
     /**
      * Planned kernel assignment (sonic_plan output): maps a coordinate
@@ -510,6 +527,19 @@ struct FleetOptions
 #else
     bool verifyCache = false;
 #endif
+
+    /**
+     * Event-trace collector for the devices FleetPlan::traceEvery
+     * samples; null (the default) disables tracing entirely — no
+     * probes are attached and the simulation paths are the exact
+     * pre-trace ones. The collector outlives the run and is written
+     * by the caller (device order, thread-count independent).
+     */
+    trace::TraceCollector *traces = nullptr;
+
+    /** Heartbeat devices/s + ETA line on stderr while the fleet runs
+     * (sonic_fleet --progress). */
+    bool progress = false;
 };
 
 /** A named, ready-to-run deployment (sonic_fleet --scenario=...). */

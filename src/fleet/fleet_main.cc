@@ -31,11 +31,13 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fleet/fleet.hh"
 #include "plan/plan.hh"
 #include "telemetry/sonicz.hh"
+#include "trace/trace.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -46,6 +48,15 @@ namespace
 using namespace sonic;
 using cli::consumeFlag;
 using cli::splitCsv;
+
+/** The worker count runFleet resolves 0 to. */
+u32
+effectiveThreads(u32 requested)
+{
+    return requested > 0
+        ? requested
+        : std::max(1u, std::thread::hardware_concurrency());
+}
 
 int
 usage()
@@ -63,6 +74,8 @@ usage()
            "                   [--summary=PATH]\n"
            "                   [--from-plan=PLAN.json]\n"
            "                   [--trace=NAME=FILE] [--allow-zero]\n"
+           "                   [--trace-out=RUN.sonictrace]\n"
+           "                   [--trace-every=N] [--progress]\n"
            "                   [--require-delivered]\n"
            "                   [--list-envs] [--list-scenarios]\n"
            "                   [--list-pipelines]\n";
@@ -80,6 +93,7 @@ main(int argc, char **argv)
     bool require_delivered = false;
     bool require_cache_hits = false;
     std::string csv_path, json_path, sonicz_path, summary_path;
+    std::string trace_out_path;
     std::vector<std::string> trace_args;
     std::string value;
 
@@ -204,6 +218,13 @@ main(int argc, char **argv)
                     static_cast<u32>(std::stoul(value));
             } else if (consumeFlag(arg, "--seed", &value)) {
                 plan.baseSeed = std::stoull(value);
+            } else if (consumeFlag(arg, "--trace-out", &value)) {
+                trace_out_path = value;
+            } else if (consumeFlag(arg, "--trace-every", &value)) {
+                plan.traceEvery =
+                    static_cast<u32>(std::stoul(value));
+            } else if (arg == "--progress") {
+                options.progress = true;
             } else if (consumeFlag(arg, "--csv", &value)) {
                 csv_path = value;
             } else if (consumeFlag(arg, "--json", &value)) {
@@ -257,12 +278,37 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << sonicz_path << "\n";
             return 2;
         }
-        sonicz_sink =
-            std::make_unique<telemetry::SoniczFleetSink>(sonicz_file);
+        // Block encoding fans out across the worker count the fleet
+        // itself uses; the bytes are identical either way.
+        sonicz_sink = std::make_unique<telemetry::SoniczFleetSink>(
+            sonicz_file, effectiveThreads(options.threads));
         sinks.push_back(sonicz_sink.get());
     }
 
+    trace::TraceCollector collector;
+    if (!trace_out_path.empty()) {
+        if (plan.traceEvery == 0)
+            plan.traceEvery = 16; // sample 1-in-16 by default
+        options.traces = &collector;
+    } else if (plan.traceEvery != 0) {
+        std::cerr << "--trace-every without --trace-out does "
+                     "nothing\n";
+    }
+
     const auto summary = fleet::runFleet(plan, options, sinks);
+
+    if (!trace_out_path.empty()) {
+        std::ofstream trace_file(trace_out_path, std::ios::binary);
+        if (!trace_file) {
+            std::cerr << "cannot write " << trace_out_path << "\n";
+            return 2;
+        }
+        collector.write(trace_file,
+                        effectiveThreads(options.threads));
+        std::cout << "trace: " << collector.devices() << " devices, "
+                  << collector.events() << " events -> "
+                  << trace_out_path << "\n";
+    }
 
     // Human-readable deployment report. Cache telemetry goes to
     // stdout only — the JSON artifact must stay byte-identical between

@@ -142,11 +142,37 @@ implTileSize(Impl impl)
     return info ? info->tileSize : 0;
 }
 
+namespace
+{
+
+/** Closes the Infer trace span even when a PowerFailure unwinds out of
+ * the kernel (Base aborts mid-run; the caller reboots and retries). */
+struct InferSpanGuard
+{
+    arch::Device &dev;
+    u32 arg;
+
+    ~InferSpanGuard()
+    {
+        if (auto *p = dev.probe())
+            p->onSpanEnd(dev, arch::ProbeSpan::Infer, arg,
+                         dev.consumedJoules());
+    }
+};
+
+} // namespace
+
 RunResult
 runInference(dnn::DeviceNetwork &net, Impl impl)
 {
     const auto *info = ImplRegistry::instance().find(impl);
     SONIC_ASSERT(info != nullptr, "unregistered Impl");
+    arch::Device &dev = net.dev();
+    if (dev.probe() == nullptr) [[likely]]
+        return info->entry(net, info->tileSize);
+    dev.probe()->onSpanBegin(dev, arch::ProbeSpan::Infer,
+                             static_cast<u32>(impl));
+    InferSpanGuard guard{dev, static_cast<u32>(impl)};
     return info->entry(net, info->tileSize);
 }
 

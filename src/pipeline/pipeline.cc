@@ -20,7 +20,40 @@ notifyBoundary(arch::Device &dev, TxBoundary boundary)
 {
     if (tTxObserver != nullptr)
         tTxObserver->onBoundary(dev, boundary);
+    if (auto *p = dev.probe())
+        p->onInstant(dev, arch::ProbeInstant::TxBoundary,
+                     static_cast<u32>(boundary));
 }
+
+/**
+ * Emits a span-begin now and the matching end on scope exit, so a
+ * PowerFailure unwinding out of a stage still leaves balanced spans
+ * (the re-executed stage opens a fresh one).
+ */
+class SpanGuard
+{
+  public:
+    SpanGuard(arch::Device &dev, arch::ProbeSpan span, u32 arg)
+        : dev_(dev), span_(span), arg_(arg)
+    {
+        if (auto *p = dev_.probe())
+            p->onSpanBegin(dev_, span_, arg_);
+    }
+
+    ~SpanGuard()
+    {
+        if (auto *p = dev_.probe())
+            p->onSpanEnd(dev_, span_, arg_, dev_.consumedJoules());
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+  private:
+    arch::Device &dev_;
+    arch::ProbeSpan span_;
+    u32 arg_;
+};
 
 /**
  * The per-round FRAM journal. Constructed fresh for each round (a
@@ -104,6 +137,7 @@ senseStage(dnn::DeviceNetwork &net, Journal &j,
 {
     arch::Device &dev = net.dev();
     arch::ScopedLayer attribution(dev, layer);
+    SpanGuard span(dev, arch::ProbeSpan::Sense, 0);
     arch::NvArray<i16> &buf = net.act(net.inputBufferOf(0));
     const u64 total = input.size();
     const u64 chunk = std::max<u32>(1, sense.chunkElements);
@@ -132,6 +166,7 @@ transmitStage(arch::Device &dev, Journal &j, const RadioConfig &radio,
               u64 seed, u64 round_index, RoundOutcome &out, u16 layer)
 {
     arch::ScopedLayer attribution(dev, layer);
+    SpanGuard span(dev, arch::ProbeSpan::Transmit, 0);
     for (;;) {
         if (j.acked.read() != 0)
             return;
@@ -150,6 +185,8 @@ transmitStage(arch::Device &dev, Journal &j, const RadioConfig &radio,
         dev.consume(arch::Op::RadioRxAck);
         if (ackArrives(radio, seed, round_index, a)) {
             notifyBoundary(dev, TxBoundary::AckCommit);
+            if (auto *p = dev.probe())
+                p->onInstant(dev, arch::ProbeInstant::AckDelivered, a);
             j.acked.write(1);
         } else {
             notifyBoundary(dev, TxBoundary::AttemptAdvance);
@@ -206,6 +243,8 @@ runRound(dnn::DeviceNetwork &net, kernels::Impl impl,
 {
     arch::Device &dev = net.dev();
     RoundOutcome out;
+    SpanGuard round_span(dev, arch::ProbeSpan::Round,
+                         static_cast<u32>(round_index));
 
     // A bare-inference pipeline is exactly the pre-pipeline execution
     // path: no journal, no extra charged ops.

@@ -199,6 +199,9 @@ Scheduler::commitAndTransition(TaskId next)
 {
     if (t_commitObserver != nullptr)
         t_commitObserver->onCommit(dev_, next);
+    if (auto *probe = dev_.probe())
+        probe->onInstant(dev_, arch::ProbeInstant::TaskCommit,
+                         static_cast<u32>(next));
     dev_.consume(config_.transitionStyle == TransitionStyle::Alpaca
                      ? arch::Op::AlpacaTransition
                      : arch::Op::TaskTransition);

@@ -152,6 +152,12 @@ catSonicz(std::istream &in, std::ostream &out,
     if (!readSonicz(in, on_sweep, on_fleet, &info, error,
                     options.hasRange ? &range : nullptr))
         return false;
+    if (info.kind == SchemaKind::Trace) {
+        if (error != nullptr)
+            *error = "sonic_cat: this is a .sonictrace event file; "
+                     "use sonic_trace to export or summarize it";
+        return false;
+    }
     if (info.kind == SchemaKind::Sweep && !options.pipeline.empty()) {
         // Also reached when every block was empty of rows.
         if (error != nullptr)
@@ -187,7 +193,9 @@ soniczInfo(std::istream &in, std::ostream &out, std::string *error)
               / static_cast<f64>(info.fileBytes)
         : 0.0;
     out << "schema:  "
-        << (info.kind == SchemaKind::Sweep ? "sweep" : "fleet")
+        << (info.kind == SchemaKind::Sweep
+                ? "sweep"
+                : (info.kind == SchemaKind::Fleet ? "fleet" : "trace"))
         << " (version " << info.version << ")\n"
         << "rows:    " << info.rows << "\n"
         << "blocks:  " << info.blocks << "\n"

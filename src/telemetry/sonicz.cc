@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <istream>
+#include <map>
+#include <mutex>
 #include <ostream>
+#include <thread>
 #include <unordered_map>
 
 #include "util/logging.hh"
@@ -91,6 +96,16 @@ const std::vector<ColumnSpec> kFleetColumns = {
     {"inferenceSecondsSum", ColType::F64},
     {"deliverySecondsSum", ColType::F64},
 };
+
+const std::vector<ColumnSpec> kTraceColumns = {
+    {"device", ColType::Int},
+    {"kind", ColType::Int},
+    {"arg", ColType::Int},
+    {"t", ColType::F64},
+    {"energyJ", ColType::F64},
+    {"value", ColType::F64},
+    {"label", ColType::Str},
+};
 // clang-format on
 
 constexpr u8 kBlockMarker = 0x42;  // 'B'
@@ -140,13 +155,21 @@ schemaColumns(SchemaKind kind)
 {
     SONIC_ASSERT(kFleetColumns.size() == fleetcol::kColumnCount,
                  "fleetcol enum out of sync with kFleetColumns");
-    return kind == SchemaKind::Sweep ? kSweepColumns : kFleetColumns;
+    SONIC_ASSERT(kTraceColumns.size() == tracecol::kColumnCount,
+                 "tracecol enum out of sync with kTraceColumns");
+    switch (kind) {
+      case SchemaKind::Sweep: return kSweepColumns;
+      case SchemaKind::Fleet: return kFleetColumns;
+      case SchemaKind::Trace: return kTraceColumns;
+    }
+    fatal("unknown schema kind ", static_cast<u32>(kind));
 }
 
 // --- Writer ---------------------------------------------------------
 
 SoniczWriter::SoniczWriter(std::ostream &os, SchemaKind kind,
-                           const std::vector<ColumnSpec> &extraColumns)
+                           const std::vector<ColumnSpec> &extraColumns,
+                           u32 encoderThreads)
     : os_(os), kind_(kind)
 {
     const auto &base = schemaColumns(kind);
@@ -179,6 +202,8 @@ SoniczWriter::SoniczWriter(std::ostream &os, SchemaKind kind,
     // (an unknown name flipped is still unknown).
     chainDigest(&chunkDigest_,
                 fnv1aBytes(header.data(), header.size()));
+    if (encoderThreads > 0)
+        encoder_ = std::make_unique<Encoder>(encoderThreads);
 }
 
 void
@@ -269,30 +294,145 @@ encodeStrColumn(const std::vector<std::string> &values)
 
 } // namespace
 
-void
-SoniczWriter::flushBlock()
+/** One block fully encoded but not yet written: its serialized bytes
+ * plus the chunk checksums the writer chains into the footer digest
+ * at WRITE time — the chain stays in block order no matter which
+ * encoder thread finished first. */
+struct SoniczWriter::EncodedBlock
 {
-    if (rowsInBlock_ == 0)
-        return;
+    Bytes bytes;
+    std::vector<u64> checksums; ///< per chunk, in column order
+    u64 rows = 0;
+    u64 idMin = 0;
+    u64 idMax = 0;
+};
 
-    IndexEntry entry;
-    entry.offset = bytesWritten_;
-    entry.rows = rowsInBlock_;
-    // Column 0 is the scalar Int id column in both schemas, so it has
+/**
+ * The background block-encoding pool. Encoding a block is a pure
+ * function of its own column contents (every context — string
+ * dictionary, int delta, LZ window — resets per block), so blocks
+ * encode concurrently and the output stays byte-identical to serial
+ * as long as writes happen in sequence order, which the owner thread
+ * enforces through take().
+ */
+struct SoniczWriter::Encoder
+{
+    struct Job
+    {
+        u64 seq = 0;
+        u64 rows = 0;
+        std::vector<Column> columns;
+    };
+
+    explicit Encoder(u32 thread_count)
+    {
+        threads.reserve(thread_count);
+        for (u32 i = 0; i < thread_count; ++i)
+            threads.emplace_back([this] { workerLoop(); });
+    }
+
+    ~Encoder()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stop = true;
+        }
+        workCv.notify_all();
+        for (auto &t : threads)
+            t.join();
+    }
+
+    /** Serial encoding core (also the encoderThreads == 0 path). */
+    static EncodedBlock encode(std::vector<Column> &&columns, u64 rows);
+
+    void
+    submit(Job &&job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            jobs.push_back(std::move(job));
+        }
+        workCv.notify_one();
+    }
+
+    /** Fetch block `seq` if encoded (blocking when `wait`). */
+    bool
+    take(u64 seq, bool wait, EncodedBlock *out)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (wait)
+            doneCv.wait(lock,
+                        [&] { return done.find(seq) != done.end(); });
+        auto it = done.find(seq);
+        if (it == done.end())
+            return false;
+        *out = std::move(it->second);
+        done.erase(it);
+        return true;
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            Job job;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                workCv.wait(lock,
+                            [&] { return stop || !jobs.empty(); });
+                if (jobs.empty())
+                    return; // stop, and nothing left to encode
+                job = std::move(jobs.front());
+                jobs.pop_front();
+            }
+            EncodedBlock encoded =
+                encode(std::move(job.columns), job.rows);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                done.emplace(job.seq, std::move(encoded));
+            }
+            doneCv.notify_all();
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    std::deque<Job> jobs;
+    std::map<u64, EncodedBlock> done;
+    bool stop = false;
+    std::vector<std::thread> threads;
+
+    /** Owner-thread-only sequence counters (no lock needed). */
+    u64 nextSeq = 0;      ///< next block sequence number to assign
+    u64 pendingWrite = 0; ///< next block sequence number to write
+};
+
+// Out of line: ~Encoder joins the pool (and an unfinished writer may
+// abandon encoded-but-unwritten blocks, exactly like the serial
+// writer abandons its unflushed tail).
+SoniczWriter::~SoniczWriter() = default;
+
+SoniczWriter::EncodedBlock
+SoniczWriter::Encoder::encode(std::vector<Column> &&columns, u64 rows)
+{
+    EncodedBlock out;
+    out.rows = rows;
+    // Column 0 is the scalar Int id column in every schema, so it has
     // exactly one value per row of this block.
-    SONIC_ASSERT(columns_[0].ints.size() == rowsInBlock_,
+    SONIC_ASSERT(columns[0].ints.size() == rows,
                  "sonicz: id column out of sync with the row count");
     const auto [lo, hi] = std::minmax_element(
-        columns_[0].ints.begin(), columns_[0].ints.end());
-    entry.idMin = *lo;
-    entry.idMax = *hi;
+        columns[0].ints.begin(), columns[0].ints.end());
+    out.idMin = *lo;
+    out.idMax = *hi;
 
     Bytes block;
     block.push_back(kBlockMarker);
-    putVarint(block, rowsInBlock_);
-    putVarint(block, columns_.size());
-    for (u64 c = 0; c < columns_.size(); ++c) {
-        auto &col = columns_[c];
+    putVarint(block, rows);
+    putVarint(block, columns.size());
+    for (u64 c = 0; c < columns.size(); ++c) {
+        auto &col = columns[c];
         Bytes raw;
         switch (col.type) {
           case ColType::Str: raw = encodeStrColumn(col.strs); break;
@@ -318,20 +458,73 @@ SoniczWriter::flushBlock()
                               checksum);
         putU64Le(block, checksum);
         block.insert(block.end(), payload.begin(), payload.end());
-
-        // Chain every chunk checksum into the footer digest.
-        chainDigest(&chunkDigest_, checksum);
-
-        col.strs.clear();
-        col.ints.clear();
-        col.f64s.clear();
+        out.checksums.push_back(checksum);
     }
-    os_.write(reinterpret_cast<const char *>(block.data()),
-              static_cast<std::streamsize>(block.size()));
-    bytesWritten_ += block.size();
+    out.bytes = std::move(block);
+    return out;
+}
+
+void
+SoniczWriter::writeEncoded(const EncodedBlock &encoded)
+{
+    IndexEntry entry;
+    entry.offset = bytesWritten_;
+    entry.rows = encoded.rows;
+    entry.idMin = encoded.idMin;
+    entry.idMax = encoded.idMax;
+    os_.write(reinterpret_cast<const char *>(encoded.bytes.data()),
+              static_cast<std::streamsize>(encoded.bytes.size()));
+    bytesWritten_ += encoded.bytes.size();
+    // Chain every chunk checksum into the footer digest, in block
+    // order — this happens at write time, never on encoder threads.
+    for (const u64 checksum : encoded.checksums)
+        chainDigest(&chunkDigest_, checksum);
     entry.digestAfter = chunkDigest_;
     index_.push_back(entry);
+}
+
+void
+SoniczWriter::drainEncoded(bool wait_for_all)
+{
+    if (encoder_ == nullptr)
+        return;
+    while (encoder_->pendingWrite < encoder_->nextSeq) {
+        EncodedBlock encoded;
+        if (!encoder_->take(encoder_->pendingWrite, wait_for_all,
+                            &encoded))
+            return; // not ready and not waiting — keep appending rows
+        ++encoder_->pendingWrite;
+        writeEncoded(encoded);
+    }
+}
+
+void
+SoniczWriter::flushBlock()
+{
+    if (rowsInBlock_ == 0)
+        return;
+
+    // Steal the filled column contents (the writer keeps appending
+    // into fresh vectors of the same shape while encoders work).
+    std::vector<Column> block_columns(columns_.size());
+    for (u64 c = 0; c < columns_.size(); ++c) {
+        block_columns[c].type = columns_[c].type;
+        block_columns[c].strs.swap(columns_[c].strs);
+        block_columns[c].ints.swap(columns_[c].ints);
+        block_columns[c].f64s.swap(columns_[c].f64s);
+    }
+    const u64 rows = rowsInBlock_;
     rowsInBlock_ = 0;
+
+    if (encoder_ == nullptr) {
+        writeEncoded(Encoder::encode(std::move(block_columns), rows));
+        return;
+    }
+    encoder_->submit({encoder_->nextSeq++, rows,
+                      std::move(block_columns)});
+    // Opportunistically write whatever finished, without stalling the
+    // append path behind a still-encoding block.
+    drainEncoded(false);
 }
 
 void
@@ -340,6 +533,7 @@ SoniczWriter::finish()
     if (finished_)
         return;
     flushBlock();
+    drainEncoded(true);
 
     // Block index: per-block offsets, row counts, column-0 ranges and
     // digest states, self-checksummed so a skipping reader can trust
@@ -478,6 +672,22 @@ void
 appendFleetRow(SoniczWriter &w, const fleet::DeviceTelemetry &t)
 {
     appendFleetCells(w, t);
+    w.endRow();
+}
+
+void
+appendTraceRow(SoniczWriter &w, const TraceRow &row)
+{
+    u32 c = 0;
+    w.putInt(c++, row.device);
+    w.putInt(c++, row.kind);
+    w.putInt(c++, row.arg);
+    w.putF64(c++, row.t);
+    w.putF64(c++, row.energyJ);
+    w.putF64(c++, row.value);
+    w.putStr(c++, row.label);
+    SONIC_ASSERT(c == kTraceColumns.size(),
+                 "trace schema column walk out of sync");
     w.endRow();
 }
 
@@ -756,6 +966,32 @@ materializeSweepRow(BlockReader &b, app::SweepRecord *out)
 }
 
 bool
+materializeTraceRow(BlockReader &b, TraceRow *out)
+{
+    u32 c = 0;
+    u64 v = 0;
+    if (!b.takeInt(c++, &out->device))
+        return false;
+    if (!b.takeInt(c++, &v))
+        return false;
+    out->kind = static_cast<u32>(v);
+    if (!b.takeInt(c++, &v))
+        return false;
+    out->arg = static_cast<u32>(v);
+    if (!b.takeF64(c++, &out->t))
+        return false;
+    if (!b.takeF64(c++, &out->energyJ))
+        return false;
+    if (!b.takeF64(c++, &out->value))
+        return false;
+    if (!b.takeStr(c++, &out->label))
+        return false;
+    SONIC_ASSERT(c == kTraceColumns.size(),
+                 "trace schema column walk out of sync");
+    return true;
+}
+
+bool
 materializeFleetRow(BlockReader &b, fleet::DeviceTelemetry *out)
 {
     auto &t = *out;
@@ -899,6 +1135,7 @@ readSoniczImpl(std::istream &in,
                    &onFleet,
                const std::function<void(const FleetBlockView &)>
                    &onFleetBlock,
+               const std::function<void(const TraceRow &)> &onTrace,
                SoniczInfo *info, std::string *error,
                const RowRange *range)
 {
@@ -930,14 +1167,18 @@ readSoniczImpl(std::istream &in,
                     + ".." + std::to_string(kSoniczVersion) + ")");
     const u8 kind_byte = bytes[pos++];
     if (kind_byte != static_cast<u8>(SchemaKind::Sweep)
-        && kind_byte != static_cast<u8>(SchemaKind::Fleet))
+        && kind_byte != static_cast<u8>(SchemaKind::Fleet)
+        && kind_byte != static_cast<u8>(SchemaKind::Trace))
         return fail("unknown schema kind "
                     + std::to_string(kind_byte));
     const SchemaKind kind = static_cast<SchemaKind>(kind_byte);
     const auto &specs = schemaColumns(kind);
     if (onFleetBlock && kind != SchemaKind::Fleet)
         return fail("columnar block reads apply to fleet telemetry; "
-                    "this is a sweep file");
+                    "this is not a fleet file");
+    if (onTrace && kind != SchemaKind::Trace)
+        return fail("trace row reads apply to .sonictrace files; "
+                    "this is not a trace file");
 
     // Resolve the file's columns against this build's schema by NAME:
     // unknown columns (a newer writer's additions) are tolerated and
@@ -1060,6 +1301,7 @@ readSoniczImpl(std::istream &in,
                     fnv1aBytes(bytes.data(), header_end));
     app::SweepRecord sweep_row;
     fleet::DeviceTelemetry fleet_row;
+    TraceRow trace_row;
 
     // Decode the block at *cursor (which must point at its marker),
     // dispatch its rows or its columnar view, and advance the cursor.
@@ -1204,10 +1446,14 @@ readSoniczImpl(std::istream &in,
                     ok = materializeSweepRow(block, &sweep_row);
                     if (ok && onSweep)
                         onSweep(sweep_row);
-                } else {
+                } else if (kind == SchemaKind::Fleet) {
                     ok = materializeFleetRow(block, &fleet_row);
                     if (ok && onFleet)
                         onFleet(fleet_row);
+                } else {
+                    ok = materializeTraceRow(block, &trace_row);
+                    if (ok && onTrace)
+                        onTrace(trace_row);
                 }
                 if (!ok)
                     return fail((block.error.empty()
@@ -1325,8 +1571,8 @@ readSonicz(std::istream &in,
                &onFleet,
            SoniczInfo *info, std::string *error, const RowRange *range)
 {
-    return readSoniczImpl(in, onSweep, onFleet, nullptr, info, error,
-                          range);
+    return readSoniczImpl(in, onSweep, onFleet, nullptr, nullptr, info,
+                          error, range);
 }
 
 bool
@@ -1336,8 +1582,18 @@ readFleetBlocks(std::istream &in,
                 SoniczInfo *info, std::string *error,
                 const RowRange *range)
 {
-    return readSoniczImpl(in, nullptr, nullptr, onBlock, info, error,
-                          range);
+    return readSoniczImpl(in, nullptr, nullptr, onBlock, nullptr, info,
+                          error, range);
+}
+
+bool
+readTraceRows(std::istream &in,
+              const std::function<void(const TraceRow &)> &onRow,
+              SoniczInfo *info, std::string *error,
+              const RowRange *range)
+{
+    return readSoniczImpl(in, nullptr, nullptr, nullptr, onRow, info,
+                          error, range);
 }
 
 } // namespace sonic::telemetry

@@ -52,6 +52,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -72,7 +73,8 @@ constexpr u32 kOldestReadableSoniczVersion = 1;
 enum class SchemaKind : u8
 {
     Sweep = 1, ///< app::SweepRecord rows (the engine's CSV/JSON sinks)
-    Fleet = 2  ///< fleet::DeviceTelemetry rows (the fleet CSV sink)
+    Fleet = 2, ///< fleet::DeviceTelemetry rows (the fleet CSV sink)
+    Trace = 3  ///< trace::TraceRow events (the .sonictrace container)
 };
 
 /** Column value classes (the three context encoders). */
@@ -126,6 +128,40 @@ enum : u32
 };
 } // namespace fleetcol
 
+/** kTraceColumns positions (same sync contract as fleetcol). */
+namespace tracecol
+{
+enum : u32
+{
+    kDevice = 0,
+    kKind,
+    kArg,
+    kT,
+    kEnergyJ,
+    kValue,
+    kLabel,
+    kColumnCount
+};
+} // namespace tracecol
+
+/**
+ * One trace event row of a .sonictrace file (a .sonicz file with the
+ * Trace schema). `kind` is a trace::TraceEventKind; `t` is device
+ * wall time (live + dead seconds) and `energyJ` cumulative consumed
+ * energy at the stamp, both offset to the device's fleet lifetime when
+ * recorded by the fleet. `value`/`arg`/`label` are kind-specific.
+ */
+struct TraceRow
+{
+    u64 device = 0;
+    u32 kind = 0;
+    u32 arg = 0;
+    f64 t = 0.0;
+    f64 energyJ = 0.0;
+    f64 value = 0.0;
+    std::string label;
+};
+
 /**
  * Streaming .sonicz writer. Cells are appended column-wise per row
  * (every column exactly once per scalar, list columns length-first),
@@ -146,7 +182,9 @@ class SoniczWriter
     static constexpr u32 kRowsPerBlock = 4096;
 
     SoniczWriter(std::ostream &os, SchemaKind kind,
-                 const std::vector<ColumnSpec> &extraColumns = {});
+                 const std::vector<ColumnSpec> &extraColumns = {},
+                 u32 encoderThreads = 0);
+    ~SoniczWriter();
 
     void putStr(u32 col, const std::string &value);
     void putInt(u32 col, u64 value);
@@ -175,7 +213,12 @@ class SoniczWriter
         u64 digestAfter = 0; ///< chunk digest state after this block
     };
 
+    struct EncodedBlock;
+    struct Encoder;
+
     void flushBlock();
+    void writeEncoded(const EncodedBlock &block);
+    void drainEncoded(bool wait_for_all);
 
     std::ostream &os_;
     SchemaKind kind_;
@@ -186,6 +229,15 @@ class SoniczWriter
     u64 bytesWritten_ = 0;
     u64 chunkDigest_ = 0xcbf29ce484222325ull;
     bool finished_ = false;
+
+    /**
+     * Background block-encoding state (null when encoderThreads == 0:
+     * the serial path encodes and writes inline). Blocks are handed to
+     * the encoder as their columns fill; flushBlock() drains finished
+     * blocks opportunistically, finish() drains them all, and both
+     * write strictly in sequence order.
+     */
+    std::unique_ptr<Encoder> encoder_;
 };
 
 /** Append one sweep record as a .sonicz row. */
@@ -202,6 +254,9 @@ void appendFleetRow(SoniczWriter &writer,
  * built with extraColumns: put the extra cells, then endRow(). */
 void appendFleetCells(SoniczWriter &writer,
                       const fleet::DeviceTelemetry &device);
+
+/** Append one trace event as a .sonictrace row. */
+void appendTraceRow(SoniczWriter &writer, const TraceRow &row);
 
 /** Reader-side file facts (sonic_cat --info). */
 struct SoniczInfo
@@ -253,6 +308,17 @@ bool readSonicz(std::istream &in,
                     &onFleet,
                 SoniczInfo *info, std::string *error,
                 const RowRange *range = nullptr);
+
+/**
+ * Read a TRACE .sonicz stream (.sonictrace), invoking onRow once per
+ * event in file order. Errors on sweep/fleet files. Same validation
+ * and range-pruning semantics as readSonicz (column 0 is the device
+ * index, so a RowRange selects devices).
+ */
+bool readTraceRows(std::istream &in,
+                   const std::function<void(const TraceRow &)> &onRow,
+                   SoniczInfo *info, std::string *error,
+                   const RowRange *range = nullptr);
 
 /**
  * One decoded block of a FLEET file, exposed columnar: the reader's
@@ -309,8 +375,8 @@ bool readFleetBlocks(std::istream &in,
 class SoniczSweepSink : public app::ResultSink
 {
   public:
-    explicit SoniczSweepSink(std::ostream &os)
-        : writer_(os, SchemaKind::Sweep)
+    explicit SoniczSweepSink(std::ostream &os, u32 encoderThreads = 0)
+        : writer_(os, SchemaKind::Sweep, {}, encoderThreads)
     {
     }
 
@@ -325,12 +391,14 @@ class SoniczSweepSink : public app::ResultSink
     SoniczWriter writer_;
 };
 
-/** Fleet sink writing device telemetry as .sonicz. */
+/** Fleet sink writing device telemetry as .sonicz. `encoderThreads`
+ * moves block encoding off the emit path (byte-identical output; see
+ * SoniczWriter) — wire it to the fleet's worker-thread count. */
 class SoniczFleetSink : public fleet::FleetSink
 {
   public:
-    explicit SoniczFleetSink(std::ostream &os)
-        : writer_(os, SchemaKind::Fleet)
+    explicit SoniczFleetSink(std::ostream &os, u32 encoderThreads = 0)
+        : writer_(os, SchemaKind::Fleet, {}, encoderThreads)
     {
     }
 

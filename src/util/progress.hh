@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Opt-in stderr heartbeat for the long-running CLIs (sonic_fleet,
+ * sonic_sweep). A monitor thread samples a caller-owned atomic counter
+ * about twice a second and rewrites one status line with the current
+ * rate and an ETA. Disabled (the default) it constructs to nothing —
+ * no thread, no clock reads — so the hot paths never see it.
+ */
+
+#ifndef SONIC_UTIL_PROGRESS_HH
+#define SONIC_UTIL_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "util/types.hh"
+
+namespace sonic::util
+{
+
+/**
+ * RAII heartbeat: while alive, prints `label: done/total unit/s ETA`
+ * to stderr every ~500 ms. The counter is owned by the caller (the
+ * work loop bumps it with relaxed stores); the meter only reads it.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(const char *label, const char *unit, u64 total,
+                  const std::atomic<u64> *done, bool enabled)
+        : label_(label), unit_(unit), total_(total), done_(done)
+    {
+        if (!enabled || done == nullptr)
+            return;
+        start_ = Clock::now();
+        monitor_ = std::thread([this] { loop(); });
+    }
+
+    ~ProgressMeter()
+    {
+        if (!monitor_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+        report(/*final_line=*/true);
+    }
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(500));
+            if (stop_)
+                break;
+            report(/*final_line=*/false);
+        }
+    }
+
+    void
+    report(bool final_line)
+    {
+        const u64 done = done_->load(std::memory_order_relaxed);
+        const f64 elapsed =
+            std::chrono::duration<f64>(Clock::now() - start_).count();
+        const f64 rate = elapsed > 0.0
+            ? static_cast<f64>(done) / elapsed
+            : 0.0;
+        char eta[32] = "?";
+        if (rate > 0.0 && done <= total_)
+            std::snprintf(eta, sizeof(eta), "%.0fs",
+                          static_cast<f64>(total_ - done) / rate);
+        // \r keeps it to one updating line; the destructor finishes
+        // with \n so following output starts clean.
+        std::fprintf(stderr, "\r%s: %llu/%llu %s (%.0f %s/s, ETA %s) ",
+                     label_, static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total_), unit_,
+                     rate, unit_, eta);
+        if (final_line)
+            std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    }
+
+    const char *label_;
+    const char *unit_;
+    u64 total_;
+    const std::atomic<u64> *done_;
+    Clock::time_point start_{};
+    std::thread monitor_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace sonic::util
+
+#endif // SONIC_UTIL_PROGRESS_HH

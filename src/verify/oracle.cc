@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "dnn/device_net.hh"
 #include "kernels/runner.hh"
 #include "task/runtime.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "verify/workload.hh"
@@ -704,10 +706,75 @@ reportJson(const OracleReport &report)
         appendLogitArray(os, d.observed.logits);
         os << ",\n     \"shrunkRebootDigests\": ";
         appendDigestArray(os, d.observed.rebootDigests);
+        if (!d.tracePath.empty())
+            os << ",\n     \"tracePath\": \"" << d.tracePath << "\"";
         os << "}";
     }
     os << (report.divergences.empty() ? "]" : "\n  ]") << "\n}\n";
     return os.str();
+}
+
+// --- Divergence trace dumps -----------------------------------------
+
+namespace
+{
+
+bool
+writeRecorderTrace(const trace::TraceRecorder &recorder,
+                   const std::string &path, std::string *error)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        if (error != nullptr)
+            *error = "cannot write " + path;
+        return false;
+    }
+    trace::writeTrace(out, {&recorder});
+    if (!out) {
+        if (error != nullptr)
+            *error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+dumpScheduleTrace(const LocalWorkload &workload,
+                  const Schedule &schedule, const std::string &path,
+                  std::string *error)
+{
+    trace::TraceRecorder recorder(0);
+    {
+        arch::Device dev(
+            app::makeProfile(workload.profile),
+            std::make_unique<arch::SchedulePower>(schedule));
+        dev.setProbe(&recorder);
+        dnn::DeviceNetwork net(dev, workload.net);
+        net.loadInput(workload.input);
+        (void)kernels::runInference(net, workload.impl);
+    }
+    return writeRecorderTrace(recorder, path, error);
+}
+
+bool
+dumpPipelineScheduleTrace(const PipelineWorkload &workload,
+                          const Schedule &schedule,
+                          const std::string &path, std::string *error)
+{
+    trace::TraceRecorder recorder(0);
+    {
+        arch::Device dev(
+            app::makeProfile(workload.base.profile),
+            std::make_unique<arch::SchedulePower>(schedule));
+        dev.setProbe(&recorder);
+        dnn::DeviceNetwork net(dev, workload.base.net);
+        (void)pipeline::runRound(net, workload.base.impl,
+                                 workload.base.input, workload.spec,
+                                 workload.seed, workload.roundIndex);
+    }
+    return writeRecorderTrace(recorder, path, error);
 }
 
 namespace

@@ -192,6 +192,9 @@ struct Divergence
     Schedule shrunk; ///< minimal failing subset (== schedule if unshrunk)
     std::string reason;
     Observation observed; ///< observation of the shrunk schedule
+    /** .sonictrace of the shrunk schedule's re-execution, written next
+     * to the --artifact JSON (empty when no trace was dumped). */
+    std::string tracePath;
 };
 
 /** Outcome of an oracle battery. */
@@ -297,6 +300,27 @@ OracleReport verifyWithEngine(app::Engine &engine,
 
 /** JSON rendering of a report (the CI failure-shrink artifact). */
 std::string reportJson(const OracleReport &report);
+
+/** @name Divergence trace dumps */
+/// @{
+
+/**
+ * Re-execute one schedule of a local workload with a trace recorder
+ * attached and write the event trace as a .sonictrace file: every
+ * reboot, lease, task commit, and layer switch of the minimal failing
+ * run, ready for `sonic_trace --export=chrome`. The traced run is the
+ * exact runSchedule execution (the probe adds no charged operations).
+ */
+bool dumpScheduleTrace(const LocalWorkload &workload,
+                       const Schedule &schedule,
+                       const std::string &path, std::string *error);
+
+/** Pipeline-round analogue of dumpScheduleTrace. */
+bool dumpPipelineScheduleTrace(const PipelineWorkload &workload,
+                               const Schedule &schedule,
+                               const std::string &path,
+                               std::string *error);
+/// @}
 
 /** @name Golden digest files */
 /// @{

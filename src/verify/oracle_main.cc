@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "dnn/device_net.hh"
 #include "dnn/model_io.hh"
 #include "dnn/zoo.hh"
 #include "env/environment.hh"
@@ -107,6 +108,63 @@ usage()
 /** The acceptance battery: the paper's kernels plus a second tiling. */
 const char *kDefaultImpls[] = {"Base", "Tile-8", "Tile-32", "SONIC",
                                "TAILS"};
+
+/** Where divergence traces land: next to the --artifact JSON, named
+ * <artifact-stem>.<tag>.<n>.sonictrace. */
+std::string
+tracePathFor(const std::string &artifact, const std::string &tag,
+             u64 index)
+{
+    std::string stem = artifact;
+    if (stem.size() > 5 && stem.rfind(".json") == stem.size() - 5)
+        stem.resize(stem.size() - 5);
+    return stem + "." + tag + "." + std::to_string(index)
+        + ".sonictrace";
+}
+
+/** Re-run every shrunk divergence with the trace probe attached and
+ * write one .sonictrace per counterexample. */
+void
+dumpLocalDivergenceTraces(verify::OracleReport *report,
+                          const verify::LocalWorkload &workload,
+                          const std::string &artifact,
+                          const std::string &tag)
+{
+    if (artifact.empty())
+        return;
+    u64 n = 0;
+    for (auto &d : report->divergences) {
+        const std::string path = tracePathFor(artifact, tag, n++);
+        std::string error;
+        if (verify::dumpScheduleTrace(workload, d.shrunk, path,
+                                      &error))
+            d.tracePath = path;
+        else
+            std::cerr << "divergence trace dump failed: " << error
+                      << "\n";
+    }
+}
+
+void
+dumpPipelineDivergenceTraces(verify::OracleReport *report,
+                             const verify::PipelineWorkload &workload,
+                             const std::string &artifact,
+                             const std::string &tag)
+{
+    if (artifact.empty())
+        return;
+    u64 n = 0;
+    for (auto &d : report->divergences) {
+        const std::string path = tracePathFor(artifact, tag, n++);
+        std::string error;
+        if (verify::dumpPipelineScheduleTrace(workload, d.shrunk,
+                                              path, &error))
+            d.tracePath = path;
+        else
+            std::cerr << "divergence trace dump failed: " << error
+                      << "\n";
+    }
+}
 
 int
 runGoldenFileMode(const Args &args)
@@ -211,6 +269,8 @@ runLocalImpl(const std::string &impl_name, const Args &args)
     report.workload = environment.empty()
         ? "golden"
         : "golden under " + environment.label();
+    dumpLocalDivergenceTraces(&report, workload, args.artifact,
+                              info->name);
     return report;
 }
 
@@ -237,8 +297,11 @@ runPipelineImpl(const std::string &pipeline_name,
     const u64 seed = args.seed
         ^ (static_cast<u64>(info->id) * 0x9e3779b97f4a7c15ull)
         ^ fnv1a(pipeline_name);
-    return verify::verifyPipelineLocal(workload, args.schedules, seed,
-                                       args.maxFailures);
+    auto report = verify::verifyPipelineLocal(
+        workload, args.schedules, seed, args.maxFailures);
+    dumpPipelineDivergenceTraces(&report, workload, args.artifact,
+                                 pipeline_name + "." + info->name);
+    return report;
 }
 
 verify::OracleReport
@@ -256,7 +319,17 @@ runEngineImpl(app::Engine &engine, const dnn::NetRef &net,
     config.seed = args.seed;
     config.maxFailures = args.maxFailures;
     config.environment = resolveEnvironment(args.environment);
-    return verify::verifyWithEngine(engine, config);
+    auto report = verify::verifyWithEngine(engine, config);
+    // The local mirror of the engine coordinate (same cached net and
+    // sample-0 input verifyWithEngine records commit traces with).
+    verify::LocalWorkload workload;
+    workload.net = engine.compressed(net);
+    workload.input = dnn::DeviceNetwork::quantizeInput(
+        engine.dataset(net)[0].input);
+    workload.impl = info->id;
+    dumpLocalDivergenceTraces(&report, workload, args.artifact,
+                              std::string(net) + "." + info->name);
+    return report;
 }
 
 } // namespace

@@ -216,10 +216,11 @@ packSweep(const std::vector<app::SweepRecord> &records)
 }
 
 std::string
-packFleet(const std::vector<fleet::DeviceTelemetry> &rows)
+packFleet(const std::vector<fleet::DeviceTelemetry> &rows,
+          u32 encoder_threads = 0)
 {
     std::ostringstream os;
-    telemetry::SoniczFleetSink sink(os);
+    telemetry::SoniczFleetSink sink(os, encoder_threads);
     sink.begin(rows.size());
     for (const auto &row : rows)
         sink.add(row);
@@ -401,6 +402,25 @@ TEST(Sonicz, FleetRoundTripIsByteIdenticalAcrossBlocks)
     EXPECT_EQ(info.kind, telemetry::SchemaKind::Fleet);
     EXPECT_EQ(info.rows, count);
     EXPECT_EQ(info.blocks, 2u);
+}
+
+TEST(Sonicz, ParallelBlockEncodingIsByteIdenticalToSerial)
+{
+    // The background encoder compresses blocks out of order but the
+    // writer emits them in sequence, so the worker count must never
+    // show in the bytes — the same promise the fleet's traced and
+    // sweep sinks rely on when they default to the run's thread count.
+    std::mt19937_64 rng(0xecc0de);
+    std::vector<fleet::DeviceTelemetry> rows;
+    const u32 count = telemetry::SoniczWriter::kRowsPerBlock * 3 + 17;
+    for (u32 i = 0; i < count; ++i)
+        rows.push_back(randomFleetTelemetry(rng, i));
+
+    const std::string serial = packFleet(rows, 0);
+    for (const u32 threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(packFleet(rows, threads), serial)
+            << threads << " encoder threads";
+    }
 }
 
 TEST(Sonicz, FieldsSurviveBitExactly)
